@@ -1,0 +1,84 @@
+// Command usher-bench regenerates the tables and figures of the paper's
+// evaluation over the synthetic SPEC2000 stand-in suite.
+//
+// Usage:
+//
+//	usher-bench [-table1] [-fig10] [-fig11] [-opt-levels] [-all]
+//
+// With no flags, -all is assumed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/valueflow/usher/internal/bench"
+	"github.com/valueflow/usher/internal/passes"
+)
+
+func main() {
+	table1 := flag.Bool("table1", false, "benchmark statistics under O0+IM (Table 1)")
+	fig10 := flag.Bool("fig10", false, "execution-time slowdowns under O0+IM (Figure 10)")
+	fig11 := flag.Bool("fig11", false, "static instrumentation counts (Figure 11)")
+	optLevels := flag.Bool("opt-levels", false, "slowdowns under O1 and O2 (Section 4.6)")
+	ablations := flag.Bool("ablations", false, "design-choice ablation study")
+	all := flag.Bool("all", false, "everything")
+	flag.Parse()
+
+	if !*table1 && !*fig10 && !*fig11 && !*optLevels && !*ablations {
+		*all = true
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "usher-bench:", err)
+		os.Exit(1)
+	}
+
+	if *all || *table1 {
+		fmt.Println("=== Table 1: benchmark statistics under O0+IM ===")
+		rows, err := bench.Table1()
+		if err != nil {
+			fail(err)
+		}
+		bench.WriteTable1(os.Stdout, rows)
+		fmt.Println()
+	}
+	if *all || *fig10 {
+		fmt.Println("=== Figure 10: execution-time slowdowns (O0+IM) ===")
+		rows, err := bench.Fig10(passes.O0IM)
+		if err != nil {
+			fail(err)
+		}
+		bench.WriteFig10(os.Stdout, passes.O0IM, rows)
+		fmt.Println()
+	}
+	if *all || *fig11 {
+		fmt.Println("=== Figure 11: static instrumentation counts ===")
+		rows, err := bench.Fig11()
+		if err != nil {
+			fail(err)
+		}
+		bench.WriteFig11(os.Stdout, rows)
+		fmt.Println()
+	}
+	if *all || *ablations {
+		fmt.Println("=== Ablations: context sensitivity, semi-strong updates, heap cloning, node merging ===")
+		rows, err := bench.Ablations()
+		if err != nil {
+			fail(err)
+		}
+		bench.WriteAblations(os.Stdout, rows)
+		fmt.Println()
+	}
+	if *all || *optLevels {
+		for _, level := range []passes.Level{passes.O1, passes.O2} {
+			fmt.Printf("=== Section 4.6: slowdowns under %s ===\n", level)
+			rows, err := bench.Fig10(level)
+			if err != nil {
+				fail(err)
+			}
+			bench.WriteFig10(os.Stdout, level, rows)
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Command usherc compiles, analyzes and runs MiniC programs under the
+// Usher instrumentation configurations.
+//
+// Usage:
+//
+//	usherc [flags] file.c
+//
+// Examples:
+//
+//	usherc prog.c                         # analyze with Usher, run, report
+//	usherc -config msan prog.c            # full instrumentation instead
+//	usherc -compare prog.c                # all five configurations side by side
+//	usherc -level O2 -dump-ir prog.c      # optimize and print the IR
+//	usherc -workload parser               # use a generated benchmark as input
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"github.com/valueflow/usher"
+	"github.com/valueflow/usher/internal/bench"
+	"github.com/valueflow/usher/internal/interp"
+	"github.com/valueflow/usher/internal/ir"
+	"github.com/valueflow/usher/internal/passes"
+	"github.com/valueflow/usher/internal/workload"
+)
+
+func main() {
+	configName := flag.String("config", "usher", "configuration: msan, tl, tlat, opti, usher")
+	levelName := flag.String("level", "O0+IM", "optimization level: O0, O0+IM, O1, O2")
+	compare := flag.Bool("compare", false, "run every configuration and compare")
+	dumpIR := flag.Bool("dump-ir", false, "print the optimized IR and exit")
+	dumpSrc := flag.Bool("dump-src", false, "print the (possibly generated) MiniC source and exit")
+	noRun := flag.Bool("no-run", false, "analyze only; print static statistics")
+	workloadName := flag.String("workload", "", "use a generated benchmark instead of a file")
+	flag.Parse()
+
+	src, file, err := inputSource(*workloadName, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	if *dumpSrc {
+		fmt.Print(src)
+		return
+	}
+	prog, err := usher.Compile(file, src)
+	if err != nil {
+		fatal(err)
+	}
+	level, err := parseLevel(*levelName)
+	if err != nil {
+		fatal(err)
+	}
+	if err := passes.Apply(prog, level); err != nil {
+		fatal(err)
+	}
+	if *dumpIR {
+		fmt.Print(ir.Print(prog))
+		return
+	}
+	if *compare {
+		compareConfigs(prog)
+		return
+	}
+	cfg, err := parseConfig(*configName)
+	if err != nil {
+		fatal(err)
+	}
+	an := usher.Analyze(prog, cfg)
+	st := an.StaticStats()
+	fmt.Printf("%s: %d static shadow propagations, %d static checks", cfg, st.Props, st.Checks)
+	if an.MFCsSimplified > 0 || an.Redirected > 0 {
+		fmt.Printf(" (Opt I simplified %d MFCs, Opt II redirected %d nodes)", an.MFCsSimplified, an.Redirected)
+	}
+	fmt.Println()
+	if *noRun {
+		return
+	}
+	res, err := an.Run(usher.RunOptions{})
+	if err != nil {
+		reportRun(res, cfg)
+		fatal(err)
+	}
+	reportRun(res, cfg)
+}
+
+func inputSource(workloadName string, args []string) (src, file string, err error) {
+	if workloadName != "" {
+		p, ok := workload.ByName(workloadName)
+		if !ok {
+			return "", "", fmt.Errorf("unknown workload %q", workloadName)
+		}
+		return workload.Generate(p), p.Name + ".c", nil
+	}
+	if len(args) != 1 {
+		return "", "", fmt.Errorf("usage: usherc [flags] file.c (or -workload name)")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return "", "", err
+	}
+	return string(data), args[0], nil
+}
+
+func parseConfig(name string) (usher.Config, error) {
+	switch strings.ToLower(name) {
+	case "msan", "full":
+		return usher.ConfigMSan, nil
+	case "tl":
+		return usher.ConfigUsherTL, nil
+	case "tlat", "tl+at":
+		return usher.ConfigUsherTLAT, nil
+	case "opti":
+		return usher.ConfigUsherOptI, nil
+	case "usher":
+		return usher.ConfigUsherFull, nil
+	case "optiii", "opt3", "usher3":
+		return usher.ConfigUsherOptIII, nil
+	}
+	return 0, fmt.Errorf("unknown config %q (want msan, tl, tlat, opti, usher or optiii)", name)
+}
+
+func parseLevel(name string) (passes.Level, error) {
+	switch strings.ToUpper(name) {
+	case "O0":
+		return passes.O0, nil
+	case "O0+IM", "O0IM":
+		return passes.O0IM, nil
+	case "O1":
+		return passes.O1, nil
+	case "O2":
+		return passes.O2, nil
+	}
+	return 0, fmt.Errorf("unknown level %q (want O0, O0+IM, O1 or O2)", name)
+}
+
+func reportRun(res *interp.Result, cfg usher.Config) {
+	if res == nil {
+		return
+	}
+	for _, v := range res.Out {
+		fmt.Printf("output: %d\n", v)
+	}
+	fmt.Printf("exit: %s, %d native ops, %d shadow propagations, %d checks (overhead %.0f%%)\n",
+		res.Exit, res.Steps, res.ShadowProps, res.ShadowChecks, bench.Overhead(res))
+	if len(res.ShadowWarnings) == 0 {
+		fmt.Printf("%s: no uses of undefined values detected\n", cfg)
+		return
+	}
+	fmt.Printf("%s: %d uses of undefined values:\n", cfg, len(res.ShadowWarnings))
+	for _, w := range res.ShadowWarnings {
+		fmt.Printf("  %s\n", w)
+	}
+}
+
+func compareConfigs(prog *ir.Program) {
+	native, err := usher.RunNative(prog, usher.RunOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "config\tstatic-props\tstatic-checks\tdyn-props\tdyn-checks\toverhead%\twarnings")
+	for _, cfg := range usher.Configs {
+		an := usher.Analyze(prog, cfg)
+		st := an.StaticStats()
+		res, err := an.Run(usher.RunOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%.0f\t%d\n",
+			cfg, st.Props, st.Checks, res.ShadowProps, res.ShadowChecks,
+			bench.Overhead(res), len(res.ShadowWarnings))
+	}
+	fmt.Fprintf(tw, "native\t-\t-\t-\t-\t0\t%d (oracle)\n", len(native.OracleWarnings))
+	tw.Flush()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "usherc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,199 @@
+// Command vfg-dump prints the intermediate artifacts of the Usher
+// pipeline for a MiniC program: the SSA IR, points-to sets, memory SSA
+// annotations, and the value-flow graph with its resolved definedness
+// (text or Graphviz DOT).
+//
+// Usage:
+//
+//	vfg-dump [-ir] [-pts] [-memssa] [-vfg] [-dot] file.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/valueflow/usher"
+	"github.com/valueflow/usher/internal/ir"
+	"github.com/valueflow/usher/internal/memssa"
+	"github.com/valueflow/usher/internal/passes"
+	"github.com/valueflow/usher/internal/pointer"
+	"github.com/valueflow/usher/internal/vfg"
+)
+
+func main() {
+	showIR := flag.Bool("ir", false, "print the SSA IR")
+	showPts := flag.Bool("pts", false, "print points-to sets of pointer operands")
+	showMem := flag.Bool("memssa", false, "print mu/chi annotations")
+	showVFG := flag.Bool("vfg", false, "print the VFG with definedness states")
+	dot := flag.Bool("dot", false, "emit the VFG as Graphviz DOT")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: vfg-dump [flags] file.c")
+		os.Exit(1)
+	}
+	if !*showIR && !*showPts && !*showMem && !*showVFG && !*dot {
+		*showIR, *showVFG = true, true
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := usher.Compile(flag.Arg(0), string(data))
+	if err != nil {
+		fatal(err)
+	}
+	if err := passes.Apply(prog, passes.O0IM); err != nil {
+		fatal(err)
+	}
+	pa := pointer.Analyze(prog)
+	mem := memssa.Build(prog, pa)
+	g := vfg.Build(prog, pa, mem, vfg.Options{})
+	gm := vfg.Resolve(g)
+
+	if *showIR {
+		fmt.Println("=== IR (O0+IM) ===")
+		fmt.Print(ir.Print(prog))
+		fmt.Println()
+	}
+	if *showPts {
+		fmt.Println("=== points-to sets ===")
+		dumpPts(prog, pa)
+		fmt.Println()
+	}
+	if *showMem {
+		fmt.Println("=== memory SSA ===")
+		dumpMemSSA(prog, mem)
+		fmt.Println()
+	}
+	if *showVFG {
+		fmt.Println("=== value-flow graph ===")
+		dumpVFG(g, gm)
+	}
+	if *dot {
+		dumpDOT(g, gm)
+	}
+}
+
+func dumpPts(prog *ir.Program, pa *pointer.Result) {
+	for _, fn := range prog.Funcs {
+		if !fn.HasBody {
+			continue
+		}
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				var addr ir.Value
+				switch in := in.(type) {
+				case *ir.Load:
+					addr = in.Addr
+				case *ir.Store:
+					addr = in.Addr
+				default:
+					continue
+				}
+				locs := pa.PointsTo(addr)
+				var names []string
+				for _, l := range locs {
+					names = append(names, l.String())
+				}
+				fmt.Printf("%s l%d %-40s -> {%s}\n", fn.Name, in.Label(), in, strings.Join(names, ", "))
+			}
+		}
+	}
+}
+
+func dumpMemSSA(prog *ir.Program, mem *memssa.Info) {
+	for _, fn := range prog.Funcs {
+		fi := mem.Funcs[fn]
+		if fi == nil {
+			continue
+		}
+		fmt.Printf("func %s: in=%v out=%v\n", fn.Name, fi.InVars, fi.OutVars)
+		for _, b := range fn.Blocks {
+			for _, phi := range fi.Phis[b] {
+				fmt.Printf("  %s: %s = memphi(", b, phi)
+				for i, a := range phi.PhiArgs {
+					if i > 0 {
+						fmt.Print(", ")
+					}
+					fmt.Print(a)
+				}
+				fmt.Println(")")
+			}
+			for _, in := range b.Instrs {
+				mus := fi.Mus[in.Label()]
+				chis := fi.Chis[in.Label()]
+				if len(mus) == 0 && len(chis) == 0 {
+					continue
+				}
+				fmt.Printf("  l%-3d %s\n", in.Label(), in)
+				for _, mu := range mus {
+					fmt.Printf("        mu(%s)\n", mu.Use)
+				}
+				for _, chi := range chis {
+					fmt.Printf("        %s := chi(%s)\n", chi, chi.Prev)
+				}
+			}
+		}
+	}
+}
+
+func dumpVFG(g *vfg.Graph, gm *vfg.Gamma) {
+	nodes := append([]*vfg.Node(nil), g.Nodes...)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	for _, n := range nodes {
+		if n.Kind == vfg.NodeRootT || n.Kind == vfg.NodeRootF {
+			continue
+		}
+		fmt.Printf("%s [%s]", n, gm.Of(n))
+		if len(n.Deps) > 0 {
+			fmt.Print(" <- ")
+			for i, e := range n.Deps {
+				if i > 0 {
+					fmt.Print(", ")
+				}
+				fmt.Print(e.To)
+				switch e.Kind {
+				case vfg.EdgeCall:
+					fmt.Printf(" (call l%d)", e.Site.Label())
+				case vfg.EdgeRet:
+					fmt.Printf(" (ret l%d)", e.Site.Label())
+				}
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func dumpDOT(g *vfg.Graph, gm *vfg.Gamma) {
+	fmt.Println("digraph vfg {")
+	fmt.Println("  rankdir=BT;")
+	for _, n := range g.Nodes {
+		color := "black"
+		if gm.Of(n) == vfg.Bottom {
+			color = "red"
+		}
+		label := strings.ReplaceAll(n.String(), `"`, `'`)
+		fmt.Printf("  n%d [label=\"%s\", color=%s];\n", n.ID, label, color)
+	}
+	for _, n := range g.Nodes {
+		for _, e := range n.Deps {
+			style := "solid"
+			switch e.Kind {
+			case vfg.EdgeCall:
+				style = "dashed"
+			case vfg.EdgeRet:
+				style = "dotted"
+			}
+			fmt.Printf("  n%d -> n%d [style=%s];\n", n.ID, e.To.ID, style)
+		}
+	}
+	fmt.Println("}")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vfg-dump:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,57 @@
+package usher_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/valueflow/usher"
+)
+
+// ExampleAnalyze compiles a buggy program, analyzes it with the full
+// Usher configuration, and reports the detected use of an undefined
+// value together with the instrumentation savings.
+func ExampleAnalyze() {
+	src := `
+int main() {
+  int *p = malloc(2);
+  p[0] = 41;
+  int v = p[0] + p[1];   // p[1] was never written
+  if (v > 0) { print(v); }
+  return 0;
+}`
+	prog, err := usher.Compile("bug.c", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	msan := usher.Analyze(prog, usher.ConfigMSan)
+	ush := usher.Analyze(prog, usher.ConfigUsherFull)
+
+	msanRes, _ := msan.Run(usher.RunOptions{})
+	ushRes, _ := ush.Run(usher.RunOptions{})
+
+	fmt.Printf("MSan:  %d warnings with %d static propagations\n",
+		len(msanRes.ShadowWarnings), msan.StaticStats().Props)
+	fmt.Printf("Usher: %d warnings with %d static propagations\n",
+		len(ushRes.ShadowWarnings), ush.StaticStats().Props)
+	// Output:
+	// MSan:  2 warnings with 9 static propagations
+	// Usher: 2 warnings with 6 static propagations
+}
+
+// ExampleRunNative executes a program without instrumentation; the
+// interpreter's ground-truth oracle still reports undefined-value uses.
+func ExampleRunNative() {
+	prog := usher.MustCompile("clean.c", `
+int main() {
+  int s = 0;
+  for (int i = 1; i <= 4; i++) { s += i * i; }
+  print(s);
+  return 0;
+}`)
+	res, err := usher.RunNative(prog, usher.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Out[0], len(res.OracleWarnings))
+	// Output: 30 0
+}

@@ -1,0 +1,65 @@
+// Bugdetect: an interprocedural use of an undefined value flowing through
+// heap memory and a function pointer, detected by every configuration —
+// demonstrating the soundness of guided instrumentation (no bug that full
+// instrumentation catches is missed).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/valueflow/usher"
+)
+
+const src = `
+struct Packet { int header; int len; int payload; };
+
+struct Packet *packet_new(int header) {
+  struct Packet *p = malloc(sizeof(struct Packet));
+  p->header = header;
+  // BUG: len is only set for large headers; payload is never set.
+  if (header > 100) { p->len = header - 100; }
+  return p;
+}
+
+int checksum(struct Packet *p) {
+  // Uses p->len, which may be undefined.
+  return p->header * 31 + p->len;
+}
+
+int process(int (*fn)(struct Packet*), struct Packet *p) {
+  return fn(p);
+}
+
+int main() {
+  struct Packet *small = packet_new(7);
+  int c = process(checksum, small);   // undefined len flows into c
+  if (c > 0) { print(1); } else { print(0); }
+  free(small);
+  return 0;
+}
+`
+
+func main() {
+	prog, err := usher.Compile("packet.c", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("running the packet checksum under every configuration:")
+	fmt.Println()
+	for _, cfg := range usher.Configs {
+		an := usher.Analyze(prog, cfg)
+		res, err := an.Run(usher.RunOptions{})
+		if err != nil {
+			log.Fatalf("%v: %v", cfg, err)
+		}
+		fmt.Printf("%-11s %d warnings, %d shadow props, %d checks\n",
+			cfg, len(res.ShadowWarnings), res.ShadowProps, res.ShadowChecks)
+		for _, w := range res.ShadowWarnings {
+			fmt.Printf("            %s\n", w)
+		}
+	}
+	fmt.Println()
+	fmt.Println("every configuration reports the undefined packet length;")
+	fmt.Println("Usher does it with a fraction of the instrumentation.")
+}

@@ -1,0 +1,26 @@
+package usher_test
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TestExtendedFuzz runs the soundness property over a much larger seed
+// range. Enable with USHER_FUZZ_SEEDS=n; skipped by default to keep the
+// normal test run fast.
+func TestExtendedFuzz(t *testing.T) {
+	env := os.Getenv("USHER_FUZZ_SEEDS")
+	if env == "" {
+		t.Skip("set USHER_FUZZ_SEEDS=n to run")
+	}
+	n, err := strconv.ParseInt(env, 10, 64)
+	if err != nil {
+		t.Fatalf("bad USHER_FUZZ_SEEDS: %v", err)
+	}
+	for seed := int64(0); seed < n; seed++ {
+		if err := checkSeed(seed); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package usher_test
+
+import "testing"
+
+// FuzzSoundness drives the full-pipeline soundness property with Go's
+// native fuzzer:
+//
+//	go test -fuzz=FuzzSoundness -fuzztime=30s
+//
+// Each input seed deterministically generates a random MiniC program
+// (internal/randprog); the property then checks oracle agreement, no
+// false positives, no uninitialized shadow reads and semantic
+// equivalence across all five configurations.
+func FuzzSoundness(f *testing.F) {
+	for seed := int64(0); seed < 16; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if err := checkSeed(seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module github.com/valueflow/usher
+
+go 1.22

@@ -1,0 +1,302 @@
+// Package ast defines the abstract syntax tree for MiniC.
+//
+// The tree is produced by package parser, checked and annotated by package
+// types, and consumed by package lower, which translates it to the IR in
+// package ir.
+package ast
+
+import "github.com/valueflow/usher/internal/token"
+
+// Node is the interface implemented by all AST nodes.
+type Node interface {
+	Pos() token.Pos
+}
+
+// Program is a parsed translation unit.
+type Program struct {
+	File  string
+	Decls []Decl
+}
+
+// Pos returns the position of the first declaration.
+func (p *Program) Pos() token.Pos {
+	if len(p.Decls) > 0 {
+		return p.Decls[0].Pos()
+	}
+	return token.Pos{File: p.File}
+}
+
+// Decl is a top-level declaration.
+type Decl interface {
+	Node
+	declNode()
+}
+
+// StructDecl declares a struct type.
+type StructDecl struct {
+	NamePos token.Pos
+	Name    string
+	Fields  []Field
+}
+
+// Field is a single struct field.
+type Field struct {
+	Type TypeExpr
+	Name string
+	Pos  token.Pos
+}
+
+// VarDecl declares a variable (global when at top level, local inside a
+// function body). A nil Init leaves the variable uninitialized; globals are
+// default-initialized per C semantics regardless.
+type VarDecl struct {
+	NamePos token.Pos
+	Type    TypeExpr
+	Name    string
+	Init    Expr // optional
+}
+
+// Param is a function parameter.
+type Param struct {
+	Type TypeExpr
+	Name string
+	Pos  token.Pos
+}
+
+// FuncDecl declares a function. Body is nil for a prototype.
+type FuncDecl struct {
+	NamePos token.Pos
+	Ret     TypeExpr
+	Name    string
+	Params  []Param
+	Body    *Block
+}
+
+func (d *StructDecl) Pos() token.Pos { return d.NamePos }
+func (d *VarDecl) Pos() token.Pos    { return d.NamePos }
+func (d *FuncDecl) Pos() token.Pos   { return d.NamePos }
+
+func (*StructDecl) declNode() {}
+func (*VarDecl) declNode()    {}
+func (*FuncDecl) declNode()   {}
+
+// TypeExpr is a syntactic type.
+type TypeExpr interface {
+	Node
+	typeExprNode()
+}
+
+// IntTypeExpr is the `int` type.
+type IntTypeExpr struct{ P token.Pos }
+
+// VoidTypeExpr is the `void` type (function returns only).
+type VoidTypeExpr struct{ P token.Pos }
+
+// StructTypeExpr is a reference `struct Name`.
+type StructTypeExpr struct {
+	P    token.Pos
+	Name string
+}
+
+// PointerTypeExpr is `Elem *`.
+type PointerTypeExpr struct {
+	P    token.Pos
+	Elem TypeExpr
+}
+
+// ArrayTypeExpr is `Elem [Len]`.
+type ArrayTypeExpr struct {
+	P    token.Pos
+	Elem TypeExpr
+	Len  int64
+}
+
+// FuncTypeExpr is a function type, used for function pointers.
+type FuncTypeExpr struct {
+	P      token.Pos
+	Ret    TypeExpr
+	Params []TypeExpr
+}
+
+func (t *IntTypeExpr) Pos() token.Pos     { return t.P }
+func (t *VoidTypeExpr) Pos() token.Pos    { return t.P }
+func (t *StructTypeExpr) Pos() token.Pos  { return t.P }
+func (t *PointerTypeExpr) Pos() token.Pos { return t.P }
+func (t *ArrayTypeExpr) Pos() token.Pos   { return t.P }
+func (t *FuncTypeExpr) Pos() token.Pos    { return t.P }
+
+func (*IntTypeExpr) typeExprNode()     {}
+func (*VoidTypeExpr) typeExprNode()    {}
+func (*StructTypeExpr) typeExprNode()  {}
+func (*PointerTypeExpr) typeExprNode() {}
+func (*ArrayTypeExpr) typeExprNode()   {}
+func (*FuncTypeExpr) typeExprNode()    {}
+
+// Stmt is a statement.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Block is a brace-delimited statement list with its own scope.
+type Block struct {
+	P     token.Pos
+	Stmts []Stmt
+}
+
+// DeclStmt is a local variable declaration statement.
+type DeclStmt struct{ Decl *VarDecl }
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct{ X Expr }
+
+// IfStmt is `if (Cond) Then else Else`; Else may be nil.
+type IfStmt struct {
+	P    token.Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt
+}
+
+// WhileStmt is `while (Cond) Body`.
+type WhileStmt struct {
+	P    token.Pos
+	Cond Expr
+	Body Stmt
+}
+
+// ForStmt is `for (Init; Cond; Post) Body`; each clause may be nil. Init is
+// either a DeclStmt or an ExprStmt.
+type ForStmt struct {
+	P    token.Pos
+	Init Stmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+}
+
+// ReturnStmt is `return X;` with X possibly nil.
+type ReturnStmt struct {
+	P token.Pos
+	X Expr
+}
+
+// BreakStmt is `break;`.
+type BreakStmt struct{ P token.Pos }
+
+// ContinueStmt is `continue;`.
+type ContinueStmt struct{ P token.Pos }
+
+// EmptyStmt is a lone `;`.
+type EmptyStmt struct{ P token.Pos }
+
+func (s *Block) Pos() token.Pos        { return s.P }
+func (s *DeclStmt) Pos() token.Pos     { return s.Decl.Pos() }
+func (s *ExprStmt) Pos() token.Pos     { return s.X.Pos() }
+func (s *IfStmt) Pos() token.Pos       { return s.P }
+func (s *WhileStmt) Pos() token.Pos    { return s.P }
+func (s *ForStmt) Pos() token.Pos      { return s.P }
+func (s *ReturnStmt) Pos() token.Pos   { return s.P }
+func (s *BreakStmt) Pos() token.Pos    { return s.P }
+func (s *ContinueStmt) Pos() token.Pos { return s.P }
+func (s *EmptyStmt) Pos() token.Pos    { return s.P }
+
+func (*Block) stmtNode()        {}
+func (*DeclStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*EmptyStmt) stmtNode()    {}
+
+// Expr is an expression.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// NumberLit is an integer literal.
+type NumberLit struct {
+	P     token.Pos
+	Value int64
+}
+
+// Ident is a use of a named variable or function.
+type Ident struct {
+	P    token.Pos
+	Name string
+}
+
+// Unary is a prefix unary operation: * & - ! ~.
+type Unary struct {
+	P  token.Pos
+	Op token.Kind
+	X  Expr
+}
+
+// Binary is an infix binary operation.
+type Binary struct {
+	P    token.Pos
+	Op   token.Kind
+	X, Y Expr
+}
+
+// Assign is `LHS = RHS`. Compound assignments and ++/-- are desugared to
+// plain Assign with a Binary RHS by the parser.
+type Assign struct {
+	P   token.Pos
+	LHS Expr
+	RHS Expr
+}
+
+// Call is a function call; Fun is an Ident for direct calls or any pointer
+// expression for indirect calls.
+type Call struct {
+	P    token.Pos
+	Fun  Expr
+	Args []Expr
+}
+
+// Index is `X[Idx]`.
+type Index struct {
+	P   token.Pos
+	X   Expr
+	Idx Expr
+}
+
+// FieldAccess is `X.Name` (Arrow false) or `X->Name` (Arrow true).
+type FieldAccess struct {
+	P     token.Pos
+	X     Expr
+	Name  string
+	Arrow bool
+}
+
+// SizeofExpr is `sizeof(T)`, measured in abstract cells.
+type SizeofExpr struct {
+	P token.Pos
+	T TypeExpr
+}
+
+func (e *NumberLit) Pos() token.Pos   { return e.P }
+func (e *Ident) Pos() token.Pos       { return e.P }
+func (e *Unary) Pos() token.Pos       { return e.P }
+func (e *Binary) Pos() token.Pos      { return e.P }
+func (e *Assign) Pos() token.Pos      { return e.P }
+func (e *Call) Pos() token.Pos        { return e.P }
+func (e *Index) Pos() token.Pos       { return e.P }
+func (e *FieldAccess) Pos() token.Pos { return e.P }
+func (e *SizeofExpr) Pos() token.Pos  { return e.P }
+
+func (*NumberLit) exprNode()   {}
+func (*Ident) exprNode()       {}
+func (*Unary) exprNode()       {}
+func (*Binary) exprNode()      {}
+func (*Assign) exprNode()      {}
+func (*Call) exprNode()        {}
+func (*Index) exprNode()       {}
+func (*FieldAccess) exprNode() {}
+func (*SizeofExpr) exprNode()  {}

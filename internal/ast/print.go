@@ -1,0 +1,253 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/valueflow/usher/internal/token"
+)
+
+// Print renders the program back as MiniC source. Printing a parsed
+// program and reparsing it yields an identical tree (round-trip tested),
+// which makes the printer reliable for debugging generated workloads and
+// fuzzer findings.
+func Print(p *Program) string {
+	pr := &printer{}
+	for i, d := range p.Decls {
+		if i > 0 {
+			pr.b.WriteString("\n")
+		}
+		pr.decl(d)
+	}
+	return pr.b.String()
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) pf(format string, args ...any) { fmt.Fprintf(&p.b, format, args...) }
+
+func (p *printer) pad() { p.b.WriteString(strings.Repeat("  ", p.indent)) }
+
+func (p *printer) decl(d Decl) {
+	switch d := d.(type) {
+	case *StructDecl:
+		p.pf("struct %s {\n", d.Name)
+		p.indent++
+		for _, f := range d.Fields {
+			p.pad()
+			p.pf("%s;\n", declarator(f.Type, f.Name))
+		}
+		p.indent--
+		p.pf("};\n")
+	case *VarDecl:
+		p.pf("%s", declarator(d.Type, d.Name))
+		if d.Init != nil {
+			p.pf(" = %s", exprString(d.Init))
+		}
+		p.pf(";\n")
+	case *FuncDecl:
+		params := make([]string, len(d.Params))
+		for i, prm := range d.Params {
+			params[i] = declarator(prm.Type, prm.Name)
+		}
+		p.pf("%s(%s)", declarator(d.Ret, d.Name), strings.Join(params, ", "))
+		if d.Body == nil {
+			p.pf(";\n")
+			return
+		}
+		p.pf(" ")
+		p.block(d.Body)
+		p.pf("\n")
+	}
+}
+
+// declarator renders a C declarator for the given type and name, the
+// inverse of the parser's inside-out type construction.
+func declarator(t TypeExpr, name string) string {
+	base, decl := splitDeclarator(t, name)
+	if decl == "" {
+		return base
+	}
+	return base + " " + decl
+}
+
+// splitDeclarator returns the base type keyword and the declarator part.
+func splitDeclarator(t TypeExpr, inner string) (string, string) {
+	switch t := t.(type) {
+	case *IntTypeExpr:
+		return "int", inner
+	case *VoidTypeExpr:
+		return "void", inner
+	case *StructTypeExpr:
+		return "struct " + t.Name, inner
+	case *PointerTypeExpr:
+		return splitDeclarator(t.Elem, "*"+inner)
+	case *ArrayTypeExpr:
+		if strings.HasPrefix(inner, "*") {
+			inner = "(" + inner + ")"
+		}
+		return splitDeclarator(t.Elem, fmt.Sprintf("%s[%d]", inner, t.Len))
+	case *FuncTypeExpr:
+		if strings.HasPrefix(inner, "*") {
+			inner = "(" + inner + ")"
+		}
+		params := make([]string, len(t.Params))
+		for i, pt := range t.Params {
+			params[i] = declarator(pt, "")
+		}
+		return splitDeclarator(t.Ret, fmt.Sprintf("%s(%s)", inner, strings.Join(params, ", ")))
+	}
+	return "?", inner
+}
+
+func (p *printer) block(b *Block) {
+	p.pf("{\n")
+	p.indent++
+	for _, s := range b.Stmts {
+		p.stmt(s)
+	}
+	p.indent--
+	p.pad()
+	p.pf("}")
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *Block:
+		p.pad()
+		p.block(s)
+		p.pf("\n")
+	case *EmptyStmt:
+		p.pad()
+		p.pf(";\n")
+	case *DeclStmt:
+		p.pad()
+		p.pf("%s", declarator(s.Decl.Type, s.Decl.Name))
+		if s.Decl.Init != nil {
+			p.pf(" = %s", exprString(s.Decl.Init))
+		}
+		p.pf(";\n")
+	case *ExprStmt:
+		p.pad()
+		p.pf("%s;\n", exprString(s.X))
+	case *IfStmt:
+		p.pad()
+		p.pf("if (%s) ", exprString(s.Cond))
+		p.stmtAsBlock(s.Then)
+		if s.Else != nil {
+			p.pf(" else ")
+			p.stmtAsBlock(s.Else)
+		}
+		p.pf("\n")
+	case *WhileStmt:
+		p.pad()
+		p.pf("while (%s) ", exprString(s.Cond))
+		p.stmtAsBlock(s.Body)
+		p.pf("\n")
+	case *ForStmt:
+		p.pad()
+		p.pf("for (")
+		switch init := s.Init.(type) {
+		case *DeclStmt:
+			p.pf("%s", declarator(init.Decl.Type, init.Decl.Name))
+			if init.Decl.Init != nil {
+				p.pf(" = %s", exprString(init.Decl.Init))
+			}
+		case *ExprStmt:
+			p.pf("%s", exprString(init.X))
+		}
+		p.pf("; ")
+		if s.Cond != nil {
+			p.pf("%s", exprString(s.Cond))
+		}
+		p.pf("; ")
+		if s.Post != nil {
+			p.pf("%s", exprString(s.Post))
+		}
+		p.pf(") ")
+		p.stmtAsBlock(s.Body)
+		p.pf("\n")
+	case *ReturnStmt:
+		p.pad()
+		if s.X != nil {
+			p.pf("return %s;\n", exprString(s.X))
+		} else {
+			p.pf("return;\n")
+		}
+	case *BreakStmt:
+		p.pad()
+		p.pf("break;\n")
+	case *ContinueStmt:
+		p.pad()
+		p.pf("continue;\n")
+	}
+}
+
+// stmtAsBlock prints a statement, wrapping non-blocks in braces so the
+// output is unambiguous.
+func (p *printer) stmtAsBlock(s Stmt) {
+	if b, ok := s.(*Block); ok {
+		p.block(b)
+		return
+	}
+	p.pf("{\n")
+	p.indent++
+	p.stmt(s)
+	p.indent--
+	p.pad()
+	p.pf("}")
+}
+
+var opText = map[token.Kind]string{
+	token.PLUS: "+", token.MINUS: "-", token.STAR: "*", token.SLASH: "/",
+	token.PERCENT: "%", token.SHL: "<<", token.SHR: ">>", token.AMP: "&",
+	token.PIPE: "|", token.CARET: "^", token.EQ: "==", token.NEQ: "!=",
+	token.LT: "<", token.LEQ: "<=", token.GT: ">", token.GEQ: ">=",
+	token.LAND: "&&", token.LOR: "||", token.NOT: "!", token.TILDE: "~",
+}
+
+// exprString renders an expression, parenthesizing conservatively.
+func exprString(e Expr) string {
+	switch e := e.(type) {
+	case *NumberLit:
+		return fmt.Sprintf("%d", e.Value)
+	case *Ident:
+		return e.Name
+	case *Unary:
+		op := opText[e.Op]
+		if e.Op == token.STAR {
+			op = "*"
+		} else if e.Op == token.AMP {
+			op = "&"
+		}
+		return fmt.Sprintf("%s(%s)", op, exprString(e.X))
+	case *Binary:
+		return fmt.Sprintf("(%s %s %s)", exprString(e.X), opText[e.Op], exprString(e.Y))
+	case *Assign:
+		return fmt.Sprintf("%s = %s", exprString(e.LHS), exprString(e.RHS))
+	case *Call:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = exprString(a)
+		}
+		return fmt.Sprintf("%s(%s)", exprString(e.Fun), strings.Join(args, ", "))
+	case *Index:
+		return fmt.Sprintf("%s[%s]", exprString(e.X), exprString(e.Idx))
+	case *FieldAccess:
+		sep := "."
+		if e.Arrow {
+			sep = "->"
+		}
+		x := exprString(e.X)
+		if _, isUnary := e.X.(*Unary); isUnary {
+			x = "(" + x + ")"
+		}
+		return x + sep + e.Name
+	case *SizeofExpr:
+		return fmt.Sprintf("sizeof(%s)", declarator(e.T, ""))
+	}
+	return "?"
+}

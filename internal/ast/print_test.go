@@ -1,0 +1,86 @@
+package ast_test
+
+import (
+	"testing"
+
+	"github.com/valueflow/usher/internal/ast"
+	"github.com/valueflow/usher/internal/parser"
+	"github.com/valueflow/usher/internal/randprog"
+	"github.com/valueflow/usher/internal/workload"
+)
+
+// roundTrip parses src, prints it, reparses, prints again, and checks the
+// two printed forms are identical (printer fixpoint) — which also
+// validates that the printer emits parseable MiniC.
+func roundTrip(t *testing.T, name, src string) {
+	t.Helper()
+	p1, err := parser.Parse(name, src)
+	if err != nil {
+		t.Fatalf("parse original: %v", err)
+	}
+	out1 := ast.Print(p1)
+	p2, err := parser.Parse(name+".rt", out1)
+	if err != nil {
+		t.Fatalf("reparse printed output: %v\n--- printed ---\n%s", err, out1)
+	}
+	out2 := ast.Print(p2)
+	if out1 != out2 {
+		t.Fatalf("printer not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", out1, out2)
+	}
+}
+
+func TestRoundTripBasics(t *testing.T) {
+	srcs := []string{
+		`int g = 3; int main() { return g; }`,
+		`struct S { int a; int *p; struct S *next; };
+		 int f(struct S *s) { return s->a + (*s).a; }
+		 int main() { struct S s; s.a = 1; return f(&s); }`,
+		`int apply(int (*f)(int, int), int a, int b) { return f(a, b); }
+		 int add(int a, int b) { return a + b; }
+		 int main() { return apply(add, 2, 3); }`,
+		`int main() {
+		   int arr[4];
+		   int *ps[3];
+		   for (int i = 0; i < 4; i++) { arr[i] = i << 1; }
+		   int s = 0;
+		   while (s < 100) { s += arr[2]; if (s % 7 == 0) { break; } else { continue; } }
+		   return s;
+		 }`,
+		`int proto(int);
+		 int main() { return proto(sizeof(int*)); }`,
+		`void v() { return; }
+		 int main() { v(); ; return !1 + ~0 - (-3); }`,
+	}
+	for i, src := range srcs {
+		roundTrip(t, "t.c", src)
+		_ = i
+	}
+}
+
+func TestRoundTripWorkloads(t *testing.T) {
+	for _, name := range []string{"gzip", "parser"} {
+		p, _ := workload.ByName(name)
+		roundTrip(t, name+".c", workload.Generate(p))
+	}
+}
+
+func TestRoundTripRandomPrograms(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		roundTrip(t, "rand.c", randprog.Generate(seed, randprog.DefaultOptions))
+	}
+}
+
+func TestDeclaratorForms(t *testing.T) {
+	// Exercise the inverse declarator construction for gnarly types.
+	srcs := []string{
+		"int *a[3];",                        // array of pointers
+		"int (*b)[3];",                      // pointer to array
+		"int (*c)(int, int*);",              // function pointer
+		"int *(*d)(int (*)(int));",          // fp taking fp, returning int*
+		"int m[2][3];",                      // nested arrays
+		"struct T { int x; }; struct T *t;", // struct pointer
+	}
+	for _, src := range srcs {
+		roundTrip(t, "decl.c", src)
+	}
+}

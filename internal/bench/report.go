@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"github.com/valueflow/usher"
+	"github.com/valueflow/usher/internal/passes"
+)
+
+// WriteTable1 renders Table 1 as text.
+func WriteTable1(w io.Writer, rows []Table1Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	header := "Benchmark\tKLOC\tTime(s)\tMem(MB)\tVarTL\tStack\tHeap\tGlobal\t%F\tS\tStores\t%SU\t%WU\tVFG\t%B\tS(OptI)\tR(OptII)"
+	fmt.Fprintf(tw, "%s\n", header)
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.1f\t%.3f\t%.0f\t%d\t%d\t%d\t%d\t%.0f\t%.1f\t%d\t%.0f\t%.0f\t%d\t%.0f\t%d\t%d\n",
+			r.Name, r.KLOC, r.TimeSec, r.MemMB, r.VarTL, r.Stack, r.Heap, r.Global,
+			r.PctF, r.SemiPerSite, r.Stores, r.PctSU, r.PctWU, r.VFGNodes, r.PctB, r.OptIS, r.OptIIR)
+	}
+	fmt.Fprintf(tw, "average\t%.1f\t%.3f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.1f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\n",
+		Averages(rows, func(r Table1Row) float64 { return r.KLOC }),
+		Averages(rows, func(r Table1Row) float64 { return r.TimeSec }),
+		Averages(rows, func(r Table1Row) float64 { return r.MemMB }),
+		Averages(rows, func(r Table1Row) float64 { return float64(r.VarTL) }),
+		Averages(rows, func(r Table1Row) float64 { return float64(r.Stack) }),
+		Averages(rows, func(r Table1Row) float64 { return float64(r.Heap) }),
+		Averages(rows, func(r Table1Row) float64 { return float64(r.Global) }),
+		Averages(rows, func(r Table1Row) float64 { return r.PctF }),
+		Averages(rows, func(r Table1Row) float64 { return r.SemiPerSite }),
+		Averages(rows, func(r Table1Row) float64 { return float64(r.Stores) }),
+		Averages(rows, func(r Table1Row) float64 { return r.PctSU }),
+		Averages(rows, func(r Table1Row) float64 { return r.PctWU }),
+		Averages(rows, func(r Table1Row) float64 { return float64(r.VFGNodes) }),
+		Averages(rows, func(r Table1Row) float64 { return r.PctB }),
+		Averages(rows, func(r Table1Row) float64 { return float64(r.OptIS) }),
+		Averages(rows, func(r Table1Row) float64 { return float64(r.OptIIR) }),
+	)
+	tw.Flush()
+}
+
+// WriteFig10 renders the slowdown figure as text.
+func WriteFig10(w io.Writer, level passes.Level, rows []OverheadRow) {
+	fmt.Fprintf(w, "Execution-time overhead vs native (%%), level %s\n", level)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "Benchmark\tnative-ops")
+	for _, cfg := range usher.Configs {
+		fmt.Fprintf(tw, "\t%s", cfg)
+	}
+	fmt.Fprintln(tw, "\twarnings")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d", r.Name, r.NativeSteps)
+		warn := 0
+		for _, run := range r.Runs {
+			fmt.Fprintf(tw, "\t%.0f", run.OverheadPct)
+			if run.Warnings > warn {
+				warn = run.Warnings
+			}
+		}
+		fmt.Fprintf(tw, "\t%d\n", warn)
+	}
+	fmt.Fprint(tw, "average\t")
+	for i := range usher.Configs {
+		i := i
+		avg := Averages(rows, func(r OverheadRow) float64 { return r.Runs[i].OverheadPct })
+		fmt.Fprintf(tw, "\t%.0f", avg)
+	}
+	fmt.Fprintln(tw, "\t")
+	tw.Flush()
+}
+
+// WriteFig11 renders the static instrumentation counts as text.
+func WriteFig11(w io.Writer, rows []StaticRow) {
+	fmt.Fprintln(w, "Static shadow propagations and checks (% of MSan)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "Benchmark")
+	for _, cfg := range usher.Configs[1:] {
+		fmt.Fprintf(tw, "\tP:%s", cfg)
+	}
+	for _, cfg := range usher.Configs[1:] {
+		fmt.Fprintf(tw, "\tC:%s", cfg)
+	}
+	fmt.Fprintln(tw)
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s", r.Name)
+		for i := 1; i < len(r.PropsPct); i++ {
+			fmt.Fprintf(tw, "\t%.0f", r.PropsPct[i])
+		}
+		for i := 1; i < len(r.ChecksPct); i++ {
+			fmt.Fprintf(tw, "\t%.0f", r.ChecksPct[i])
+		}
+		fmt.Fprintln(tw)
+	}
+	fmt.Fprint(tw, "average")
+	for i := 1; i < len(usher.Configs); i++ {
+		i := i
+		fmt.Fprintf(tw, "\t%.0f", Averages(rows, func(r StaticRow) float64 { return r.PropsPct[i] }))
+	}
+	for i := 1; i < len(usher.Configs); i++ {
+		i := i
+		fmt.Fprintf(tw, "\t%.0f", Averages(rows, func(r StaticRow) float64 { return r.ChecksPct[i] }))
+	}
+	fmt.Fprintln(tw)
+	tw.Flush()
+}

@@ -1,0 +1,53 @@
+// Package compile bundles the frontend pipeline: parse, type-check, lower
+// and establish SSA. It is the entry point used by the facade, the
+// benchmark harness and tests.
+package compile
+
+import (
+	"fmt"
+
+	"github.com/valueflow/usher/internal/ir"
+	"github.com/valueflow/usher/internal/lower"
+	"github.com/valueflow/usher/internal/parser"
+	"github.com/valueflow/usher/internal/ssa"
+	"github.com/valueflow/usher/internal/types"
+)
+
+// Source compiles MiniC source into SSA-form IR (the paper's O0+IM
+// baseline: lowering plus mem2reg; the inlining step of O0+IM and the
+// O1/O2 pipelines live in package passes).
+func Source(file, src string) (*ir.Program, error) {
+	prog, err := parser.Parse(file, src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck: %w", err)
+	}
+	irp, err := lower.Lower(prog, info)
+	if err != nil {
+		return nil, fmt.Errorf("lower: %w", err)
+	}
+	ssa.Promote(irp)
+	for _, fn := range irp.Funcs {
+		ir.ComputeCFG(fn)
+	}
+	if err := ir.Verify(irp); err != nil {
+		return nil, fmt.Errorf("verify: %w", err)
+	}
+	if err := ssa.VerifySSA(irp); err != nil {
+		return nil, fmt.Errorf("ssa: %w", err)
+	}
+	return irp, nil
+}
+
+// MustSource compiles known-good source, panicking on error. For tests
+// and generated workloads.
+func MustSource(file, src string) *ir.Program {
+	irp, err := Source(file, src)
+	if err != nil {
+		panic(fmt.Sprintf("compile %s: %v", file, err))
+	}
+	return irp
+}

@@ -1,0 +1,313 @@
+package instrument_test
+
+import (
+	"testing"
+
+	"github.com/valueflow/usher"
+	"github.com/valueflow/usher/internal/interp"
+)
+
+// programs used across the soundness tests: a mix of clean and buggy
+// code exercising heap, globals, fields, loops, recursion and function
+// pointers.
+var soundnessPrograms = []struct {
+	name string
+	src  string
+	args []int64
+	// buggy marks programs with a real use of an undefined value.
+	buggy bool
+}{
+	{"clean-loop", `
+int main() {
+  int s = 0;
+  for (int i = 0; i < 50; i++) { s += i; }
+  print(s);
+  return s;
+}`, nil, false},
+	{"clean-heap", `
+int main() {
+  int *p = malloc(4);
+  for (int i = 0; i < 4; i++) { p[i] = i * i; }
+  int s = 0;
+  for (int i = 0; i < 4; i++) { s += p[i]; }
+  free(p);
+  return s;
+}`, nil, false},
+	{"uninit-branch", `
+int main(int c) {
+  int x;
+  if (c) { x = 1; }
+  if (x) { return 1; }
+  return 0;
+}`, []int64{0}, true},
+	{"uninit-heap-interproc", `
+int get(int *p, int i) { return p[i]; }
+int main() {
+  int *p = malloc(3);
+  p[0] = 5;
+  int v = get(p, 2);
+  print(v);
+  return 0;
+}`, nil, true},
+	{"clean-struct-list", `
+struct Node { int val; struct Node *next; };
+int main() {
+  struct Node *head = 0;
+  for (int i = 0; i < 6; i++) {
+    struct Node *n = malloc(sizeof(struct Node));
+    n->val = i;
+    n->next = head;
+    head = n;
+  }
+  int s = 0;
+  while (head != 0) { s += head->val; head = head->next; }
+  print(s);
+  return s;
+}`, nil, false},
+	{"uninit-struct-field", `
+struct P { int x; int y; };
+int main() {
+  struct P *p = malloc(sizeof(struct P));
+  p->x = 1;
+  print(p->y);
+  return 0;
+}`, nil, true},
+	{"clean-funcptr", `
+int inc(int x) { return x + 1; }
+int dbl(int x) { return x * 2; }
+int fold(int (*f)(int), int n) {
+  int acc = 0;
+  for (int i = 0; i < n; i++) { acc += f(i); }
+  return acc;
+}
+int main() { return fold(inc, 5) + fold(dbl, 5); }`, nil, false},
+	{"uninit-through-funcptr", `
+int pass(int x) { return x; }
+int main() {
+  int (*f)(int);
+  f = pass;
+  int u;
+  int v = f(u);
+  if (v) { return 1; }
+  return 0;
+}`, nil, true},
+	{"clean-globals", `
+int acc;
+void add(int v) { acc += v; }
+int main() {
+  for (int i = 0; i < 10; i++) { add(i); }
+  print(acc);
+  return acc;
+}`, nil, false},
+	{"uninit-recursion", `
+int walk(int *p, int n) {
+  if (n == 0) { return p[0]; }
+  return walk(p, n - 1);
+}
+int main() {
+  int *p = malloc(1);
+  int v = walk(p, 3);
+  print(v);
+  return 0;
+}`, nil, true},
+	{"clean-semistrong", `
+int consume() {
+  int *q = malloc(1);
+  *q = 7;
+  int v = *q;
+  free(q);
+  return v;
+}
+int main() {
+  int s = 0;
+  for (int i = 0; i < 5; i++) { s += consume(); }
+  return s;
+}`, nil, false},
+}
+
+func runConfig(t *testing.T, src string, args []int64, cfg usher.Config) *interp.Result {
+	t.Helper()
+	prog := usher.MustCompile("t.c", src)
+	an := usher.Analyze(prog, cfg)
+	res, err := an.Run(usher.RunOptions{Args: args})
+	if err != nil {
+		t.Fatalf("[%v] run: %v", cfg, err)
+	}
+	return res
+}
+
+// TestSoundnessAllConfigs verifies the paper's central soundness claim:
+// every configuration detects an error whenever the ground-truth oracle
+// does, and none fabricates errors on clean runs. Configurations without
+// Opt II must report exactly the oracle's sites.
+func TestSoundnessAllConfigs(t *testing.T) {
+	for _, tt := range soundnessPrograms {
+		t.Run(tt.name, func(t *testing.T) {
+			for _, cfg := range usher.Configs {
+				res := runConfig(t, tt.src, tt.args, cfg)
+				oracle := res.OracleSites()
+				shadow := res.ShadowSites()
+
+				if len(res.ShadowViolations) != 0 {
+					t.Errorf("[%v] shadow soundness violations: %v", cfg, res.ShadowViolations)
+				}
+				if tt.buggy && len(oracle) == 0 {
+					t.Fatalf("[%v] test expectation broken: no oracle warnings", cfg)
+				}
+				if !tt.buggy && len(oracle) != 0 {
+					t.Fatalf("[%v] test expectation broken: oracle warned on clean program: %v",
+						cfg, res.OracleWarnings)
+				}
+				// No fabricated warnings, ever.
+				for s := range shadow {
+					if !oracle[s] {
+						t.Errorf("[%v] false positive at %v", cfg, s)
+					}
+				}
+				if cfg == usher.ConfigUsherFull {
+					// Opt II may suppress downstream duplicates but must
+					// keep at least one report when the oracle has any.
+					if len(oracle) > 0 && len(shadow) == 0 {
+						t.Errorf("[%v] all oracle sites suppressed: oracle=%v", cfg, res.OracleWarnings)
+					}
+					continue
+				}
+				// Without Opt II the reported sites must match exactly.
+				for s := range oracle {
+					if !shadow[s] {
+						t.Errorf("[%v] missed oracle site %v", cfg, s)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMonotoneSavings checks invariant 5: static instrumentation counts
+// never increase along MSan ≥ UsherTL ≥ UsherTL+AT ≥ UsherOptI ≥ Usher.
+func TestMonotoneSavings(t *testing.T) {
+	for _, tt := range soundnessPrograms {
+		prog := usher.MustCompile("t.c", tt.src)
+		prevProps, prevChecks := -1, -1
+		for _, cfg := range usher.Configs {
+			an := usher.Analyze(prog, cfg)
+			st := an.StaticStats()
+			if prevProps >= 0 {
+				if st.Props > prevProps {
+					t.Errorf("%s: [%v] props %d > previous config's %d", tt.name, cfg, st.Props, prevProps)
+				}
+				if st.Checks > prevChecks {
+					t.Errorf("%s: [%v] checks %d > previous config's %d", tt.name, cfg, st.Checks, prevChecks)
+				}
+			}
+			prevProps, prevChecks = st.Props, st.Checks
+		}
+	}
+}
+
+// TestGuidedSavesOverFull checks that guided instrumentation actually
+// removes work on a clean program.
+func TestGuidedSavesOverFull(t *testing.T) {
+	src := soundnessPrograms[0].src // clean-loop
+	prog := usher.MustCompile("t.c", src)
+	full := usher.Analyze(prog, usher.ConfigMSan).StaticStats()
+	guided := usher.Analyze(prog, usher.ConfigUsherFull).StaticStats()
+	if guided.Props >= full.Props {
+		t.Errorf("guided props %d not below full %d", guided.Props, full.Props)
+	}
+	if guided.Checks >= full.Checks {
+		t.Errorf("guided checks %d not below full %d", guided.Checks, full.Checks)
+	}
+	// A fully clean program needs no checks at all.
+	if guided.Checks != 0 {
+		t.Errorf("clean program still has %d checks under Usher", guided.Checks)
+	}
+}
+
+// TestDynamicSavings checks that the runtime shadow work shrinks too.
+func TestDynamicSavings(t *testing.T) {
+	src := soundnessPrograms[4].src // clean-struct-list
+	msan := runConfig(t, src, nil, usher.ConfigMSan)
+	ush := runConfig(t, src, nil, usher.ConfigUsherFull)
+	if msan.Out[0] != ush.Out[0] {
+		t.Fatalf("outputs differ: %v vs %v", msan.Out, ush.Out)
+	}
+	if ush.ShadowProps >= msan.ShadowProps {
+		t.Errorf("usher dynamic props %d not below msan %d", ush.ShadowProps, msan.ShadowProps)
+	}
+	if ush.ShadowChecks > msan.ShadowChecks {
+		t.Errorf("usher dynamic checks %d above msan %d", ush.ShadowChecks, msan.ShadowChecks)
+	}
+}
+
+// TestOptIIStillDetects exercises the Figure 9 scenario: two checks on
+// the same undefined source, the dominated one eliminated, the bug still
+// reported once.
+func TestOptIIStillDetects(t *testing.T) {
+	src := `
+int main() {
+  int *buf = malloc(2);
+  int b = buf[1];       // undefined
+  int c = b + 1;
+  print(c);             // first critical use (dominates the next)
+  int e = b * 2;
+  if (e) { return 1; }  // second critical use of the same source
+  return 0;
+}`
+	full := runConfig(t, src, nil, usher.ConfigUsherOptI)
+	opt2 := runConfig(t, src, nil, usher.ConfigUsherFull)
+	if len(full.ShadowSites()) == 0 {
+		t.Fatal("OptI config missed the bug entirely")
+	}
+	if len(opt2.ShadowSites()) == 0 {
+		t.Error("Opt II suppressed every report")
+	}
+	if len(opt2.ShadowSites()) > len(full.ShadowSites()) {
+		t.Errorf("Opt II added sites: %d > %d", len(opt2.ShadowSites()), len(full.ShadowSites()))
+	}
+	// The static check count must drop.
+	prog := usher.MustCompile("t.c", src)
+	cOptI := usher.Analyze(prog, usher.ConfigUsherOptI).StaticStats().Checks
+	cFull := usher.Analyze(prog, usher.ConfigUsherFull).StaticStats().Checks
+	if cFull >= cOptI {
+		t.Errorf("Opt II did not reduce checks: %d >= %d", cFull, cOptI)
+	}
+}
+
+// TestOptIReducesPropagations builds a deep copy/arithmetic chain whose
+// interior propagations Opt I should skip.
+func TestOptIReducesPropagations(t *testing.T) {
+	src := `
+int main() {
+  int *p = malloc(1);
+  int a = p[0];          // ⊥ source
+  int b = a + 1;
+  int c = b * 2;
+  int d = c - 3;
+  int e = d + c;
+  if (e) { return 1; }
+  return 0;
+}`
+	prog := usher.MustCompile("t.c", src)
+	plain := usher.Analyze(prog, usher.ConfigUsherTLAT)
+	opt := usher.Analyze(prog, usher.ConfigUsherOptI)
+	if opt.MFCsSimplified == 0 {
+		t.Error("Opt I simplified no closures")
+	}
+	if opt.StaticStats().Props >= plain.StaticStats().Props {
+		t.Errorf("Opt I props %d not below plain %d",
+			opt.StaticStats().Props, plain.StaticStats().Props)
+	}
+	// Detection must be preserved.
+	res, err := opt.Run(usher.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ShadowSites()) != len(res.OracleSites()) {
+		t.Errorf("OptI detection mismatch: shadow %v, oracle %v",
+			res.ShadowWarnings, res.OracleWarnings)
+	}
+	if len(res.ShadowViolations) != 0 {
+		t.Errorf("OptI shadow violations: %v", res.ShadowViolations)
+	}
+}

@@ -1,0 +1,97 @@
+package instrument_test
+
+import (
+	"testing"
+
+	"github.com/valueflow/usher"
+	"github.com/valueflow/usher/internal/randprog"
+)
+
+// The Opt III scenario: one possibly-undefined SSA value used at several
+// critical operations where the first dominates the rest.
+const optIIISrc = `
+int main() {
+  int *p = malloc(1);
+  int v = p[0];          // ⊥
+  print(v);              // check 1: dominates everything below
+  print(v);              // check 2 on the same SSA value: redundant
+  print(v);              // check 3: redundant
+  return 0;
+}`
+
+func TestOptIIIElidesDominatedChecks(t *testing.T) {
+	prog := usher.MustCompile("t.c", optIIISrc)
+	base := usher.Analyze(prog, usher.ConfigUsherFull)
+	ext := usher.Analyze(prog, usher.ConfigUsherOptIII)
+	if ext.ChecksElided != 2 {
+		t.Errorf("checks elided = %d, want 2", ext.ChecksElided)
+	}
+	if ext.StaticStats().Checks >= base.StaticStats().Checks {
+		t.Errorf("OptIII checks %d not below Usher's %d",
+			ext.StaticStats().Checks, base.StaticStats().Checks)
+	}
+	// The bug must still be reported (at the dominating site).
+	res, err := ext.Run(usher.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ShadowWarnings) == 0 {
+		t.Fatal("OptIII suppressed every report")
+	}
+	if len(res.ShadowViolations) != 0 {
+		t.Fatalf("violations: %v", res.ShadowViolations)
+	}
+}
+
+func TestOptIIIKeepsNonDominatedChecks(t *testing.T) {
+	// Sibling branches: neither check dominates the other, both stay.
+	src := `
+int main(int sel) {
+  int *p = malloc(1);
+  int v = p[0];
+  if (sel) { print(v); } else { if (v) { return 1; } }
+  return 0;
+}`
+	prog := usher.MustCompile("t.c", src)
+	ext := usher.Analyze(prog, usher.ConfigUsherOptIII)
+	if ext.ChecksElided != 0 {
+		t.Errorf("checks elided = %d, want 0 (no dominance)", ext.ChecksElided)
+	}
+}
+
+// TestOptIIISoundOnRandomPrograms extends the soundness property to the
+// Opt III configuration: never silent when the oracle warns, never a
+// false positive.
+func TestOptIIISoundOnRandomPrograms(t *testing.T) {
+	for seed := int64(0); seed < 120; seed++ {
+		src := randprog.Generate(seed, randprog.DefaultOptions)
+		prog, err := usher.Compile("rand.c", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		native, err := usher.RunNative(prog, usher.RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		an := usher.Analyze(prog, usher.ConfigUsherOptIII)
+		res, err := an.Run(usher.RunOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(res.ShadowViolations) != 0 {
+			t.Fatalf("seed %d: violations: %v", seed, res.ShadowViolations)
+		}
+		oracle := native.OracleSites()
+		for s := range res.ShadowSites() {
+			if !oracle[s] {
+				t.Fatalf("seed %d: false positive at %v\n%s", seed, s, src)
+			}
+		}
+		if len(oracle) > 0 && len(res.ShadowSites()) == 0 {
+			t.Fatalf("seed %d: all %d oracle sites suppressed\n%s", seed, len(oracle), src)
+		}
+		if res.Exit.Int != native.Exit.Int {
+			t.Fatalf("seed %d: exit diverged", seed)
+		}
+	}
+}

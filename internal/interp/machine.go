@@ -1,0 +1,604 @@
+package interp
+
+import (
+	"fmt"
+
+	"github.com/valueflow/usher/internal/ir"
+	"github.com/valueflow/usher/internal/token"
+)
+
+// Options configures an execution.
+type Options struct {
+	// MaxSteps bounds the number of executed instructions (0 = default).
+	MaxSteps int64
+	// MaxDepth bounds the call stack (0 = default).
+	MaxDepth int
+	// Input supplies the value returned by the i-th call to input().
+	// Defaults to a fixed deterministic sequence.
+	Input func(i int) int64
+	// Shadow, when non-nil, enables shadow execution under an
+	// instrumentation plan (see shadow.go).
+	Shadow *ShadowConfig
+}
+
+// Warning records a use of an undefined value at a critical operation.
+// Warnings are deduplicated per site (function + label), matching how
+// dynamic detectors report each offending source location once.
+type Warning struct {
+	Fn    string
+	Label int
+	Pos   token.Pos
+	What  string
+}
+
+// Site identifies a warning site.
+type Site struct {
+	Fn    string
+	Label int
+}
+
+func (w Warning) String() string {
+	return fmt.Sprintf("%s: use of undefined value in %s (l%d): %s", w.Pos, w.Fn, w.Label, w.What)
+}
+
+// Result is the outcome of an execution.
+type Result struct {
+	// Exit is main's return value.
+	Exit Value
+	// Out collects the arguments of print calls, in order.
+	Out []int64
+	// Steps is the number of executed native instructions.
+	Steps int64
+	// OracleWarnings are the ground-truth undefined-value uses at critical
+	// operations, deduplicated by site.
+	OracleWarnings []Warning
+	// ShadowWarnings are the sites flagged by the instrumented checks
+	// (empty when running natively). A sound instrumentation reports every
+	// oracle site that its checks cover.
+	ShadowWarnings []Warning
+	// ShadowProps and ShadowChecks count dynamically executed shadow
+	// propagations and checks (zero when running natively).
+	ShadowProps  int64
+	ShadowChecks int64
+	// ShadowViolations record instrumentation soundness bugs: reads of
+	// shadow state that the plan never initialized. A correct plan
+	// produces none (the paper's §3.4 well-definedness guarantee).
+	ShadowViolations []string
+	// Diags are non-fatal anomalies (double free, division by zero).
+	Diags []string
+}
+
+// OracleSites returns the oracle warning sites as a set.
+func (r *Result) OracleSites() map[Site]bool {
+	s := make(map[Site]bool, len(r.OracleWarnings))
+	for _, w := range r.OracleWarnings {
+		s[Site{w.Fn, w.Label}] = true
+	}
+	return s
+}
+
+// ShadowSites returns the instrumented warning sites as a set.
+func (r *Result) ShadowSites() map[Site]bool {
+	s := make(map[Site]bool, len(r.ShadowWarnings))
+	for _, w := range r.ShadowWarnings {
+		s[Site{w.Fn, w.Label}] = true
+	}
+	return s
+}
+
+// RuntimeError is a trap: invalid dereference, stack overflow, fuel
+// exhaustion. The partial Result is still available.
+type RuntimeError struct {
+	Msg    string
+	Fn     string
+	Pos    token.Pos
+	Result *Result
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("%s: runtime error in %s: %s", e.Pos, e.Fn, e.Msg)
+}
+
+// Machine executes one program.
+type Machine struct {
+	prog    *ir.Program
+	opts    Options
+	globals map[*ir.Object]*Instance
+	res     *Result
+	oracle  map[Site]bool
+	shadowM *shadowMachine
+	nextSeq int
+	ninput  int
+	depth   int
+
+	// phi evaluation scratch, reused across blocks (consumed before any
+	// nested call can start).
+	phiVals      []Value
+	phiDefs      []bool
+	phiShadows   []sbit
+	phiShadowSet []bool
+}
+
+// Run executes fn (by name, usually "main") with the given arguments and
+// returns the result. A *RuntimeError carries the partial result.
+func Run(prog *ir.Program, fnName string, args []Value, opts Options) (*Result, error) {
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 200_000_000
+	}
+	if opts.MaxDepth == 0 {
+		opts.MaxDepth = 8192
+	}
+	if opts.Input == nil {
+		opts.Input = func(i int) int64 { return int64((i*2654435761 + 12345) % 1000) }
+	}
+	m := &Machine{
+		prog:    prog,
+		opts:    opts,
+		globals: make(map[*ir.Object]*Instance),
+		res:     &Result{},
+		oracle:  make(map[Site]bool),
+	}
+	for _, g := range prog.Globals {
+		inst := m.newInstance(g, g.Size)
+		if g.Size > 0 {
+			inst.Cells[0].Val = IntVal(g.InitVal)
+		}
+		m.globals[g] = inst
+	}
+	if opts.Shadow != nil {
+		m.shadowM = newShadowMachine(m, opts.Shadow)
+	}
+	fn := prog.FuncByName(fnName)
+	if fn == nil || !fn.HasBody {
+		return m.res, fmt.Errorf("interp: no function %q with a body", fnName)
+	}
+	if len(args) != len(fn.Params) {
+		return m.res, fmt.Errorf("interp: %s takes %d args, got %d", fnName, len(fn.Params), len(args))
+	}
+	defs := make([]bool, len(args))
+	for i := range defs {
+		defs[i] = true
+	}
+	var exit Value
+	err := m.trap(func() {
+		v, _ := m.call(fn, args, defs)
+		exit = v
+	})
+	m.res.Exit = exit
+	if err != nil {
+		return m.res, err
+	}
+	return m.res, nil
+}
+
+// trap converts machineError panics into *RuntimeError.
+func (m *Machine) trap(f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			me, ok := r.(*RuntimeError)
+			if !ok {
+				panic(r)
+			}
+			me.Result = m.res
+			err = me
+		}
+	}()
+	f()
+	return nil
+}
+
+func (m *Machine) fail(fn *ir.Function, pos token.Pos, format string, args ...any) {
+	panic(&RuntimeError{Msg: fmt.Sprintf(format, args...), Fn: fn.Name, Pos: pos})
+}
+
+func (m *Machine) newInstance(obj *ir.Object, size int) *Instance {
+	inst := &Instance{Obj: obj, Cells: make([]Cell, size), Seq: m.nextSeq}
+	m.nextSeq++
+	if obj.ZeroInit {
+		for i := range inst.Cells {
+			inst.Cells[i].Defined = true
+		}
+	}
+	return inst
+}
+
+func (m *Machine) oracleWarn(fn *ir.Function, in ir.Instr, what string) {
+	site := Site{fn.Name, in.Label()}
+	if m.oracle[site] {
+		return
+	}
+	m.oracle[site] = true
+	m.res.OracleWarnings = append(m.res.OracleWarnings,
+		Warning{Fn: fn.Name, Label: in.Label(), Pos: in.Pos(), What: what})
+}
+
+func (m *Machine) diag(format string, args ...any) {
+	if len(m.res.Diags) < 100 {
+		m.res.Diags = append(m.res.Diags, fmt.Sprintf(format, args...))
+	}
+}
+
+// frame is one activation.
+type frame struct {
+	fn   *ir.Function
+	regs []Value
+	defs []bool // ground-truth definedness per register
+	// stacks holds this activation's stack instances; after inlining an
+	// allocation site may execute several times per activation (e.g.
+	// inside a loop), so every instance is kept and dies at return.
+	stacks []*Instance
+}
+
+// eval resolves an operand within a frame, returning its value and
+// ground-truth definedness.
+func (m *Machine) eval(fr *frame, v ir.Value) (Value, bool) {
+	switch v := v.(type) {
+	case *ir.Const:
+		return IntVal(v.Val), true
+	case *ir.FuncValue:
+		return FuncVal(v.Fn), true
+	case *ir.GlobalAddr:
+		return AddrVal(m.globals[v.Obj], 0), true
+	case *ir.Register:
+		return fr.regs[v.ID], fr.defs[v.ID]
+	}
+	panic(fmt.Sprintf("interp: unknown operand %T", v))
+}
+
+func (fr *frame) set(r *ir.Register, v Value, defined bool) {
+	fr.regs[r.ID] = v
+	fr.defs[r.ID] = defined
+}
+
+// call executes fn and returns its result value and definedness.
+func (m *Machine) call(fn *ir.Function, args []Value, argDefs []bool) (Value, bool) {
+	m.depth++
+	if m.depth > m.opts.MaxDepth {
+		m.fail(fn, fn.Pos, "call stack overflow (depth %d)", m.depth)
+	}
+	defer func() { m.depth-- }()
+
+	fr := &frame{
+		fn:   fn,
+		regs: make([]Value, fn.NumRegs()),
+		defs: make([]bool, fn.NumRegs()),
+	}
+	for i, p := range fn.Params {
+		fr.set(p, args[i], argDefs[i])
+	}
+	if m.shadowM != nil {
+		m.shadowM.enter(fr)
+		defer m.shadowM.leave(fr)
+	}
+
+	block := fn.Entry()
+	var prev *ir.Block
+	for {
+		next, retV, retD, returned := m.execBlock(fr, block, prev)
+		if returned {
+			// Stack storage dies with the activation; later accesses
+			// through escaped pointers trap, matching C's undefined
+			// behaviour and keeping the static analysis honest.
+			for _, inst := range fr.stacks {
+				inst.Freed = true
+			}
+			return retV, retD
+		}
+		prev, block = block, next
+	}
+}
+
+// execBlock runs one basic block. It returns the successor or the return
+// value.
+func (m *Machine) execBlock(fr *frame, b *ir.Block, prev *ir.Block) (next *ir.Block, retV Value, retD bool, returned bool) {
+	// Phis read their inputs simultaneously on entry. The scratch buffers
+	// live on the machine: they are fully consumed before any instruction
+	// (and hence any nested call) executes.
+	phiVals := m.phiVals[:0]
+	phiDefs := m.phiDefs[:0]
+	phiShadows := m.phiShadows[:0]
+	phiShadowSet := m.phiShadowSet[:0]
+	nphis := 0
+	for _, in := range b.Instrs {
+		phi, ok := in.(*ir.Phi)
+		if !ok {
+			break
+		}
+		idx := phi.IncomingIndex(prev)
+		if idx < 0 {
+			m.fail(fr.fn, phi.Pos(), "phi %s has no incoming value from %s", phi, prev)
+		}
+		v, d := m.eval(fr, phi.Vals[idx])
+		phiVals = append(phiVals, v)
+		phiDefs = append(phiDefs, d)
+		if m.shadowM != nil {
+			s, ok := m.shadowM.phiShadow(fr, phi, idx)
+			phiShadows = append(phiShadows, s)
+			phiShadowSet = append(phiShadowSet, ok)
+		}
+		nphis++
+	}
+	m.phiVals, m.phiDefs = phiVals, phiDefs
+	m.phiShadows, m.phiShadowSet = phiShadows, phiShadowSet
+	for i := 0; i < nphis; i++ {
+		phi := b.Instrs[i].(*ir.Phi)
+		m.step(fr, phi)
+		fr.set(phi.Dst, phiVals[i], phiDefs[i])
+		if m.shadowM != nil && phiShadowSet[i] {
+			m.shadowM.setPhiShadow(fr, phi, phiShadows[i])
+		}
+	}
+
+	for _, in := range b.Instrs[nphis:] {
+		m.step(fr, in)
+		switch in := in.(type) {
+		case *ir.Alloc:
+			m.execAlloc(fr, in)
+		case *ir.Copy:
+			v, d := m.eval(fr, in.Src)
+			fr.set(in.Dst, v, d)
+		case *ir.BinOp:
+			m.execBinOp(fr, in)
+		case *ir.Load:
+			addr := m.checkAddr(fr, in, in.Addr, "load")
+			cell := addr.Inst.Cells[addr.Off]
+			fr.set(in.Dst, cell.Val, cell.Defined)
+		case *ir.Store:
+			addr := m.checkAddr(fr, in, in.Addr, "store")
+			v, d := m.eval(fr, in.Val)
+			addr.Inst.Cells[addr.Off] = Cell{Val: v, Defined: d}
+		case *ir.FieldAddr:
+			base, d := m.eval(fr, in.Base)
+			if base.Kind != KindAddr {
+				m.fail(fr.fn, in.Pos(), "fieldaddr of non-pointer %s", base)
+			}
+			fr.set(in.Dst, AddrVal(base.Addr.Inst, base.Addr.Off+in.Off), d)
+		case *ir.IndexAddr:
+			base, bd := m.eval(fr, in.Base)
+			idx, id := m.eval(fr, in.Idx)
+			if base.Kind != KindAddr {
+				m.fail(fr.fn, in.Pos(), "indexaddr of non-pointer %s", base)
+			}
+			if idx.Kind != KindInt {
+				m.fail(fr.fn, in.Pos(), "indexaddr with non-integer index %s", idx)
+			}
+			fr.set(in.Dst, AddrVal(base.Addr.Inst, base.Addr.Off+int(idx.Int)), bd && id)
+		case *ir.Call:
+			m.execCall(fr, in)
+		case *ir.Ret:
+			if m.shadowM != nil {
+				m.shadowM.after(fr, in)
+			}
+			if in.Val == nil {
+				return nil, IntVal(0), true, true
+			}
+			v, d := m.eval(fr, in.Val)
+			return nil, v, d, true
+		case *ir.Jump:
+			if m.shadowM != nil {
+				m.shadowM.after(fr, in)
+			}
+			return in.Target, Value{}, false, false
+		case *ir.Branch:
+			cond, d := m.eval(fr, in.Cond)
+			if !d {
+				m.oracleWarn(fr.fn, in, "branch on undefined value")
+			}
+			if m.shadowM != nil {
+				m.shadowM.after(fr, in)
+			}
+			if cond.Truthy() {
+				return in.Then, Value{}, false, false
+			}
+			return in.Else, Value{}, false, false
+		default:
+			m.fail(fr.fn, in.Pos(), "unknown instruction %T", in)
+		}
+		if m.shadowM != nil {
+			m.shadowM.after(fr, in)
+		}
+	}
+	m.fail(fr.fn, token.Pos{}, "block %s fell through without terminator", b)
+	return nil, Value{}, false, false
+}
+
+func (m *Machine) step(fr *frame, in ir.Instr) {
+	m.res.Steps++
+	if m.res.Steps > m.opts.MaxSteps {
+		m.fail(fr.fn, in.Pos(), "step budget exhausted (%d)", m.opts.MaxSteps)
+	}
+}
+
+// checkAddr evaluates a pointer operand of a critical memory operation,
+// recording oracle warnings for undefined pointers and trapping on invalid
+// accesses.
+func (m *Machine) checkAddr(fr *frame, in ir.Instr, op ir.Value, what string) Address {
+	v, d := m.eval(fr, op)
+	if !d {
+		m.oracleWarn(fr.fn, in, what+" through undefined pointer")
+	}
+	if v.Kind != KindAddr || v.Addr.IsNull() {
+		m.fail(fr.fn, in.Pos(), "%s through invalid pointer %s", what, v)
+	}
+	a := v.Addr
+	if a.Inst.Freed {
+		m.fail(fr.fn, in.Pos(), "%s through freed memory %s", what, a)
+	}
+	if a.Off < 0 || a.Off >= len(a.Inst.Cells) {
+		m.fail(fr.fn, in.Pos(), "%s out of bounds: %s (size %d)", what, a, len(a.Inst.Cells))
+	}
+	return a
+}
+
+func (m *Machine) execAlloc(fr *frame, in *ir.Alloc) {
+	size := in.Obj.Size
+	if in.DynSize != nil {
+		v, d := m.eval(fr, in.DynSize)
+		if v.Kind != KindInt || !d || v.Int <= 0 {
+			m.diag("%s: allocation with invalid size %s", in.Pos(), v)
+			size = 1
+		} else {
+			size = int(v.Int)
+		}
+	}
+	inst := m.newInstance(in.Obj, size)
+	if in.Obj.Kind == ir.ObjStack {
+		fr.stacks = append(fr.stacks, inst)
+	}
+	fr.set(in.Dst, AddrVal(inst, 0), true)
+}
+
+func (m *Machine) execBinOp(fr *frame, in *ir.BinOp) {
+	x, xd := m.eval(fr, in.X)
+	y, yd := m.eval(fr, in.Y)
+	d := xd && yd
+	switch in.Op {
+	case ir.OpEq:
+		fr.set(in.Dst, boolVal(equal(x, y)), d)
+		return
+	case ir.OpNe:
+		fr.set(in.Dst, boolVal(!equal(x, y)), d)
+		return
+	}
+	if x.Kind != KindInt || y.Kind != KindInt {
+		// Arithmetic on pointers outside IndexAddr: treat operands as
+		// opaque integers (their identities), keeping execution total.
+		x, y = coerceInt(x), coerceInt(y)
+	}
+	var r int64
+	switch in.Op {
+	case ir.OpAdd:
+		r = x.Int + y.Int
+	case ir.OpSub:
+		r = x.Int - y.Int
+	case ir.OpMul:
+		r = x.Int * y.Int
+	case ir.OpDiv:
+		if y.Int == 0 {
+			m.diag("%s: division by zero", in.Pos())
+		} else {
+			r = x.Int / y.Int
+		}
+	case ir.OpRem:
+		if y.Int == 0 {
+			m.diag("%s: remainder by zero", in.Pos())
+		} else {
+			r = x.Int % y.Int
+		}
+	case ir.OpShl:
+		r = x.Int << uint(y.Int&63)
+	case ir.OpShr:
+		r = x.Int >> uint(y.Int&63)
+	case ir.OpAnd:
+		r = x.Int & y.Int
+	case ir.OpOr:
+		r = x.Int | y.Int
+	case ir.OpXor:
+		r = x.Int ^ y.Int
+	case ir.OpLt:
+		r = b2i(x.Int < y.Int)
+	case ir.OpLe:
+		r = b2i(x.Int <= y.Int)
+	case ir.OpGt:
+		r = b2i(x.Int > y.Int)
+	case ir.OpGe:
+		r = b2i(x.Int >= y.Int)
+	default:
+		m.fail(fr.fn, in.Pos(), "unknown operator %s", in.Op)
+	}
+	fr.set(in.Dst, IntVal(r), d)
+}
+
+func coerceInt(v Value) Value {
+	switch v.Kind {
+	case KindInt:
+		return v
+	case KindAddr:
+		if v.Addr.IsNull() {
+			return IntVal(0)
+		}
+		return IntVal(int64(v.Addr.Inst.Seq)<<16 + int64(v.Addr.Off) + 1)
+	default:
+		return IntVal(1)
+	}
+}
+
+func boolVal(b bool) Value { return IntVal(b2i(b)) }
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (m *Machine) execCall(fr *frame, in *ir.Call) {
+	switch in.Builtin {
+	case ir.BuiltinFree:
+		v, d := m.eval(fr, in.Args[0])
+		if !d {
+			m.oracleWarn(fr.fn, in, "free of undefined pointer")
+		}
+		if v.Kind == KindAddr && !v.Addr.IsNull() {
+			if v.Addr.Inst.Freed {
+				m.diag("%s: double free of %s", in.Pos(), v.Addr)
+			}
+			v.Addr.Inst.Freed = true
+		}
+		return
+	case ir.BuiltinPrint:
+		v, d := m.eval(fr, in.Args[0])
+		if !d {
+			m.oracleWarn(fr.fn, in, "print of undefined value")
+		}
+		m.res.Out = append(m.res.Out, coerceInt(v).Int)
+		return
+	case ir.BuiltinInput:
+		fr.set(in.Dst, IntVal(m.opts.Input(m.ninput)), true)
+		m.ninput++
+		return
+	}
+
+	var callee *ir.Function
+	if direct := in.Direct(); direct != nil {
+		callee = direct
+	} else {
+		v, d := m.eval(fr, in.Callee)
+		if !d {
+			m.oracleWarn(fr.fn, in, "indirect call through undefined pointer")
+		}
+		if v.Kind != KindFunc || v.Fn == nil {
+			m.fail(fr.fn, in.Pos(), "indirect call through non-function %s", v)
+		}
+		callee = v.Fn
+	}
+	if !callee.HasBody {
+		// External function: returns a defined zero, like a modelled
+		// library call.
+		if in.Dst != nil {
+			fr.set(in.Dst, IntVal(0), true)
+			if m.shadowM != nil {
+				m.shadowM.externalCallResult(fr, in)
+			}
+		}
+		return
+	}
+	args := make([]Value, len(in.Args))
+	defs := make([]bool, len(in.Args))
+	for i, a := range in.Args {
+		args[i], defs[i] = m.eval(fr, a)
+	}
+	if len(args) != len(callee.Params) {
+		m.fail(fr.fn, in.Pos(), "call to %s with %d args, want %d", callee.Name, len(args), len(callee.Params))
+	}
+	if m.shadowM != nil {
+		m.shadowM.beforeCall(fr, in, callee)
+	}
+	v, d := m.call(callee, args, defs)
+	if in.Dst != nil {
+		fr.set(in.Dst, v, d)
+	}
+	if m.shadowM != nil {
+		m.shadowM.afterCallReturn(fr, in)
+	}
+}

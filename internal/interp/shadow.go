@@ -1,0 +1,359 @@
+package interp
+
+import (
+	"fmt"
+
+	"github.com/valueflow/usher/internal/instrument"
+	"github.com/valueflow/usher/internal/ir"
+)
+
+// ShadowConfig enables shadow execution under an instrumentation plan.
+type ShadowConfig struct {
+	Plan *instrument.Plan
+}
+
+// sbit is a tri-state shadow value. Reading an uninitialized shadow is a
+// soundness violation of the instrumentation (the paper's §3.4 guarantees
+// guided instrumentation never does this); the shadow machine records it
+// in Result.ShadowViolations.
+type sbit uint8
+
+const (
+	sUninit sbit = iota
+	sT
+	sF
+)
+
+func (s sbit) String() string {
+	switch s {
+	case sT:
+		return "T"
+	case sF:
+		return "F"
+	default:
+		return "uninit"
+	}
+}
+
+// shadowFrame holds register shadows for one activation.
+type shadowFrame struct {
+	fp    *instrument.FnPlan
+	regs  []sbit
+	items [][]instrument.Item // label-indexed, shared per function
+}
+
+// shadowMachine executes the planned shadow statements alongside the
+// interpreter.
+type shadowMachine struct {
+	m    *Machine
+	plan *instrument.Plan
+
+	frames []*shadowFrame
+
+	// itemTables caches each function's items as a slice indexed by
+	// instruction label, avoiding a map lookup per executed instruction.
+	itemTables map[*ir.Function][][]instrument.Item
+
+	// pendingArgs carry argument shadows across a call boundary (the
+	// paper's σ_g relay); pendingRet carries the return shadow back.
+	pendingArgs []sbit
+	pendingRet  sbit
+
+	warned map[Site]bool
+}
+
+func newShadowMachine(m *Machine, cfg *ShadowConfig) *shadowMachine {
+	sm := &shadowMachine{
+		m:          m,
+		plan:       cfg.Plan,
+		itemTables: make(map[*ir.Function][][]instrument.Item),
+		warned:     make(map[Site]bool),
+	}
+	// Globals are defined at startup; MSan's runtime likewise maps the
+	// data segment to defined shadow.
+	for _, inst := range m.globals {
+		cells := make([]sbit, len(inst.Cells))
+		for i := range cells {
+			cells[i] = sT
+		}
+		inst.shadow = cells
+	}
+	return sm
+}
+
+// itemsFor returns the label-indexed item table of fn's plan.
+func (sm *shadowMachine) itemsFor(fn *ir.Function, fp *instrument.FnPlan) [][]instrument.Item {
+	if t, ok := sm.itemTables[fn]; ok {
+		return t
+	}
+	max := -1
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Label() > max {
+				max = in.Label()
+			}
+		}
+	}
+	t := make([][]instrument.Item, max+1)
+	for label, items := range fp.Items {
+		if label >= 0 && label <= max {
+			t[label] = items
+		}
+	}
+	sm.itemTables[fn] = t
+	return t
+}
+
+func (sm *shadowMachine) top() *shadowFrame { return sm.frames[len(sm.frames)-1] }
+
+func (sm *shadowMachine) violation(format string, args ...any) {
+	if len(sm.m.res.ShadowViolations) < 100 {
+		sm.m.res.ShadowViolations = append(sm.m.res.ShadowViolations, fmt.Sprintf(format, args...))
+	}
+}
+
+// shadowOf evaluates the shadow of an operand. Constants, function
+// addresses and global addresses are always defined; unshadowed registers
+// are statically known defined.
+func (sm *shadowMachine) shadowOf(sf *shadowFrame, v ir.Value) sbit {
+	r, ok := v.(*ir.Register)
+	if !ok {
+		return sT
+	}
+	if sf.fp == nil || !sf.fp.Shadowed(r) {
+		return sT
+	}
+	s := sf.regs[r.ID]
+	if s == sUninit {
+		sm.violation("read of uninitialized register shadow σ(%s) in %s", r, sf.fp.Fn.Name)
+		return sT
+	}
+	return s
+}
+
+// cellShadow returns a pointer to the shadow of one memory cell, creating
+// the (uninitialized) shadow array on first touch.
+func (sm *shadowMachine) cellShadow(inst *Instance, off int) *sbit {
+	if inst.shadow == nil {
+		inst.shadow = make([]sbit, len(inst.Cells))
+	}
+	if off < 0 || off >= len(inst.shadow) {
+		return nil
+	}
+	return &inst.shadow[off]
+}
+
+// enter pushes a shadow frame for a new activation and applies the
+// parameter rules ([⊤-Para]/[⊥-Para]).
+func (sm *shadowMachine) enter(fr *frame) {
+	fp := sm.plan.FnPlanOf(fr.fn)
+	sf := &shadowFrame{fp: fp, regs: make([]sbit, fr.fn.NumRegs())}
+	sm.frames = append(sm.frames, sf)
+	if fp == nil {
+		sm.pendingArgs = nil
+		return
+	}
+	sf.items = sm.itemsFor(fr.fn, fp)
+	for i, prm := range fr.fn.Params {
+		switch {
+		case i < len(fp.ParamSetT) && fp.ParamSetT[i]:
+			sf.regs[prm.ID] = sT
+		case i < len(fp.ParamRecv) && fp.ParamRecv[i]:
+			s := sT
+			if i < len(sm.pendingArgs) {
+				s = sm.pendingArgs[i]
+			}
+			sf.regs[prm.ID] = s
+			sm.m.res.ShadowProps++ // σ(a) := σ_g
+		}
+	}
+	sm.pendingArgs = nil
+}
+
+// leave pops the activation's shadow frame.
+func (sm *shadowMachine) leave(fr *frame) {
+	sm.frames = sm.frames[:len(sm.frames)-1]
+}
+
+// beforeCall stages argument shadows for an internal call.
+func (sm *shadowMachine) beforeCall(fr *frame, in *ir.Call, callee *ir.Function) {
+	sf := sm.top()
+	calleeFP := sm.plan.FnPlanOf(callee)
+	sm.pendingRet = sT
+	sm.pendingArgs = nil
+	if calleeFP == nil {
+		return
+	}
+	for i, a := range in.Args {
+		s := sT
+		if i < len(calleeFP.ParamRecv) && calleeFP.ParamRecv[i] {
+			s = sm.shadowOf(sf, a)
+			sm.m.res.ShadowProps++ // σ_g := σ(y_i)
+		}
+		sm.pendingArgs = append(sm.pendingArgs, s)
+	}
+}
+
+// externalCallResult marks the result of a call that resolved to a
+// bodiless (external) function as defined. Without this, an indirect call
+// whose runtime target is external would leave the result's shadow
+// uninitialized.
+func (sm *shadowMachine) externalCallResult(fr *frame, in *ir.Call) {
+	sf := sm.top()
+	if sf.fp != nil && sf.fp.Shadowed(in.Dst) {
+		sf.regs[in.Dst.ID] = sT
+	}
+}
+
+// afterCallReturn applies the relayed return shadow to the call result.
+func (sm *shadowMachine) afterCallReturn(fr *frame, in *ir.Call) {
+	if in.Dst == nil {
+		return
+	}
+	sf := sm.top()
+	if sf.fp != nil && sf.fp.Shadowed(in.Dst) {
+		sf.regs[in.Dst.ID] = sm.pendingRet
+	}
+}
+
+// phiShadow reads the shadow a phi would receive from its chosen incoming
+// value, or (sT, false) when the phi is uninstrumented. It must be called
+// for every phi of a block BEFORE any of their shadows are written: phis
+// assign simultaneously, and a swap pattern (x, y = y, x) would otherwise
+// read an already-updated shadow.
+func (sm *shadowMachine) phiShadow(fr *frame, phi *ir.Phi, predIdx int) (sbit, bool) {
+	sf := sm.top()
+	if sf.fp == nil || phi.Label() >= len(sf.items) {
+		return sT, false
+	}
+	for _, it := range sf.items[phi.Label()] {
+		if it.Kind == instrument.PropCompute && it.Dst == phi.Dst {
+			return sm.shadowOf(sf, phi.Vals[predIdx]), true
+		}
+	}
+	return sT, false
+}
+
+// setPhiShadow applies a shadow captured by phiShadow.
+func (sm *shadowMachine) setPhiShadow(fr *frame, phi *ir.Phi, s sbit) {
+	sf := sm.top()
+	if sf.fp == nil || !sf.fp.Shadowed(phi.Dst) {
+		return
+	}
+	sf.regs[phi.Dst.ID] = s
+	sm.m.res.ShadowProps++
+}
+
+// after executes the instrumentation items attached to in.
+func (sm *shadowMachine) after(fr *frame, in ir.Instr) {
+	sf := sm.top()
+	if sf.fp == nil {
+		return
+	}
+	if _, isPhi := in.(*ir.Phi); isPhi {
+		return // handled by afterPhi
+	}
+	if l := in.Label(); l < len(sf.items) {
+		for _, it := range sf.items[l] {
+			sm.execItem(fr, sf, in, it)
+		}
+	}
+	// Return-shadow relay ([⊥-Ret]).
+	if ret, ok := in.(*ir.Ret); ok {
+		if sf.fp.RetSend && ret.Val != nil {
+			sm.pendingRet = sm.shadowOf(sf, ret.Val)
+			sm.m.res.ShadowProps++
+		} else {
+			sm.pendingRet = sT
+		}
+	}
+}
+
+func (sm *shadowMachine) execItem(fr *frame, sf *shadowFrame, in ir.Instr, it instrument.Item) {
+	switch it.Kind {
+	case instrument.PropSetT:
+		sf.regs[it.Dst.ID] = sT
+		sm.m.res.ShadowProps++
+	case instrument.PropSetF:
+		sf.regs[it.Dst.ID] = sF
+		sm.m.res.ShadowProps++
+	case instrument.PropCompute:
+		s := sT
+		for _, src := range it.Srcs {
+			if sm.shadowOf(sf, src) == sF {
+				s = sF
+			}
+		}
+		sf.regs[it.Dst.ID] = s
+		sm.m.res.ShadowProps++
+	case instrument.PropLoad:
+		ld := in.(*ir.Load)
+		addr, _ := sm.m.eval(fr, ld.Addr)
+		s := sT
+		if addr.Kind == KindAddr && !addr.Addr.IsNull() {
+			if cs := sm.cellShadow(addr.Addr.Inst, addr.Addr.Off); cs != nil {
+				s = *cs
+				if s == sUninit {
+					sm.violation("load of uninitialized cell shadow at %s (l%d in %s)",
+						addr.Addr, in.Label(), fr.fn.Name)
+					s = sT
+				}
+			}
+		}
+		sf.regs[it.Dst.ID] = s
+		sm.m.res.ShadowProps++
+	case instrument.PropStore:
+		st := in.(*ir.Store)
+		addr, _ := sm.m.eval(fr, st.Addr)
+		if addr.Kind == KindAddr && !addr.Addr.IsNull() {
+			if cs := sm.cellShadow(addr.Addr.Inst, addr.Addr.Off); cs != nil {
+				*cs = sm.shadowOf(sf, it.Val)
+			}
+		}
+		sm.m.res.ShadowProps++
+	case instrument.MemSetT, instrument.MemSetF:
+		s := sT
+		if it.Kind == instrument.MemSetF {
+			s = sF
+		}
+		switch in := in.(type) {
+		case *ir.Alloc:
+			// Initialize the whole freshly allocated instance.
+			inst, _ := sm.m.eval(fr, in.Dst)
+			if inst.Kind == KindAddr && inst.Addr.Inst != nil {
+				target := inst.Addr.Inst
+				cells := make([]sbit, len(target.Cells))
+				for i := range cells {
+					cells[i] = s
+				}
+				target.shadow = cells
+			}
+		case *ir.Store:
+			// Strong update of the stored-to cell ([⊤-Store_SU]).
+			addr, _ := sm.m.eval(fr, in.Addr)
+			if addr.Kind == KindAddr && !addr.Addr.IsNull() {
+				if cs := sm.cellShadow(addr.Addr.Inst, addr.Addr.Off); cs != nil {
+					*cs = s
+				}
+			}
+		}
+		sm.m.res.ShadowProps++
+	case instrument.CheckVal:
+		for _, v := range it.Srcs {
+			sm.m.res.ShadowChecks++
+			if sm.shadowOf(sf, v) == sF {
+				sm.shadowWarn(fr, in)
+			}
+		}
+	}
+}
+
+func (sm *shadowMachine) shadowWarn(fr *frame, in ir.Instr) {
+	site := Site{fr.fn.Name, in.Label()}
+	if sm.warned[site] {
+		return
+	}
+	sm.warned[site] = true
+	sm.m.res.ShadowWarnings = append(sm.m.res.ShadowWarnings,
+		Warning{Fn: fr.fn.Name, Label: in.Label(), Pos: in.Pos(), What: "shadow check failed"})
+}

@@ -1,0 +1,145 @@
+// Package interp executes IR programs.
+//
+// The interpreter serves three roles in the reproduction:
+//
+//  1. Native execution: it runs a program and counts executed native
+//     operations, the baseline of the paper's slowdown measurements.
+//  2. Ground-truth oracle: independently of any instrumentation, every
+//     runtime value carries a definedness bit with exact MSan-style
+//     propagation; uses of undefined values at critical operations are
+//     recorded as oracle warnings. A sound detector must flag a superset
+//     of nothing and a subset of nothing — i.e. exactly these sites.
+//  3. Shadow execution: given an instrumentation plan (package
+//     instrument), it additionally maintains shadow state and executes
+//     the planned shadow propagations and checks, counting them; this is
+//     the dynamic cost that Usher's static analysis reduces.
+package interp
+
+import (
+	"fmt"
+
+	"github.com/valueflow/usher/internal/ir"
+)
+
+// ValueKind discriminates runtime values.
+type ValueKind int
+
+// Value kinds. Undefined cells hold KindInt zero with Defined=false.
+const (
+	KindInt ValueKind = iota
+	KindAddr
+	KindFunc
+)
+
+// Instance is a runtime instantiation of an abstract object. A single
+// abstract object (allocation site) may have many instances at run time —
+// the gap that makes strong updates unsound in general and motivates the
+// paper's semi-strong updates.
+type Instance struct {
+	Obj   *ir.Object
+	Cells []Cell
+	Freed bool
+	Seq   int // creation order, for diagnostics
+	// shadow holds the instrumentation's per-cell shadow bits, allocated
+	// lazily by the shadow machine.
+	shadow []sbit
+}
+
+func (i *Instance) String() string {
+	if i == nil {
+		return "null"
+	}
+	return fmt.Sprintf("%s@%d", i.Obj, i.Seq)
+}
+
+// Cell is one memory cell: a concrete value plus its ground-truth
+// definedness.
+type Cell struct {
+	Val     Value
+	Defined bool
+}
+
+// Address is a pointer value: an instance plus a cell offset. A nil Inst
+// is the null pointer.
+type Address struct {
+	Inst *Instance
+	Off  int
+}
+
+// IsNull reports whether the address is the null pointer.
+func (a Address) IsNull() bool { return a.Inst == nil }
+
+func (a Address) String() string {
+	if a.IsNull() {
+		return "null"
+	}
+	return fmt.Sprintf("&%s+%d", a.Inst, a.Off)
+}
+
+// Value is a runtime value.
+type Value struct {
+	Kind ValueKind
+	Int  int64
+	Addr Address
+	Fn   *ir.Function
+}
+
+// IntVal makes an integer value.
+func IntVal(v int64) Value { return Value{Kind: KindInt, Int: v} }
+
+// AddrVal makes a pointer value.
+func AddrVal(inst *Instance, off int) Value {
+	return Value{Kind: KindAddr, Addr: Address{Inst: inst, Off: off}}
+}
+
+// FuncVal makes a function value.
+func FuncVal(fn *ir.Function) Value { return Value{Kind: KindFunc, Fn: fn} }
+
+// Truthy reports whether the value is nonzero in a condition.
+func (v Value) Truthy() bool {
+	switch v.Kind {
+	case KindInt:
+		return v.Int != 0
+	case KindAddr:
+		return !v.Addr.IsNull()
+	default:
+		return v.Fn != nil
+	}
+}
+
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInt:
+		return fmt.Sprintf("%d", v.Int)
+	case KindAddr:
+		return v.Addr.String()
+	default:
+		if v.Fn == nil {
+			return "func(nil)"
+		}
+		return "@" + v.Fn.Name
+	}
+}
+
+// equal compares two values for the Eq/Ne operators.
+func equal(a, b Value) bool {
+	// Null pointers and integer zero compare equal (C null constants).
+	norm := func(v Value) Value {
+		if v.Kind == KindAddr && v.Addr.IsNull() {
+			return IntVal(0)
+		}
+		return v
+	}
+	a, b = norm(a), norm(b)
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case KindInt:
+		return a.Int == b.Int
+	case KindAddr:
+		return a.Addr == b.Addr
+	default:
+		return a.Fn == b.Fn
+	}
+}

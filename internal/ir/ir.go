@@ -1,0 +1,351 @@
+// Package ir defines the intermediate representation that the Usher
+// analysis operates on.
+//
+// The IR mirrors the paper's TinyC/LLVM-IR model (§2.1): values are either
+// top-level variables (virtual registers, accessed directly, in Var_TL) or
+// address-taken variables (abstract memory objects, accessed only through
+// loads and stores, in Var_AT). Lowering from MiniC produces code in the
+// Clang -O0 style, where every source variable lives in memory; the
+// mem2reg pass in package ssa then promotes non-address-taken scalars to
+// registers, after which every register is defined exactly once (SSA).
+//
+// All scalars occupy one abstract cell; object sizes and field offsets are
+// measured in cells.
+package ir
+
+import (
+	"fmt"
+
+	"github.com/valueflow/usher/internal/token"
+)
+
+// Program is a whole compiled program: the unit of the interprocedural
+// analysis.
+type Program struct {
+	Funcs   []*Function
+	Globals []*Object
+	byName  map[string]*Function
+
+	nextObjID int
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program {
+	return &Program{byName: make(map[string]*Function)}
+}
+
+// FuncByName returns the named function, or nil.
+func (p *Program) FuncByName(name string) *Function { return p.byName[name] }
+
+// AddFunc registers fn with the program.
+func (p *Program) AddFunc(fn *Function) {
+	fn.Prog = p
+	p.Funcs = append(p.Funcs, fn)
+	p.byName[fn.Name] = fn
+}
+
+// NewObject creates a fresh abstract object owned by the program.
+func (p *Program) NewObject(name string, size int, kind ObjKind) *Object {
+	o := &Object{ID: p.nextObjID, Name: name, Size: size, Kind: kind}
+	p.nextObjID++
+	if size > 1 {
+		// Multi-cell objects start field-sensitive; Collapse is called for
+		// arrays and pointer-arithmetic targets.
+		o.fieldSensitive = true
+	}
+	return o
+}
+
+// Objects returns all abstract objects in the program: globals plus every
+// allocation site's object, in deterministic order.
+func (p *Program) Objects() []*Object {
+	var objs []*Object
+	objs = append(objs, p.Globals...)
+	for _, fn := range p.Funcs {
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				if a, ok := in.(*Alloc); ok {
+					objs = append(objs, a.Obj)
+				}
+			}
+		}
+	}
+	return objs
+}
+
+// ObjKind classifies an abstract object by its storage.
+type ObjKind int
+
+// Object kinds.
+const (
+	ObjGlobal ObjKind = iota
+	ObjStack
+	ObjHeap
+)
+
+func (k ObjKind) String() string {
+	switch k {
+	case ObjGlobal:
+		return "global"
+	case ObjStack:
+		return "stack"
+	default:
+		return "heap"
+	}
+}
+
+// Object is an abstract memory object: an address-taken variable in the
+// paper's Var_AT. Globals have no allocating instruction; stack and heap
+// objects are created by their Alloc site (one object per site; heap
+// cloning in the pointer analysis duplicates objects per wrapper call
+// site).
+type Object struct {
+	ID   int
+	Name string
+	Size int // cells
+	Kind ObjKind
+	// ZeroInit marks objects whose memory is defined on allocation
+	// (alloc_T): globals (C default initialization) and calloc'd memory.
+	ZeroInit bool
+	// Site is the allocating instruction (nil for globals).
+	Site *Alloc
+	// Fn is the function containing the allocation site (nil for globals).
+	Fn *Function
+	// CloneOf and CloneSite are set on heap objects duplicated by
+	// 1-callsite heap cloning: CloneSite is the call of the allocation
+	// wrapper this clone is specific to.
+	CloneOf   *Object
+	CloneSite *Call
+	// InitVal is the explicit initializer of a scalar global (cell 0).
+	InitVal int64
+	// Pinned objects are never promoted by mem2reg (used for the synthetic
+	// cells that model undefined top-level values).
+	Pinned bool
+
+	fieldSensitive bool
+	collapsed      bool
+}
+
+// Collapse marks the object as field-insensitive: all cells are modelled
+// as a single variable. Arrays and objects reached by pointer arithmetic
+// are collapsed (the paper treats arrays as a whole).
+func (o *Object) Collapse() { o.collapsed = true }
+
+// Collapsed reports whether the object is modelled as a single variable.
+func (o *Object) Collapsed() bool { return o.collapsed || !o.fieldSensitive }
+
+// NumFields returns the number of distinct field variables of the object:
+// 1 when collapsed, Size otherwise.
+func (o *Object) NumFields() int {
+	if o.Collapsed() {
+		return 1
+	}
+	return o.Size
+}
+
+// FieldIndex maps a cell offset to the object's field-variable index.
+func (o *Object) FieldIndex(off int) int {
+	if o.Collapsed() {
+		return 0
+	}
+	if off < 0 || off >= o.Size {
+		return 0
+	}
+	return off
+}
+
+func (o *Object) String() string {
+	return fmt.Sprintf("@%s#%d", o.Name, o.ID)
+}
+
+// Function is a single function.
+type Function struct {
+	Name   string
+	Prog   *Program
+	Params []*Register
+	Blocks []*Block
+	Pos    token.Pos
+	// HasBody is false for declared-but-undefined functions (treated as
+	// external).
+	HasBody bool
+
+	nextReg   int
+	nextBlock int
+	nextInstr int
+}
+
+// Entry returns the entry block.
+func (f *Function) Entry() *Block {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	return f.Blocks[0]
+}
+
+// NewReg creates a fresh virtual register. Registers are the top-level
+// variables (Var_TL) of the paper.
+func (f *Function) NewReg(name string) *Register {
+	r := &Register{ID: f.nextReg, Name: name, Fn: f}
+	f.nextReg++
+	return r
+}
+
+// NumRegs returns the number of registers created so far.
+func (f *Function) NumRegs() int { return f.nextReg }
+
+// NewBlock creates and appends a new basic block.
+func (f *Function) NewBlock(name string) *Block {
+	b := &Block{ID: f.nextBlock, Name: name, Fn: f}
+	f.nextBlock++
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// nextInstrID hands out per-function instruction labels (the paper's
+// statement labels l).
+func (f *Function) nextInstrID() int {
+	id := f.nextInstr
+	f.nextInstr++
+	return id
+}
+
+func (f *Function) String() string { return f.Name }
+
+// Block is a basic block. Preds and Succs are maintained by
+// ComputeCFG after construction or mutation.
+type Block struct {
+	ID     int
+	Name   string
+	Fn     *Function
+	Instrs []Instr
+	Preds  []*Block
+	Succs  []*Block
+}
+
+func (b *Block) String() string { return fmt.Sprintf("%s.%d", b.Name, b.ID) }
+
+// Terminator returns the block's final instruction, or nil if the block is
+// empty or not terminated.
+func (b *Block) Terminator() Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := b.Instrs[len(b.Instrs)-1]
+	switch last.(type) {
+	case *Jump, *Branch, *Ret:
+		return last
+	}
+	return nil
+}
+
+// Append adds an instruction to the block, assigning its label and parent.
+func (b *Block) Append(in Instr) {
+	in.setParent(b, b.Fn.nextInstrID())
+	b.Instrs = append(b.Instrs, in)
+}
+
+// InsertFront prepends an instruction (used for phi insertion).
+func (b *Block) InsertFront(in Instr) {
+	in.setParent(b, b.Fn.nextInstrID())
+	b.Instrs = append([]Instr{in}, b.Instrs...)
+}
+
+// InsertAt inserts an instruction at index i, assigning its label.
+func (b *Block) InsertAt(i int, in Instr) {
+	in.setParent(b, b.Fn.nextInstrID())
+	b.Instrs = append(b.Instrs, nil)
+	copy(b.Instrs[i+1:], b.Instrs[i:])
+	b.Instrs[i] = in
+}
+
+// Reparent moves an existing instruction to block b, keeping its label.
+// Callers are responsible for placing the instruction in b.Instrs.
+func Reparent(in Instr, b *Block) { in.setParent(b, in.Label()) }
+
+// Adopt attaches a freshly constructed replacement instruction to block b
+// under an explicit label (usually the label of the instruction it
+// replaces). Callers are responsible for placing it in b.Instrs.
+func Adopt(in Instr, b *Block, label int) { in.setParent(b, label) }
+
+// RemoveInstrs deletes all instructions for which drop returns true.
+func (b *Block) RemoveInstrs(drop func(Instr) bool) {
+	kept := b.Instrs[:0]
+	for _, in := range b.Instrs {
+		if !drop(in) {
+			kept = append(kept, in)
+		}
+	}
+	b.Instrs = kept
+}
+
+// ComputeCFG recomputes Preds/Succs for all blocks of f from the block
+// terminators.
+func ComputeCFG(f *Function) {
+	for _, b := range f.Blocks {
+		b.Preds = b.Preds[:0]
+		b.Succs = b.Succs[:0]
+	}
+	for _, b := range f.Blocks {
+		switch t := b.Terminator().(type) {
+		case *Jump:
+			b.Succs = append(b.Succs, t.Target)
+		case *Branch:
+			b.Succs = append(b.Succs, t.Then, t.Else)
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			s.Preds = append(s.Preds, b)
+		}
+	}
+}
+
+// Value is an operand: a register, constant, or function reference.
+type Value interface {
+	value()
+	String() string
+}
+
+// Register is a top-level variable (virtual register). After lowering and
+// mem2reg, every register has exactly one defining instruction.
+type Register struct {
+	ID   int
+	Name string
+	Fn   *Function
+	// Def is the unique defining instruction, set by block construction.
+	Def Instr
+}
+
+func (*Register) value() {}
+
+func (r *Register) String() string {
+	if r.Name != "" {
+		return fmt.Sprintf("%%%s.%d", r.Name, r.ID)
+	}
+	return fmt.Sprintf("%%t%d", r.ID)
+}
+
+// Const is an integer constant. Constants are always defined values.
+type Const struct{ Val int64 }
+
+func (*Const) value() {}
+
+func (c *Const) String() string { return fmt.Sprintf("%d", c.Val) }
+
+// IntConst returns a constant value.
+func IntConst(v int64) *Const { return &Const{Val: v} }
+
+// FuncValue is the address of a function, used for function pointers and
+// direct call targets.
+type FuncValue struct{ Fn *Function }
+
+func (*FuncValue) value() {}
+
+func (fv *FuncValue) String() string { return "@" + fv.Fn.Name }
+
+// GlobalAddr is the address of a global object (cell 0).
+type GlobalAddr struct{ Obj *Object }
+
+func (*GlobalAddr) value() {}
+
+func (g *GlobalAddr) String() string { return g.Obj.String() }

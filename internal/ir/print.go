@@ -1,0 +1,62 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the whole program as text, for debugging and golden tests.
+func Print(p *Program) string {
+	var b strings.Builder
+	for _, g := range p.Globals {
+		init := "F"
+		if g.ZeroInit {
+			init = "T"
+		}
+		fmt.Fprintf(&b, "global %s [%d cells, init=%s]\n", g, g.Size, init)
+	}
+	if len(p.Globals) > 0 {
+		b.WriteString("\n")
+	}
+	for i, f := range p.Funcs {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(PrintFunc(f))
+	}
+	return b.String()
+}
+
+// PrintFunc renders one function as text.
+func PrintFunc(f *Function) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.String())
+	}
+	b.WriteString(")")
+	if !f.HasBody {
+		b.WriteString(" external\n")
+		return b.String()
+	}
+	b.WriteString(" {\n")
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "%s:", blk)
+		if len(blk.Preds) > 0 {
+			preds := make([]string, len(blk.Preds))
+			for i, p := range blk.Preds {
+				preds[i] = p.String()
+			}
+			fmt.Fprintf(&b, " ; preds: %s", strings.Join(preds, ", "))
+		}
+		b.WriteString("\n")
+		for _, in := range blk.Instrs {
+			fmt.Fprintf(&b, "  l%-3d %s\n", in.Label(), in)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

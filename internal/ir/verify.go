@@ -1,0 +1,134 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Verify checks structural well-formedness of the program: every block
+// ends with exactly one terminator, registers have unique definitions that
+// match their Def pointers, phi arities match predecessor counts, and
+// operands are defined within the same function. It does not check SSA
+// dominance (package ssa does, once SSA is established).
+func Verify(p *Program) error {
+	var errs []error
+	for _, f := range p.Funcs {
+		if !f.HasBody {
+			continue
+		}
+		errs = append(errs, verifyFunc(f)...)
+	}
+	return errors.Join(errs...)
+}
+
+func containsBlockPtr(s []*Block, b *Block) bool {
+	for _, x := range s {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+func verifyFunc(f *Function) []error {
+	var errs []error
+	bad := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("%s: %s", f.Name, fmt.Sprintf(format, args...)))
+	}
+	if len(f.Blocks) == 0 {
+		bad("function with body has no blocks")
+		return errs
+	}
+
+	defs := make(map[*Register]Instr)
+	for _, p := range f.Params {
+		defs[p] = nil
+	}
+	labels := make(map[int]bool)
+	for _, b := range f.Blocks {
+		if b.Fn != f {
+			bad("block %s has wrong parent", b)
+		}
+		term := b.Terminator()
+		if term == nil {
+			bad("block %s is not terminated", b)
+		}
+		for i, in := range b.Instrs {
+			if labels[in.Label()] {
+				bad("duplicate instruction label l%d", in.Label())
+			}
+			labels[in.Label()] = true
+			if in.Parent() != b {
+				bad("instruction %s has wrong parent block", in)
+			}
+			switch in.(type) {
+			case *Jump, *Branch, *Ret:
+				if i != len(b.Instrs)-1 {
+					bad("terminator %s not at end of block %s", in, b)
+				}
+			case *Phi:
+				// Phis must be grouped at the block front.
+				if i > 0 {
+					if _, prevPhi := b.Instrs[i-1].(*Phi); !prevPhi {
+						bad("phi %s not at front of block %s", in, b)
+					}
+				}
+			}
+			if dst := in.Defines(); dst != nil {
+				if prev, dup := defs[dst]; dup {
+					bad("register %s defined twice (by %v and %s)", dst, prev, in)
+				}
+				defs[dst] = in
+				if dst.Def != in {
+					bad("register %s Def pointer does not match defining instruction %s", dst, in)
+				}
+				if dst.Fn != f {
+					bad("register %s belongs to another function", dst)
+				}
+			}
+			if phi, ok := in.(*Phi); ok {
+				if len(phi.Vals) != len(phi.Preds) {
+					bad("phi %s has %d values for %d incoming blocks", phi, len(phi.Vals), len(phi.Preds))
+				}
+				if len(phi.Preds) != len(b.Preds) {
+					bad("phi %s has %d incoming blocks, block %s has %d preds",
+						phi, len(phi.Preds), b, len(b.Preds))
+				}
+				for _, p := range phi.Preds {
+					if !containsBlockPtr(b.Preds, p) {
+						bad("phi %s names %s, which is not a predecessor of %s", phi, p, b)
+					}
+				}
+			}
+		}
+	}
+	// All register operands must be defined somewhere in the function.
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, op := range in.Operands() {
+				r, ok := op.(*Register)
+				if !ok {
+					continue
+				}
+				if _, defined := defs[r]; !defined {
+					bad("operand %s of %s has no definition", r, in)
+				}
+			}
+		}
+	}
+	// CFG consistency.
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			found := false
+			for _, p := range s.Preds {
+				if p == b {
+					found = true
+				}
+			}
+			if !found {
+				bad("edge %s -> %s missing from preds", b, s)
+			}
+		}
+	}
+	return errs
+}

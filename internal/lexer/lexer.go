@@ -1,0 +1,222 @@
+// Package lexer tokenizes MiniC source text.
+package lexer
+
+import (
+	"fmt"
+
+	"github.com/valueflow/usher/internal/token"
+)
+
+// Lexer scans MiniC source text into tokens. The zero value is not usable;
+// construct with New.
+type Lexer struct {
+	src  string
+	file string
+	off  int // byte offset of the next unread byte
+	line int
+	col  int
+	errs []error
+}
+
+// New returns a lexer over src. The file name is used in positions only.
+func New(file, src string) *Lexer {
+	return &Lexer{src: src, file: file, line: 1, col: 1}
+}
+
+// Errors returns the lexical errors encountered so far.
+func (l *Lexer) Errors() []error { return l.errs }
+
+func (l *Lexer) pos() token.Pos {
+	return token.Pos{File: l.file, Line: l.line, Col: l.col}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errs = append(l.errs, fmt.Errorf("%s: unterminated block comment", start))
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+// Next returns the next token. After the input is exhausted it returns EOF
+// tokens forever.
+func (l *Lexer) Next() token.Token {
+	l.skipSpaceAndComments()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}
+	}
+	c := l.advance()
+
+	mk := func(k token.Kind, text string) token.Token {
+		return token.Token{Kind: k, Text: text, Pos: pos}
+	}
+	// two-character operator helper: if the next byte is want, consume it
+	// and return two; otherwise return one.
+	two := func(want byte, twoK, oneK token.Kind) token.Token {
+		if l.peek() == want {
+			l.advance()
+			return mk(twoK, string([]byte{c, want}))
+		}
+		return mk(oneK, string(c))
+	}
+
+	switch {
+	case isDigit(c):
+		start := l.off - 1
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+		return mk(token.NUMBER, l.src[start:l.off])
+	case isIdentStart(c):
+		start := l.off - 1
+		for l.off < len(l.src) && isIdentCont(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if k, ok := token.Keywords[text]; ok {
+			return mk(k, text)
+		}
+		return mk(token.IDENT, text)
+	}
+
+	switch c {
+	case '(':
+		return mk(token.LPAREN, "(")
+	case ')':
+		return mk(token.RPAREN, ")")
+	case '{':
+		return mk(token.LBRACE, "{")
+	case '}':
+		return mk(token.RBRACE, "}")
+	case '[':
+		return mk(token.LBRACKET, "[")
+	case ']':
+		return mk(token.RBRACKET, "]")
+	case ',':
+		return mk(token.COMMA, ",")
+	case ';':
+		return mk(token.SEMI, ";")
+	case '.':
+		return mk(token.DOT, ".")
+	case '~':
+		return mk(token.TILDE, "~")
+	case '^':
+		return mk(token.CARET, "^")
+	case '%':
+		return mk(token.PERCENT, "%")
+	case '/':
+		return mk(token.SLASH, "/")
+	case '*':
+		return mk(token.STAR, "*")
+	case '=':
+		return two('=', token.EQ, token.ASSIGN)
+	case '!':
+		return two('=', token.NEQ, token.NOT)
+	case '+':
+		if l.peek() == '+' {
+			l.advance()
+			return mk(token.PLUSPLUS, "++")
+		}
+		return two('=', token.PLUSASSIGN, token.PLUS)
+	case '-':
+		if l.peek() == '-' {
+			l.advance()
+			return mk(token.MINUSMINUS, "--")
+		}
+		if l.peek() == '>' {
+			l.advance()
+			return mk(token.ARROW, "->")
+		}
+		return two('=', token.MINUSASSIGN, token.MINUS)
+	case '&':
+		return two('&', token.LAND, token.AMP)
+	case '|':
+		return two('|', token.LOR, token.PIPE)
+	case '<':
+		if l.peek() == '<' {
+			l.advance()
+			return mk(token.SHL, "<<")
+		}
+		return two('=', token.LEQ, token.LT)
+	case '>':
+		if l.peek() == '>' {
+			l.advance()
+			return mk(token.SHR, ">>")
+		}
+		return two('=', token.GEQ, token.GT)
+	}
+	l.errs = append(l.errs, fmt.Errorf("%s: illegal character %q", pos, c))
+	return mk(token.ILLEGAL, string(c))
+}
+
+// All tokenizes the remaining input including the terminating EOF token.
+func (l *Lexer) All() []token.Token {
+	var toks []token.Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package lexer
+
+import (
+	"testing"
+
+	"github.com/valueflow/usher/internal/token"
+)
+
+func kinds(src string) []token.Kind {
+	l := New("test.c", src)
+	var ks []token.Kind
+	for _, t := range l.All() {
+		ks = append(ks, t.Kind)
+	}
+	return ks
+}
+
+func TestOperators(t *testing.T) {
+	tests := []struct {
+		src  string
+		want []token.Kind
+	}{
+		{"+ - * / %", []token.Kind{token.PLUS, token.MINUS, token.STAR, token.SLASH, token.PERCENT, token.EOF}},
+		{"== != <= >= < >", []token.Kind{token.EQ, token.NEQ, token.LEQ, token.GEQ, token.LT, token.GT, token.EOF}},
+		{"&& || & |", []token.Kind{token.LAND, token.LOR, token.AMP, token.PIPE, token.EOF}},
+		{"<< >>", []token.Kind{token.SHL, token.SHR, token.EOF}},
+		{"-> . ++ --", []token.Kind{token.ARROW, token.DOT, token.PLUSPLUS, token.MINUSMINUS, token.EOF}},
+		{"+= -= = !", []token.Kind{token.PLUSASSIGN, token.MINUSASSIGN, token.ASSIGN, token.NOT, token.EOF}},
+		{"( ) { } [ ] , ;", []token.Kind{token.LPAREN, token.RPAREN, token.LBRACE, token.RBRACE, token.LBRACKET, token.RBRACKET, token.COMMA, token.SEMI, token.EOF}},
+		{"~ ^", []token.Kind{token.TILDE, token.CARET, token.EOF}},
+	}
+	for _, tt := range tests {
+		got := kinds(tt.src)
+		if len(got) != len(tt.want) {
+			t.Errorf("%q: got %v, want %v", tt.src, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("%q: token %d: got %v, want %v", tt.src, i, got[i], tt.want[i])
+			}
+		}
+	}
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	l := New("t.c", "int x while whilex _y y2 struct")
+	toks := l.All()
+	want := []struct {
+		kind token.Kind
+		text string
+	}{
+		{token.KwInt, "int"},
+		{token.IDENT, "x"},
+		{token.KwWhile, "while"},
+		{token.IDENT, "whilex"},
+		{token.IDENT, "_y"},
+		{token.IDENT, "y2"},
+		{token.KwStruct, "struct"},
+		{token.EOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(want))
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("token %d: got %v %q, want %v %q", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	l := New("t.c", "0 42 123456789")
+	toks := l.All()
+	wantTexts := []string{"0", "42", "123456789"}
+	for i, w := range wantTexts {
+		if toks[i].Kind != token.NUMBER || toks[i].Text != w {
+			t.Errorf("token %d: got %v %q, want NUMBER %q", i, toks[i].Kind, toks[i].Text, w)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `int a; // line comment
+/* block
+   comment */ int b;`
+	got := kinds(src)
+	want := []token.Kind{token.KwInt, token.IDENT, token.SEMI, token.KwInt, token.IDENT, token.SEMI, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestUnterminatedComment(t *testing.T) {
+	l := New("t.c", "/* never closed")
+	l.All()
+	if len(l.Errors()) == 0 {
+		t.Error("expected error for unterminated block comment")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	l := New("t.c", "int\n  x;")
+	toks := l.All()
+	if p := toks[0].Pos; p.Line != 1 || p.Col != 1 {
+		t.Errorf("int at %d:%d, want 1:1", p.Line, p.Col)
+	}
+	if p := toks[1].Pos; p.Line != 2 || p.Col != 3 {
+		t.Errorf("x at %d:%d, want 2:3", p.Line, p.Col)
+	}
+}
+
+func TestIllegalChar(t *testing.T) {
+	l := New("t.c", "int $x;")
+	toks := l.All()
+	found := false
+	for _, tk := range toks {
+		if tk.Kind == token.ILLEGAL {
+			found = true
+		}
+	}
+	if !found || len(l.Errors()) == 0 {
+		t.Error("expected ILLEGAL token and error for '$'")
+	}
+}
+
+func TestEOFForever(t *testing.T) {
+	l := New("t.c", "")
+	for i := 0; i < 3; i++ {
+		if tk := l.Next(); tk.Kind != token.EOF {
+			t.Fatalf("call %d: got %v, want EOF", i, tk.Kind)
+		}
+	}
+}

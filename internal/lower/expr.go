@@ -1,0 +1,341 @@
+package lower
+
+import (
+	"fmt"
+
+	"github.com/valueflow/usher/internal/ast"
+	"github.com/valueflow/usher/internal/ir"
+	"github.com/valueflow/usher/internal/token"
+	"github.com/valueflow/usher/internal/types"
+)
+
+// rvalueOrVoid lowers an expression in statement position, tolerating void
+// calls.
+func (lw *lowerer) rvalueOrVoid(e ast.Expr) {
+	if call, ok := e.(*ast.Call); ok {
+		if lw.info.TypeOf(call) == types.Void {
+			lw.lowerCall(call, false)
+			return
+		}
+	}
+	lw.rvalue(e)
+}
+
+// rvalue lowers e to a single-cell value.
+func (lw *lowerer) rvalue(e ast.Expr) ir.Value {
+	switch e := e.(type) {
+	case *ast.NumberLit:
+		return ir.IntConst(e.Value)
+	case *ast.Ident:
+		sym := lw.info.Uses[e]
+		switch sym.Kind {
+		case types.SymFunc:
+			return &ir.FuncValue{Fn: lw.funcs[sym]}
+		case types.SymBuiltin:
+			panic(fmt.Sprintf("lower: builtin %s used as a value at %s", sym.Name, e.Pos()))
+		}
+		if _, isArr := sym.Type.(*types.Array); isArr {
+			return lw.lvalue(e) // array-to-pointer decay
+		}
+		addr := lw.lvalue(e)
+		dst := lw.fn.NewReg(sym.Name)
+		lw.emit(ir.NewLoad(dst, addr), e.Pos())
+		return dst
+	case *ast.Unary:
+		return lw.lowerUnary(e)
+	case *ast.Binary:
+		return lw.lowerBinary(e)
+	case *ast.Assign:
+		addr := lw.lvalue(e.LHS)
+		v := lw.rvalue(e.RHS)
+		lw.emit(ir.NewStore(addr, v), e.Pos())
+		return v
+	case *ast.Call:
+		return lw.lowerCall(e, true)
+	case *ast.Index, *ast.FieldAccess:
+		if _, isArr := lw.info.TypeOf(e).(*types.Array); isArr {
+			return lw.lvalue(e) // decay of aggregate-typed element
+		}
+		addr := lw.lvalue(e)
+		dst := lw.fn.NewReg("")
+		lw.emit(ir.NewLoad(dst, addr), e.Pos())
+		return dst
+	case *ast.SizeofExpr:
+		// The checker validated the type; recompute its size here.
+		t := lw.resolveSizeType(e.T)
+		return ir.IntConst(int64(t.Size()))
+	}
+	panic(fmt.Sprintf("lower: unknown rvalue %T at %s", e, e.Pos()))
+}
+
+// resolveSizeType resolves a type expression for sizeof. It mirrors the
+// checker's resolution but without error accumulation.
+func (lw *lowerer) resolveSizeType(te ast.TypeExpr) types.Type {
+	switch te := te.(type) {
+	case *ast.IntTypeExpr:
+		return types.Int
+	case *ast.VoidTypeExpr:
+		return types.Void
+	case *ast.StructTypeExpr:
+		if st, ok := lw.info.Structs[te.Name]; ok {
+			return st
+		}
+		return types.Int
+	case *ast.PointerTypeExpr:
+		return &types.Pointer{Elem: lw.resolveSizeType(te.Elem)}
+	case *ast.ArrayTypeExpr:
+		return &types.Array{Elem: lw.resolveSizeType(te.Elem), Len: int(te.Len)}
+	case *ast.FuncTypeExpr:
+		return &types.Func{}
+	}
+	return types.Int
+}
+
+// lvalue lowers e to the address of the denoted cell.
+func (lw *lowerer) lvalue(e ast.Expr) ir.Value {
+	switch e := e.(type) {
+	case *ast.Ident:
+		sym := lw.info.Uses[e]
+		switch sym.Kind {
+		case types.SymGlobal:
+			return &ir.GlobalAddr{Obj: lw.globals[sym]}
+		case types.SymLocal, types.SymParam:
+			return lw.slots[sym]
+		}
+		panic(fmt.Sprintf("lower: %s is not an lvalue at %s", sym.Name, e.Pos()))
+	case *ast.Unary:
+		if e.Op == token.STAR {
+			return lw.rvalue(e.X)
+		}
+	case *ast.Index:
+		xt := lw.info.TypeOf(e.X)
+		var base ir.Value
+		if _, isArr := xt.(*types.Array); isArr {
+			base = lw.lvalue(e.X) // address of the array start
+		} else {
+			base = lw.rvalue(e.X)
+		}
+		idx := lw.rvalue(e.Idx)
+		// Scale the index by the element size for aggregate elements.
+		elemSize := 1
+		switch xt := xt.(type) {
+		case *types.Array:
+			elemSize = xt.Elem.Size()
+		case *types.Pointer:
+			elemSize = xt.Elem.Size()
+		}
+		if elemSize > 1 {
+			scaled := lw.fn.NewReg("")
+			lw.emit(ir.NewBinOp(scaled, ir.OpMul, idx, ir.IntConst(int64(elemSize))), e.Pos())
+			idx = scaled
+		}
+		dst := lw.fn.NewReg("")
+		lw.emit(ir.NewIndexAddr(dst, base, idx), e.Pos())
+		return dst
+	case *ast.FieldAccess:
+		var base ir.Value
+		var st *types.Struct
+		if e.Arrow {
+			base = lw.rvalue(e.X)
+			pt := lw.info.TypeOf(e.X).(*types.Pointer)
+			st = pt.Elem.(*types.Struct)
+		} else {
+			base = lw.lvalue(e.X)
+			st = lw.info.TypeOf(e.X).(*types.Struct)
+		}
+		f := st.Field(e.Name)
+		dst := lw.fn.NewReg("")
+		lw.emit(ir.NewFieldAddr(dst, base, f.Offset), e.Pos())
+		return dst
+	}
+	panic(fmt.Sprintf("lower: unknown lvalue %T at %s", e, e.Pos()))
+}
+
+func (lw *lowerer) lowerUnary(e *ast.Unary) ir.Value {
+	switch e.Op {
+	case token.STAR:
+		addr := lw.rvalue(e.X)
+		if _, isArr := lw.info.TypeOf(e).(*types.Array); isArr {
+			return addr
+		}
+		dst := lw.fn.NewReg("")
+		lw.emit(ir.NewLoad(dst, addr), e.Pos())
+		return dst
+	case token.AMP:
+		return lw.lvalue(e.X)
+	case token.MINUS:
+		x := lw.rvalue(e.X)
+		dst := lw.fn.NewReg("")
+		lw.emit(ir.NewBinOp(dst, ir.OpSub, ir.IntConst(0), x), e.Pos())
+		return dst
+	case token.NOT:
+		x := lw.rvalue(e.X)
+		dst := lw.fn.NewReg("")
+		lw.emit(ir.NewBinOp(dst, ir.OpEq, x, ir.IntConst(0)), e.Pos())
+		return dst
+	case token.TILDE:
+		x := lw.rvalue(e.X)
+		dst := lw.fn.NewReg("")
+		lw.emit(ir.NewBinOp(dst, ir.OpXor, x, ir.IntConst(-1)), e.Pos())
+		return dst
+	}
+	panic(fmt.Sprintf("lower: unknown unary %s at %s", e.Op, e.Pos()))
+}
+
+var binOps = map[token.Kind]ir.Op{
+	token.PLUS: ir.OpAdd, token.MINUS: ir.OpSub, token.STAR: ir.OpMul,
+	token.SLASH: ir.OpDiv, token.PERCENT: ir.OpRem, token.SHL: ir.OpShl,
+	token.SHR: ir.OpShr, token.AMP: ir.OpAnd, token.PIPE: ir.OpOr,
+	token.CARET: ir.OpXor, token.EQ: ir.OpEq, token.NEQ: ir.OpNe,
+	token.LT: ir.OpLt, token.LEQ: ir.OpLe, token.GT: ir.OpGt,
+	token.GEQ: ir.OpGe,
+}
+
+func (lw *lowerer) lowerBinary(e *ast.Binary) ir.Value {
+	switch e.Op {
+	case token.LAND, token.LOR:
+		return lw.lowerShortCircuit(e)
+	}
+	// Pointer arithmetic becomes IndexAddr so the pointer analysis sees it.
+	xt, yt := lw.decayedType(e.X), lw.decayedType(e.Y)
+	if e.Op == token.PLUS || e.Op == token.MINUS {
+		if types.IsPointer(xt) && types.IsInt(yt) {
+			base := lw.rvalue(e.X)
+			idx := lw.rvalue(e.Y)
+			if e.Op == token.MINUS {
+				neg := lw.fn.NewReg("")
+				lw.emit(ir.NewBinOp(neg, ir.OpSub, ir.IntConst(0), idx), e.Pos())
+				idx = neg
+			}
+			dst := lw.fn.NewReg("")
+			lw.emit(ir.NewIndexAddr(dst, base, idx), e.Pos())
+			return dst
+		}
+		if e.Op == token.PLUS && types.IsInt(xt) && types.IsPointer(yt) {
+			idx := lw.rvalue(e.X)
+			base := lw.rvalue(e.Y)
+			dst := lw.fn.NewReg("")
+			lw.emit(ir.NewIndexAddr(dst, base, idx), e.Pos())
+			return dst
+		}
+	}
+	x := lw.rvalue(e.X)
+	y := lw.rvalue(e.Y)
+	dst := lw.fn.NewReg("")
+	lw.emit(ir.NewBinOp(dst, binOps[e.Op], x, y), e.Pos())
+	return dst
+}
+
+func (lw *lowerer) decayedType(e ast.Expr) types.Type {
+	t := lw.info.TypeOf(e)
+	if a, ok := t.(*types.Array); ok {
+		return &types.Pointer{Elem: a.Elem}
+	}
+	return t
+}
+
+// lowerShortCircuit lowers && and || with control flow, materializing the
+// result through a stack slot that mem2reg later turns into phis.
+func (lw *lowerer) lowerShortCircuit(e *ast.Binary) ir.Value {
+	slot, _ := lw.allocaAtEntry("sc", 1, e.Pos())
+	rhsB := lw.fn.NewBlock("sc.rhs")
+	doneB := lw.fn.NewBlock("sc.done")
+
+	x := lw.rvalue(e.X)
+	xb := lw.fn.NewReg("")
+	lw.emit(ir.NewBinOp(xb, ir.OpNe, x, ir.IntConst(0)), e.Pos())
+	lw.emit(ir.NewStore(slot, xb), e.Pos())
+	if e.Op == token.LAND {
+		lw.emit(ir.NewBranch(xb, rhsB, doneB), e.Pos())
+	} else {
+		lw.emit(ir.NewBranch(xb, doneB, rhsB), e.Pos())
+	}
+
+	lw.startBlock(rhsB)
+	y := lw.rvalue(e.Y)
+	yb := lw.fn.NewReg("")
+	lw.emit(ir.NewBinOp(yb, ir.OpNe, y, ir.IntConst(0)), e.Pos())
+	lw.emit(ir.NewStore(slot, yb), e.Pos())
+	lw.emit(ir.NewJump(doneB), e.Pos())
+
+	lw.startBlock(doneB)
+	dst := lw.fn.NewReg("")
+	lw.emit(ir.NewLoad(dst, slot), e.Pos())
+	return dst
+}
+
+// lowerCall lowers a call expression; wantValue selects whether a result
+// register is produced.
+func (lw *lowerer) lowerCall(e *ast.Call, wantValue bool) ir.Value {
+	// Builtin dispatch.
+	if id, ok := e.Fun.(*ast.Ident); ok {
+		if sym := lw.info.Uses[id]; sym != nil && sym.Kind == types.SymBuiltin {
+			return lw.lowerBuiltin(sym.Name, e, wantValue)
+		}
+	}
+
+	var callee ir.Value
+	if id, ok := e.Fun.(*ast.Ident); ok {
+		if sym := lw.info.Uses[id]; sym != nil && sym.Kind == types.SymFunc {
+			callee = &ir.FuncValue{Fn: lw.funcs[sym]}
+		}
+	}
+	if callee == nil {
+		callee = lw.rvalue(e.Fun) // indirect through a function pointer
+	}
+	args := make([]ir.Value, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = lw.rvalue(a)
+	}
+	var dst *ir.Register
+	retT := lw.info.TypeOf(e)
+	if retT != types.Void {
+		dst = lw.fn.NewReg("")
+	}
+	lw.emit(ir.NewCall(dst, callee, args, ir.NotBuiltin), e.Pos())
+	if dst == nil {
+		return ir.IntConst(0)
+	}
+	return dst
+}
+
+func (lw *lowerer) lowerBuiltin(name string, e *ast.Call, wantValue bool) ir.Value {
+	switch name {
+	case "malloc", "calloc":
+		zero := name == "calloc"
+		size := 1
+		var dyn ir.Value
+		// Lower the size first: literals and sizeof expressions fold to
+		// constants, giving the allocation a static extent.
+		sizeVal := lw.rvalue(e.Args[0])
+		if c, ok := sizeVal.(*ir.Const); ok && c.Val > 0 {
+			size = int(c.Val)
+		} else {
+			dyn = sizeVal
+		}
+		obj := lw.irp.NewObject(fmt.Sprintf("%s.l%s", name, e.Pos()), size, ir.ObjHeap)
+		obj.ZeroInit = zero
+		obj.Fn = lw.fn
+		if dyn != nil {
+			obj.Collapse()
+		}
+		dst := lw.fn.NewReg("")
+		a := ir.NewAlloc(dst, obj)
+		a.DynSize = dyn
+		lw.emit(a, e.Pos())
+		return dst
+	case "free":
+		p := lw.rvalue(e.Args[0])
+		lw.emit(ir.NewCall(nil, nil, []ir.Value{p}, ir.BuiltinFree), e.Pos())
+		return ir.IntConst(0)
+	case "print":
+		v := lw.rvalue(e.Args[0])
+		lw.emit(ir.NewCall(nil, nil, []ir.Value{v}, ir.BuiltinPrint), e.Pos())
+		return ir.IntConst(0)
+	case "input":
+		dst := lw.fn.NewReg("")
+		lw.emit(ir.NewCall(dst, nil, nil, ir.BuiltinInput), e.Pos())
+		return dst
+	}
+	panic(fmt.Sprintf("lower: unknown builtin %s at %s", name, e.Pos()))
+}

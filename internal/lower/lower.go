@@ -1,0 +1,349 @@
+// Package lower translates a type-checked MiniC AST into IR.
+//
+// Lowering follows the Clang -O0 discipline: every source variable
+// (including parameters) is given a stack slot via an Alloc in the entry
+// block and accessed through loads and stores; expression temporaries are
+// virtual registers that are assigned exactly once by construction. The
+// mem2reg pass in package ssa subsequently promotes the slots of
+// non-address-taken scalars to registers, reproducing the paper's O0+IM
+// pipeline.
+package lower
+
+import (
+	"fmt"
+
+	"github.com/valueflow/usher/internal/ast"
+	"github.com/valueflow/usher/internal/ir"
+	"github.com/valueflow/usher/internal/token"
+	"github.com/valueflow/usher/internal/types"
+)
+
+// Lower translates prog (already checked, with info) into an IR program.
+func Lower(prog *ast.Program, info *types.Info) (*ir.Program, error) {
+	lw := &lowerer{
+		info:    info,
+		irp:     ir.NewProgram(),
+		globals: make(map[*types.Symbol]*ir.Object),
+		funcs:   make(map[*types.Symbol]*ir.Function),
+	}
+	// Globals first: they are address-taken variables, default-initialized
+	// (alloc_T in the paper's terms).
+	for _, sym := range info.Globals {
+		obj := lw.irp.NewObject(sym.Name, sym.Type.Size(), ir.ObjGlobal)
+		obj.ZeroInit = true
+		if _, isArr := sym.Type.(*types.Array); isArr {
+			obj.Collapse()
+		}
+		if vd, ok := sym.Decl.(*ast.VarDecl); ok && vd.Init != nil {
+			if n, ok := vd.Init.(*ast.NumberLit); ok {
+				obj.InitVal = n.Value
+			}
+		}
+		lw.irp.Globals = append(lw.irp.Globals, obj)
+		lw.globals[sym] = obj
+	}
+	// Function shells next, so calls can reference them in any order.
+	// Prototype-only functions get bodiless shells and behave as external
+	// library calls.
+	for _, d := range prog.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		sym := info.Symbols[fd]
+		if sym == nil {
+			continue
+		}
+		if _, exists := lw.funcs[sym]; exists {
+			if fd.Body != nil {
+				lw.funcs[sym].HasBody = true
+			}
+			continue
+		}
+		fn := &ir.Function{Name: fd.Name, Pos: fd.Pos(), HasBody: fd.Body != nil}
+		lw.irp.AddFunc(fn)
+		lw.funcs[sym] = fn
+	}
+	for _, fd := range info.Funcs {
+		if err := lw.lowerFunc(fd); err != nil {
+			return nil, err
+		}
+	}
+	for _, fn := range lw.irp.Funcs {
+		pruneUnreachable(fn)
+		ir.ComputeCFG(fn)
+	}
+	if err := ir.Verify(lw.irp); err != nil {
+		return nil, fmt.Errorf("lowering produced invalid IR: %w", err)
+	}
+	return lw.irp, nil
+}
+
+type loopCtx struct {
+	breakTo    *ir.Block
+	continueTo *ir.Block
+}
+
+type lowerer struct {
+	info    *types.Info
+	irp     *ir.Program
+	globals map[*types.Symbol]*ir.Object
+	funcs   map[*types.Symbol]*ir.Function
+
+	// per-function state
+	fn     *ir.Function
+	cur    *ir.Block
+	entry  *ir.Block
+	slots  map[*types.Symbol]*ir.Register // symbol -> alloca address register
+	loops  []loopCtx
+	isVoid bool
+}
+
+func (lw *lowerer) emit(in ir.Instr, pos token.Pos) {
+	type positioned interface{ SetPos(token.Pos) }
+	if p, ok := in.(positioned); ok {
+		p.SetPos(pos)
+	}
+	lw.cur.Append(in)
+}
+
+// terminated reports whether the current block already ends control flow.
+func (lw *lowerer) terminated() bool { return lw.cur.Terminator() != nil }
+
+// startBlock switches emission to b.
+func (lw *lowerer) startBlock(b *ir.Block) { lw.cur = b }
+
+// allocaAtEntry creates a stack slot in the entry block, before the
+// entry's terminator if one exists (it never does during lowering of the
+// body, because allocas are created first).
+func (lw *lowerer) allocaAtEntry(name string, size int, pos token.Pos) (*ir.Register, *ir.Object) {
+	obj := lw.irp.NewObject(name, size, ir.ObjStack)
+	obj.Fn = lw.fn
+	addr := lw.fn.NewReg(name + ".addr")
+	a := ir.NewAlloc(addr, obj)
+	a.SetPos(pos)
+	lw.entry.Append(a)
+	return addr, obj
+}
+
+func (lw *lowerer) lowerFunc(fd *ast.FuncDecl) error {
+	sym := lw.info.Symbols[fd]
+	fn := lw.funcs[sym]
+	ft := sym.Type.(*types.Func)
+	lw.fn = fn
+	lw.slots = make(map[*types.Symbol]*ir.Register)
+	lw.loops = nil
+	lw.isVoid = ft.Ret == types.Void
+
+	lw.entry = fn.NewBlock("entry")
+	body := fn.NewBlock("body")
+	lw.startBlock(body)
+
+	// Parameters: spill each into a fresh slot, Clang-style. The slot is
+	// initialized by the incoming value, so the store marks it defined.
+	psyms := lw.info.ParamSymbols[fd]
+	for i, ps := range psyms {
+		preg := fn.NewReg(ps.Name)
+		fn.Params = append(fn.Params, preg)
+		addr, _ := lw.allocaAtEntry(ps.Name, 1, fd.Params[i].Pos)
+		lw.emit(ir.NewStore(addr, preg), fd.Params[i].Pos)
+		lw.slots[ps] = addr
+	}
+
+	lw.lowerBlockStmts(fd.Body)
+
+	if !lw.terminated() {
+		lw.emitImplicitReturn(fd.Pos())
+	}
+	// The entry block falls through to the body.
+	lw.entry.Append(ir.NewJump(body))
+	// Move entry to position 0 (it was created first, so it is).
+	return nil
+}
+
+// emitImplicitReturn handles control reaching the end of a function body.
+// For void functions this is a plain return. For value-returning functions
+// the C-level result is an undefined value, which is modelled faithfully
+// as a load from a fresh uninitialized cell so the analysis and runtime
+// see it as any other use of undefined memory.
+func (lw *lowerer) emitImplicitReturn(pos token.Pos) {
+	if lw.isVoid {
+		lw.emit(ir.NewRet(nil), pos)
+		return
+	}
+	addr, _ := lw.allocaAtEntry("undef.ret", 1, pos)
+	v := lw.fn.NewReg("")
+	lw.emit(ir.NewLoad(v, addr), pos)
+	lw.emit(ir.NewRet(v), pos)
+}
+
+func (lw *lowerer) lowerBlockStmts(b *ast.Block) {
+	for _, s := range b.Stmts {
+		if lw.terminated() {
+			// Unreachable statements still lower (they may declare labels
+			// in richer languages); here we start a dead block that
+			// pruneUnreachable removes.
+			dead := lw.fn.NewBlock("dead")
+			lw.startBlock(dead)
+		}
+		lw.lowerStmt(s)
+	}
+}
+
+func (lw *lowerer) lowerStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.Block:
+		lw.lowerBlockStmts(s)
+	case *ast.EmptyStmt:
+	case *ast.DeclStmt:
+		lw.lowerLocalDecl(s.Decl)
+	case *ast.ExprStmt:
+		lw.rvalueOrVoid(s.X)
+	case *ast.IfStmt:
+		lw.lowerIf(s)
+	case *ast.WhileStmt:
+		lw.lowerWhile(s)
+	case *ast.ForStmt:
+		lw.lowerFor(s)
+	case *ast.ReturnStmt:
+		if s.X != nil {
+			v := lw.rvalue(s.X)
+			lw.emit(ir.NewRet(v), s.Pos())
+		} else {
+			lw.emit(ir.NewRet(nil), s.Pos())
+		}
+	case *ast.BreakStmt:
+		lw.emit(ir.NewJump(lw.loops[len(lw.loops)-1].breakTo), s.Pos())
+	case *ast.ContinueStmt:
+		lw.emit(ir.NewJump(lw.loops[len(lw.loops)-1].continueTo), s.Pos())
+	default:
+		panic(fmt.Sprintf("lower: unknown statement %T", s))
+	}
+}
+
+func (lw *lowerer) lowerLocalDecl(d *ast.VarDecl) {
+	sym := lw.info.Symbols[d]
+	addr, obj := lw.allocaAtEntry(sym.Name, sym.Type.Size(), d.Pos())
+	if _, isArr := sym.Type.(*types.Array); isArr {
+		obj.Collapse()
+	}
+	lw.slots[sym] = addr
+	if d.Init != nil {
+		v := lw.rvalue(d.Init)
+		lw.emit(ir.NewStore(addr, v), d.Pos())
+	}
+}
+
+func (lw *lowerer) lowerIf(s *ast.IfStmt) {
+	cond := lw.rvalue(s.Cond)
+	then := lw.fn.NewBlock("if.then")
+	done := lw.fn.NewBlock("if.done")
+	els := done
+	if s.Else != nil {
+		els = lw.fn.NewBlock("if.else")
+	}
+	lw.emit(ir.NewBranch(cond, then, els), s.Pos())
+
+	lw.startBlock(then)
+	lw.lowerStmt(s.Then)
+	if !lw.terminated() {
+		lw.emit(ir.NewJump(done), s.Pos())
+	}
+	if s.Else != nil {
+		lw.startBlock(els)
+		lw.lowerStmt(s.Else)
+		if !lw.terminated() {
+			lw.emit(ir.NewJump(done), s.Pos())
+		}
+	}
+	lw.startBlock(done)
+}
+
+func (lw *lowerer) lowerWhile(s *ast.WhileStmt) {
+	condB := lw.fn.NewBlock("while.cond")
+	bodyB := lw.fn.NewBlock("while.body")
+	doneB := lw.fn.NewBlock("while.done")
+	lw.emit(ir.NewJump(condB), s.Pos())
+
+	lw.startBlock(condB)
+	cond := lw.rvalue(s.Cond)
+	lw.emit(ir.NewBranch(cond, bodyB, doneB), s.Pos())
+
+	lw.loops = append(lw.loops, loopCtx{breakTo: doneB, continueTo: condB})
+	lw.startBlock(bodyB)
+	lw.lowerStmt(s.Body)
+	if !lw.terminated() {
+		lw.emit(ir.NewJump(condB), s.Pos())
+	}
+	lw.loops = lw.loops[:len(lw.loops)-1]
+	lw.startBlock(doneB)
+}
+
+func (lw *lowerer) lowerFor(s *ast.ForStmt) {
+	if s.Init != nil {
+		lw.lowerStmt(s.Init)
+	}
+	condB := lw.fn.NewBlock("for.cond")
+	bodyB := lw.fn.NewBlock("for.body")
+	postB := lw.fn.NewBlock("for.post")
+	doneB := lw.fn.NewBlock("for.done")
+	lw.emit(ir.NewJump(condB), s.Pos())
+
+	lw.startBlock(condB)
+	if s.Cond != nil {
+		cond := lw.rvalue(s.Cond)
+		lw.emit(ir.NewBranch(cond, bodyB, doneB), s.Pos())
+	} else {
+		lw.emit(ir.NewJump(bodyB), s.Pos())
+	}
+
+	lw.loops = append(lw.loops, loopCtx{breakTo: doneB, continueTo: postB})
+	lw.startBlock(bodyB)
+	lw.lowerStmt(s.Body)
+	if !lw.terminated() {
+		lw.emit(ir.NewJump(postB), s.Pos())
+	}
+	lw.loops = lw.loops[:len(lw.loops)-1]
+
+	lw.startBlock(postB)
+	if s.Post != nil {
+		lw.rvalueOrVoid(s.Post)
+	}
+	lw.emit(ir.NewJump(condB), s.Pos())
+	lw.startBlock(doneB)
+}
+
+// pruneUnreachable removes blocks not reachable from the entry block.
+func pruneUnreachable(fn *ir.Function) {
+	if len(fn.Blocks) == 0 {
+		return
+	}
+	reach := make(map[*ir.Block]bool)
+	var stack []*ir.Block
+	stack = append(stack, fn.Blocks[0])
+	reach[fn.Blocks[0]] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		var succs []*ir.Block
+		switch t := b.Terminator().(type) {
+		case *ir.Jump:
+			succs = []*ir.Block{t.Target}
+		case *ir.Branch:
+			succs = []*ir.Block{t.Then, t.Else}
+		}
+		for _, s := range succs {
+			if !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	var kept []*ir.Block
+	for _, b := range fn.Blocks {
+		if reach[b] {
+			kept = append(kept, b)
+		}
+	}
+	fn.Blocks = kept
+}

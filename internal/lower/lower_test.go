@@ -1,0 +1,276 @@
+package lower_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/valueflow/usher/internal/ir"
+	"github.com/valueflow/usher/internal/lower"
+	"github.com/valueflow/usher/internal/parser"
+	"github.com/valueflow/usher/internal/types"
+)
+
+func lowerSrc(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := parser.Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	irp, err := lower.Lower(prog, info)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return irp
+}
+
+func TestLowerSimple(t *testing.T) {
+	irp := lowerSrc(t, `int main() { int x = 1; int y = 2; return x + y; }`)
+	main := irp.FuncByName("main")
+	if main == nil {
+		t.Fatal("no main")
+	}
+	txt := ir.PrintFunc(main)
+	for _, want := range []string{"alloc_F", "store", "load", "add", "ret"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("IR missing %q:\n%s", want, txt)
+		}
+	}
+}
+
+func TestLowerControlFlow(t *testing.T) {
+	irp := lowerSrc(t, `
+int main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 10; i++) {
+    if (i % 2) { s += i; } else { continue; }
+    if (s > 5) { break; }
+  }
+  while (s) { s -= 1; }
+  return s;
+}`)
+	main := irp.FuncByName("main")
+	var branches, jumps int
+	for _, b := range main.Blocks {
+		for _, in := range b.Instrs {
+			switch in.(type) {
+			case *ir.Branch:
+				branches++
+			case *ir.Jump:
+				jumps++
+			}
+		}
+	}
+	if branches < 4 {
+		t.Errorf("got %d branches, want >= 4", branches)
+	}
+	if jumps < 4 {
+		t.Errorf("got %d jumps, want >= 4", jumps)
+	}
+}
+
+func TestLowerPointers(t *testing.T) {
+	irp := lowerSrc(t, `
+int main() {
+  int a;
+  int *p = &a;
+  *p = 5;
+  return a;
+}`)
+	txt := ir.PrintFunc(irp.FuncByName("main"))
+	// &a must not produce a load of a.
+	if !strings.Contains(txt, "store") {
+		t.Errorf("missing store:\n%s", txt)
+	}
+}
+
+func TestLowerHeapAllocs(t *testing.T) {
+	irp := lowerSrc(t, `
+int main() {
+  int *p = malloc(4);
+  int *q = calloc(2);
+  p[0] = 1;
+  free(p);
+  return q[1];
+}`)
+	var mallocObj, callocObj *ir.Object
+	for _, o := range irp.Objects() {
+		if o.Kind == ir.ObjHeap {
+			if o.ZeroInit {
+				callocObj = o
+			} else {
+				mallocObj = o
+			}
+		}
+	}
+	if mallocObj == nil || mallocObj.Size != 4 {
+		t.Errorf("malloc obj = %+v, want size 4 uninit", mallocObj)
+	}
+	if callocObj == nil || callocObj.Size != 2 {
+		t.Errorf("calloc obj = %+v, want size 2 zeroinit", callocObj)
+	}
+}
+
+func TestLowerDynamicMalloc(t *testing.T) {
+	irp := lowerSrc(t, `
+int main(int n) {
+  int *p = malloc(n);
+  return p[0];
+}`)
+	var dynAlloc *ir.Alloc
+	for _, b := range irp.FuncByName("main").Blocks {
+		for _, in := range b.Instrs {
+			if a, ok := in.(*ir.Alloc); ok && a.Obj.Kind == ir.ObjHeap {
+				dynAlloc = a
+			}
+		}
+	}
+	if dynAlloc == nil || dynAlloc.DynSize == nil {
+		t.Fatalf("dynamic malloc not lowered with DynSize: %v", dynAlloc)
+	}
+	if !dynAlloc.Obj.Collapsed() {
+		t.Error("dynamic heap object should be collapsed")
+	}
+}
+
+func TestLowerStructFields(t *testing.T) {
+	irp := lowerSrc(t, `
+struct P { int x; int y; };
+int main() {
+  struct P p;
+  p.y = 3;
+  struct P *q = &p;
+  return q->y;
+}`)
+	txt := ir.PrintFunc(irp.FuncByName("main"))
+	if !strings.Contains(txt, "fieldaddr") || !strings.Contains(txt, "+1") {
+		t.Errorf("missing fieldaddr +1:\n%s", txt)
+	}
+}
+
+func TestLowerArrays(t *testing.T) {
+	irp := lowerSrc(t, `
+int main() {
+  int a[5];
+  a[2] = 7;
+  int *p = a + 1;
+  return p[1] + a[2];
+}`)
+	txt := ir.PrintFunc(irp.FuncByName("main"))
+	if !strings.Contains(txt, "indexaddr") {
+		t.Errorf("missing indexaddr:\n%s", txt)
+	}
+	// the array object must be collapsed
+	for _, o := range irp.Objects() {
+		if o.Name == "a" && !o.Collapsed() {
+			t.Error("array object not collapsed")
+		}
+	}
+}
+
+func TestLowerGlobals(t *testing.T) {
+	irp := lowerSrc(t, `
+int g = 42;
+int h;
+int main() { g = g + h; return g; }`)
+	if len(irp.Globals) != 2 {
+		t.Fatalf("globals = %d, want 2", len(irp.Globals))
+	}
+	if !irp.Globals[0].ZeroInit || irp.Globals[0].InitVal != 42 {
+		t.Errorf("g = %+v, want zeroinit with InitVal 42", irp.Globals[0])
+	}
+	txt := ir.PrintFunc(irp.FuncByName("main"))
+	if !strings.Contains(txt, "@g") {
+		t.Errorf("global address not used:\n%s", txt)
+	}
+}
+
+func TestLowerCalls(t *testing.T) {
+	irp := lowerSrc(t, `
+int twice(int x) { return x * 2; }
+int apply(int (*f)(int), int v) { return f(v); }
+int main() { return apply(twice, 21); }`)
+	apply := irp.FuncByName("apply")
+	indirect := false
+	for _, b := range apply.Blocks {
+		for _, in := range b.Instrs {
+			if c, ok := in.(*ir.Call); ok && c.Direct() == nil && c.Builtin == ir.NotBuiltin {
+				indirect = true
+			}
+		}
+	}
+	if !indirect {
+		t.Error("apply should contain an indirect call")
+	}
+	main := irp.FuncByName("main")
+	direct := false
+	for _, b := range main.Blocks {
+		for _, in := range b.Instrs {
+			if c, ok := in.(*ir.Call); ok && c.Direct() != nil && c.Direct().Name == "apply" {
+				direct = true
+			}
+		}
+	}
+	if !direct {
+		t.Error("main should contain a direct call to apply")
+	}
+}
+
+func TestLowerShortCircuit(t *testing.T) {
+	irp := lowerSrc(t, `
+int main(int a, int b) {
+  if (a && b) { return 1; }
+  if (a || b) { return 2; }
+  return 0;
+}`)
+	main := irp.FuncByName("main")
+	if len(main.Blocks) < 8 {
+		t.Errorf("short-circuit lowering produced only %d blocks", len(main.Blocks))
+	}
+}
+
+func TestImplicitUndefReturn(t *testing.T) {
+	irp := lowerSrc(t, `
+int maybe(int c) {
+  if (c) { return 1; }
+}
+int main() { return maybe(0); }`)
+	txt := ir.PrintFunc(irp.FuncByName("maybe"))
+	if !strings.Contains(txt, "undef.ret") {
+		t.Errorf("missing undef.ret modelling of missing return:\n%s", txt)
+	}
+}
+
+func TestDeadCodePruned(t *testing.T) {
+	irp := lowerSrc(t, `
+int main() {
+  return 1;
+  return 2;
+}`)
+	main := irp.FuncByName("main")
+	for _, b := range main.Blocks {
+		if strings.HasPrefix(b.Name, "dead") {
+			t.Errorf("dead block %s not pruned", b)
+		}
+	}
+}
+
+func TestVerifyAll(t *testing.T) {
+	srcs := []string{
+		`int main() { return 0; }`,
+		`void f() {} int main() { f(); return 0; }`,
+		`int g; int main() { int *p = &g; return *p; }`,
+		`struct S { int a; struct S *n; };
+		 int main() { struct S s; s.n = &s; s.a = 1; return s.n->a; }`,
+	}
+	for _, src := range srcs {
+		irp := lowerSrc(t, src)
+		if err := ir.Verify(irp); err != nil {
+			t.Errorf("verify(%q): %v", src, err)
+		}
+	}
+}

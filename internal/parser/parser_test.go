@@ -1,0 +1,353 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/valueflow/usher/internal/ast"
+	"github.com/valueflow/usher/internal/token"
+)
+
+func parseOK(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return prog
+}
+
+func TestGlobalVarDecl(t *testing.T) {
+	prog := parseOK(t, "int g; int *p; int arr[10];")
+	if len(prog.Decls) != 3 {
+		t.Fatalf("got %d decls, want 3", len(prog.Decls))
+	}
+	g := prog.Decls[0].(*ast.VarDecl)
+	if g.Name != "g" {
+		t.Errorf("name = %q, want g", g.Name)
+	}
+	if _, ok := g.Type.(*ast.IntTypeExpr); !ok {
+		t.Errorf("g type = %T, want IntTypeExpr", g.Type)
+	}
+	p := prog.Decls[1].(*ast.VarDecl)
+	if _, ok := p.Type.(*ast.PointerTypeExpr); !ok {
+		t.Errorf("p type = %T, want PointerTypeExpr", p.Type)
+	}
+	a := prog.Decls[2].(*ast.VarDecl)
+	at, ok := a.Type.(*ast.ArrayTypeExpr)
+	if !ok || at.Len != 10 {
+		t.Errorf("arr type = %#v, want array[10]", a.Type)
+	}
+}
+
+func TestFuncDecl(t *testing.T) {
+	prog := parseOK(t, "int add(int a, int b) { return a + b; }")
+	fd := prog.Decls[0].(*ast.FuncDecl)
+	if fd.Name != "add" || len(fd.Params) != 2 || fd.Body == nil {
+		t.Fatalf("bad func decl: %+v", fd)
+	}
+	if fd.Params[0].Name != "a" || fd.Params[1].Name != "b" {
+		t.Errorf("params = %v", fd.Params)
+	}
+}
+
+func TestFuncReturningPointer(t *testing.T) {
+	prog := parseOK(t, "int *id(int *p) { return p; }")
+	fd, ok := prog.Decls[0].(*ast.FuncDecl)
+	if !ok {
+		t.Fatalf("decl is %T, want FuncDecl", prog.Decls[0])
+	}
+	if _, ok := fd.Ret.(*ast.PointerTypeExpr); !ok {
+		t.Errorf("ret type = %T, want PointerTypeExpr", fd.Ret)
+	}
+}
+
+func TestFunctionPointerDeclarator(t *testing.T) {
+	prog := parseOK(t, "int (*fp)(int, int);")
+	vd, ok := prog.Decls[0].(*ast.VarDecl)
+	if !ok {
+		t.Fatalf("decl is %T, want VarDecl (function pointer variable)", prog.Decls[0])
+	}
+	pt, ok := vd.Type.(*ast.PointerTypeExpr)
+	if !ok {
+		t.Fatalf("fp type = %T, want pointer", vd.Type)
+	}
+	ft, ok := pt.Elem.(*ast.FuncTypeExpr)
+	if !ok || len(ft.Params) != 2 {
+		t.Fatalf("fp elem = %#v, want func(int,int)", pt.Elem)
+	}
+}
+
+func TestFunctionPointerParam(t *testing.T) {
+	prog := parseOK(t, "int apply(int (*f)(int), int x) { return f(x); }")
+	fd := prog.Decls[0].(*ast.FuncDecl)
+	if len(fd.Params) != 2 || fd.Params[0].Name != "f" {
+		t.Fatalf("params = %+v", fd.Params)
+	}
+	pt, ok := fd.Params[0].Type.(*ast.PointerTypeExpr)
+	if !ok {
+		t.Fatalf("param f type = %T, want pointer-to-func", fd.Params[0].Type)
+	}
+	if _, ok := pt.Elem.(*ast.FuncTypeExpr); !ok {
+		t.Fatalf("param f elem = %T, want FuncTypeExpr", pt.Elem)
+	}
+}
+
+func TestNestedArrays(t *testing.T) {
+	prog := parseOK(t, "int m[2][3];")
+	vd := prog.Decls[0].(*ast.VarDecl)
+	outer := vd.Type.(*ast.ArrayTypeExpr)
+	if outer.Len != 2 {
+		t.Fatalf("outer len = %d, want 2", outer.Len)
+	}
+	inner := outer.Elem.(*ast.ArrayTypeExpr)
+	if inner.Len != 3 {
+		t.Fatalf("inner len = %d, want 3", inner.Len)
+	}
+}
+
+func TestArrayOfPointers(t *testing.T) {
+	prog := parseOK(t, "int *a[3];")
+	vd := prog.Decls[0].(*ast.VarDecl)
+	at, ok := vd.Type.(*ast.ArrayTypeExpr)
+	if !ok || at.Len != 3 {
+		t.Fatalf("type = %#v, want array[3]", vd.Type)
+	}
+	if _, ok := at.Elem.(*ast.PointerTypeExpr); !ok {
+		t.Fatalf("elem = %T, want pointer", at.Elem)
+	}
+}
+
+func TestStructDecl(t *testing.T) {
+	prog := parseOK(t, "struct Point { int x; int y; struct Point *next; };")
+	sd := prog.Decls[0].(*ast.StructDecl)
+	if sd.Name != "Point" || len(sd.Fields) != 3 {
+		t.Fatalf("struct = %+v", sd)
+	}
+	if sd.Fields[2].Name != "next" {
+		t.Errorf("field 2 = %+v", sd.Fields[2])
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	prog := parseOK(t, "int f() { return 1 + 2 * 3; }")
+	fd := prog.Decls[0].(*ast.FuncDecl)
+	ret := fd.Body.Stmts[0].(*ast.ReturnStmt)
+	add := ret.X.(*ast.Binary)
+	if add.Op != token.PLUS {
+		t.Fatalf("top op = %v, want +", add.Op)
+	}
+	mul := add.Y.(*ast.Binary)
+	if mul.Op != token.STAR {
+		t.Fatalf("rhs op = %v, want *", mul.Op)
+	}
+}
+
+func TestStatements(t *testing.T) {
+	src := `
+int main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 10; i++) {
+    if (i % 2 == 0) { s += i; } else { continue; }
+    while (s > 100) { s -= 1; break; }
+  }
+  return s;
+}`
+	prog := parseOK(t, src)
+	fd := prog.Decls[0].(*ast.FuncDecl)
+	if len(fd.Body.Stmts) != 4 {
+		t.Fatalf("got %d stmts, want 4", len(fd.Body.Stmts))
+	}
+	if _, ok := fd.Body.Stmts[2].(*ast.ForStmt); !ok {
+		t.Errorf("stmt 2 = %T, want ForStmt", fd.Body.Stmts[2])
+	}
+}
+
+func TestCompoundAssignDesugar(t *testing.T) {
+	prog := parseOK(t, "int f(int x) { x += 2; return x; }")
+	fd := prog.Decls[0].(*ast.FuncDecl)
+	es := fd.Body.Stmts[0].(*ast.ExprStmt)
+	as, ok := es.X.(*ast.Assign)
+	if !ok {
+		t.Fatalf("stmt = %T, want Assign", es.X)
+	}
+	bin, ok := as.RHS.(*ast.Binary)
+	if !ok || bin.Op != token.PLUS {
+		t.Fatalf("RHS = %#v, want x+2", as.RHS)
+	}
+	if as.LHS == bin.X {
+		t.Error("desugared LHS and RHS share the same AST node; want a clone")
+	}
+}
+
+func TestIncrementDesugar(t *testing.T) {
+	prog := parseOK(t, "int f() { int i = 0; i++; ++i; return i; }")
+	fd := prog.Decls[0].(*ast.FuncDecl)
+	for _, idx := range []int{1, 2} {
+		es := fd.Body.Stmts[idx].(*ast.ExprStmt)
+		if _, ok := es.X.(*ast.Assign); !ok {
+			t.Errorf("stmt %d = %T, want Assign", idx, es.X)
+		}
+	}
+}
+
+func TestPointerExpressions(t *testing.T) {
+	src := `int f() { int x; int *p; p = &x; *p = 5; return *p + p[0]; }`
+	prog := parseOK(t, src)
+	fd := prog.Decls[0].(*ast.FuncDecl)
+	// p = &x
+	as := fd.Body.Stmts[2].(*ast.ExprStmt).X.(*ast.Assign)
+	amp := as.RHS.(*ast.Unary)
+	if amp.Op != token.AMP {
+		t.Errorf("op = %v, want &", amp.Op)
+	}
+	// *p = 5
+	as2 := fd.Body.Stmts[3].(*ast.ExprStmt).X.(*ast.Assign)
+	star := as2.LHS.(*ast.Unary)
+	if star.Op != token.STAR {
+		t.Errorf("op = %v, want *", star.Op)
+	}
+}
+
+func TestFieldAccess(t *testing.T) {
+	src := `struct S { int a; }; int f(struct S *p) { struct S s; s.a = 1; return p->a + s.a; }`
+	prog := parseOK(t, src)
+	fd := prog.Decls[1].(*ast.FuncDecl)
+	as := fd.Body.Stmts[1].(*ast.ExprStmt).X.(*ast.Assign)
+	fa := as.LHS.(*ast.FieldAccess)
+	if fa.Name != "a" || fa.Arrow {
+		t.Errorf("field access = %+v", fa)
+	}
+}
+
+func TestCalls(t *testing.T) {
+	src := `int g(int x) { return x; } int main() { int *p = malloc(4); free(p); return g(1) + g(2); }`
+	prog := parseOK(t, src)
+	if len(prog.Decls) != 2 {
+		t.Fatalf("decls = %d", len(prog.Decls))
+	}
+}
+
+func TestSizeof(t *testing.T) {
+	src := `struct S { int a; int b; }; int main() { return sizeof(struct S) + sizeof(int*); }`
+	prog := parseOK(t, src)
+	fd := prog.Decls[1].(*ast.FuncDecl)
+	ret := fd.Body.Stmts[0].(*ast.ReturnStmt)
+	bin := ret.X.(*ast.Binary)
+	if _, ok := bin.X.(*ast.SizeofExpr); !ok {
+		t.Errorf("lhs = %T, want SizeofExpr", bin.X)
+	}
+	sz := bin.Y.(*ast.SizeofExpr)
+	if _, ok := sz.T.(*ast.PointerTypeExpr); !ok {
+		t.Errorf("sizeof(int*) type = %T, want pointer", sz.T)
+	}
+}
+
+func TestPrototypes(t *testing.T) {
+	prog := parseOK(t, "int helper(int); int helper(int x) { return x; }")
+	if len(prog.Decls) != 2 {
+		t.Fatalf("decls = %d, want 2", len(prog.Decls))
+	}
+	proto := prog.Decls[0].(*ast.FuncDecl)
+	if proto.Body != nil {
+		t.Error("prototype should have nil body")
+	}
+}
+
+func TestErrorRecovery(t *testing.T) {
+	_, err := Parse("bad.c", "int f( { return; }")
+	if err == nil {
+		t.Fatal("want parse error")
+	}
+	_, err = Parse("bad2.c", "int x = ;")
+	if err == nil {
+		t.Fatal("want parse error")
+	}
+}
+
+func TestErrorHasPosition(t *testing.T) {
+	_, err := Parse("pos.c", "int f() {\n  return @;\n}")
+	if err == nil {
+		t.Fatal("want parse error")
+	}
+	if !strings.Contains(err.Error(), "pos.c:2") {
+		t.Errorf("error should mention pos.c:2, got: %v", err)
+	}
+}
+
+func TestLogicalOperators(t *testing.T) {
+	prog := parseOK(t, "int f(int a, int b) { return a && b || !a; }")
+	fd := prog.Decls[0].(*ast.FuncDecl)
+	ret := fd.Body.Stmts[0].(*ast.ReturnStmt)
+	or := ret.X.(*ast.Binary)
+	if or.Op != token.LOR {
+		t.Fatalf("top = %v, want ||", or.Op)
+	}
+}
+
+func TestDeclaratorEdgeCases(t *testing.T) {
+	srcs := []string{
+		"int (*pa)[4];",            // pointer to array
+		"int *(*f)(int (*)(int));", // fp taking abstract fp
+		"int (*tbl[3])(int);",      // array of function pointers
+		"int f(void);",             // void param list
+		"struct S { int (*cb)(int, int); int pad; };",
+	}
+	for _, src := range srcs {
+		if _, err := Parse("d.c", src); err != nil {
+			t.Errorf("%q: %v", src, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct{ name, src string }{
+		{"unclosed block", "int main() { return 0;"},
+		{"bad array len", "int a[x];"},
+		{"missing semi", "int main() { return 0 }"},
+		{"stray rbrace", "}"},
+		{"empty paren expr", "int main() { return (); }"},
+		{"bad field decl", "struct S { int; };"},
+		{"decl without name", "int *;"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse("bad.c", tt.src); err == nil {
+				t.Errorf("no error for %q", tt.src)
+			}
+		})
+	}
+}
+
+func TestForVariants(t *testing.T) {
+	srcs := []string{
+		"int main() { for (;;) { break; } return 0; }",
+		"int main() { int i = 0; for (; i < 3;) { i++; } return i; }",
+		"int main() { for (int i = 0; ; i++) { if (i > 2) { break; } } return 0; }",
+	}
+	for _, src := range srcs {
+		if _, err := Parse("f.c", src); err != nil {
+			t.Errorf("%q: %v", src, err)
+		}
+	}
+}
+
+func TestNestedStructAccessChain(t *testing.T) {
+	src := `
+struct A { int x; };
+struct B { struct A *a; };
+int f(struct B *b) { return b->a->x; }
+int main() { return 0; }`
+	prog := parseOK(t, src)
+	fd := prog.Decls[2].(*ast.FuncDecl)
+	ret := fd.Body.Stmts[0].(*ast.ReturnStmt)
+	outer := ret.X.(*ast.FieldAccess)
+	if outer.Name != "x" || !outer.Arrow {
+		t.Fatalf("outer access = %+v", outer)
+	}
+	inner := outer.X.(*ast.FieldAccess)
+	if inner.Name != "a" || !inner.Arrow {
+		t.Fatalf("inner access = %+v", inner)
+	}
+}

@@ -1,0 +1,453 @@
+// Package passes implements the IR transformation pipelines of the
+// paper's evaluation:
+//
+//   - the "IM" step of O0+IM: iterative inlining of functions taking
+//     function-pointer arguments (simplifying the call graph) followed by
+//     mem2reg;
+//   - inlining of allocation wrappers, which realizes the paper's
+//     1-callsite heap cloning: every inlined copy carries fresh abstract
+//     objects, so each wrapper call site gets its own allocation site;
+//   - the O1/O2 scalar optimization pipelines (constant propagation, copy
+//     propagation, branch folding, CSE, dead code elimination) used in
+//     §4.6 to study how compiler optimization levels interact with
+//     instrumentation.
+package passes
+
+import (
+	"fmt"
+
+	"github.com/valueflow/usher/internal/ir"
+)
+
+// inlineBudget bounds how many call sites a single pass may inline, as a
+// guard against code-size explosion.
+const inlineBudget = 2000
+
+// maxInlineInstrs is the callee size limit for wrapper/small-function
+// inlining.
+const maxInlineInstrs = 40
+
+// InlineFunctionPointerArgs iteratively inlines calls to functions that
+// receive function pointers (detected as parameters flowing into indirect
+// call callees), excluding directly recursive functions. Returns the
+// number of call sites inlined.
+func InlineFunctionPointerArgs(prog *ir.Program) int {
+	total := 0
+	for round := 0; round < 10; round++ {
+		candidates := make(map[*ir.Function]bool)
+		for _, fn := range prog.Funcs {
+			if fn.HasBody && !directlyRecursive(fn) && paramFlowsToIndirectCall(fn) {
+				candidates[fn] = true
+			}
+		}
+		n := inlineMatching(prog, func(c *ir.Call, callee *ir.Function) bool {
+			return candidates[callee]
+		})
+		total += n
+		if n == 0 {
+			break
+		}
+	}
+	return total
+}
+
+// InlineAllocWrappers inlines small non-recursive functions containing
+// heap allocation sites, cloning the heap objects per call site (the
+// paper's 1-callsite heap cloning). Returns the number of call sites
+// inlined.
+func InlineAllocWrappers(prog *ir.Program) int {
+	total := 0
+	for round := 0; round < 4; round++ {
+		n := inlineMatching(prog, func(c *ir.Call, callee *ir.Function) bool {
+			return isAllocWrapper(callee)
+		})
+		total += n
+		if n == 0 {
+			break
+		}
+	}
+	return total
+}
+
+// InlineSmall inlines calls to small pure arithmetic helpers (no memory
+// operations), the conservative cost-driven inlining of the O2 pipeline.
+// Memory-touching functions stay out-of-line, as a production inliner's
+// cost model would keep most of them.
+func InlineSmall(prog *ir.Program) int {
+	return inlineMatching(prog, func(c *ir.Call, callee *ir.Function) bool {
+		if directlyRecursive(callee) || instrCount(callee) > maxInlineInstrs/2 {
+			return false
+		}
+		for _, b := range callee.Blocks {
+			for _, in := range b.Instrs {
+				switch in.(type) {
+				case *ir.Load, *ir.Store, *ir.Alloc:
+					return false
+				}
+			}
+		}
+		return true
+	})
+}
+
+func instrCount(fn *ir.Function) int {
+	n := 0
+	for _, b := range fn.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+func directlyRecursive(fn *ir.Function) bool {
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if c, ok := in.(*ir.Call); ok && c.Direct() == fn {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// paramFlowsToIndirectCall reports whether any parameter of fn reaches
+// the callee operand of an indirect call through copies and phis.
+func paramFlowsToIndirectCall(fn *ir.Function) bool {
+	fromParam := make(map[*ir.Register]bool)
+	for _, p := range fn.Params {
+		fromParam[p] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				var dst *ir.Register
+				var srcs []ir.Value
+				switch in := in.(type) {
+				case *ir.Copy:
+					dst, srcs = in.Dst, []ir.Value{in.Src}
+				case *ir.Phi:
+					dst, srcs = in.Dst, in.Vals
+				default:
+					continue
+				}
+				if fromParam[dst] {
+					continue
+				}
+				for _, s := range srcs {
+					if r, ok := s.(*ir.Register); ok && fromParam[r] {
+						fromParam[dst] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			c, ok := in.(*ir.Call)
+			if !ok || c.Builtin != ir.NotBuiltin || c.Direct() != nil {
+				continue
+			}
+			if r, ok := c.Callee.(*ir.Register); ok && fromParam[r] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isAllocWrapper reports whether fn is a small non-recursive function
+// that allocates heap memory.
+func isAllocWrapper(fn *ir.Function) bool {
+	if !fn.HasBody || directlyRecursive(fn) || instrCount(fn) > maxInlineInstrs {
+		return false
+	}
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if a, ok := in.(*ir.Alloc); ok && a.Obj.Kind == ir.ObjHeap {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// inlineMatching inlines every direct call site accepted by keep, up to
+// the budget. It returns the number of call sites inlined.
+func inlineMatching(prog *ir.Program, keep func(*ir.Call, *ir.Function) bool) int {
+	n := 0
+	for _, caller := range prog.Funcs {
+		if !caller.HasBody {
+			continue
+		}
+		// Collect call sites first: inlining mutates the block list.
+		var sites []*ir.Call
+		for _, b := range caller.Blocks {
+			for _, in := range b.Instrs {
+				if c, ok := in.(*ir.Call); ok && c.Builtin == ir.NotBuiltin {
+					callee := c.Direct()
+					if callee != nil && callee.HasBody && callee != caller && keep(c, callee) {
+						sites = append(sites, c)
+					}
+				}
+			}
+		}
+		for _, c := range sites {
+			if n >= inlineBudget {
+				return n
+			}
+			inlineCall(prog, c)
+			n++
+		}
+		if len(sites) > 0 {
+			ir.ComputeCFG(caller)
+		}
+	}
+	return n
+}
+
+// inlineCall splices the body of the call's direct callee into the
+// caller, giving every cloned allocation site a fresh abstract object
+// (heap cloning).
+func inlineCall(prog *ir.Program, call *ir.Call) {
+	caller := call.Parent().Fn
+	callee := call.Direct()
+	callBlock := call.Parent()
+
+	// Value map: callee values -> caller values.
+	vmap := make(map[ir.Value]ir.Value)
+	for i, p := range callee.Params {
+		if i < len(call.Args) {
+			vmap[p] = call.Args[i]
+		} else {
+			vmap[p] = ir.IntConst(0)
+		}
+	}
+	mapVal := func(v ir.Value) ir.Value {
+		if v == nil {
+			return nil
+		}
+		if m, ok := vmap[v]; ok {
+			return m
+		}
+		return v
+	}
+	newReg := func(r *ir.Register) *ir.Register {
+		nr := caller.NewReg(r.Name)
+		vmap[r] = nr
+		return nr
+	}
+
+	// Clone blocks (shells first so jumps can target them).
+	bmap := make(map[*ir.Block]*ir.Block, len(callee.Blocks))
+	for _, b := range callee.Blocks {
+		bmap[b] = caller.NewBlock(fmt.Sprintf("inl.%s.%s", callee.Name, b.Name))
+	}
+
+	// Split the call block: instructions after the call move to a
+	// continuation block.
+	post := caller.NewBlock(callBlock.Name + ".cont")
+	callIdx := -1
+	for i, in := range callBlock.Instrs {
+		if in == call {
+			callIdx = i
+			break
+		}
+	}
+	moved := callBlock.Instrs[callIdx+1:]
+	callBlock.Instrs = append([]ir.Instr(nil), callBlock.Instrs[:callIdx]...)
+	// Reattach moved instructions to post (labels are kept).
+	post.Instrs = append(post.Instrs, moved...)
+	for _, in := range moved {
+		ir.Reparent(in, post)
+	}
+	// Phis elsewhere that named callBlock as predecessor now receive
+	// control from post.
+	for _, b := range caller.Blocks {
+		for _, in := range b.Instrs {
+			if phi, ok := in.(*ir.Phi); ok {
+				for i, p := range phi.Preds {
+					if p == callBlock {
+						phi.Preds[i] = post
+					}
+				}
+			}
+		}
+	}
+	callBlock.Append(ir.NewJump(bmap[callee.Entry()]))
+
+	// Clone instructions.
+	var retVals []ir.Value
+	var retBlocks []*ir.Block
+	for _, b := range callee.Blocks {
+		nb := bmap[b]
+		for _, in := range b.Instrs {
+			switch in := in.(type) {
+			case *ir.Alloc:
+				obj := prog.NewObject(in.Obj.Name, in.Obj.Size, in.Obj.Kind)
+				obj.ZeroInit = in.Obj.ZeroInit
+				obj.Pinned = in.Obj.Pinned
+				obj.InitVal = in.Obj.InitVal
+				obj.Fn = caller
+				if in.Obj.Collapsed() {
+					obj.Collapse()
+				}
+				if in.Obj.Kind == ir.ObjHeap {
+					obj.CloneOf = in.Obj
+					obj.CloneSite = call
+				}
+				na := ir.NewAlloc(newReg(in.Dst), obj)
+				na.DynSize = mapVal(in.DynSize)
+				na.SetPos(in.Pos())
+				nb.Append(na)
+			case *ir.Copy:
+				nc := ir.NewCopy(newReg(in.Dst), mapVal(in.Src))
+				nc.SetPos(in.Pos())
+				nb.Append(nc)
+			case *ir.BinOp:
+				nbop := ir.NewBinOp(newReg(in.Dst), in.Op, mapVal(in.X), mapVal(in.Y))
+				nbop.SetPos(in.Pos())
+				nb.Append(nbop)
+			case *ir.Load:
+				nl := ir.NewLoad(newReg(in.Dst), mapVal(in.Addr))
+				nl.SetPos(in.Pos())
+				nb.Append(nl)
+			case *ir.Store:
+				ns := ir.NewStore(mapVal(in.Addr), mapVal(in.Val))
+				ns.SetPos(in.Pos())
+				nb.Append(ns)
+			case *ir.FieldAddr:
+				nf := ir.NewFieldAddr(newReg(in.Dst), mapVal(in.Base), in.Off)
+				nf.SetPos(in.Pos())
+				nb.Append(nf)
+			case *ir.IndexAddr:
+				ni := ir.NewIndexAddr(newReg(in.Dst), mapVal(in.Base), mapVal(in.Idx))
+				ni.SetPos(in.Pos())
+				nb.Append(ni)
+			case *ir.Call:
+				var dst *ir.Register
+				if in.Dst != nil {
+					dst = newReg(in.Dst)
+				}
+				args := make([]ir.Value, len(in.Args))
+				for i, a := range in.Args {
+					args[i] = mapVal(a)
+				}
+				ncall := ir.NewCall(dst, mapVal(in.Callee), args, in.Builtin)
+				ncall.SetPos(in.Pos())
+				nb.Append(ncall)
+			case *ir.Ret:
+				retVals = append(retVals, mapVal(in.Val))
+				retBlocks = append(retBlocks, nb)
+				nj := ir.NewJump(post)
+				nj.SetPos(in.Pos())
+				nb.Append(nj)
+			case *ir.Jump:
+				nj := ir.NewJump(bmap[in.Target])
+				nj.SetPos(in.Pos())
+				nb.Append(nj)
+			case *ir.Branch:
+				nbr := ir.NewBranch(mapVal(in.Cond), bmap[in.Then], bmap[in.Else])
+				nbr.SetPos(in.Pos())
+				nb.Append(nbr)
+			case *ir.Phi:
+				vals := make([]ir.Value, len(in.Vals))
+				preds := make([]*ir.Block, len(in.Preds))
+				for i := range in.Vals {
+					vals[i] = mapVal(in.Vals[i])
+					preds[i] = bmap[in.Preds[i]]
+				}
+				np := ir.NewPhi(newReg(in.Dst), vals, preds)
+				np.SetPos(in.Pos())
+				nb.Append(np)
+			}
+		}
+	}
+	// Fix phi operands cloned before their sources: mapVal resolved lazily
+	// above only for already-mapped values, so run a second pass.
+	for _, b := range callee.Blocks {
+		nb := bmap[b]
+		for _, in := range nb.Instrs {
+			remapOperands(in, vmap)
+		}
+	}
+	for _, in := range post.Instrs {
+		remapOperands(in, vmap)
+	}
+
+	// Return values cloned before their defining instruction was mapped
+	// still reference callee registers; resolve them now.
+	for i := range retVals {
+		v := retVals[i]
+		for {
+			m, ok := vmap[v]
+			if !ok || m == v {
+				break
+			}
+			v = m
+		}
+		retVals[i] = v
+	}
+
+	// Bind the call result.
+	if call.Dst != nil {
+		switch len(retVals) {
+		case 0:
+			// The callee never returns; post is unreachable but the
+			// register still needs a definition.
+			post.InsertFront(ir.NewCopy(call.Dst, ir.IntConst(0)))
+		case 1:
+			post.InsertFront(ir.NewCopy(call.Dst, retVals[0]))
+		default:
+			post.InsertFront(ir.NewPhi(call.Dst, retVals, retBlocks))
+		}
+	}
+}
+
+// remapOperands rewrites register operands through vmap (one level).
+func remapOperands(in ir.Instr, vmap map[ir.Value]ir.Value) {
+	res := func(v ir.Value) ir.Value {
+		for {
+			m, ok := vmap[v]
+			if !ok || m == v {
+				return v
+			}
+			v = m
+		}
+	}
+	switch in := in.(type) {
+	case *ir.Alloc:
+		if in.DynSize != nil {
+			in.DynSize = res(in.DynSize)
+		}
+	case *ir.Copy:
+		in.Src = res(in.Src)
+	case *ir.BinOp:
+		in.X, in.Y = res(in.X), res(in.Y)
+	case *ir.Load:
+		in.Addr = res(in.Addr)
+	case *ir.Store:
+		in.Addr, in.Val = res(in.Addr), res(in.Val)
+	case *ir.FieldAddr:
+		in.Base = res(in.Base)
+	case *ir.IndexAddr:
+		in.Base, in.Idx = res(in.Base), res(in.Idx)
+	case *ir.Call:
+		if in.Callee != nil {
+			in.Callee = res(in.Callee)
+		}
+		for i := range in.Args {
+			in.Args[i] = res(in.Args[i])
+		}
+	case *ir.Ret:
+		if in.Val != nil {
+			in.Val = res(in.Val)
+		}
+	case *ir.Branch:
+		in.Cond = res(in.Cond)
+	case *ir.Phi:
+		for i := range in.Vals {
+			in.Vals[i] = res(in.Vals[i])
+		}
+	}
+}

@@ -1,0 +1,454 @@
+package passes
+
+import (
+	"fmt"
+
+	"github.com/valueflow/usher/internal/cfg"
+	"github.com/valueflow/usher/internal/ir"
+)
+
+// ConstFold folds binary operations over constants and propagates copies
+// of constants and registers, returning the number of rewrites.
+func ConstFold(prog *ir.Program) int {
+	n := 0
+	for _, fn := range prog.Funcs {
+		if fn.HasBody {
+			n += constFoldFunc(fn)
+		}
+	}
+	return n
+}
+
+func constFoldFunc(fn *ir.Function) int {
+	replaced := make(map[*ir.Register]ir.Value)
+	var resolve func(v ir.Value) ir.Value
+	resolve = func(v ir.Value) ir.Value {
+		if r, ok := v.(*ir.Register); ok {
+			if rep, ok := replaced[r]; ok {
+				res := resolve(rep)
+				replaced[r] = res
+				return res
+			}
+		}
+		return v
+	}
+	n := 0
+	for changed := true; changed; {
+		changed = false
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				switch in := in.(type) {
+				case *ir.Copy:
+					if _, done := replaced[in.Dst]; done {
+						continue
+					}
+					replaced[in.Dst] = resolve(in.Src)
+					changed = true
+					n++
+				case *ir.BinOp:
+					if _, done := replaced[in.Dst]; done {
+						continue
+					}
+					x, xok := resolve(in.X).(*ir.Const)
+					y, yok := resolve(in.Y).(*ir.Const)
+					if xok && yok {
+						if v, ok := foldOp(in.Op, x.Val, y.Val); ok {
+							replaced[in.Dst] = ir.IntConst(v)
+							changed = true
+							n++
+						}
+					}
+				case *ir.Phi:
+					if _, done := replaced[in.Dst]; done {
+						continue
+					}
+					// A phi whose incomings all resolve to one value (or
+					// itself) is that value.
+					var uniq ir.Value
+					trivial := true
+					for _, v := range in.Vals {
+						rv := resolve(v)
+						if rv == in.Dst {
+							continue
+						}
+						if uniq == nil {
+							uniq = rv
+						} else if !sameValue(uniq, rv) {
+							trivial = false
+							break
+						}
+					}
+					if trivial && uniq != nil {
+						replaced[in.Dst] = uniq
+						changed = true
+						n++
+					}
+				}
+			}
+		}
+	}
+	if len(replaced) == 0 {
+		return 0
+	}
+	for _, b := range fn.Blocks {
+		b.RemoveInstrs(func(in ir.Instr) bool {
+			dst := in.Defines()
+			if dst == nil {
+				return false
+			}
+			switch in.(type) {
+			case *ir.Copy, *ir.Phi:
+				_, gone := replaced[dst]
+				return gone
+			case *ir.BinOp:
+				_, gone := replaced[dst]
+				return gone
+			}
+			return false
+		})
+		for _, in := range b.Instrs {
+			rewrite(in, resolve)
+		}
+	}
+	return n
+}
+
+func sameValue(a, b ir.Value) bool {
+	if a == b {
+		return true
+	}
+	ca, aok := a.(*ir.Const)
+	cb, bok := b.(*ir.Const)
+	return aok && bok && ca.Val == cb.Val
+}
+
+func foldOp(op ir.Op, x, y int64) (int64, bool) {
+	switch op {
+	case ir.OpAdd:
+		return x + y, true
+	case ir.OpSub:
+		return x - y, true
+	case ir.OpMul:
+		return x * y, true
+	case ir.OpDiv:
+		if y == 0 {
+			return 0, false
+		}
+		return x / y, true
+	case ir.OpRem:
+		if y == 0 {
+			return 0, false
+		}
+		return x % y, true
+	case ir.OpShl:
+		return x << uint(y&63), true
+	case ir.OpShr:
+		return x >> uint(y&63), true
+	case ir.OpAnd:
+		return x & y, true
+	case ir.OpOr:
+		return x | y, true
+	case ir.OpXor:
+		return x ^ y, true
+	case ir.OpEq:
+		return b2i(x == y), true
+	case ir.OpNe:
+		return b2i(x != y), true
+	case ir.OpLt:
+		return b2i(x < y), true
+	case ir.OpLe:
+		return b2i(x <= y), true
+	case ir.OpGt:
+		return b2i(x > y), true
+	case ir.OpGe:
+		return b2i(x >= y), true
+	}
+	return 0, false
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// FoldBranches rewrites branches on constants into jumps, updates the
+// phis of the abandoned successors, and prunes unreachable blocks.
+func FoldBranches(prog *ir.Program) int {
+	n := 0
+	for _, fn := range prog.Funcs {
+		if !fn.HasBody {
+			continue
+		}
+		for _, b := range fn.Blocks {
+			br, ok := b.Terminator().(*ir.Branch)
+			if !ok {
+				continue
+			}
+			c, ok := br.Cond.(*ir.Const)
+			if !ok {
+				continue
+			}
+			taken, dropped := br.Then, br.Else
+			if c.Val == 0 {
+				taken, dropped = br.Else, br.Then
+			}
+			j := ir.NewJump(taken)
+			ir.Adopt(j, b, br.Label())
+			b.Instrs[len(b.Instrs)-1] = j
+			if dropped != taken {
+				for _, in := range dropped.Instrs {
+					if phi, ok := in.(*ir.Phi); ok {
+						phi.RemoveIncoming(b)
+					}
+				}
+			}
+			n++
+		}
+		if pruneUnreachable(fn) {
+			n++
+		}
+		ir.ComputeCFG(fn)
+		// Phis that lost all but one incoming become copies.
+		for _, b := range fn.Blocks {
+			for i, in := range b.Instrs {
+				if phi, ok := in.(*ir.Phi); ok && len(phi.Vals) == 1 {
+					cp := ir.NewCopy(phi.Dst, phi.Vals[0])
+					cp.SetPos(phi.Pos())
+					ir.Adopt(cp, b, phi.Label())
+					b.Instrs[i] = cp
+				}
+			}
+		}
+	}
+	return n
+}
+
+// pruneUnreachable removes unreachable blocks, dropping their phi
+// contributions in surviving blocks. Returns whether anything changed.
+func pruneUnreachable(fn *ir.Function) bool {
+	reach := make(map[*ir.Block]bool)
+	var stack []*ir.Block
+	entry := fn.Entry()
+	if entry == nil {
+		return false
+	}
+	reach[entry] = true
+	stack = append(stack, entry)
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		var succs []*ir.Block
+		switch t := b.Terminator().(type) {
+		case *ir.Jump:
+			succs = []*ir.Block{t.Target}
+		case *ir.Branch:
+			succs = []*ir.Block{t.Then, t.Else}
+		}
+		for _, s := range succs {
+			if !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	if len(reach) == len(fn.Blocks) {
+		return false
+	}
+	var kept []*ir.Block
+	for _, b := range fn.Blocks {
+		if reach[b] {
+			kept = append(kept, b)
+		}
+	}
+	for _, b := range kept {
+		for _, in := range b.Instrs {
+			if phi, ok := in.(*ir.Phi); ok {
+				for i := len(phi.Preds) - 1; i >= 0; i-- {
+					if !reach[phi.Preds[i]] {
+						phi.RemoveIncoming(phi.Preds[i])
+					}
+				}
+			}
+		}
+	}
+	fn.Blocks = kept
+	return true
+}
+
+// DCE removes pure instructions whose results are unused (including the
+// loads and allocations this makes dead). Returns the number removed.
+func DCE(prog *ir.Program) int {
+	n := 0
+	for _, fn := range prog.Funcs {
+		if !fn.HasBody {
+			continue
+		}
+		for {
+			used := make(map[*ir.Register]bool)
+			for _, b := range fn.Blocks {
+				for _, in := range b.Instrs {
+					for _, op := range in.Operands() {
+						if r, ok := op.(*ir.Register); ok {
+							used[r] = true
+						}
+					}
+				}
+			}
+			removed := 0
+			for _, b := range fn.Blocks {
+				b.RemoveInstrs(func(in ir.Instr) bool {
+					dst := in.Defines()
+					if dst == nil || used[dst] {
+						return false
+					}
+					switch in.(type) {
+					case *ir.Copy, *ir.BinOp, *ir.FieldAddr, *ir.IndexAddr, *ir.Phi, *ir.Load, *ir.Alloc:
+						removed++
+						return true
+					}
+					return false
+				})
+			}
+			n += removed
+			if removed == 0 {
+				break
+			}
+		}
+	}
+	return n
+}
+
+// CSE performs dominator-scoped common subexpression elimination over
+// pure register computations. Returns the number of replaced
+// instructions.
+func CSE(prog *ir.Program) int {
+	n := 0
+	for _, fn := range prog.Funcs {
+		if !fn.HasBody {
+			continue
+		}
+		ir.ComputeCFG(fn)
+		dom := cfg.NewDomTree(fn)
+		replaced := make(map[*ir.Register]ir.Value)
+		resolve := func(v ir.Value) ir.Value {
+			for {
+				r, ok := v.(*ir.Register)
+				if !ok {
+					return v
+				}
+				rep, ok := replaced[r]
+				if !ok {
+					return v
+				}
+				v = rep
+			}
+		}
+		avail := make(map[string]*ir.Register)
+		var walk func(b *ir.Block, keys []string)
+		walk = func(b *ir.Block, keys []string) {
+			var added []string
+			for _, in := range b.Instrs {
+				rewrite(in, resolve)
+				key := exprKey(in)
+				if key == "" {
+					continue
+				}
+				if prev, ok := avail[key]; ok {
+					replaced[in.Defines()] = prev
+					n++
+					continue
+				}
+				avail[key] = in.Defines()
+				added = append(added, key)
+			}
+			for _, kid := range dom.Children(b) {
+				walk(kid, nil)
+			}
+			for _, k := range added {
+				delete(avail, k)
+			}
+		}
+		walk(fn.Entry(), nil)
+		for _, b := range fn.Blocks {
+			b.RemoveInstrs(func(in ir.Instr) bool {
+				dst := in.Defines()
+				if dst == nil {
+					return false
+				}
+				_, gone := replaced[dst]
+				return gone
+			})
+			for _, in := range b.Instrs {
+				rewrite(in, resolve)
+			}
+		}
+	}
+	return n
+}
+
+// exprKey returns a value-numbering key for pure computations, or "".
+func exprKey(in ir.Instr) string {
+	valKey := func(v ir.Value) string {
+		switch v := v.(type) {
+		case *ir.Const:
+			return fmt.Sprintf("c%d", v.Val)
+		case *ir.Register:
+			return fmt.Sprintf("r%d", v.ID)
+		case *ir.GlobalAddr:
+			return fmt.Sprintf("g%d", v.Obj.ID)
+		case *ir.FuncValue:
+			return "f" + v.Fn.Name
+		}
+		return "?"
+	}
+	switch in := in.(type) {
+	case *ir.BinOp:
+		return fmt.Sprintf("b%d|%s|%s", in.Op, valKey(in.X), valKey(in.Y))
+	case *ir.FieldAddr:
+		return fmt.Sprintf("fa%d|%s", in.Off, valKey(in.Base))
+	case *ir.IndexAddr:
+		return fmt.Sprintf("ia|%s|%s", valKey(in.Base), valKey(in.Idx))
+	}
+	return ""
+}
+
+// rewrite applies resolve to every operand of in.
+func rewrite(in ir.Instr, resolve func(ir.Value) ir.Value) {
+	switch in := in.(type) {
+	case *ir.Alloc:
+		if in.DynSize != nil {
+			in.DynSize = resolve(in.DynSize)
+		}
+	case *ir.Copy:
+		in.Src = resolve(in.Src)
+	case *ir.BinOp:
+		in.X, in.Y = resolve(in.X), resolve(in.Y)
+	case *ir.Load:
+		in.Addr = resolve(in.Addr)
+	case *ir.Store:
+		in.Addr, in.Val = resolve(in.Addr), resolve(in.Val)
+	case *ir.FieldAddr:
+		in.Base = resolve(in.Base)
+	case *ir.IndexAddr:
+		in.Base, in.Idx = resolve(in.Base), resolve(in.Idx)
+	case *ir.Call:
+		if in.Callee != nil {
+			in.Callee = resolve(in.Callee)
+		}
+		for i := range in.Args {
+			in.Args[i] = resolve(in.Args[i])
+		}
+	case *ir.Ret:
+		if in.Val != nil {
+			in.Val = resolve(in.Val)
+		}
+	case *ir.Branch:
+		in.Cond = resolve(in.Cond)
+	case *ir.Phi:
+		for i := range in.Vals {
+			in.Vals[i] = resolve(in.Vals[i])
+		}
+	}
+}

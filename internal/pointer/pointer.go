@@ -1,0 +1,204 @@
+// Package pointer implements an inclusion-based (Andersen-style),
+// offset-based field-sensitive pointer analysis with on-the-fly call-graph
+// construction, the prerequisite of the paper's memory SSA and value-flow
+// graph (§3.1, §5.4).
+//
+// Abstract locations are field variables (object, field-index) plus
+// function addresses. Arrays and dynamically sized heap objects are
+// collapsed to a single field (the paper treats arrays as a whole);
+// objects whose address flows into pointer arithmetic are collapsed
+// on-line during solving, which keeps the treatment sound.
+//
+// The paper's 1-callsite heap cloning for allocation wrappers is realized
+// upstream by inlining allocation wrappers (package passes), which gives
+// each call site its own allocation site and hence its own abstract
+// object.
+package pointer
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/valueflow/usher/internal/ir"
+)
+
+// Loc is an abstract memory location: a field of an object, or a function
+// address (Fn non-nil).
+type Loc struct {
+	Obj   *ir.Object
+	Field int
+	Fn    *ir.Function
+}
+
+func (l Loc) String() string {
+	if l.Fn != nil {
+		return "@" + l.Fn.Name
+	}
+	if l.Field == 0 {
+		return l.Obj.String()
+	}
+	return fmt.Sprintf("%s.f%d", l.Obj, l.Field)
+}
+
+// Result is the outcome of the analysis.
+type Result struct {
+	solver *solver
+	// callees maps each call instruction to its possible targets (direct
+	// calls have exactly one).
+	callees map[*ir.Call][]*ir.Function
+	// callers maps each function to the calls that may invoke it.
+	callers map[*ir.Function][]*ir.Call
+	// recursive marks functions on call-graph cycles (including
+	// self-recursion).
+	recursive map[*ir.Function]bool
+}
+
+// PointsTo returns the abstract locations v may point to, sorted
+// deterministically. Constants and non-pointer values yield nil.
+func (r *Result) PointsTo(v ir.Value) []Loc {
+	n, ok := r.solver.operandNode(v, false)
+	if !ok {
+		switch v := v.(type) {
+		case *ir.GlobalAddr:
+			return []Loc{{Obj: v.Obj}}
+		case *ir.FuncValue:
+			return []Loc{{Fn: v.Fn}}
+		}
+		return nil
+	}
+	return r.solver.locsOf(n)
+}
+
+// UniqueTarget returns the single abstract object field v can point to,
+// if its points-to set is a singleton non-function location.
+func (r *Result) UniqueTarget(v ir.Value) (Loc, bool) {
+	locs := r.PointsTo(v)
+	if len(locs) == 1 && locs[0].Fn == nil {
+		return locs[0], true
+	}
+	return Loc{}, false
+}
+
+// Callees returns the functions a call may invoke (empty for builtins and
+// externals).
+func (r *Result) Callees(c *ir.Call) []*ir.Function { return r.callees[c] }
+
+// Callers returns the call instructions that may invoke fn.
+func (r *Result) Callers(fn *ir.Function) []*ir.Call { return r.callers[fn] }
+
+// Recursive reports whether fn participates in a call-graph cycle.
+func (r *Result) Recursive(fn *ir.Function) bool { return r.recursive[fn] }
+
+// CanonField maps a field index through any collapsing the solver
+// performed on obj.
+func (r *Result) CanonField(obj *ir.Object, field int) int {
+	if obj.Collapsed() {
+		return 0
+	}
+	return obj.FieldIndex(field)
+}
+
+// Analyze runs the analysis over the whole program.
+func Analyze(prog *ir.Program) *Result {
+	s := newSolver(prog)
+	s.generate()
+	s.solve()
+	res := &Result{
+		solver:    s,
+		callees:   s.callees,
+		callers:   make(map[*ir.Function][]*ir.Call),
+		recursive: make(map[*ir.Function]bool),
+	}
+	for c, fns := range s.callees {
+		for _, fn := range fns {
+			res.callers[fn] = append(res.callers[fn], c)
+		}
+	}
+	for fn := range res.callers {
+		sort.Slice(res.callers[fn], func(i, j int) bool {
+			a, b := res.callers[fn][i], res.callers[fn][j]
+			if a.Parent().Fn != b.Parent().Fn {
+				return a.Parent().Fn.Name < b.Parent().Fn.Name
+			}
+			return a.Label() < b.Label()
+		})
+	}
+	res.findRecursion(prog)
+	return res
+}
+
+// findRecursion marks functions in call-graph SCCs of size > 1 or with
+// self-loops, using Tarjan's algorithm.
+func (r *Result) findRecursion(prog *ir.Program) {
+	index := make(map[*ir.Function]int)
+	low := make(map[*ir.Function]int)
+	onStack := make(map[*ir.Function]bool)
+	var stack []*ir.Function
+	next := 0
+
+	succs := func(fn *ir.Function) []*ir.Function {
+		var out []*ir.Function
+		seen := make(map[*ir.Function]bool)
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				if c, ok := in.(*ir.Call); ok {
+					for _, callee := range r.callees[c] {
+						if !seen[callee] {
+							seen[callee] = true
+							out = append(out, callee)
+						}
+					}
+				}
+			}
+		}
+		return out
+	}
+
+	var strongconnect func(fn *ir.Function)
+	strongconnect = func(fn *ir.Function) {
+		index[fn] = next
+		low[fn] = next
+		next++
+		stack = append(stack, fn)
+		onStack[fn] = true
+		for _, s := range succs(fn) {
+			if _, seen := index[s]; !seen {
+				strongconnect(s)
+				if low[s] < low[fn] {
+					low[fn] = low[s]
+				}
+			} else if onStack[s] {
+				if index[s] < low[fn] {
+					low[fn] = index[s]
+				}
+			}
+			if s == fn {
+				r.recursive[fn] = true // direct self-loop
+			}
+		}
+		if low[fn] == index[fn] {
+			var scc []*ir.Function
+			for {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[top] = false
+				scc = append(scc, top)
+				if top == fn {
+					break
+				}
+			}
+			if len(scc) > 1 {
+				for _, f := range scc {
+					r.recursive[f] = true
+				}
+			}
+		}
+	}
+	for _, fn := range prog.Funcs {
+		if fn.HasBody {
+			if _, seen := index[fn]; !seen {
+				strongconnect(fn)
+			}
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Package randprog generates random, well-formed, terminating MiniC
+// programs for property-based testing of the whole pipeline.
+//
+// Programs deliberately may contain real uses of undefined values: locals
+// declared without initialization, partially initialized heap blocks and
+// conditionally assigned variables. The soundness properties under test
+// (see the property tests in internal/instrument and the root package)
+// compare each configuration's reports against the interpreter's
+// ground-truth oracle.
+//
+// The generator avoids everything that would trap the interpreter rather
+// than produce a definedness verdict: indices are masked to power-of-two
+// bounds, division is excluded, frees are omitted, helper calls form a
+// DAG, and all loops have small constant trip counts.
+package randprog
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Options bounds the generated program.
+type Options struct {
+	// Helpers is the number of helper functions (callable in DAG order).
+	Helpers int
+	// StmtsPerFunc bounds the statements per function body.
+	StmtsPerFunc int
+	// MaxDepth bounds statement nesting.
+	MaxDepth int
+	// UninitFrac is the probability a local is declared uninitialized.
+	UninitFrac float64
+}
+
+// DefaultOptions are suitable for fast fuzz rounds.
+var DefaultOptions = Options{Helpers: 3, StmtsPerFunc: 8, MaxDepth: 3, UninitFrac: 0.3}
+
+// Generate produces a program from the seed.
+func Generate(seed int64, opts Options) string {
+	g := &rgen{rng: rand.New(rand.NewSource(seed)), opts: opts, loopVars: make(map[string]bool)}
+	return g.program()
+}
+
+type rgen struct {
+	rng  *rand.Rand
+	opts Options
+	b    strings.Builder
+
+	// per-function state
+	ints []string // int-typed variables in scope
+	ptrs []string // int*-typed variables in scope
+	// loopVars marks variables that must never be written (assigning to a
+	// loop counter could make the loop diverge).
+	loopVars map[string]bool
+	nextVar  int
+	depth    int
+	helpers  int // number of helpers callable from the current function
+}
+
+func (g *rgen) pf(format string, args ...any) { fmt.Fprintf(&g.b, format, args...) }
+
+func (g *rgen) indent() string { return strings.Repeat("  ", g.depth+1) }
+
+func (g *rgen) fresh(prefix string) string {
+	g.nextVar++
+	return fmt.Sprintf("%s%d", prefix, g.nextVar)
+}
+
+func (g *rgen) pickInt() string {
+	if len(g.ints) == 0 {
+		return fmt.Sprintf("%d", g.rng.Intn(16))
+	}
+	return g.ints[g.rng.Intn(len(g.ints))]
+}
+
+// pickAssignable returns a writable int variable in scope.
+func (g *rgen) pickAssignable() (string, bool) {
+	var cands []string
+	for _, v := range g.ints {
+		if !g.loopVars[v] {
+			cands = append(cands, v)
+		}
+	}
+	if len(cands) == 0 {
+		return "", false
+	}
+	return cands[g.rng.Intn(len(cands))], true
+}
+
+func (g *rgen) pickPtr() (string, bool) {
+	if len(g.ptrs) == 0 {
+		return "", false
+	}
+	return g.ptrs[g.rng.Intn(len(g.ptrs))], true
+}
+
+var randOps = []string{"+", "-", "*", "&", "|", "^", "<<"}
+var cmpOps = []string{"<", ">", "<=", ">=", "==", "!="}
+
+// expr yields an int-valued expression over in-scope variables.
+func (g *rgen) expr(depth int) string {
+	switch {
+	case depth <= 0 || g.rng.Intn(3) == 0:
+		if g.rng.Intn(2) == 0 {
+			return g.pickInt()
+		}
+		return fmt.Sprintf("%d", g.rng.Intn(32))
+	case g.rng.Intn(6) == 0:
+		if p, ok := g.pickPtr(); ok {
+			// Masked pointer read: always within the 8-cell block.
+			return fmt.Sprintf("%s[%s & 7]", p, g.expr(0))
+		}
+		fallthrough
+	default:
+		op := randOps[g.rng.Intn(len(randOps))]
+		lhs, rhs := g.expr(depth-1), g.expr(depth-1)
+		if op == "<<" {
+			rhs = fmt.Sprintf("(%s & 3)", rhs)
+		}
+		return fmt.Sprintf("(%s %s %s)", lhs, op, rhs)
+	}
+}
+
+func (g *rgen) cond() string {
+	return fmt.Sprintf("%s %s %s", g.expr(1), cmpOps[g.rng.Intn(len(cmpOps))], g.expr(1))
+}
+
+func (g *rgen) stmt() {
+	ind := g.indent()
+	switch g.rng.Intn(10) {
+	case 0: // new local, possibly uninitialized
+		v := g.fresh("x")
+		if g.rng.Float64() < g.opts.UninitFrac {
+			g.pf("%sint %s;\n", ind, v)
+		} else {
+			g.pf("%sint %s = %s;\n", ind, v, g.expr(2))
+		}
+		g.ints = append(g.ints, v)
+	case 1: // new heap block (8 cells, malloc or calloc)
+		p := g.fresh("p")
+		alloc := "malloc"
+		if g.rng.Intn(2) == 0 {
+			alloc = "calloc"
+		}
+		g.pf("%sint *%s = %s(8);\n", ind, p, alloc)
+		if g.rng.Intn(2) == 0 {
+			// Partially initialize.
+			n := 1 + g.rng.Intn(7)
+			g.pf("%sfor (int i = 0; i < %d; i++) { %s[i] = %s; }\n", ind, n, p, g.expr(1))
+		}
+		g.ptrs = append(g.ptrs, p)
+	case 2: // assignment to existing int
+		if v, ok := g.pickAssignable(); ok {
+			g.pf("%s%s = %s;\n", ind, v, g.expr(2))
+		}
+	case 3: // store through pointer
+		if p, ok := g.pickPtr(); ok {
+			g.pf("%s%s[%s & 7] = %s;\n", ind, p, g.expr(0), g.expr(2))
+		}
+	case 4: // if / if-else
+		if g.depth < g.opts.MaxDepth {
+			g.pf("%sif (%s) {\n", ind, g.cond())
+			g.block(1 + g.rng.Intn(2))
+			if g.rng.Intn(2) == 0 {
+				g.pf("%s} else {\n", ind)
+				g.block(1 + g.rng.Intn(2))
+			}
+			g.pf("%s}\n", ind)
+		}
+	case 5: // bounded loop
+		if g.depth < g.opts.MaxDepth {
+			i := g.fresh("i")
+			g.pf("%sfor (int %s = 0; %s < %d; %s++) {\n", ind, i, i, 2+g.rng.Intn(5), i)
+			g.ints = append(g.ints, i)
+			g.loopVars[i] = true
+			g.block(1 + g.rng.Intn(2))
+			// The loop variable's scope ends with the loop.
+			g.ints = g.ints[:len(g.ints)-1]
+			delete(g.loopVars, i)
+			g.pf("%s}\n", ind)
+		}
+	case 6: // print (critical use)
+		g.pf("%sprint(%s);\n", ind, g.expr(1))
+	case 7: // helper call
+		if g.helpers > 0 {
+			h := g.rng.Intn(g.helpers)
+			v := g.fresh("h")
+			g.pf("%sint %s = helper%d(%s, %s);\n", ind, v, h, g.expr(1), g.expr(1))
+			g.ints = append(g.ints, v)
+		}
+	case 8: // address-of local through a callee (defined store down the stack)
+		if v, ok := g.pickAssignable(); ok && g.helpers > 0 {
+			g.pf("%ssetvia(&%s, %s);\n", ind, v, g.expr(1))
+		}
+	default: // accumulate into an int
+		if v, ok := g.pickAssignable(); ok {
+			g.pf("%s%s += %s;\n", ind, v, g.expr(1))
+		}
+	}
+}
+
+// block emits n statements in a nested scope; declarations inside it go
+// out of scope when it closes.
+func (g *rgen) block(n int) {
+	ints, ptrs := len(g.ints), len(g.ptrs)
+	g.depth++
+	for i := 0; i < n; i++ {
+		g.stmt()
+	}
+	g.depth--
+	g.ints = g.ints[:ints]
+	g.ptrs = g.ptrs[:ptrs]
+}
+
+func (g *rgen) funcBody(params []string, stmts int) {
+	saveInts, savePtrs := g.ints, g.ptrs
+	g.ints = append([]string(nil), params...)
+	g.ptrs = nil
+	for i := 0; i < stmts; i++ {
+		g.stmt()
+	}
+	g.pf("  return %s;\n", g.expr(2))
+	g.ints, g.ptrs = saveInts, savePtrs
+}
+
+func (g *rgen) program() string {
+	g.pf("// random program (property-testing input)\n")
+	g.pf("int gacc;\n")
+	g.pf("void setvia(int *p, int v) { *p = v; }\n\n")
+	for h := 0; h < g.opts.Helpers; h++ {
+		g.helpers = h // may call strictly earlier helpers: a DAG
+		g.pf("int helper%d(int a, int b) {\n", h)
+		g.funcBody([]string{"a", "b"}, 2+g.rng.Intn(g.opts.StmtsPerFunc/2))
+		g.pf("}\n\n")
+	}
+	g.helpers = g.opts.Helpers
+	g.pf("int main() {\n")
+	g.funcBody(nil, g.opts.StmtsPerFunc)
+	g.pf("}\n")
+	return g.b.String()
+}

@@ -1,0 +1,397 @@
+// Package ssa establishes SSA form for top-level variables.
+//
+// The Promote pass is the analogue of LLVM's mem2reg: stack slots of
+// scalar, non-address-escaping locals are rewritten into virtual registers
+// with phi functions at join points, using iterated dominance frontiers
+// and a dominator-tree renaming walk. After Promote, every remaining load
+// and store accesses a genuinely address-taken variable (Var_AT), exactly
+// the setting of the paper's O0+IM configuration.
+//
+// A local scalar read before any write is an undefined top-level value; it
+// is modelled by a load from a fresh pinned alloc_F cell, so undefinedness
+// continues to flow through the ordinary memory machinery and remains
+// visible to both the analysis and the shadow runtime.
+package ssa
+
+import (
+	"fmt"
+
+	"github.com/valueflow/usher/internal/cfg"
+	"github.com/valueflow/usher/internal/ir"
+)
+
+// Promote runs mem2reg on every function of the program and returns the
+// number of promoted slots.
+func Promote(p *ir.Program) int {
+	total := 0
+	for _, fn := range p.Funcs {
+		if fn.HasBody {
+			total += promoteFunc(fn)
+		}
+	}
+	return total
+}
+
+func promoteFunc(fn *ir.Function) int {
+	ir.ComputeCFG(fn)
+	dom := cfg.NewDomTree(fn)
+	df := cfg.DominanceFrontiers(dom)
+
+	allocas := promotableAllocas(fn)
+	if len(allocas) == 0 {
+		return 0
+	}
+	slot := make(map[*ir.Register]int, len(allocas)) // addr reg -> alloca index
+	for i, a := range allocas {
+		slot[a.Dst] = i
+	}
+
+	// Phi placement at iterated dominance frontiers of the defining blocks.
+	type phiInfo struct {
+		phi  *ir.Phi
+		slot int
+	}
+	phis := make(map[*ir.Block][]phiInfo)
+	for i, a := range allocas {
+		defBlocks := make(map[*ir.Block]bool)
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				if st, ok := in.(*ir.Store); ok {
+					if r, ok := st.Addr.(*ir.Register); ok && r == a.Dst {
+						defBlocks[b] = true
+					}
+				}
+			}
+		}
+		work := make([]*ir.Block, 0, len(defBlocks))
+		for b := range defBlocks {
+			work = append(work, b)
+		}
+		placed := make(map[*ir.Block]bool)
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, fb := range df[b] {
+				if placed[fb] {
+					continue
+				}
+				placed[fb] = true
+				phi := ir.NewPhi(fn.NewReg(a.Obj.Name),
+					make([]ir.Value, len(fb.Preds)),
+					append([]*ir.Block(nil), fb.Preds...))
+				fb.InsertFront(phi)
+				phis[fb] = append(phis[fb], phiInfo{phi, i})
+				if !defBlocks[fb] {
+					defBlocks[fb] = true
+					work = append(work, fb)
+				}
+			}
+		}
+	}
+
+	// Lazily created undefined value for reads before any write.
+	var undefVal ir.Value
+	undef := func() ir.Value {
+		if undefVal == nil {
+			entry := fn.Entry()
+			obj := fn.Prog.NewObject("undef", 1, ir.ObjStack)
+			obj.Fn = fn
+			obj.Pinned = true
+			addr := fn.NewReg("undef.addr")
+			dst := fn.NewReg("undef")
+			// Insert before the entry terminator.
+			at := len(entry.Instrs)
+			if entry.Terminator() != nil {
+				at--
+			}
+			entry.InsertAt(at, ir.NewAlloc(addr, obj))
+			entry.InsertAt(at+1, ir.NewLoad(dst, addr))
+			undefVal = dst
+		}
+		return undefVal
+	}
+
+	// Renaming walk over the dominator tree.
+	replace := make(map[*ir.Register]ir.Value) // load dsts -> values
+	var resolve func(v ir.Value) ir.Value
+	resolve = func(v ir.Value) ir.Value {
+		r, ok := v.(*ir.Register)
+		if !ok {
+			return v
+		}
+		if rep, ok := replace[r]; ok {
+			res := resolve(rep)
+			replace[r] = res // path compression
+			return res
+		}
+		return v
+	}
+
+	dead := make(map[ir.Instr]bool)
+	var rename func(b *ir.Block, cur []ir.Value)
+	rename = func(b *ir.Block, cur []ir.Value) {
+		cur = append([]ir.Value(nil), cur...) // copy for this subtree
+		for _, pi := range phis[b] {
+			cur[pi.slot] = pi.phi.Dst
+		}
+		for _, in := range b.Instrs {
+			switch in := in.(type) {
+			case *ir.Load:
+				if r, ok := in.Addr.(*ir.Register); ok {
+					if idx, isSlot := slot[r]; isSlot {
+						if cur[idx] == nil {
+							cur[idx] = undef()
+						}
+						replace[in.Dst] = cur[idx]
+						dead[in] = true
+					}
+				}
+			case *ir.Store:
+				if r, ok := in.Addr.(*ir.Register); ok {
+					if idx, isSlot := slot[r]; isSlot {
+						cur[idx] = in.Val
+						dead[in] = true
+					}
+				}
+			}
+		}
+		for _, s := range b.Succs {
+			for _, pi := range phis[s] {
+				idx := pi.phi.IncomingIndex(b)
+				if idx < 0 {
+					continue
+				}
+				v := cur[pi.slot]
+				if v == nil {
+					v = undef()
+				}
+				pi.phi.Vals[idx] = v
+			}
+		}
+		for _, kid := range dom.Children(b) {
+			rename(kid, cur)
+		}
+	}
+	rename(fn.Entry(), make([]ir.Value, len(allocas)))
+
+	// Delete promoted allocas, loads and stores; rewrite operands.
+	for _, a := range allocas {
+		dead[a] = true
+	}
+	for _, b := range fn.Blocks {
+		b.RemoveInstrs(func(in ir.Instr) bool { return dead[in] })
+	}
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			rewriteOperands(in, resolve)
+		}
+	}
+	simplifyPhis(fn, resolve)
+	return len(allocas)
+}
+
+// promotableAllocas returns the stack allocas whose address register is
+// used only as the direct address of loads and stores.
+func promotableAllocas(fn *ir.Function) []*ir.Alloc {
+	escaped := make(map[*ir.Register]bool)
+	candidates := make(map[*ir.Register]*ir.Alloc)
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if a, ok := in.(*ir.Alloc); ok {
+				// Scalars only; aggregates are address-taken by nature and
+				// their element accesses (FieldAddr/IndexAddr) escape the
+				// address anyway.
+				if a.Obj.Kind == ir.ObjStack && a.Obj.Size == 1 && !a.Obj.Pinned {
+					candidates[a.Dst] = a
+				}
+			}
+		}
+	}
+	mark := func(v ir.Value) {
+		if r, ok := v.(*ir.Register); ok {
+			escaped[r] = true
+		}
+	}
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			switch in := in.(type) {
+			case *ir.Load:
+				// Addr use is fine.
+			case *ir.Store:
+				mark(in.Val) // storing the address escapes it
+			default:
+				for _, op := range in.Operands() {
+					mark(op)
+				}
+			}
+		}
+	}
+	var out []*ir.Alloc
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if a, ok := in.(*ir.Alloc); ok {
+				if candidates[a.Dst] != nil && !escaped[a.Dst] {
+					out = append(out, a)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// rewriteOperands applies resolve to every operand of in, in place.
+func rewriteOperands(in ir.Instr, resolve func(ir.Value) ir.Value) {
+	switch in := in.(type) {
+	case *ir.Alloc:
+		if in.DynSize != nil {
+			in.DynSize = resolve(in.DynSize)
+		}
+	case *ir.BinOp:
+		in.X, in.Y = resolve(in.X), resolve(in.Y)
+	case *ir.Copy:
+		in.Src = resolve(in.Src)
+	case *ir.Load:
+		in.Addr = resolve(in.Addr)
+	case *ir.Store:
+		in.Addr, in.Val = resolve(in.Addr), resolve(in.Val)
+	case *ir.FieldAddr:
+		in.Base = resolve(in.Base)
+	case *ir.IndexAddr:
+		in.Base, in.Idx = resolve(in.Base), resolve(in.Idx)
+	case *ir.Call:
+		if in.Callee != nil {
+			in.Callee = resolve(in.Callee)
+		}
+		for i := range in.Args {
+			in.Args[i] = resolve(in.Args[i])
+		}
+	case *ir.Ret:
+		if in.Val != nil {
+			in.Val = resolve(in.Val)
+		}
+	case *ir.Branch:
+		in.Cond = resolve(in.Cond)
+	case *ir.Phi:
+		for i := range in.Vals {
+			in.Vals[i] = resolve(in.Vals[i])
+		}
+	}
+}
+
+// simplifyPhis removes trivial phis (all incoming values identical,
+// ignoring self-references) to a fixpoint.
+func simplifyPhis(fn *ir.Function, resolve func(ir.Value) ir.Value) {
+	replace := make(map[*ir.Register]ir.Value)
+	var res func(v ir.Value) ir.Value
+	res = func(v ir.Value) ir.Value {
+		if r, ok := v.(*ir.Register); ok {
+			if rep, ok := replace[r]; ok {
+				return res(rep)
+			}
+		}
+		return v
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				phi, ok := in.(*ir.Phi)
+				if !ok {
+					continue
+				}
+				if _, gone := replace[phi.Dst]; gone {
+					continue
+				}
+				var uniq ir.Value
+				trivial := true
+				for _, v := range phi.Vals {
+					v = res(v)
+					if v == phi.Dst {
+						continue
+					}
+					if uniq == nil {
+						uniq = v
+					} else if uniq != v {
+						trivial = false
+						break
+					}
+				}
+				if trivial && uniq != nil {
+					replace[phi.Dst] = uniq
+					changed = true
+				}
+			}
+		}
+	}
+	if len(replace) == 0 {
+		return
+	}
+	for _, b := range fn.Blocks {
+		b.RemoveInstrs(func(in ir.Instr) bool {
+			phi, ok := in.(*ir.Phi)
+			if !ok {
+				return false
+			}
+			_, gone := replace[phi.Dst]
+			return gone
+		})
+	}
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			rewriteOperands(in, res)
+		}
+	}
+	_ = resolve
+}
+
+// VerifySSA checks SSA dominance: every register use is dominated by its
+// definition (phi uses are checked at the end of the corresponding
+// predecessor).
+func VerifySSA(p *ir.Program) error {
+	for _, fn := range p.Funcs {
+		if !fn.HasBody {
+			continue
+		}
+		ir.ComputeCFG(fn)
+		dom := cfg.NewDomTree(fn)
+		params := make(map[*ir.Register]bool)
+		for _, pr := range fn.Params {
+			params[pr] = true
+		}
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				if phi, ok := in.(*ir.Phi); ok {
+					for i, v := range phi.Vals {
+						r, ok := v.(*ir.Register)
+						if !ok || params[r] {
+							continue
+						}
+						if r.Def == nil {
+							return fmt.Errorf("%s: phi %s uses undefined %s", fn.Name, phi, r)
+						}
+						pred := phi.Preds[i]
+						if !dom.Dominates(r.Def.Parent(), pred) {
+							return fmt.Errorf("%s: phi operand %s (def in %s) does not dominate pred %s",
+								fn.Name, r, r.Def.Parent(), pred)
+						}
+					}
+					continue
+				}
+				for _, v := range in.Operands() {
+					r, ok := v.(*ir.Register)
+					if !ok || params[r] {
+						continue
+					}
+					if r.Def == nil {
+						return fmt.Errorf("%s: %s uses undefined register %s", fn.Name, in, r)
+					}
+					if !dom.InstrDominates(r.Def, in) {
+						return fmt.Errorf("%s: use of %s in %q not dominated by def %q",
+							fn.Name, r, in, r.Def)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

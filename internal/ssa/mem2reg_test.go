@@ -1,0 +1,209 @@
+package ssa_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/valueflow/usher/internal/ir"
+	"github.com/valueflow/usher/internal/lower"
+	"github.com/valueflow/usher/internal/parser"
+	"github.com/valueflow/usher/internal/ssa"
+	"github.com/valueflow/usher/internal/types"
+)
+
+func buildSSA(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	irp, err := lower.Lower(prog, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssa.Promote(irp)
+	if err := ir.Verify(irp); err != nil {
+		t.Fatalf("post-mem2reg verify: %v\n%s", err, ir.Print(irp))
+	}
+	if err := ssa.VerifySSA(irp); err != nil {
+		t.Fatalf("SSA dominance: %v\n%s", err, ir.Print(irp))
+	}
+	return irp
+}
+
+func countKind[T ir.Instr](fn *ir.Function) int {
+	n := 0
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if _, ok := in.(T); ok {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestPromoteStraightLine(t *testing.T) {
+	irp := buildSSA(t, `int main() { int x = 1; int y = x + 2; return y; }`)
+	main := irp.FuncByName("main")
+	if n := countKind[*ir.Load](main); n != 0 {
+		t.Errorf("loads remaining = %d, want 0:\n%s", n, ir.PrintFunc(main))
+	}
+	if n := countKind[*ir.Store](main); n != 0 {
+		t.Errorf("stores remaining = %d, want 0:\n%s", n, ir.PrintFunc(main))
+	}
+	if n := countKind[*ir.Alloc](main); n != 0 {
+		t.Errorf("allocas remaining = %d, want 0:\n%s", n, ir.PrintFunc(main))
+	}
+}
+
+func TestPromoteDiamondInsertsPhi(t *testing.T) {
+	irp := buildSSA(t, `
+int main(int c) {
+  int x;
+  if (c) { x = 1; } else { x = 2; }
+  return x;
+}`)
+	main := irp.FuncByName("main")
+	if n := countKind[*ir.Phi](main); n != 1 {
+		t.Errorf("phis = %d, want 1:\n%s", n, ir.PrintFunc(main))
+	}
+}
+
+func TestPromoteLoop(t *testing.T) {
+	irp := buildSSA(t, `
+int main() {
+  int s = 0;
+  for (int i = 0; i < 10; i++) { s += i; }
+  return s;
+}`)
+	main := irp.FuncByName("main")
+	if n := countKind[*ir.Phi](main); n < 2 {
+		t.Errorf("phis = %d, want >= 2 (s and i at loop head):\n%s", n, ir.PrintFunc(main))
+	}
+	if n := countKind[*ir.Load](main); n != 0 {
+		t.Errorf("loads = %d, want 0:\n%s", n, ir.PrintFunc(main))
+	}
+}
+
+func TestAddressTakenNotPromoted(t *testing.T) {
+	irp := buildSSA(t, `
+int main() {
+  int a;
+  int b = 1;
+  int *p = &a;
+  *p = b;
+  return a + b;
+}`)
+	main := irp.FuncByName("main")
+	// a's slot must survive; b's and p's must not.
+	allocNames := map[string]bool{}
+	for _, blk := range main.Blocks {
+		for _, in := range blk.Instrs {
+			if a, ok := in.(*ir.Alloc); ok {
+				allocNames[a.Obj.Name] = true
+			}
+		}
+	}
+	if !allocNames["a"] {
+		t.Errorf("address-taken a was promoted: %v\n%s", allocNames, ir.PrintFunc(main))
+	}
+	if allocNames["b"] || allocNames["p"] {
+		t.Errorf("b or p not promoted: %v\n%s", allocNames, ir.PrintFunc(main))
+	}
+}
+
+func TestUninitializedReadBecomesUndefLoad(t *testing.T) {
+	irp := buildSSA(t, `
+int main(int c) {
+  int x;
+  if (c) { x = 1; }
+  return x;
+}`)
+	main := irp.FuncByName("main")
+	txt := ir.PrintFunc(main)
+	if !strings.Contains(txt, "undef") {
+		t.Errorf("expected pinned undef cell for read-before-write:\n%s", txt)
+	}
+	// The pinned object must not itself be promoted.
+	found := false
+	for _, blk := range main.Blocks {
+		for _, in := range blk.Instrs {
+			if a, ok := in.(*ir.Alloc); ok && a.Obj.Pinned {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("pinned undef alloca missing")
+	}
+}
+
+func TestAggregatesNotPromoted(t *testing.T) {
+	irp := buildSSA(t, `
+struct S { int a; int b; };
+int main() {
+  struct S s;
+  int arr[4];
+  s.a = 1;
+  arr[0] = 2;
+  return s.a + arr[0];
+}`)
+	main := irp.FuncByName("main")
+	if n := countKind[*ir.Alloc](main); n != 2 {
+		t.Errorf("allocas = %d, want 2 (struct + array):\n%s", n, ir.PrintFunc(main))
+	}
+}
+
+func TestTrivialPhisRemoved(t *testing.T) {
+	// x is assigned the same value on both paths via no assignment at all
+	// inside the branch; the join needs no phi.
+	irp := buildSSA(t, `
+int main(int c) {
+  int x = 5;
+  if (c) { print(1); }
+  return x;
+}`)
+	main := irp.FuncByName("main")
+	if n := countKind[*ir.Phi](main); n != 0 {
+		t.Errorf("phis = %d, want 0:\n%s", n, ir.PrintFunc(main))
+	}
+}
+
+func TestParamPromotion(t *testing.T) {
+	irp := buildSSA(t, `int add(int a, int b) { return a + b; } int main() { return add(1, 2); }`)
+	add := irp.FuncByName("add")
+	if n := countKind[*ir.Alloc](add); n != 0 {
+		t.Errorf("param slots not promoted:\n%s", ir.PrintFunc(add))
+	}
+}
+
+func TestShortCircuitPromotes(t *testing.T) {
+	irp := buildSSA(t, `
+int main(int a, int b) {
+  if (a && b) { return 1; }
+  return 0;
+}`)
+	main := irp.FuncByName("main")
+	if n := countKind[*ir.Load](main); n != 0 {
+		t.Errorf("sc slot not promoted, %d loads:\n%s", n, ir.PrintFunc(main))
+	}
+	if n := countKind[*ir.Phi](main); n < 1 {
+		t.Errorf("phis = %d, want >= 1:\n%s", n, ir.PrintFunc(main))
+	}
+}
+
+func TestGlobalsUntouched(t *testing.T) {
+	irp := buildSSA(t, `int g; int main() { g = 1; return g; }`)
+	main := irp.FuncByName("main")
+	if n := countKind[*ir.Store](main); n != 1 {
+		t.Errorf("global store removed? stores = %d, want 1:\n%s", n, ir.PrintFunc(main))
+	}
+	if n := countKind[*ir.Load](main); n != 1 {
+		t.Errorf("global load removed? loads = %d, want 1:\n%s", n, ir.PrintFunc(main))
+	}
+}

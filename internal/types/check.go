@@ -1,0 +1,693 @@
+package types
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/valueflow/usher/internal/ast"
+	"github.com/valueflow/usher/internal/token"
+)
+
+// SymKind classifies a symbol.
+type SymKind int
+
+// Symbol kinds.
+const (
+	SymGlobal SymKind = iota
+	SymLocal
+	SymParam
+	SymFunc
+	SymBuiltin
+)
+
+func (k SymKind) String() string {
+	switch k {
+	case SymGlobal:
+		return "global"
+	case SymLocal:
+		return "local"
+	case SymParam:
+		return "param"
+	case SymFunc:
+		return "func"
+	default:
+		return "builtin"
+	}
+}
+
+// Symbol is a declared name: a variable, parameter, function or builtin.
+type Symbol struct {
+	Name string
+	Type Type
+	Kind SymKind
+	Decl ast.Node // declaring node; nil for builtins
+	// AddrTaken records whether the program takes the symbol's address
+	// with &. Aggregate-typed locals are memory-resident regardless.
+	AddrTaken bool
+}
+
+// Builtin function names recognized by the checker. malloc allocates
+// uninitialized cells, calloc zero-initialized cells; input reads a defined
+// int from the environment; print consumes an int (and, like MSan's checks
+// at external calls, is a critical use of its operand).
+var builtinSigs = map[string]*Func{
+	"malloc": {Ret: UntypedPtr, Params: []Type{Int}},
+	"calloc": {Ret: UntypedPtr, Params: []Type{Int}},
+	"free":   {Ret: Void, Params: []Type{UntypedPtr}},
+	"print":  {Ret: Void, Params: []Type{Int}},
+	"input":  {Ret: Int, Params: nil},
+}
+
+// Info holds the results of type checking.
+type Info struct {
+	Structs map[string]*Struct
+	// Types maps every checked expression to its type. Lvalue expressions
+	// are mapped to their value type (not the pointer).
+	Types map[ast.Expr]Type
+	// Uses maps identifier uses to the symbol they denote.
+	Uses map[*ast.Ident]*Symbol
+	// Symbols maps declaration nodes (VarDecl, FuncDecl and the addresses
+	// of Params) to their symbols.
+	Symbols map[ast.Node]*Symbol
+	// ParamSymbols maps each FuncDecl to its parameter symbols in order.
+	ParamSymbols map[*ast.FuncDecl][]*Symbol
+	// Funcs are the declared functions with bodies, in source order.
+	Funcs []*ast.FuncDecl
+	// Globals are the global variables in source order.
+	Globals []*Symbol
+}
+
+// TypeOf returns the checked type of e.
+func (in *Info) TypeOf(e ast.Expr) Type { return in.Types[e] }
+
+type checker struct {
+	info   *Info
+	errs   []error
+	scopes []map[string]*Symbol
+	// current function context
+	curRet    Type
+	loopDepth int
+}
+
+// Check type-checks prog and returns the annotation info. All detected
+// errors are joined into the returned error.
+func Check(prog *ast.Program) (*Info, error) {
+	c := &checker{info: &Info{
+		Structs:      make(map[string]*Struct),
+		Types:        make(map[ast.Expr]Type),
+		Uses:         make(map[*ast.Ident]*Symbol),
+		Symbols:      make(map[ast.Node]*Symbol),
+		ParamSymbols: make(map[*ast.FuncDecl][]*Symbol),
+	}}
+	c.push() // file scope
+
+	// Pass 1: struct declarations (in order; forward references to later
+	// structs are allowed only through pointers, checked by resolve).
+	for _, d := range prog.Decls {
+		if sd, ok := d.(*ast.StructDecl); ok {
+			c.declareStruct(sd)
+		}
+	}
+	// Pass 2: globals and function signatures.
+	for _, d := range prog.Decls {
+		switch d := d.(type) {
+		case *ast.VarDecl:
+			t := c.resolveType(d.Type, d.Pos())
+			if t == Void || t.Size() == 0 {
+				c.errorf(d.Pos(), "global %s has invalid type %s", d.Name, t)
+				t = Int
+			}
+			sym := &Symbol{Name: d.Name, Type: t, Kind: SymGlobal, Decl: d}
+			c.declare(sym, d.Pos())
+			c.info.Symbols[d] = sym
+			c.info.Globals = append(c.info.Globals, sym)
+		case *ast.FuncDecl:
+			ft := c.funcType(d)
+			if _, isBuiltin := builtinSigs[d.Name]; isBuiltin {
+				c.errorf(d.Pos(), "cannot redefine builtin %s", d.Name)
+				continue
+			}
+			if prev := c.lookup(d.Name); prev != nil {
+				if prev.Kind == SymFunc && Identical(prev.Type, ft) {
+					// Prototype followed by definition: share the symbol.
+					c.info.Symbols[d] = prev
+					if d.Body != nil {
+						prev.Decl = d
+					}
+					continue
+				}
+				c.errorf(d.Pos(), "redeclaration of %s", d.Name)
+				continue
+			}
+			sym := &Symbol{Name: d.Name, Type: ft, Kind: SymFunc, Decl: d}
+			c.declare(sym, d.Pos())
+			c.info.Symbols[d] = sym
+		}
+	}
+	// Pass 3: function bodies.
+	for _, d := range prog.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		c.info.Funcs = append(c.info.Funcs, fd)
+		c.checkFunc(fd)
+	}
+	// Global initializers must be constants; check after functions exist.
+	for _, d := range prog.Decls {
+		if vd, ok := d.(*ast.VarDecl); ok && vd.Init != nil {
+			if _, isNum := vd.Init.(*ast.NumberLit); !isNum {
+				c.errorf(vd.Pos(), "global initializer for %s must be an integer literal", vd.Name)
+				continue
+			}
+			c.checkExpr(vd.Init)
+		}
+	}
+	if len(c.errs) > 0 {
+		return c.info, errors.Join(c.errs...)
+	}
+	return c.info, nil
+}
+
+func (c *checker) errorf(pos token.Pos, format string, args ...any) {
+	c.errs = append(c.errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, make(map[string]*Symbol)) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(sym *Symbol, pos token.Pos) {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[sym.Name]; dup {
+		c.errorf(pos, "redeclaration of %s in the same scope", sym.Name)
+		return
+	}
+	top[sym.Name] = sym
+}
+
+func (c *checker) lookup(name string) *Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return nil
+}
+
+func (c *checker) declareStruct(sd *ast.StructDecl) {
+	if _, dup := c.info.Structs[sd.Name]; dup {
+		c.errorf(sd.Pos(), "redeclaration of struct %s", sd.Name)
+		return
+	}
+	st := &Struct{Name: sd.Name}
+	c.info.Structs[sd.Name] = st // allow self-reference through pointers
+	off := 0
+	for _, f := range sd.Fields {
+		ft := c.resolveType(f.Type, f.Pos)
+		if ft.Size() == 0 {
+			c.errorf(f.Pos, "field %s has invalid type %s", f.Name, ft)
+			ft = Int
+		}
+		if st.Field(f.Name) != nil {
+			c.errorf(f.Pos, "duplicate field %s in struct %s", f.Name, sd.Name)
+			continue
+		}
+		st.Fields = append(st.Fields, StructField{Name: f.Name, Type: ft, Offset: off})
+		off += ft.Size()
+	}
+	st.size = off
+	if off == 0 {
+		c.errorf(sd.Pos(), "struct %s has no fields", sd.Name)
+		st.size = 1
+	}
+}
+
+func (c *checker) resolveType(te ast.TypeExpr, pos token.Pos) Type {
+	switch te := te.(type) {
+	case *ast.IntTypeExpr:
+		return Int
+	case *ast.VoidTypeExpr:
+		return Void
+	case *ast.StructTypeExpr:
+		st, ok := c.info.Structs[te.Name]
+		if !ok {
+			c.errorf(pos, "undefined struct %s", te.Name)
+			return Int
+		}
+		if st.size == 0 && len(st.Fields) == 0 {
+			// Still being declared: only legal through a pointer; size is
+			// filled in by declareStruct before any value use is checked.
+			return st
+		}
+		return st
+	case *ast.PointerTypeExpr:
+		return &Pointer{Elem: c.resolveType(te.Elem, pos)}
+	case *ast.ArrayTypeExpr:
+		elem := c.resolveType(te.Elem, pos)
+		if te.Len <= 0 {
+			c.errorf(pos, "array length must be positive, got %d", te.Len)
+			return &Array{Elem: elem, Len: 1}
+		}
+		return &Array{Elem: elem, Len: int(te.Len)}
+	case *ast.FuncTypeExpr:
+		ft := &Func{Ret: c.resolveType(te.Ret, pos)}
+		for _, p := range te.Params {
+			ft.Params = append(ft.Params, c.resolveType(p, pos))
+		}
+		return ft
+	}
+	c.errorf(pos, "unknown type expression %T", te)
+	return Int
+}
+
+func (c *checker) funcType(fd *ast.FuncDecl) *Func {
+	ft := &Func{Ret: c.resolveType(fd.Ret, fd.Pos())}
+	for _, p := range fd.Params {
+		pt := c.resolveType(p.Type, p.Pos)
+		if !IsScalar(pt) {
+			c.errorf(p.Pos, "parameter %s must have scalar type, got %s (pass aggregates by pointer)", p.Name, pt)
+			pt = Int
+		}
+		ft.Params = append(ft.Params, pt)
+	}
+	if _, isAgg := ft.Ret.(*Struct); isAgg {
+		c.errorf(fd.Pos(), "function %s returns a struct; return a pointer instead", fd.Name)
+		ft.Ret = Int
+	}
+	if _, isArr := ft.Ret.(*Array); isArr {
+		c.errorf(fd.Pos(), "function %s returns an array; return a pointer instead", fd.Name)
+		ft.Ret = Int
+	}
+	return ft
+}
+
+func (c *checker) checkFunc(fd *ast.FuncDecl) {
+	sym := c.info.Symbols[fd]
+	if sym == nil {
+		return
+	}
+	ft := sym.Type.(*Func)
+	c.curRet = ft.Ret
+	c.push()
+	var psyms []*Symbol
+	for i := range fd.Params {
+		p := &fd.Params[i]
+		ps := &Symbol{Name: p.Name, Type: ft.Params[i], Kind: SymParam, Decl: fd}
+		c.declare(ps, p.Pos)
+		psyms = append(psyms, ps)
+	}
+	c.info.ParamSymbols[fd] = psyms
+	c.checkBlock(fd.Body, false)
+	c.pop()
+}
+
+// checkBlock checks a block; ownScope controls whether the block introduces
+// a new scope (function bodies reuse the parameter scope).
+func (c *checker) checkBlock(b *ast.Block, ownScope bool) {
+	if ownScope {
+		c.push()
+		defer c.pop()
+	}
+	for _, s := range b.Stmts {
+		c.checkStmt(s)
+	}
+}
+
+func (c *checker) checkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.Block:
+		c.checkBlock(s, true)
+	case *ast.EmptyStmt:
+	case *ast.DeclStmt:
+		c.checkLocalDecl(s.Decl)
+	case *ast.ExprStmt:
+		c.checkExpr(s.X)
+	case *ast.IfStmt:
+		c.checkCond(s.Cond)
+		c.checkStmt(s.Then)
+		if s.Else != nil {
+			c.checkStmt(s.Else)
+		}
+	case *ast.WhileStmt:
+		c.checkCond(s.Cond)
+		c.loopDepth++
+		c.checkStmt(s.Body)
+		c.loopDepth--
+	case *ast.ForStmt:
+		c.push()
+		if s.Init != nil {
+			c.checkStmt(s.Init)
+		}
+		if s.Cond != nil {
+			c.checkCond(s.Cond)
+		}
+		if s.Post != nil {
+			c.checkExpr(s.Post)
+		}
+		c.loopDepth++
+		c.checkStmt(s.Body)
+		c.loopDepth--
+		c.pop()
+	case *ast.ReturnStmt:
+		if s.X == nil {
+			if c.curRet != Void {
+				c.errorf(s.Pos(), "missing return value (function returns %s)", c.curRet)
+			}
+			return
+		}
+		if c.curRet == Void {
+			c.errorf(s.Pos(), "return with a value in void function")
+			c.checkExpr(s.X)
+			return
+		}
+		t := c.checkExpr(s.X)
+		if !c.assignable(s.X, t, c.curRet) {
+			c.errorf(s.Pos(), "cannot return %s as %s", t, c.curRet)
+		}
+	case *ast.BreakStmt:
+		if c.loopDepth == 0 {
+			c.errorf(s.Pos(), "break outside loop")
+		}
+	case *ast.ContinueStmt:
+		if c.loopDepth == 0 {
+			c.errorf(s.Pos(), "continue outside loop")
+		}
+	default:
+		c.errorf(s.Pos(), "unknown statement %T", s)
+	}
+}
+
+func (c *checker) checkLocalDecl(d *ast.VarDecl) {
+	t := c.resolveType(d.Type, d.Pos())
+	if t.Size() == 0 {
+		c.errorf(d.Pos(), "local %s has invalid type %s", d.Name, t)
+		t = Int
+	}
+	sym := &Symbol{Name: d.Name, Type: t, Kind: SymLocal, Decl: d}
+	c.declare(sym, d.Pos())
+	c.info.Symbols[d] = sym
+	if d.Init != nil {
+		it := c.checkExpr(d.Init)
+		if !c.assignable(d.Init, it, t) {
+			c.errorf(d.Pos(), "cannot initialize %s (type %s) with %s", d.Name, t, it)
+		}
+	}
+}
+
+func (c *checker) checkCond(e ast.Expr) {
+	t := c.checkExpr(e)
+	if !IsScalar(t) {
+		c.errorf(e.Pos(), "condition must be scalar, got %s", t)
+	}
+}
+
+// assignable reports whether src-typed expression e may be assigned to a
+// dst-typed location, treating literal 0 as a null pointer constant.
+func (c *checker) assignable(e ast.Expr, src, dst Type) bool {
+	if a, ok := src.(*Array); ok {
+		src = &Pointer{Elem: a.Elem} // array-to-pointer decay in rvalue context
+	}
+	if AssignableTo(src, dst) {
+		return true
+	}
+	if n, ok := e.(*ast.NumberLit); ok && n.Value == 0 && IsPointer(dst) {
+		return true
+	}
+	return false
+}
+
+// checkExpr type-checks e and records its type. It returns the recorded
+// type (Int on error, so checking continues).
+func (c *checker) checkExpr(e ast.Expr) Type {
+	t := c.exprType(e)
+	c.info.Types[e] = t
+	return t
+}
+
+func (c *checker) exprType(e ast.Expr) Type {
+	switch e := e.(type) {
+	case *ast.NumberLit:
+		return Int
+	case *ast.Ident:
+		sym := c.lookup(e.Name)
+		if sym == nil {
+			if sig, ok := builtinSigs[e.Name]; ok {
+				bsym := &Symbol{Name: e.Name, Type: sig, Kind: SymBuiltin}
+				c.info.Uses[e] = bsym
+				return &Pointer{Elem: sig}
+			}
+			c.errorf(e.Pos(), "undefined: %s", e.Name)
+			return Int
+		}
+		c.info.Uses[e] = sym
+		if sym.Kind == SymFunc {
+			// Function designators decay to function pointers.
+			return &Pointer{Elem: sym.Type}
+		}
+		if arr, ok := sym.Type.(*Array); ok {
+			// Arrays decay to element pointers in value context; Index and
+			// Unary(&) handle arrays before calling exprType on purpose.
+			_ = arr
+		}
+		return sym.Type
+	case *ast.Unary:
+		return c.unaryType(e)
+	case *ast.Binary:
+		return c.binaryType(e)
+	case *ast.Assign:
+		lt := c.checkExpr(e.LHS)
+		if !c.isLvalue(e.LHS) {
+			c.errorf(e.LHS.Pos(), "cannot assign to this expression")
+		}
+		if !IsScalar(lt) {
+			c.errorf(e.LHS.Pos(), "cannot assign aggregate %s; assign fields individually", lt)
+		}
+		rt := c.checkExpr(e.RHS)
+		if IsScalar(lt) && !c.assignable(e.RHS, rt, lt) {
+			c.errorf(e.Pos(), "cannot assign %s to %s", rt, lt)
+		}
+		return lt
+	case *ast.Call:
+		return c.callType(e)
+	case *ast.Index:
+		xt := c.checkExpr(e.X)
+		it := c.checkExpr(e.Idx)
+		if !IsInt(it) {
+			c.errorf(e.Idx.Pos(), "array index must be int, got %s", it)
+		}
+		switch xt := xt.(type) {
+		case *Array:
+			return xt.Elem
+		case *Pointer:
+			if xt.Elem.Size() == 0 {
+				c.errorf(e.Pos(), "cannot index %s", xt)
+				return Int
+			}
+			return xt.Elem
+		default:
+			c.errorf(e.Pos(), "cannot index non-pointer %s", xt)
+			return Int
+		}
+	case *ast.FieldAccess:
+		xt := c.checkExpr(e.X)
+		var st *Struct
+		if e.Arrow {
+			pt, ok := xt.(*Pointer)
+			if !ok {
+				c.errorf(e.Pos(), "-> on non-pointer %s", xt)
+				return Int
+			}
+			st, ok = pt.Elem.(*Struct)
+			if !ok {
+				c.errorf(e.Pos(), "-> on pointer to non-struct %s", pt.Elem)
+				return Int
+			}
+		} else {
+			var ok bool
+			st, ok = xt.(*Struct)
+			if !ok {
+				c.errorf(e.Pos(), ". on non-struct %s", xt)
+				return Int
+			}
+			if !c.isLvalue(e.X) {
+				c.errorf(e.Pos(), ". requires an addressable struct")
+			}
+		}
+		f := st.Field(e.Name)
+		if f == nil {
+			c.errorf(e.Pos(), "struct %s has no field %s", st.Name, e.Name)
+			return Int
+		}
+		return f.Type
+	case *ast.SizeofExpr:
+		t := c.resolveType(e.T, e.Pos())
+		if t.Size() == 0 {
+			c.errorf(e.Pos(), "sizeof of zero-sized type %s", t)
+		}
+		return Int
+	}
+	c.errorf(e.Pos(), "unknown expression %T", e)
+	return Int
+}
+
+func (c *checker) unaryType(e *ast.Unary) Type {
+	switch e.Op {
+	case token.STAR:
+		xt := c.checkExpr(e.X)
+		if a, ok := xt.(*Array); ok {
+			return a.Elem
+		}
+		pt, ok := xt.(*Pointer)
+		if !ok {
+			c.errorf(e.Pos(), "cannot dereference non-pointer %s", xt)
+			return Int
+		}
+		if pt.Elem.Size() == 0 {
+			c.errorf(e.Pos(), "cannot dereference %s", pt)
+			return Int
+		}
+		return pt.Elem
+	case token.AMP:
+		// &arr and &x: mark address-taken idents.
+		xt := c.checkExpr(e.X)
+		if !c.isLvalue(e.X) {
+			c.errorf(e.Pos(), "cannot take address of this expression")
+			return &Pointer{Elem: Int}
+		}
+		if id, ok := e.X.(*ast.Ident); ok {
+			if sym := c.info.Uses[id]; sym != nil {
+				sym.AddrTaken = true
+			}
+		}
+		if arr, ok := xt.(*Array); ok {
+			// &arr yields a pointer to the element type (decayed), which is
+			// how the IR models whole-array objects.
+			return &Pointer{Elem: arr.Elem}
+		}
+		return &Pointer{Elem: xt}
+	case token.MINUS, token.TILDE:
+		xt := c.checkExpr(e.X)
+		if !IsInt(xt) {
+			c.errorf(e.Pos(), "unary %s requires int, got %s", e.Op, xt)
+		}
+		return Int
+	case token.NOT:
+		xt := c.checkExpr(e.X)
+		if !IsScalar(xt) {
+			c.errorf(e.Pos(), "! requires scalar, got %s", xt)
+		}
+		return Int
+	}
+	c.errorf(e.Pos(), "unknown unary operator %s", e.Op)
+	return Int
+}
+
+func (c *checker) binaryType(e *ast.Binary) Type {
+	xt := c.checkExpr(e.X)
+	yt := c.checkExpr(e.Y)
+	decay := func(t Type) Type {
+		if a, ok := t.(*Array); ok {
+			return &Pointer{Elem: a.Elem}
+		}
+		return t
+	}
+	xt, yt = decay(xt), decay(yt)
+	switch e.Op {
+	case token.PLUS, token.MINUS:
+		// Pointer arithmetic: ptr ± int.
+		if IsPointer(xt) && IsInt(yt) {
+			return xt
+		}
+		if e.Op == token.PLUS && IsInt(xt) && IsPointer(yt) {
+			return yt
+		}
+		fallthrough
+	case token.STAR, token.SLASH, token.PERCENT, token.SHL, token.SHR,
+		token.AMP, token.PIPE, token.CARET:
+		if !IsInt(xt) || !IsInt(yt) {
+			c.errorf(e.Pos(), "operator %s requires ints, got %s and %s", e.Op, xt, yt)
+		}
+		return Int
+	case token.EQ, token.NEQ:
+		okPtr := IsPointer(xt) && IsPointer(yt)
+		okNullX := isNullLit(e.X) && IsPointer(yt)
+		okNullY := isNullLit(e.Y) && IsPointer(xt)
+		okInt := IsInt(xt) && IsInt(yt)
+		if !okPtr && !okInt && !okNullX && !okNullY {
+			c.errorf(e.Pos(), "cannot compare %s and %s", xt, yt)
+		}
+		return Int
+	case token.LT, token.GT, token.LEQ, token.GEQ:
+		if !IsInt(xt) || !IsInt(yt) {
+			c.errorf(e.Pos(), "operator %s requires ints, got %s and %s", e.Op, xt, yt)
+		}
+		return Int
+	case token.LAND, token.LOR:
+		if !IsScalar(xt) || !IsScalar(yt) {
+			c.errorf(e.Pos(), "operator %s requires scalars, got %s and %s", e.Op, xt, yt)
+		}
+		return Int
+	}
+	c.errorf(e.Pos(), "unknown binary operator %s", e.Op)
+	return Int
+}
+
+func isNullLit(e ast.Expr) bool {
+	n, ok := e.(*ast.NumberLit)
+	return ok && n.Value == 0
+}
+
+func (c *checker) callType(e *ast.Call) Type {
+	ft := c.calleeType(e.Fun)
+	if ft == nil {
+		for _, a := range e.Args {
+			c.checkExpr(a)
+		}
+		return Int
+	}
+	if len(e.Args) != len(ft.Params) {
+		c.errorf(e.Pos(), "wrong number of arguments: got %d, want %d", len(e.Args), len(ft.Params))
+	}
+	for i, a := range e.Args {
+		at := c.checkExpr(a)
+		if i < len(ft.Params) && !c.assignable(a, at, ft.Params[i]) {
+			c.errorf(a.Pos(), "argument %d: cannot use %s as %s", i+1, at, ft.Params[i])
+		}
+	}
+	return ft.Ret
+}
+
+// calleeType resolves the function type of a call target, checking the
+// callee expression. It returns nil if the callee is not callable.
+func (c *checker) calleeType(fun ast.Expr) *Func {
+	t := c.checkExpr(fun)
+	if pt, ok := t.(*Pointer); ok {
+		if ft, ok := pt.Elem.(*Func); ok {
+			return ft
+		}
+	}
+	if ft, ok := t.(*Func); ok {
+		return ft
+	}
+	c.errorf(fun.Pos(), "cannot call non-function (type %s)", t)
+	return nil
+}
+
+// isLvalue reports whether e denotes a storage location.
+func (c *checker) isLvalue(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		sym := c.info.Uses[e]
+		return sym != nil && (sym.Kind == SymGlobal || sym.Kind == SymLocal || sym.Kind == SymParam)
+	case *ast.Unary:
+		return e.Op == token.STAR
+	case *ast.Index:
+		return true
+	case *ast.FieldAccess:
+		if e.Arrow {
+			return true
+		}
+		return c.isLvalue(e.X)
+	}
+	return false
+}

@@ -1,0 +1,314 @@
+package types_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/valueflow/usher/internal/ast"
+	"github.com/valueflow/usher/internal/parser"
+	"github.com/valueflow/usher/internal/types"
+)
+
+func check(t *testing.T, src string) (*types.Info, error) {
+	t.Helper()
+	prog, err := parser.Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return types.Check(prog)
+}
+
+func checkOK(t *testing.T, src string) *types.Info {
+	t.Helper()
+	info, err := check(t, src)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return info
+}
+
+func wantErr(t *testing.T, src, substr string) {
+	t.Helper()
+	_, err := check(t, src)
+	if err == nil {
+		t.Fatalf("want error containing %q, got none", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("want error containing %q, got: %v", substr, err)
+	}
+}
+
+func TestSimpleProgram(t *testing.T) {
+	checkOK(t, `
+int g;
+int add(int a, int b) { return a + b; }
+int main() { int x = add(g, 2); return x; }`)
+}
+
+func TestStructLayout(t *testing.T) {
+	info := checkOK(t, `
+struct Node { int val; struct Node *next; int tag; };
+int main() { struct Node n; n.val = 1; return n.val; }`)
+	st := info.Structs["Node"]
+	if st == nil {
+		t.Fatal("struct Node not found")
+	}
+	if st.Size() != 3 {
+		t.Errorf("size = %d, want 3", st.Size())
+	}
+	if f := st.Field("next"); f == nil || f.Offset != 1 {
+		t.Errorf("next offset = %+v, want 1", f)
+	}
+	if f := st.Field("tag"); f == nil || f.Offset != 2 {
+		t.Errorf("tag offset = %+v, want 2", f)
+	}
+}
+
+func TestAddrTaken(t *testing.T) {
+	info := checkOK(t, `
+int main() {
+  int a;
+  int b;
+  int *p = &a;
+  *p = 1;
+  b = 2;
+  return a + b;
+}`)
+	var aSym, bSym *types.Symbol
+	for node, sym := range info.Symbols {
+		if vd, ok := node.(*ast.VarDecl); ok {
+			switch vd.Name {
+			case "a":
+				aSym = sym
+			case "b":
+				bSym = sym
+			}
+		}
+	}
+	if aSym == nil || !aSym.AddrTaken {
+		t.Error("a should be address-taken")
+	}
+	if bSym == nil || bSym.AddrTaken {
+		t.Error("b should not be address-taken")
+	}
+}
+
+func TestMallocCalloc(t *testing.T) {
+	checkOK(t, `
+int main() {
+  int *p = malloc(4);
+  int *q = calloc(4);
+  *p = 1;
+  free(p);
+  free(q);
+  return 0;
+}`)
+}
+
+func TestStructPointers(t *testing.T) {
+	checkOK(t, `
+struct S { int a; int *p; };
+int get(struct S *s) { return s->a + *(s->p); }
+int main() {
+  struct S s;
+  int v = 3;
+  s.a = 1;
+  s.p = &v;
+  return get(&s);
+}`)
+}
+
+func TestFunctionPointers(t *testing.T) {
+	info := checkOK(t, `
+int inc(int x) { return x + 1; }
+int dec(int x) { return x - 1; }
+int apply(int (*f)(int), int x) { return f(x); }
+int main() {
+  int (*g)(int);
+  g = inc;
+  return apply(g, 1) + apply(dec, 2);
+}`)
+	if len(info.Funcs) != 4 {
+		t.Errorf("funcs = %d, want 4", len(info.Funcs))
+	}
+}
+
+func TestNullPointerLiteral(t *testing.T) {
+	checkOK(t, `
+int main() {
+  int *p = 0;
+  if (p == 0) { return 1; }
+  return 0;
+}`)
+}
+
+func TestPointerArithmetic(t *testing.T) {
+	checkOK(t, `
+int main() {
+  int a[10];
+  int *p = a;
+  int *q = p + 3;
+  *q = 7;
+  return q[0] + a[3];
+}`)
+}
+
+func TestVoidFunction(t *testing.T) {
+	checkOK(t, `
+int g;
+void set(int v) { g = v; return; }
+int main() { set(3); return g; }`)
+}
+
+func TestErrors(t *testing.T) {
+	tests := []struct {
+		name, src, want string
+	}{
+		{"undefined var", "int main() { return zz; }", "undefined: zz"},
+		{"undefined struct", "struct Q *p;", "undefined struct"},
+		{"bad call arity", "int f(int a) { return a; } int main() { return f(); }", "wrong number of arguments"},
+		{"deref int", "int main() { int x; return *x; }", "dereference non-pointer"},
+		{"assign to rvalue", "int main() { 3 = 4; return 0; }", "cannot assign"},
+		{"return mismatch", "int *f() { return 5; }", "cannot return"},
+		{"break outside loop", "int main() { break; return 0; }", "break outside loop"},
+		{"dup field", "struct S { int a; int a; };", "duplicate field"},
+		{"redeclared var", "int main() { int x; int x; return 0; }", "redeclaration"},
+		{"struct param", "struct S { int a; }; int f(struct S s) { return 0; }", "scalar"},
+		{"arrow on struct", "struct S { int a; }; int main() { struct S s; return s->a; }", "-> on non-pointer"},
+		{"missing field", "struct S { int a; }; int main() { struct S s; return s.b; }", "no field b"},
+		{"void local", "int main() { void v; return 0; }", "invalid type"},
+		{"call non-function", "int main() { int x; return x(1); }", "cannot call"},
+		{"redefine builtin", "int malloc(int n) { return n; }", "builtin"},
+		{"compare ptr int", "int main() { int *p; int x; if (p == x) {} return 0; }", "cannot compare"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) { wantErr(t, tt.src, tt.want) })
+	}
+}
+
+func TestExprTypesRecorded(t *testing.T) {
+	src := `int main() { int x = 1; int *p = &x; return *p + x; }`
+	prog, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every expression node reachable from the return statement must have
+	// a recorded type.
+	fd := prog.Decls[0].(*ast.FuncDecl)
+	ret := fd.Body.Stmts[2].(*ast.ReturnStmt)
+	if ty := info.TypeOf(ret.X); ty == nil || !types.IsInt(ty) {
+		t.Errorf("type of return expr = %v, want int", ty)
+	}
+}
+
+func TestRecursiveFunction(t *testing.T) {
+	checkOK(t, `
+int fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(10); }`)
+}
+
+func TestGlobalInitializerMustBeConstant(t *testing.T) {
+	wantErr(t, "int f() { return 1; } int g = f();", "must be an integer literal")
+}
+
+func TestIdenticalAndAssignable(t *testing.T) {
+	pi := &types.Pointer{Elem: types.Int}
+	pi2 := &types.Pointer{Elem: types.Int}
+	ppi := &types.Pointer{Elem: pi}
+	if !types.Identical(pi, pi2) {
+		t.Error("int* should be identical to int*")
+	}
+	if types.Identical(pi, ppi) {
+		t.Error("int* should differ from int**")
+	}
+	if !types.AssignableTo(types.UntypedPtr, pi) {
+		t.Error("void* should assign to int*")
+	}
+	if !types.AssignableTo(pi, types.UntypedPtr) {
+		t.Error("int* should assign to void*")
+	}
+	if types.AssignableTo(types.Int, pi) {
+		t.Error("int should not assign to int*")
+	}
+}
+
+func TestArrayTreatment(t *testing.T) {
+	arr := &types.Array{Elem: types.Int, Len: 8}
+	if arr.Size() != 8 {
+		t.Errorf("array size = %d, want 8", arr.Size())
+	}
+	st := &types.Struct{Name: "T"}
+	if !strings.Contains(st.String(), "T") {
+		t.Errorf("struct string = %q", st.String())
+	}
+}
+
+func TestMoreErrors(t *testing.T) {
+	tests := []struct {
+		name, src, want string
+	}{
+		{"void global", "void v;", "invalid type"},
+		{"array len zero", "int a[0];", "positive"},
+		{"empty struct", "struct E { };", "no fields"},
+		{"dup struct", "struct S { int a; }; struct S { int b; };", "redeclaration of struct"},
+		{"return in void", "void f() { return 3; }", "void function"},
+		{"missing return value", "int f() { return; }", "missing return value"},
+		{"continue outside loop", "int main() { continue; return 0; }", "continue outside loop"},
+		{"non-scalar condition", "struct S { int a; int b; }; int main() { struct S s; if (s) {} return 0; }", "scalar"},
+		{"assign struct", "struct S { int a; int b; }; int main() { struct S a; struct S b; a = b; return 0; }", "aggregate"},
+		{"index non-pointer", "int main() { int x; return x[0]; }", "cannot index"},
+		{"index with pointer", "int main() { int a[3]; int *p; return a[p]; }", "index must be int"},
+		{"dot on pointer", "struct S { int a; }; int main() { struct S *p; return p.a; }", ". on non-struct"},
+		{"address of rvalue", "int main() { int *p = &3; return 0; }", "cannot take address"},
+		{"deref void pointer", "int main() { return *(malloc(1)); }", "dereference"},
+		{"struct return", "struct S { int a; }; struct S f() { struct S s; return s; }", "returns a struct"},
+		{"sizeof void", "int main() { return sizeof(void); }", "zero-sized"},
+		{"shift pointer", "int main() { int *p; int x = p << 1; return x; }", "requires ints"},
+		{"negate pointer", "int main() { int *p; return -p; }", "requires int"},
+		{"logic on struct", "struct S { int a; int b; }; int main() { struct S s; return s && 1; }", "requires scalars"},
+		{"relational pointers", "int main() { int a; int b; if (&a < &b) {} return 0; }", "requires ints"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) { wantErr(t, tt.src, tt.want) })
+	}
+}
+
+func TestPrototypeMismatch(t *testing.T) {
+	wantErr(t, "int f(int); int f(int a, int b) { return a + b; }", "redeclaration")
+}
+
+func TestSelfReferentialStructThroughPointer(t *testing.T) {
+	info := checkOK(t, `
+struct T { struct T *self; int v; };
+int main() { struct T t; t.self = &t; t.v = 1; return t.self->v; }`)
+	st := info.Structs["T"]
+	if st.Size() != 2 {
+		t.Errorf("size = %d, want 2", st.Size())
+	}
+}
+
+func TestVoidParamList(t *testing.T) {
+	checkOK(t, "int f(void) { return 1; } int main() { return f(); }")
+}
+
+func TestNullComparisonBothWays(t *testing.T) {
+	checkOK(t, `
+int main() {
+  int *p = 0;
+  if (0 == p) { return 1; }
+  if (p != 0) { return 2; }
+  return 0;
+}`)
+}
+
+func TestFunctionAsValueInCondition(t *testing.T) {
+	// Function designators decay to pointers: scalar, so allowed.
+	checkOK(t, "int f() { return 1; } int main() { if (f) { return 1; } return 0; }")
+}

@@ -1,0 +1,207 @@
+// Package types defines the semantic types of MiniC and the type checker
+// that resolves and annotates a parsed program.
+//
+// Sizes are measured in abstract cells: every scalar (int or pointer)
+// occupies one cell. This matches the offset-based field-sensitive pointer
+// analysis of the paper, where a struct field is identified by its cell
+// offset and arrays are treated as a whole.
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is a semantic MiniC type.
+type Type interface {
+	// Size is the type's size in cells. Void and function types have size 0.
+	Size() int
+	String() string
+}
+
+// BasicKind distinguishes the basic types.
+type BasicKind int
+
+// Basic type kinds.
+const (
+	KindInt BasicKind = iota
+	KindVoid
+	// KindUntypedPtr is the type of malloc/calloc results and of the
+	// literal 0 used in pointer contexts; it is assignment-compatible with
+	// every pointer type.
+	KindUntypedPtr
+)
+
+// Basic is a predeclared type.
+type Basic struct{ Kind BasicKind }
+
+// Predeclared type singletons.
+var (
+	Int        = &Basic{KindInt}
+	Void       = &Basic{KindVoid}
+	UntypedPtr = &Basic{KindUntypedPtr}
+)
+
+// Size implements Type.
+func (b *Basic) Size() int {
+	switch b.Kind {
+	case KindVoid:
+		return 0
+	default:
+		return 1
+	}
+}
+
+func (b *Basic) String() string {
+	switch b.Kind {
+	case KindInt:
+		return "int"
+	case KindVoid:
+		return "void"
+	default:
+		return "void*"
+	}
+}
+
+// Pointer is a pointer type.
+type Pointer struct{ Elem Type }
+
+// Size implements Type.
+func (*Pointer) Size() int { return 1 }
+
+func (p *Pointer) String() string { return p.Elem.String() + "*" }
+
+// StructField is a named field at a fixed cell offset.
+type StructField struct {
+	Name   string
+	Type   Type
+	Offset int
+}
+
+// Struct is a named struct type. Structs are nominal: two structs are the
+// same type only if they are the same *Struct.
+type Struct struct {
+	Name   string
+	Fields []StructField
+	size   int
+}
+
+// Size implements Type.
+func (s *Struct) Size() int { return s.size }
+
+func (s *Struct) String() string { return "struct " + s.Name }
+
+// Field returns the field with the given name, or nil.
+func (s *Struct) Field(name string) *StructField {
+	for i := range s.Fields {
+		if s.Fields[i].Name == name {
+			return &s.Fields[i]
+		}
+	}
+	return nil
+}
+
+// Array is a fixed-length array type.
+type Array struct {
+	Elem Type
+	Len  int
+}
+
+// Size implements Type.
+func (a *Array) Size() int { return a.Len * a.Elem.Size() }
+
+func (a *Array) String() string { return fmt.Sprintf("%s[%d]", a.Elem, a.Len) }
+
+// Func is a function type.
+type Func struct {
+	Ret    Type
+	Params []Type
+}
+
+// Size implements Type. Function types are not storable values; only
+// pointers to them are.
+func (*Func) Size() int { return 0 }
+
+func (f *Func) String() string {
+	var b strings.Builder
+	b.WriteString(f.Ret.String())
+	b.WriteString("(")
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.String())
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// Identical reports whether two types are the same type.
+func Identical(a, b Type) bool {
+	switch a := a.(type) {
+	case *Basic:
+		b, ok := b.(*Basic)
+		return ok && a.Kind == b.Kind
+	case *Pointer:
+		b, ok := b.(*Pointer)
+		return ok && Identical(a.Elem, b.Elem)
+	case *Struct:
+		return a == b
+	case *Array:
+		b, ok := b.(*Array)
+		return ok && a.Len == b.Len && Identical(a.Elem, b.Elem)
+	case *Func:
+		b, ok := b.(*Func)
+		if !ok || len(a.Params) != len(b.Params) || !Identical(a.Ret, b.Ret) {
+			return false
+		}
+		for i := range a.Params {
+			if !Identical(a.Params[i], b.Params[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// IsPointer reports whether t is a typed pointer or the untyped pointer.
+func IsPointer(t Type) bool {
+	if _, ok := t.(*Pointer); ok {
+		return true
+	}
+	b, ok := t.(*Basic)
+	return ok && b.Kind == KindUntypedPtr
+}
+
+// IsInt reports whether t is the int type.
+func IsInt(t Type) bool {
+	b, ok := t.(*Basic)
+	return ok && b.Kind == KindInt
+}
+
+// IsScalar reports whether values of t fit in a single cell (int or any
+// pointer).
+func IsScalar(t Type) bool { return IsInt(t) || IsPointer(t) }
+
+// AssignableTo reports whether a value of type src may be assigned to a
+// location of type dst.
+func AssignableTo(src, dst Type) bool {
+	if Identical(src, dst) {
+		return true
+	}
+	if IsPointer(dst) {
+		// Untyped pointers (malloc results, literal 0 handled by the
+		// checker) convert to any pointer, and vice versa (free's
+		// parameter).
+		if b, ok := src.(*Basic); ok && b.Kind == KindUntypedPtr {
+			return true
+		}
+	}
+	if b, ok := dst.(*Basic); ok && b.Kind == KindUntypedPtr {
+		if IsPointer(src) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,263 @@
+package vfg
+
+import (
+	"github.com/valueflow/usher/internal/ir"
+)
+
+// State is the resolved definedness of a node: Top (⊤, provably defined)
+// or Bottom (⊥, possibly undefined).
+type State bool
+
+// Definedness states.
+const (
+	Top    State = false // reachable only from T
+	Bottom State = true  // reachable from F
+)
+
+func (s State) String() string {
+	if s == Bottom {
+		return "⊥"
+	}
+	return "⊤"
+}
+
+// Gamma maps VFG nodes to their definedness.
+type Gamma struct {
+	g      *Graph
+	bottom []bool
+	// eq is set when resolution ran over access-equivalence classes.
+	eq *Equivalence
+}
+
+// Of returns the state of n.
+func (gm *Gamma) Of(n *Node) State {
+	if n == nil {
+		return Bottom
+	}
+	id := n.ID
+	if gm.eq != nil {
+		id = gm.eq.Rep(id)
+	}
+	if gm.bottom[id] {
+		return Bottom
+	}
+	return Top
+}
+
+// OfValue returns the state of an operand: constants and addresses are ⊤.
+func (gm *Gamma) OfValue(v ir.Value) State {
+	if r, ok := v.(*ir.Register); ok {
+		if n, ok := gm.g.regNodes[r]; ok {
+			return gm.Of(n)
+		}
+		return Bottom // unmodelled register: be conservative
+	}
+	return Top
+}
+
+// BottomCount returns the number of ⊥ nodes.
+func (gm *Gamma) BottomCount() int {
+	n := 0
+	for _, node := range gm.g.Nodes {
+		if gm.Of(node) == Bottom {
+			n++
+		}
+	}
+	return n
+}
+
+// ctx is a resolution context: the call site through which undefinedness
+// entered the current function, or unknown (the widened top context).
+const ctxUnknown = 0
+
+// ResolveOptions tunes definedness resolution.
+type ResolveOptions struct {
+	// ContextInsensitive disables call/return edge matching (ablation of
+	// §3.3's context sensitivity): every interprocedural edge is treated
+	// like an intraprocedural one.
+	ContextInsensitive bool
+	// MergeEquivalent resolves over access-equivalence classes instead of
+	// individual nodes (the node-merging of §4.1). The resulting Γ is
+	// identical; resolution visits fewer states.
+	MergeEquivalent bool
+	// Cut filters dependence edges: an edge (from, to) for which it
+	// returns true is treated as replaced by from → T (Opt II's
+	// Algorithm 1 rewiring).
+	Cut func(from, to *Node) bool
+}
+
+// Resolve computes Γ by forward reachability from the F root along user
+// edges, matching call and return edges with 1-callsite context
+// sensitivity (§3.3): a flow that entered a callee through call site c may
+// leave it only through c's return edges. The unknown context subsumes
+// every specific context.
+func Resolve(g *Graph) *Gamma { return ResolveWith(g, ResolveOptions{}) }
+
+// ResolveCut is Resolve with an edge filter (see ResolveOptions.Cut).
+func ResolveCut(g *Graph, cut func(from, to *Node) bool) *Gamma {
+	return ResolveWith(g, ResolveOptions{Cut: cut})
+}
+
+// ResolveWith is the general entry point.
+func ResolveWith(g *Graph, opts ResolveOptions) *Gamma {
+	cut := opts.Cut
+	gm := &Gamma{g: g, bottom: make([]bool, len(g.Nodes))}
+
+	// Access-equivalence merging: resolve per class representative.
+	// Edge cuts key on individual nodes, so merging is disabled under
+	// them (Opt II re-resolution).
+	var eq *Equivalence
+	rep := func(n *Node) *Node { return n }
+	usersOf := func(n *Node) []Edge { return n.Users }
+	if opts.MergeEquivalent && cut == nil {
+		eq = ComputeAccessEquivalence(g)
+		gm.eq = eq
+		rep = func(n *Node) *Node { return g.Nodes[eq.Rep(n.ID)] }
+		usersOf = func(n *Node) []Edge { return eq.classUsers[n.ID] }
+	}
+
+	// Context ids: 0 = unknown, otherwise 1 + call-site index.
+	siteIDs := make(map[*ir.Call]int)
+	siteID := func(c *ir.Call) int {
+		if id, ok := siteIDs[c]; ok {
+			return id
+		}
+		id := len(siteIDs) + 1
+		siteIDs[c] = id
+		return id
+	}
+
+	type state struct {
+		node *Node
+		ctx  int
+	}
+	// visited[node] holds the contexts seen; ctxUnknown subsumes all.
+	visited := make([]map[int]bool, len(g.Nodes))
+	seen := func(n *Node, ctx int) bool {
+		m := visited[n.ID]
+		if m == nil {
+			return false
+		}
+		if m[ctxUnknown] {
+			return true
+		}
+		return m[ctx]
+	}
+	mark := func(n *Node, ctx int) {
+		if visited[n.ID] == nil {
+			visited[n.ID] = make(map[int]bool)
+		}
+		if ctx == ctxUnknown {
+			// Widen: unknown subsumes all specific contexts.
+			visited[n.ID] = map[int]bool{ctxUnknown: true}
+		} else {
+			visited[n.ID][ctx] = true
+		}
+		gm.bottom[n.ID] = true
+	}
+
+	var work []state
+	push := func(n *Node, ctx int) {
+		if n.Kind == NodeRootT || n.Kind == NodeRootF {
+			return
+		}
+		n = rep(n)
+		if seen(n, ctx) {
+			return
+		}
+		mark(n, ctx)
+		work = append(work, state{n, ctx})
+	}
+
+	for _, e := range g.RootF.Users {
+		// Flows start where an undefined value is born; the birth context
+		// is unknown (it can leave its function through any return).
+		if cut != nil && cut(e.To, g.RootF) {
+			continue
+		}
+		push(e.To, ctxUnknown)
+	}
+	for len(work) > 0 {
+		s := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, e := range usersOf(s.node) {
+			// A user edge from s.node to e.To corresponds to the
+			// dependence edge e.To → s.node.
+			if cut != nil && cut(e.To, s.node) {
+				continue
+			}
+			kind := e.Kind
+			if opts.ContextInsensitive {
+				kind = EdgeIntra
+			}
+			switch kind {
+			case EdgeIntra:
+				push(e.To, s.ctx)
+			case EdgeCall:
+				// Entering the callee at e.Site: remember it (1 level).
+				push(e.To, siteID(e.Site))
+			case EdgeRet:
+				// Leaving the callee towards e.Site: allowed if we entered
+				// there, or if the entry site is unknown.
+				id := siteID(e.Site)
+				if s.ctx == ctxUnknown || s.ctx == id {
+					push(e.To, ctxUnknown)
+				}
+			}
+		}
+	}
+	return gm
+}
+
+// CriticalUses lists the VFG nodes whose values are used at critical
+// operations, mapping each node to the set of critical instructions using
+// it. Constants at critical operations are always defined and omitted.
+func CriticalUses(g *Graph) map[*Node][]ir.Instr {
+	uses := make(map[*Node][]ir.Instr)
+	for _, fn := range g.Prog.Funcs {
+		if !fn.HasBody {
+			continue
+		}
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				vals, ok := ir.IsCritical(in)
+				if !ok {
+					continue
+				}
+				for _, v := range vals {
+					if r, isReg := v.(*ir.Register); isReg {
+						n := g.RegNode(r)
+						uses[n] = append(uses[n], in)
+					}
+				}
+			}
+		}
+	}
+	return uses
+}
+
+// ReachesCritical computes, context-insensitively, the set of nodes whose
+// values may flow into a node used at a critical operation. Only these
+// nodes ever need shadow tracking; the percentage of such nodes is
+// Table 1's %B column.
+func ReachesCritical(g *Graph) []bool {
+	reach := make([]bool, len(g.Nodes))
+	var work []*Node
+	for n := range CriticalUses(g) {
+		if !reach[n.ID] {
+			reach[n.ID] = true
+			work = append(work, n)
+		}
+	}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, e := range n.Deps {
+			if t := e.To; t.Kind != NodeRootT && t.Kind != NodeRootF && !reach[t.ID] {
+				reach[t.ID] = true
+				work = append(work, t)
+			}
+		}
+	}
+	return reach
+}

@@ -1,0 +1,527 @@
+// Package vfg builds the paper's value-flow graph (§3.2) and resolves the
+// definedness of every value on it (§3.3).
+//
+// Nodes represent SSA definitions: one per virtual register (top-level
+// variable) and one per memory SSA version (address-taken variable), plus
+// the two roots T (defined) and F (undefined). A dependence edge v → u
+// means v's value flows from u. Interprocedural edges carry their call
+// site so that definedness resolution can match calls with returns
+// (1-callsite context sensitivity).
+//
+// Stores support three update flavors:
+//
+//   - strong: the pointer uniquely targets a concrete location (a global
+//     cell or a non-recursive function's stack cell): the old version is
+//     killed.
+//   - semi-strong: the pointer uniquely targets one abstract object whose
+//     allocation result register dominates the store; the value flow is
+//     rerouted around the allocation's own (possibly undefined) initial
+//     state to the version before the allocation (Figure 6).
+//   - weak: everything else; the old version flows into the new one.
+package vfg
+
+import (
+	"fmt"
+
+	"github.com/valueflow/usher/internal/cfg"
+	"github.com/valueflow/usher/internal/ir"
+	"github.com/valueflow/usher/internal/memssa"
+	"github.com/valueflow/usher/internal/pointer"
+)
+
+// NodeKind classifies VFG nodes.
+type NodeKind int
+
+// Node kinds.
+const (
+	NodeRootT NodeKind = iota
+	NodeRootF
+	NodeReg
+	NodeMem
+)
+
+// EdgeKind classifies dependence edges.
+type EdgeKind int
+
+// Edge kinds. Call and Ret edges carry their call site.
+const (
+	EdgeIntra EdgeKind = iota
+	// EdgeCall links a formal parameter (or callee entry memory version)
+	// to the actual at a call site: crossing into the callee.
+	EdgeCall
+	// EdgeRet links a call result (or post-call memory version) to the
+	// callee's returned value (or exit memory version): crossing out.
+	EdgeRet
+)
+
+// Node is one VFG node.
+type Node struct {
+	ID   int
+	Kind NodeKind
+	// Reg is set for NodeReg.
+	Reg *ir.Register
+	// Mem is set for NodeMem.
+	Mem *memssa.Def
+	// Fn is the containing function (nil for roots).
+	Fn *ir.Function
+
+	// Deps are the nodes this node's value flows from.
+	Deps []Edge
+	// Users is the reverse adjacency, built by Finish.
+	Users []Edge
+}
+
+func (n *Node) String() string {
+	switch n.Kind {
+	case NodeRootT:
+		return "T"
+	case NodeRootF:
+		return "F"
+	case NodeReg:
+		return fmt.Sprintf("%s:%s", n.Fn.Name, n.Reg)
+	default:
+		return fmt.Sprintf("%s:%s", n.Fn.Name, n.Mem)
+	}
+}
+
+// Edge is one dependence edge.
+type Edge struct {
+	To   *Node
+	Kind EdgeKind
+	Site *ir.Call
+}
+
+// UpdateKind classifies how a store's chi was handled.
+type UpdateKind int
+
+// Store update flavors.
+const (
+	UpdateStrong UpdateKind = iota
+	UpdateSemiStrong
+	// UpdateWeakSingleton: the pointer targets a single abstract object
+	// but neither a strong nor a semi-strong update applies.
+	UpdateWeakSingleton
+	// UpdateWeakMulti: the pointer may target several objects.
+	UpdateWeakMulti
+)
+
+func (k UpdateKind) String() string {
+	switch k {
+	case UpdateStrong:
+		return "strong"
+	case UpdateSemiStrong:
+		return "semi-strong"
+	case UpdateWeakSingleton:
+		return "weak-singleton"
+	default:
+		return "weak-multi"
+	}
+}
+
+// Options configures graph construction.
+type Options struct {
+	// TopLevelOnly builds the Usher_TL variant: only top-level variables
+	// are modelled; every load conservatively depends on F.
+	TopLevelOnly bool
+	// NoSemiStrong disables semi-strong updates (ablation).
+	NoSemiStrong bool
+}
+
+// Graph is the whole-program VFG.
+type Graph struct {
+	Prog    *ir.Program
+	Pointer *pointer.Result
+	Mem     *memssa.Info
+	Opts    Options
+
+	RootT *Node
+	RootF *Node
+	Nodes []*Node
+
+	regNodes map[*ir.Register]*Node
+	memNodes map[*memssa.Def]*Node
+
+	// StoreUpdates records the update flavor chosen per store chi.
+	StoreUpdates map[*memssa.Def]UpdateKind
+	// SemiStrongCuts counts applications of the semi-strong rule.
+	SemiStrongCuts int
+}
+
+// Build constructs the VFG.
+func Build(prog *ir.Program, pa *pointer.Result, mem *memssa.Info, opts Options) *Graph {
+	g := &Graph{
+		Prog:         prog,
+		Pointer:      pa,
+		Mem:          mem,
+		Opts:         opts,
+		regNodes:     make(map[*ir.Register]*Node),
+		memNodes:     make(map[*memssa.Def]*Node),
+		StoreUpdates: make(map[*memssa.Def]UpdateKind),
+	}
+	g.RootT = g.newNode(NodeRootT, nil)
+	g.RootF = g.newNode(NodeRootF, nil)
+	for _, fn := range prog.Funcs {
+		if fn.HasBody {
+			g.buildFunc(fn)
+		}
+	}
+	g.linkParams()
+	g.finish()
+	return g
+}
+
+func (g *Graph) newNode(kind NodeKind, fn *ir.Function) *Node {
+	n := &Node{ID: len(g.Nodes), Kind: kind, Fn: fn}
+	g.Nodes = append(g.Nodes, n)
+	return n
+}
+
+// RegNode returns the node of a register definition.
+func (g *Graph) RegNode(r *ir.Register) *Node {
+	if n, ok := g.regNodes[r]; ok {
+		return n
+	}
+	n := g.newNode(NodeReg, r.Fn)
+	n.Reg = r
+	g.regNodes[r] = n
+	return n
+}
+
+// MemNode returns the node of a memory SSA definition.
+func (g *Graph) MemNode(d *memssa.Def) *Node {
+	if g.Opts.TopLevelOnly {
+		// Should not be called in TL mode; defensive.
+		return g.RootF
+	}
+	if n, ok := g.memNodes[d]; ok {
+		return n
+	}
+	n := g.newNode(NodeMem, d.Fn)
+	n.Mem = d
+	g.memNodes[d] = n
+	return n
+}
+
+// ValueNode returns the node representing an operand's value: T for
+// constants, function addresses and global addresses; the register node
+// otherwise.
+func (g *Graph) ValueNode(v ir.Value) *Node {
+	if r, ok := v.(*ir.Register); ok {
+		return g.RegNode(r)
+	}
+	return g.RootT
+}
+
+func (g *Graph) addDep(from, to *Node) { g.addDepE(from, to, EdgeIntra, nil) }
+
+func (g *Graph) addDepE(from, to *Node, kind EdgeKind, site *ir.Call) {
+	from.Deps = append(from.Deps, Edge{To: to, Kind: kind, Site: site})
+}
+
+// finish builds the reverse adjacency.
+func (g *Graph) finish() {
+	for _, n := range g.Nodes {
+		for _, e := range n.Deps {
+			e.To.Users = append(e.To.Users, Edge{To: n, Kind: e.Kind, Site: e.Site})
+		}
+	}
+}
+
+// concreteLocation reports whether a memory variable denotes exactly one
+// runtime cell, making strong updates safe: a global cell, or a stack cell
+// of a non-recursive function; and never part of a collapsed multi-cell
+// object.
+func (g *Graph) concreteLocation(v memssa.MemVar) bool {
+	if v.Obj.Collapsed() && v.Obj.Size > 1 {
+		return false
+	}
+	if v.Obj.Site != nil && v.Obj.Site.DynSize != nil {
+		return false
+	}
+	switch v.Obj.Kind {
+	case ir.ObjGlobal:
+		return true
+	case ir.ObjStack:
+		return !g.Pointer.Recursive(v.Obj.Fn)
+	default:
+		return false
+	}
+}
+
+func (g *Graph) buildFunc(fn *ir.Function) {
+	fi := g.Mem.Funcs[fn]
+	dom := cfg.NewDomTree(fn)
+
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			switch in := in.(type) {
+			case *ir.Alloc:
+				g.buildAlloc(fi, in)
+			case *ir.Copy:
+				g.addDep(g.RegNode(in.Dst), g.ValueNode(in.Src))
+			case *ir.BinOp:
+				d := g.RegNode(in.Dst)
+				g.addDep(d, g.ValueNode(in.X))
+				g.addDep(d, g.ValueNode(in.Y))
+			case *ir.FieldAddr:
+				g.addDep(g.RegNode(in.Dst), g.ValueNode(in.Base))
+			case *ir.IndexAddr:
+				d := g.RegNode(in.Dst)
+				g.addDep(d, g.ValueNode(in.Base))
+				g.addDep(d, g.ValueNode(in.Idx))
+			case *ir.Phi:
+				d := g.RegNode(in.Dst)
+				for _, v := range in.Vals {
+					g.addDep(d, g.ValueNode(v))
+				}
+			case *ir.Load:
+				g.buildLoad(fi, in)
+			case *ir.Store:
+				g.buildStore(fi, dom, in)
+			case *ir.Call:
+				g.buildCall(fi, in)
+			}
+		}
+	}
+	if g.Opts.TopLevelOnly || fi == nil {
+		return
+	}
+	// Memory phis.
+	for _, phis := range fi.Phis {
+		for _, d := range phis {
+			nd := g.MemNode(d)
+			for _, arg := range d.PhiArgs {
+				g.addDep(nd, g.memDefNode(arg))
+			}
+		}
+	}
+	// Entry versions of variables that cannot pre-exist are defined.
+	for _, d := range fi.AllDefs {
+		if d.Kind == memssa.DefEntryUndef {
+			g.addDep(g.MemNode(d), g.RootT)
+		}
+	}
+}
+
+// memDefNode maps a memory SSA def to its node, treating entry-undef
+// versions as defined.
+func (g *Graph) memDefNode(d *memssa.Def) *Node {
+	return g.MemNode(d)
+}
+
+func (g *Graph) buildAlloc(fi *memssa.FuncInfo, in *ir.Alloc) {
+	// The returned pointer is always defined ([⊤-Alloc]).
+	g.addDep(g.RegNode(in.Dst), g.RootT)
+	if g.Opts.TopLevelOnly || fi == nil {
+		return
+	}
+	initRoot := g.RootF
+	if in.Obj.ZeroInit {
+		initRoot = g.RootT
+	}
+	for _, chi := range fi.Chis[in.Label()] {
+		n := g.MemNode(chi)
+		g.addDep(n, initRoot)
+		// Older instances of the same abstract object keep their state.
+		g.addDep(n, g.memDefNode(chi.Prev))
+	}
+}
+
+func (g *Graph) buildLoad(fi *memssa.FuncInfo, in *ir.Load) {
+	d := g.RegNode(in.Dst)
+	if g.Opts.TopLevelOnly || fi == nil {
+		// Without address-taken tracking, loaded values are unknown.
+		g.addDep(d, g.RootF)
+		return
+	}
+	mus := fi.Mus[in.Label()]
+	if len(mus) == 0 {
+		// No statically visible target (e.g. empty points-to set): the
+		// value cannot be proven defined.
+		g.addDep(d, g.RootF)
+		return
+	}
+	for _, mu := range mus {
+		g.addDep(d, g.memDefNode(mu.Use))
+	}
+}
+
+func (g *Graph) buildStore(fi *memssa.FuncInfo, dom *cfg.DomTree, in *ir.Store) {
+	if g.Opts.TopLevelOnly || fi == nil {
+		return
+	}
+	valNode := g.ValueNode(in.Val)
+	uniq, isUniq := g.Pointer.UniqueTarget(in.Addr)
+	for _, chi := range fi.Chis[in.Label()] {
+		n := g.MemNode(chi)
+		g.addDep(n, valNode)
+		kind := UpdateWeakMulti
+		if isUniq {
+			uvar := memssa.MemVar{Obj: uniq.Obj, Field: g.Pointer.CanonField(uniq.Obj, uniq.Field)}
+			switch {
+			case uvar == chi.Var && g.concreteLocation(uvar):
+				// Strong update: the old version is killed.
+				kind = UpdateStrong
+			case uvar == chi.Var && !g.Opts.NoSemiStrong && g.semiStrong(dom, in, chi, n):
+				kind = UpdateSemiStrong
+			default:
+				kind = UpdateWeakSingleton
+				g.addDep(n, g.memDefNode(chi.Prev))
+			}
+		} else {
+			g.addDep(n, g.memDefNode(chi.Prev))
+		}
+		g.StoreUpdates[chi] = kind
+	}
+}
+
+// semiStrong attempts the semi-strong update of §3.2: if the allocation
+// site of the stored-to object produces a pointer register whose
+// definition dominates the store, the store definitely overwrites the
+// freshly allocated cell, so the value flow is rerouted to the version
+// before the allocation's chi, bypassing the allocation's own undefined
+// initial state. Returns true (and adds the rerouted edge) on success.
+func (g *Graph) semiStrong(dom *cfg.DomTree, st *ir.Store, chi *memssa.Def, n *Node) bool {
+	// The rule is only sound when the variable denotes exactly one cell
+	// per instance: the store then definitely overwrites the fresh cell.
+	// A collapsed multi-cell object (array, dynamic allocation) is a
+	// summary of many cells, of which the store writes only one.
+	obj := chi.Var.Obj
+	if obj.Collapsed() && obj.Size > 1 {
+		return false
+	}
+	site := obj.Site
+	if site == nil || site.DynSize != nil {
+		return false
+	}
+	if site.Parent() == nil || site.Parent().Fn != st.Parent().Fn {
+		return false
+	}
+	if !dom.InstrDominates(site, st) {
+		return false
+	}
+	// Find the version of this variable before the allocation's chi.
+	fi := g.Mem.Funcs[st.Parent().Fn]
+	for _, allocChi := range fi.Chis[site.Label()] {
+		if allocChi.Var == chi.Var {
+			g.addDep(n, g.memDefNode(allocChi.Prev))
+			g.SemiStrongCuts++
+			return true
+		}
+	}
+	return false
+}
+
+func (g *Graph) buildCall(fi *memssa.FuncInfo, in *ir.Call) {
+	switch in.Builtin {
+	case ir.BuiltinInput:
+		g.addDep(g.RegNode(in.Dst), g.RootT)
+		return
+	case ir.BuiltinPrint, ir.BuiltinFree:
+		return
+	}
+	callees := g.Pointer.Callees(in)
+	if len(callees) == 0 || (in.Direct() != nil && !in.Direct().HasBody) {
+		// External call: modelled as returning a defined value.
+		if in.Dst != nil {
+			g.addDep(g.RegNode(in.Dst), g.RootT)
+		}
+		return
+	}
+	for _, callee := range callees {
+		if !callee.HasBody {
+			if in.Dst != nil {
+				g.addDep(g.RegNode(in.Dst), g.RootT)
+			}
+			continue
+		}
+		// Formal parameters depend on actuals (call edges).
+		for i, prm := range callee.Params {
+			if i < len(in.Args) {
+				g.addDepE(g.RegNode(prm), g.ValueNode(in.Args[i]), EdgeCall, in)
+			}
+		}
+		cfi := g.Mem.Funcs[callee]
+		// Return value flows to the call result (ret edges).
+		if in.Dst != nil {
+			for _, b := range callee.Blocks {
+				for _, ci := range b.Instrs {
+					if r, ok := ci.(*ir.Ret); ok && r.Val != nil {
+						g.addDepE(g.RegNode(in.Dst), g.valueNodeIn(callee, r.Val), EdgeRet, in)
+					}
+				}
+			}
+		}
+		if g.Opts.TopLevelOnly || fi == nil || cfi == nil {
+			continue
+		}
+		// Virtual input parameters: callee entry versions depend on the
+		// caller's current versions at the call site.
+		muByVar := make(map[memssa.MemVar]*memssa.Def)
+		for _, mu := range fi.Mus[in.Label()] {
+			muByVar[mu.Var] = mu.Use
+		}
+		for _, v := range cfi.InVars {
+			entry := cfi.EntryDefs[v]
+			if entry == nil {
+				continue
+			}
+			if use, ok := muByVar[v]; ok {
+				g.addDepE(g.MemNode(entry), g.memDefNode(use), EdgeCall, in)
+			}
+		}
+		// Virtual output parameters: the caller's post-call versions
+		// depend on the callee's versions at each return.
+		outSet := make(map[memssa.MemVar]bool, len(cfi.OutVars))
+		for _, v := range cfi.OutVars {
+			outSet[v] = true
+		}
+		for _, chi := range fi.Chis[in.Label()] {
+			n := g.MemNode(chi)
+			if outSet[chi.Var] {
+				for _, vers := range cfi.RetVersions {
+					if d, ok := vers[chi.Var]; ok {
+						g.addDepE(n, g.memDefNode(d), EdgeRet, in)
+					}
+				}
+			} else {
+				// Some other callee modifies this variable; through this
+				// callee it is unchanged.
+				g.addDep(n, g.memDefNode(chi.Prev))
+			}
+		}
+	}
+}
+
+// valueNodeIn is ValueNode for operands of another function (ret values).
+func (g *Graph) valueNodeIn(fn *ir.Function, v ir.Value) *Node {
+	return g.ValueNode(v)
+}
+
+// linkParams gives defined roots to the parameters and entry memory
+// versions of functions that are never called (program entry points).
+func (g *Graph) linkParams() {
+	for _, fn := range g.Prog.Funcs {
+		if !fn.HasBody {
+			continue
+		}
+		if len(g.Pointer.Callers(fn)) > 0 {
+			continue
+		}
+		for _, prm := range fn.Params {
+			g.addDep(g.RegNode(prm), g.RootT)
+		}
+		if g.Opts.TopLevelOnly {
+			continue
+		}
+		if fi := g.Mem.Funcs[fn]; fi != nil {
+			// At program start, globals are initialized and no heap
+			// instances exist.
+			for _, v := range fi.InVars {
+				if d := fi.EntryDefs[v]; d != nil {
+					g.addDep(g.MemNode(d), g.RootT)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,441 @@
+// Package workload generates the deterministic synthetic benchmark suite
+// that stands in for SPEC CPU2000 in the paper's evaluation (§4.2).
+//
+// Each of the 15 profiles mirrors one SPEC C benchmark in spirit: the
+// generator controls exactly the program characteristics that drive the
+// paper's results — the fraction of allocations left uninitialized
+// (Table 1's %F), the mix of strong/weak-update stores (%SU/%WU), the
+// density of values reaching critical operations (%B), arithmetic chain
+// lengths (Opt I's MFCs), repeated checks on the same values (Opt II's
+// targets), function-pointer dispatch (the O0+IM inlining step) and
+// allocation wrappers (heap cloning).
+//
+// Two structural decisions matter for fidelity to the paper's numbers:
+//
+//   - Configuration (loop bounds, scales) flows through global variables
+//     set in main. A top-level-only analysis (Usher_TL) sees every load
+//     as possibly undefined, so even loop conditions stay instrumented —
+//     reproducing the paper's small Usher_TL win; the address-taken
+//     analysis (Usher_TL+AT) proves the globals defined and reclaims it.
+//   - Each group has a personality: "provable" groups initialize memory
+//     in ways the analysis can discharge (calloc, strong and semi-strong
+//     updates), while "opaque" groups use malloc'd buffers filled through
+//     shared helpers (weak updates over collapsed objects) whose contents
+//     the analysis can never prove defined, leaving residual
+//     instrumentation in the hot loops, as real SPEC code does.
+//
+// Apart from the deliberately planted bug in the "parser" profile
+// (mirroring the real uninitialized read the paper found in 197.parser's
+// ppmatch()), every generated program is clean at run time: all values
+// consumed by critical operations are defined on executed paths, even
+// where the static analysis cannot prove it. Generation is fully
+// deterministic per profile.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Profile parameterizes one synthetic benchmark.
+type Profile struct {
+	// Name is the benchmark's identity, matching the paper's Table 1 rows.
+	Name string
+	// Spec is the SPEC CPU2000 benchmark this profile stands in for.
+	Spec string
+	Seed int64
+	// Groups is the number of object-type groups (struct + allocator +
+	// kernels); the main driver of program size.
+	Groups int
+	// StructFields is the field count of each group's struct.
+	StructFields int
+	// BufSize is the element count of each group's heap buffer.
+	BufSize int
+	// ChainLen is the length of pure arithmetic chains (MFC material for
+	// Opt I).
+	ChainLen int
+	// OpaqueFrac is the probability a group gets the opaque personality:
+	// malloc'd buffers and shared-helper initialization that the analysis
+	// cannot prove defined. It is the main driver of residual
+	// instrumentation (and of Table 1's %F).
+	OpaqueFrac float64
+	// CondInitFrac is the probability a kernel uses the correlated
+	// conditional-initialization pattern (statically ⊥, dynamically
+	// clean).
+	CondInitFrac float64
+	// RedundantChecks adds this many extra sequential critical uses of
+	// the same value (Opt II targets).
+	RedundantChecks int
+	// FuncPtrEvery dispatches every n-th group through function pointers
+	// (exercising the O0+IM inlining step). 0 disables.
+	FuncPtrEvery int
+	// SinkChains emits this many write-only computation chains per group
+	// (values that never reach a critical operation; Table 1's %B).
+	SinkChains int
+	// TreeRec adds a recursive tree build/sum/free kernel (gcc's and
+	// parser's recursive-descent character), exercising the analysis on
+	// recursive functions (no semi-strong on other activations' cells,
+	// recursive stack objects as virtual parameters).
+	TreeRec bool
+	// Iters is the reference-input scale: per-group driver iterations.
+	Iters int
+	// PlantBug plants one genuine use of an undefined value.
+	PlantBug bool
+}
+
+// Profiles are the 15 benchmarks, ordered as in Table 1.
+var Profiles = []Profile{
+	{Name: "gzip", Spec: "164.gzip", Seed: 164, Groups: 6, StructFields: 3, BufSize: 24, ChainLen: 6, OpaqueFrac: 0.35, CondInitFrac: 0.2, RedundantChecks: 2, FuncPtrEvery: 0, SinkChains: 2, Iters: 300},
+	{Name: "vpr", Spec: "175.vpr", Seed: 175, Groups: 9, StructFields: 4, BufSize: 16, ChainLen: 5, OpaqueFrac: 0.45, CondInitFrac: 0.3, RedundantChecks: 1, FuncPtrEvery: 4, SinkChains: 2, Iters: 180},
+	{Name: "gcc", Spec: "176.gcc", Seed: 176, Groups: 22, StructFields: 6, BufSize: 12, ChainLen: 4, OpaqueFrac: 0.50, CondInitFrac: 0.4, RedundantChecks: 1, FuncPtrEvery: 3, SinkChains: 1, TreeRec: true, Iters: 60},
+	{Name: "mesa", Spec: "177.mesa", Seed: 177, Groups: 14, StructFields: 5, BufSize: 20, ChainLen: 7, OpaqueFrac: 0.35, CondInitFrac: 0.2, RedundantChecks: 2, FuncPtrEvery: 5, SinkChains: 2, Iters: 100},
+	{Name: "art", Spec: "179.art", Seed: 179, Groups: 4, StructFields: 3, BufSize: 40, ChainLen: 8, OpaqueFrac: 0.25, CondInitFrac: 0.1, RedundantChecks: 3, FuncPtrEvery: 0, SinkChains: 3, Iters: 500},
+	{Name: "mcf", Spec: "181.mcf", Seed: 181, Groups: 4, StructFields: 5, BufSize: 24, ChainLen: 5, OpaqueFrac: 0.20, CondInitFrac: 0.1, RedundantChecks: 4, FuncPtrEvery: 0, SinkChains: 3, Iters: 450},
+	{Name: "equake", Spec: "183.equake", Seed: 183, Groups: 5, StructFields: 4, BufSize: 32, ChainLen: 7, OpaqueFrac: 0.30, CondInitFrac: 0.2, RedundantChecks: 2, FuncPtrEvery: 0, SinkChains: 2, Iters: 350},
+	{Name: "crafty", Spec: "186.crafty", Seed: 186, Groups: 10, StructFields: 4, BufSize: 18, ChainLen: 6, OpaqueFrac: 0.40, CondInitFrac: 0.3, RedundantChecks: 2, FuncPtrEvery: 0, SinkChains: 2, TreeRec: true, Iters: 150},
+	{Name: "ammp", Spec: "188.ammp", Seed: 188, Groups: 8, StructFields: 6, BufSize: 20, ChainLen: 6, OpaqueFrac: 0.45, CondInitFrac: 0.3, RedundantChecks: 1, FuncPtrEvery: 0, SinkChains: 1, Iters: 200},
+	{Name: "parser", Spec: "197.parser", Seed: 197, Groups: 10, StructFields: 4, BufSize: 16, ChainLen: 5, OpaqueFrac: 0.45, CondInitFrac: 0.4, RedundantChecks: 1, FuncPtrEvery: 0, SinkChains: 1, TreeRec: true, Iters: 160, PlantBug: true},
+	{Name: "perlbmk", Spec: "253.perlbmk", Seed: 253, Groups: 18, StructFields: 6, BufSize: 14, ChainLen: 4, OpaqueFrac: 0.60, CondInitFrac: 0.5, RedundantChecks: 0, FuncPtrEvery: 2, SinkChains: 0, Iters: 70},
+	{Name: "gap", Spec: "254.gap", Seed: 254, Groups: 16, StructFields: 5, BufSize: 16, ChainLen: 4, OpaqueFrac: 0.60, CondInitFrac: 0.5, RedundantChecks: 0, FuncPtrEvery: 4, SinkChains: 0, Iters: 80},
+	{Name: "vortex", Spec: "255.vortex", Seed: 255, Groups: 20, StructFields: 5, BufSize: 12, ChainLen: 5, OpaqueFrac: 0.45, CondInitFrac: 0.4, RedundantChecks: 1, FuncPtrEvery: 4, SinkChains: 1, Iters: 70},
+	{Name: "bzip2", Spec: "256.bzip2", Seed: 256, Groups: 5, StructFields: 3, BufSize: 30, ChainLen: 7, OpaqueFrac: 0.30, CondInitFrac: 0.2, RedundantChecks: 3, FuncPtrEvery: 0, SinkChains: 2, Iters: 380},
+	{Name: "twolf", Spec: "300.twolf", Seed: 300, Groups: 11, StructFields: 5, BufSize: 18, ChainLen: 6, OpaqueFrac: 0.40, CondInitFrac: 0.3, RedundantChecks: 2, FuncPtrEvery: 5, SinkChains: 2, Iters: 130},
+}
+
+// ByName returns the named profile.
+func ByName(name string) (Profile, bool) {
+	for _, p := range Profiles {
+		if p.Name == name || p.Spec == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Generate produces the benchmark's MiniC source.
+func Generate(p Profile) string {
+	g := &gen{p: &p, rng: rand.New(rand.NewSource(p.Seed))}
+	return g.program()
+}
+
+type gen struct {
+	p      *Profile
+	rng    *rand.Rand
+	b      strings.Builder
+	opaque []bool
+}
+
+func (g *gen) pf(format string, args ...any) {
+	fmt.Fprintf(&g.b, format, args...)
+}
+
+// chance rolls a probability.
+func (g *gen) chance(p float64) bool { return g.rng.Float64() < p }
+
+// konst returns a small non-zero constant.
+func (g *gen) konst() int { return 1 + g.rng.Intn(9) }
+
+var chainOps = []string{"+", "-", "^", "|", "&"}
+
+func (g *gen) program() string {
+	p := g.p
+	g.pf("// %s: synthetic stand-in for %s (seed %d), generated by internal/workload.\n", p.Name, p.Spec, p.Seed)
+	g.pf("int checksum;\n")
+	// Configuration globals: set once in main, loaded by the kernels.
+	for i := 0; i < p.Groups; i++ {
+		g.pf("int cfg_iters_%d;\n", i)
+		g.pf("int cfg_buf_%d;\n", i)
+		g.pf("int cfg_list_%d;\n", i)
+		g.pf("int stat_%d;\n", i)
+	}
+	g.pf("\n")
+
+	// Shared helpers: store through pointers that alias several groups'
+	// memory, forcing weak updates.
+	g.pf("void shared_fill(int *buf, int n, int salt) {\n")
+	g.pf("  for (int i = 0; i < n; i++) { buf[i] = i * %d + salt; }\n", g.konst())
+	g.pf("}\n")
+	g.pf("void set_cell(int *p, int v) { *p = v; }\n")
+	g.pf("void scale_into(int *out, int v) { *out = v * %d + %d; }\n\n", g.konst(), g.konst())
+
+	g.opaque = make([]bool, p.Groups)
+	for i := 0; i < p.Groups; i++ {
+		g.opaque[i] = g.chance(p.OpaqueFrac)
+	}
+	for i := 0; i < p.Groups; i++ {
+		g.group(i)
+	}
+	if p.TreeRec {
+		g.treeKernel()
+	}
+	if p.PlantBug {
+		g.plantBug()
+	}
+	g.main()
+	return g.b.String()
+}
+
+// group emits one object-type group: struct, allocation wrappers, chain,
+// constructors and the kernel.
+func (g *gen) group(i int) {
+	p := g.p
+	nf := p.StructFields
+	opaque := g.opaque[i]
+
+	g.pf("struct S%d {", i)
+	for f := 0; f < nf; f++ {
+		g.pf(" int f%d;", f)
+	}
+	g.pf(" struct S%d *next; };\n", i)
+	// Pointer-valued globals: real programs keep their working pointers
+	// in structures and globals, so most pointers used at critical
+	// operations are loaded from memory. A top-level-only analysis can
+	// prove none of them; the address-taken analysis recovers the ones
+	// stored from defined values.
+	g.pf("struct S%d *cur_%d;\n", i, i)
+	g.pf("int *gbuf_%d;\n\n", i)
+
+	// Allocation wrappers: heap-cloning targets. Opaque groups allocate
+	// uninitialized buffers and tables; list nodes are malloc'd in every
+	// group (as in real code), so the pointer-chasing checks over `next`
+	// links persist even where the scalar fields are provably
+	// initialized.
+	bufAlloc, sAlloc := "calloc", "malloc"
+	if opaque {
+		bufAlloc = "malloc"
+	}
+	g.pf("int *buf_alloc_%d(int n) { return %s(n); }\n", i, bufAlloc)
+	g.pf("struct S%d *s_alloc_%d() { return %s(sizeof(struct S%d)); }\n", i, i, sAlloc, i)
+	// Pointer table: an array of row pointers, the arrays-of-pointers
+	// idiom of gcc/vortex. Rows reached through the table are loaded
+	// pointers, so their dereferences keep runtime checks whenever the
+	// table's cells cannot be proven initialized.
+	g.pf("int **tab_alloc_%d(int n) { return %s(n); }\n\n", i, bufAlloc)
+
+	// Pure arithmetic chain (an MFC for Opt I).
+	g.pf("int chain_%d(int x) {\n", i)
+	g.pf("  int a0 = x + %d;\n", g.konst())
+	for c := 1; c < p.ChainLen; c++ {
+		op := chainOps[g.rng.Intn(len(chainOps))]
+		g.pf("  int a%d = a%d %s %d;\n", c, c-1, op, g.konst())
+	}
+	g.pf("  return a%d;\n}\n\n", p.ChainLen-1)
+
+	// Struct constructor. Provable groups store fields directly (strong
+	// or semi-strong updates after wrapper inlining); opaque groups go
+	// through the shared helper, whose stores alias every group's cells.
+	g.pf("struct S%d *mk_%d(int seed) {\n", i, i)
+	g.pf("  struct S%d *s = s_alloc_%d();\n", i, i)
+	for f := 0; f < nf; f++ {
+		if opaque {
+			g.pf("  set_cell(&s->f%d, chain_%d(seed + %d));\n", f, i, f)
+		} else {
+			g.pf("  s->f%d = chain_%d(seed + %d);\n", f, i, f)
+		}
+	}
+	g.pf("  return s;\n}\n\n")
+
+	// Field reducer.
+	g.pf("int sum_%d(struct S%d *s) {\n", i, i)
+	g.pf("  int t = 0;\n")
+	for f := 0; f < nf; f++ {
+		g.pf("  t += s->f%d;\n", f)
+	}
+	g.pf("  return t;\n}\n\n")
+
+	// Linked-list plumbing. The link store happens in a different
+	// function than the allocation, so no strong or semi-strong update
+	// applies: for malloc'd nodes the next cells stay statically ⊥, and
+	// every pointer loaded while walking keeps its checks — the
+	// pointer-chasing behaviour of real SPEC code.
+	g.pf("struct S%d *push_%d(struct S%d *head, struct S%d *node) {\n", i, i, i, i)
+	g.pf("  node->next = head;\n")
+	g.pf("  return node;\n}\n\n")
+	g.pf("int walk_%d(struct S%d *head) {\n", i, i)
+	g.pf("  int t = 0;\n")
+	g.pf("  struct S%d *n = head;\n", i)
+	g.pf("  while (n != 0) {\n")
+	g.pf("    t += n->f%d;\n", g.rng.Intn(nf))
+	g.pf("    n = n->next;\n")
+	g.pf("  }\n")
+	g.pf("  return t;\n}\n\n")
+	g.pf("int max_%d(struct S%d *head) {\n", i, i)
+	g.pf("  struct S%d *n = head;\n", i)
+	g.pf("  int m = 0;\n")
+	g.pf("  while (n != 0) {\n")
+	g.pf("    if (n->f%d > m) { m = n->f%d; }\n", nf-1, nf-1)
+	g.pf("    n = n->next;\n")
+	g.pf("  }\n")
+	g.pf("  return m;\n}\n\n")
+	g.pf("struct S%d *find_%d(struct S%d *head, int key) {\n", i, i, i)
+	g.pf("  struct S%d *n = head;\n", i)
+	g.pf("  while (n != 0) {\n")
+	g.pf("    if ((n->f0 & 7) == (key & 7)) { return n; }\n")
+	g.pf("    n = n->next;\n")
+	g.pf("  }\n")
+	g.pf("  return head;\n}\n\n")
+
+	// Optional function-pointer dispatch.
+	if p.FuncPtrEvery > 0 && i%p.FuncPtrEvery == 0 {
+		g.pf("int opa_%d(int x) { return x * %d + 1; }\n", i, g.konst())
+		g.pf("int opb_%d(int x) { return x ^ %d; }\n", i, g.konst())
+		g.pf("int dispatch_%d(int sel, int x) {\n", i)
+		g.pf("  int (*f)(int);\n")
+		g.pf("  if (sel & 1) { f = opa_%d; } else { f = opb_%d; }\n", i, i)
+		g.pf("  return f(x);\n}\n\n")
+	}
+
+	// Kernel: allocate, fill, iterate, accumulate through critical ops.
+	// The iteration bound comes from a global so that even loop
+	// conditions need tracking under a top-level-only analysis.
+	g.pf("int kernel_%d() {\n", i)
+	g.pf("  int iters = cfg_iters_%d;\n", i)
+	g.pf("  int bufn = cfg_buf_%d;\n", i)
+	g.pf("  gbuf_%d = buf_alloc_%d(bufn);\n", i, i)
+	g.pf("  int *buf = gbuf_%d;\n", i)
+	if opaque {
+		g.pf("  shared_fill(buf, bufn, %d);\n", g.konst())
+	} else {
+		g.pf("  for (int i = 0; i < bufn; i++) { buf[i] = chain_%d(i); }\n", i)
+	}
+	tabLen := 3 + g.rng.Intn(4)
+	g.pf("  int **tab = tab_alloc_%d(%d);\n", i, tabLen)
+	g.pf("  for (int k = 0; k < %d; k++) { tab[k] = buf + k; }\n", tabLen)
+	g.pf("  int acc = 0;\n")
+	g.pf("  int last = 0;\n")
+	g.pf("  struct S%d *head = 0;\n", i)
+	g.pf("  for (int k = 0; k < cfg_list_%d; k++) { head = push_%d(head, mk_%d(k)); }\n", i, i, i)
+	g.pf("  for (int it = 0; it < iters; it++) {\n")
+	g.pf("    acc += walk_%d(head) & 127;\n", i)
+	g.pf("    acc += max_%d(head) & 63;\n", i)
+	g.pf("    struct S%d *hit = find_%d(head, it);\n", i, i)
+	g.pf("    if (hit != 0) { acc += hit->f0 & 31; }\n")
+	g.pf("    cur_%d = mk_%d(it);\n", i, i)
+	g.pf("    struct S%d *s = cur_%d;\n", i, i)
+	g.pf("    int v = sum_%d(s) + buf[it %% %d];\n", i, p.BufSize)
+	g.pf("    int *row = tab[it %% %d];\n", tabLen)
+	g.pf("    v += row[it %% %d];\n", p.BufSize-tabLen)
+	if p.FuncPtrEvery > 0 && i%p.FuncPtrEvery == 0 {
+		g.pf("    v = dispatch_%d(it, v);\n", i)
+	}
+	// Out-parameter pattern: a strong update to a stack cell.
+	g.pf("    int tmp;\n")
+	g.pf("    scale_into(&tmp, v & 1023);\n")
+	g.pf("    v = v + tmp;\n")
+	if g.chance(p.CondInitFrac) {
+		// Correlated conditional initialization: statically ⊥,
+		// dynamically always defined when read.
+		g.pf("    int flag = it & 1;\n")
+		g.pf("    int t;\n")
+		g.pf("    if (flag) { t = v * %d; }\n", g.konst())
+		g.pf("    int u = 0;\n")
+		g.pf("    if (flag) { u = t + 1; }\n")
+		g.pf("    acc += u;\n")
+	}
+	if g.chance(p.CondInitFrac) {
+		// Loop-carried first-iteration guard: same character.
+		g.pf("    if (it > 0) { acc += last & 15; }\n")
+		g.pf("    last = v;\n")
+	}
+	g.pf("    if (v > %d) { acc += v; } else { acc -= 1; }\n", 8+g.rng.Intn(64))
+	for r := 0; r < p.RedundantChecks; r++ {
+		// Repeated critical uses of the same value: Opt II fodder.
+		g.pf("    if (acc > %d) { acc = acc %% %d; }\n", 100000+r*7919, 65536+r)
+	}
+	g.pf("    acc += chain_%d(v & 255);\n", i)
+	for sc := 0; sc < p.SinkChains; sc++ {
+		// Write-only sink: computed, stored to a global, never branched
+		// on — VFG nodes that reach no critical statement.
+		g.pf("    stat_%d = stat_%d + (v ^ %d) * %d;\n", i, i, g.konst(), g.konst())
+	}
+	g.pf("    free(s);\n")
+	g.pf("  }\n")
+	g.pf("  while (head != 0) {\n")
+	g.pf("    struct S%d *nx = head->next;\n", i)
+	g.pf("    free(head);\n")
+	g.pf("    head = nx;\n")
+	g.pf("  }\n")
+	g.pf("  free(tab);\n")
+	g.pf("  free(buf);\n")
+	g.pf("  return acc;\n}\n\n")
+}
+
+// treeKernel emits a recursive binary-tree build/sum/free kernel, the
+// recursive-descent character of gcc, parser and crafty. Recursion
+// exercises the analysis paths that differ from straight-line code: the
+// allocator cannot be inlined (no heap cloning), recursive functions keep
+// their own stack objects as virtual parameters, and the tree links are
+// pointer loads chased at every level.
+func (g *gen) treeKernel() {
+	p := g.p
+	g.pf("struct Tree { int val; struct Tree *l; struct Tree *r; };\n")
+	g.pf("int cfg_tree_iters;\n\n")
+	g.pf("struct Tree *tree_build(int depth, int seed) {\n")
+	g.pf("  if (depth == 0) { return 0; }\n")
+	g.pf("  struct Tree *n = malloc(sizeof(struct Tree));\n")
+	g.pf("  n->val = seed * %d + depth;\n", g.konst())
+	g.pf("  n->l = tree_build(depth - 1, seed * 2);\n")
+	g.pf("  n->r = tree_build(depth - 1, seed * 2 + 1);\n")
+	g.pf("  return n;\n}\n\n")
+	g.pf("int tree_sum(struct Tree *n) {\n")
+	g.pf("  if (n == 0) { return 0; }\n")
+	g.pf("  return n->val + tree_sum(n->l) + tree_sum(n->r);\n}\n\n")
+	g.pf("void tree_free(struct Tree *n) {\n")
+	g.pf("  if (n == 0) { return; }\n")
+	g.pf("  tree_free(n->l);\n")
+	g.pf("  tree_free(n->r);\n")
+	g.pf("  free(n);\n}\n\n")
+	g.pf("int tree_kernel() {\n")
+	g.pf("  struct Tree *root = tree_build(4, %d);\n", g.konst())
+	g.pf("  int acc = 0;\n")
+	g.pf("  for (int it = 0; it < cfg_tree_iters; it++) {\n")
+	g.pf("    acc += tree_sum(root) & 1023;\n")
+	g.pf("  }\n")
+	g.pf("  tree_free(root);\n")
+	g.pf("  return acc;\n}\n\n")
+	_ = p
+}
+
+// plantBug emits the parser-profile bug: a function that leaves a local
+// uninitialized on one path, with the result consumed by a branch, like
+// the real bug the paper's tools found in 197.parser's ppmatch().
+func (g *gen) plantBug() {
+	g.pf("int ppmatch(int sel) {\n")
+	g.pf("  int r;\n")
+	g.pf("  if (sel > 2) { r = sel * 3; }\n")
+	g.pf("  return r;\n}\n\n")
+	g.pf("int run_ppmatch() {\n")
+	g.pf("  int hits = 0;\n")
+	g.pf("  for (int i = 0; i < 4; i++) {\n")
+	g.pf("    if (ppmatch(i)) { hits += 1; }\n")
+	g.pf("  }\n")
+	g.pf("  return hits;\n}\n\n")
+}
+
+func (g *gen) main() {
+	p := g.p
+	g.pf("int main() {\n")
+	for i := 0; i < p.Groups; i++ {
+		iters := p.Iters/2 + g.rng.Intn(p.Iters)
+		g.pf("  cfg_iters_%d = %d;\n", i, iters)
+		g.pf("  cfg_buf_%d = %d;\n", i, p.BufSize)
+		g.pf("  cfg_list_%d = %d;\n", i, 5+g.rng.Intn(8))
+	}
+	if p.TreeRec {
+		g.pf("  cfg_tree_iters = %d;\n", p.Iters/3+g.rng.Intn(p.Iters/3+1))
+	}
+	g.pf("  int total = 0;\n")
+	for i := 0; i < p.Groups; i++ {
+		g.pf("  total += kernel_%d();\n", i)
+	}
+	if p.TreeRec {
+		g.pf("  total += tree_kernel();\n")
+	}
+	if p.PlantBug {
+		g.pf("  total += run_ppmatch();\n")
+	}
+	g.pf("  checksum = total;\n")
+	g.pf("  print(checksum);\n")
+	g.pf("  return checksum & 255;\n}\n")
+}

@@ -1,0 +1,145 @@
+package usher_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/valueflow/usher"
+	"github.com/valueflow/usher/internal/ir"
+	"github.com/valueflow/usher/internal/vfgopt"
+	"github.com/valueflow/usher/internal/workload"
+)
+
+// TestPaperFigure2 encodes the paper's Figure 2 program and checks the
+// TinyC-style IR shape: address-taken variables (b, c) are accessed
+// through allocation sites, loads and stores; top-level variables (a, i)
+// become registers.
+func TestPaperFigure2(t *testing.T) {
+	src := `
+int main() {
+  int **a;
+  int *b;
+  int c;
+  int i;
+  a = &b;
+  b = &c;
+  c = 10;
+  i = c;
+  return i;
+}`
+	prog := usher.MustCompile("fig2.c", src)
+	main := prog.FuncByName("main")
+	txt := ir.PrintFunc(main)
+
+	// b and c have their addresses taken: they stay as alloc_F objects.
+	for _, name := range []string{"@b", "@c"} {
+		if !strings.Contains(txt, "alloc_F "+name) {
+			t.Errorf("missing allocation for address-taken %s:\n%s", name, txt)
+		}
+	}
+	// a and i are top-level: no allocations survive for them.
+	for _, name := range []string{"@a#", "@i#"} {
+		if strings.Contains(txt, name) {
+			t.Errorf("top-level variable %s not promoted:\n%s", name, txt)
+		}
+	}
+	// The accesses go through stores and loads, as in Figure 2(b).
+	if !strings.Contains(txt, "store") || !strings.Contains(txt, "load") {
+		t.Errorf("expected load/store form:\n%s", txt)
+	}
+	res, err := usher.RunNative(prog, usher.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exit.Int != 10 {
+		t.Errorf("exit = %d, want 10", res.Exit.Int)
+	}
+	if len(res.OracleWarnings) != 0 {
+		t.Errorf("warnings: %v", res.OracleWarnings)
+	}
+}
+
+// TestPaperFigure8 encodes Figure 8's value-flow simplification: the MFC
+// of z1 = (a1 ⊕ b1) ⊕ (c1 ⊕ d1) has sources {a1, b1, c1, d1}, and Opt I
+// propagates their shadows directly to z1, skipping x1 and y1.
+func TestPaperFigure8(t *testing.T) {
+	src := `
+int combine(int a, int b, int c, int d) {
+  int x = a + b;
+  int y = c + d;
+  int z = x + y;
+  return z;
+}
+int main() {
+  int *p = malloc(4);
+  int r = combine(p[0], p[1], p[2], p[3]);
+  if (r) { return 1; }
+  return 0;
+}`
+	prog := usher.MustCompile("fig8.c", src)
+	combine := prog.FuncByName("combine")
+
+	// Find z's register (the returned value) and compute its MFC.
+	var z *ir.Register
+	for _, b := range combine.Blocks {
+		for _, in := range b.Instrs {
+			if r, ok := in.(*ir.Ret); ok && r.Val != nil {
+				z = r.Val.(*ir.Register)
+			}
+		}
+	}
+	m := vfgopt.ComputeMFC(z)
+	if len(m.Sources) != 4 {
+		t.Fatalf("MFC sources = %v, want the 4 parameters", m.Sources)
+	}
+	if m.Interior != 3 { // x, y, z
+		t.Errorf("interior = %d, want 3 (x, y, z)", m.Interior)
+	}
+
+	// Opt I must reduce static propagations relative to plain TL+AT.
+	plain := usher.Analyze(prog, usher.ConfigUsherTLAT)
+	opt := usher.Analyze(prog, usher.ConfigUsherOptI)
+	if opt.MFCsSimplified == 0 {
+		t.Error("Opt I simplified nothing on the Figure 8 shape")
+	}
+	if opt.StaticStats().Props >= plain.StaticStats().Props {
+		t.Errorf("Opt I props %d not below %d", opt.StaticStats().Props, plain.StaticStats().Props)
+	}
+}
+
+// TestPaperSection45ParserBug reproduces the evaluation's one real find:
+// a use of an undefined value in the parser workload's ppmatch(),
+// detected by every analysis configuration (§4.5: "One use of an
+// undefined value is detected in the function ppmatch() of 197.parser by
+// all the analysis tools").
+func TestPaperSection45ParserBug(t *testing.T) {
+	prog, err := usher.Compile("parser.c", parserWorkloadSource(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range usher.ExtendedConfigs {
+		an := usher.Analyze(prog, cfg)
+		res, err := an.Run(usher.RunOptions{})
+		if err != nil {
+			t.Fatalf("[%v] %v", cfg, err)
+		}
+		found := false
+		for _, w := range res.ShadowWarnings {
+			if w.Fn == "run_ppmatch" || w.Fn == "ppmatch" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("[%v] ppmatch bug not reported: %v", cfg, res.ShadowWarnings)
+		}
+	}
+}
+
+func parserWorkloadSource(t *testing.T) string {
+	t.Helper()
+	p, ok := workload.ByName("parser")
+	if !ok {
+		t.Fatal("parser workload missing")
+	}
+	return workload.Generate(p)
+}

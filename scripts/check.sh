@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full verification: build, vet, format check, tests, extended fuzz.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l . | grep -v '^$' || true)
+if [ -n "$unformatted" ]; then
+  echo "needs gofmt:"; echo "$unformatted"; exit 1
+fi
+
+echo "== build =="
+go build ./...
+
+echo "== vet =="
+go vet ./...
+
+echo "== test =="
+go test ./...
+
+echo "== extended fuzz (1000 seeds) =="
+USHER_FUZZ_SEEDS=1000 go test -run TestExtendedFuzz .
+
+echo "OK"

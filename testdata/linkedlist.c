@@ -1,0 +1,31 @@
+// Linked-list construction and traversal: the pointer-chasing pattern
+// whose checks only the address-taken analysis can reduce.
+struct Node { int val; struct Node *next; };
+
+struct Node *push(struct Node *head, int v) {
+  struct Node *n = malloc(sizeof(struct Node));
+  n->val = v;
+  n->next = head;
+  return n;
+}
+
+int sum(struct Node *head) {
+  int s = 0;
+  while (head != 0) {
+    s += head->val;
+    head = head->next;
+  }
+  return s;
+}
+
+int main() {
+  struct Node *head = 0;
+  for (int i = 1; i <= 10; i++) { head = push(head, i); }
+  print(sum(head));
+  while (head != 0) {
+    struct Node *nx = head->next;
+    free(head);
+    head = nx;
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Row-pointer matrix arithmetic: arrays of pointers, dynamic sizes.
+int rowsum(int *row, int n) {
+  int s = 0;
+  for (int j = 0; j < n; j++) { s += row[j]; }
+  return s;
+}
+
+int main() {
+  int n = 6;
+  int **m = malloc(n);
+  for (int i = 0; i < n; i++) {
+    m[i] = calloc(n);
+    for (int j = 0; j < n; j++) { m[i][j] = i * n + j; }
+  }
+  int total = 0;
+  for (int i = 0; i < n; i++) { total += rowsum(m[i], n); }
+  print(total);
+  for (int i = 0; i < n; i++) { free(m[i]); }
+  free(m);
+  return total & 255;
+}

@@ -1,0 +1,22 @@
+// Function-pointer state machine: the call-graph pattern the O0+IM
+// inlining step targets.
+int st_idle(int ev) { if (ev > 3) { return 1; } return 0; }
+int st_run(int ev) { if (ev == 0) { return 0; } if (ev & 1) { return 2; } return 1; }
+int st_done(int ev) { return 2; }
+
+int step(int (*f)(int), int ev) { return f(ev); }
+
+int main() {
+  int (*states[3])(int);
+  states[0] = st_idle;
+  states[1] = st_run;
+  states[2] = st_done;
+  int s = 0;
+  int visits = 0;
+  for (int ev = 0; ev < 12; ev++) {
+    s = step(states[s], ev);
+    visits += s;
+  }
+  print(visits);
+  return s;
+}

@@ -1,0 +1,15 @@
+// A program with a real bug: `mode` is set only on one path but branched
+// on unconditionally. Every configuration must report it.
+int decide(int input) {
+  int mode;
+  if (input > 10) { mode = input * 2; }
+  if (mode > 15) { return 1; }   // use of possibly-undefined mode
+  return 0;
+}
+
+int main() {
+  int hits = 0;
+  for (int i = 0; i < 20; i++) { hits += decide(i); }
+  print(hits);
+  return 0;
+}

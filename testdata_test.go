@@ -1,0 +1,60 @@
+package usher_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/valueflow/usher"
+)
+
+// TestTestdataPrograms compiles and runs every sample program under every
+// configuration: programs named *_bug.c must be flagged by all configs;
+// all others must run clean with agreeing outputs.
+func TestTestdataPrograms(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.c")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata programs: %v", err)
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			data, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := usher.Compile(file, string(data))
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			buggy := strings.Contains(file, "_bug")
+			native, err := usher.RunNative(prog, usher.RunOptions{})
+			if err != nil {
+				t.Fatalf("native: %v", err)
+			}
+			if buggy != (len(native.OracleWarnings) > 0) {
+				t.Fatalf("oracle warnings = %v, buggy = %v", native.OracleWarnings, buggy)
+			}
+			for _, cfg := range usher.Configs {
+				an := usher.Analyze(prog, cfg)
+				res, err := an.Run(usher.RunOptions{})
+				if err != nil {
+					t.Fatalf("[%v] run: %v", cfg, err)
+				}
+				if len(res.ShadowViolations) != 0 {
+					t.Errorf("[%v] violations: %v", cfg, res.ShadowViolations)
+				}
+				if buggy && len(res.ShadowWarnings) == 0 {
+					t.Errorf("[%v] missed the bug", cfg)
+				}
+				if !buggy && len(res.ShadowWarnings) != 0 {
+					t.Errorf("[%v] false positives: %v", cfg, res.ShadowWarnings)
+				}
+				if res.Exit.Int != native.Exit.Int {
+					t.Errorf("[%v] exit %d != native %d", cfg, res.Exit.Int, native.Exit.Int)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,181 @@
+// Package usher is a from-scratch reproduction of "Accelerating Dynamic
+// Detection of Uses of Undefined Values with Static Value-Flow Analysis"
+// (Ye, Sui, Xue; CGO 2014).
+//
+// The package compiles MiniC (a C subset) to an SSA IR, runs the Usher
+// static value-flow analysis to decide which shadow propagations and
+// definedness checks a dynamic detector actually needs, and executes
+// programs under the resulting instrumentation plans, counting the
+// dynamic shadow work that full (MSan-style) instrumentation would have
+// performed and Usher avoids.
+//
+// Typical use:
+//
+//	prog, err := usher.Compile("prog.c", src)
+//	an := usher.Analyze(prog, usher.ConfigUsherFull)
+//	res, err := an.Run(nil, usher.RunOptions{})
+//	// res.ShadowWarnings: detected uses of undefined values
+//	// res.ShadowProps/ShadowChecks: dynamic instrumentation cost
+package usher
+
+import (
+	"fmt"
+
+	"github.com/valueflow/usher/internal/compile"
+	"github.com/valueflow/usher/internal/instrument"
+	"github.com/valueflow/usher/internal/interp"
+	"github.com/valueflow/usher/internal/ir"
+	"github.com/valueflow/usher/internal/memssa"
+	"github.com/valueflow/usher/internal/pointer"
+	"github.com/valueflow/usher/internal/vfg"
+)
+
+// Config selects an instrumentation configuration (§4.5 of the paper).
+type Config int
+
+// The five configurations evaluated in the paper.
+const (
+	// ConfigMSan is full instrumentation: every statement shadowed, every
+	// critical operation checked.
+	ConfigMSan Config = iota
+	// ConfigUsherTL analyzes top-level variables only (no Opt I/II);
+	// memory stays fully instrumented.
+	ConfigUsherTL
+	// ConfigUsherTLAT adds address-taken variables to the value-flow
+	// analysis.
+	ConfigUsherTLAT
+	// ConfigUsherOptI adds Opt I (value-flow simplification).
+	ConfigUsherOptI
+	// ConfigUsherFull adds Opt II (redundant check elimination): the
+	// paper's "Usher".
+	ConfigUsherFull
+	// ConfigUsherOptIII extends the paper's Usher with dominated
+	// same-value check elimination, a new VFG-based optimization in the
+	// direction of the paper's future work (§6).
+	ConfigUsherOptIII
+)
+
+// Configs lists the paper's five configurations in evaluation order.
+var Configs = []Config{ConfigMSan, ConfigUsherTL, ConfigUsherTLAT, ConfigUsherOptI, ConfigUsherFull}
+
+// ExtendedConfigs additionally includes the Opt III extension.
+var ExtendedConfigs = append(append([]Config(nil), Configs...), ConfigUsherOptIII)
+
+func (c Config) String() string {
+	switch c {
+	case ConfigMSan:
+		return "MSan"
+	case ConfigUsherTL:
+		return "UsherTL"
+	case ConfigUsherTLAT:
+		return "UsherTL+AT"
+	case ConfigUsherOptI:
+		return "UsherOptI"
+	case ConfigUsherFull:
+		return "Usher"
+	case ConfigUsherOptIII:
+		return "Usher+OptIII"
+	default:
+		return fmt.Sprintf("Config(%d)", int(c))
+	}
+}
+
+// Compile parses, type-checks and lowers MiniC source into SSA-form IR
+// (the O0+IM pipeline without inlining; see package passes for the
+// inlining step and the O1/O2 pipelines).
+func Compile(file, src string) (*ir.Program, error) {
+	return compile.Source(file, src)
+}
+
+// MustCompile is Compile for known-good sources; it panics on error.
+func MustCompile(file, src string) *ir.Program {
+	return compile.MustSource(file, src)
+}
+
+// Analysis bundles everything the analysis produced for one program under
+// one configuration.
+type Analysis struct {
+	Config  Config
+	Prog    *ir.Program
+	Pointer *pointer.Result
+	Mem     *memssa.Info
+	Graph   *vfg.Graph
+	Gamma   *vfg.Gamma
+	Plan    *instrument.Plan
+	// MFCsSimplified, Redirected and ChecksElided are the Opt I / Opt II /
+	// Opt III statistics (zero for configurations that do not run them).
+	MFCsSimplified int
+	Redirected     int
+	ChecksElided   int
+}
+
+// Analyze runs the full static pipeline for the chosen configuration.
+func Analyze(prog *ir.Program, cfg Config) *Analysis {
+	a := &Analysis{Config: cfg, Prog: prog}
+	a.Pointer = pointer.Analyze(prog)
+	a.Mem = memssa.Build(prog, a.Pointer)
+
+	if cfg == ConfigMSan {
+		// Full instrumentation needs no VFG, but building one (with its
+		// Γ) is cheap and useful for reporting.
+		a.Graph = vfg.Build(prog, a.Pointer, a.Mem, vfg.Options{})
+		a.Gamma = vfg.Resolve(a.Graph)
+		a.Plan = instrument.Full(prog)
+		return a
+	}
+
+	vopts := vfg.Options{TopLevelOnly: cfg == ConfigUsherTL}
+	a.Graph = vfg.Build(prog, a.Pointer, a.Mem, vopts)
+	a.Gamma = vfg.Resolve(a.Graph)
+
+	gopts := instrument.GuidedOptions{
+		OptI:       cfg >= ConfigUsherOptI,
+		OptII:      cfg >= ConfigUsherFull,
+		OptIII:     cfg >= ConfigUsherOptIII,
+		MemoryFull: cfg == ConfigUsherTL,
+	}
+	res := instrument.Guided(cfg.String(), a.Graph, a.Gamma, gopts)
+	a.Plan = res.Plan
+	a.Gamma = res.Gamma
+	a.MFCsSimplified = res.MFCsSimplified
+	a.Redirected = res.Redirected
+	a.ChecksElided = res.ChecksElided
+	return a
+}
+
+// RunOptions configures an instrumented execution.
+type RunOptions struct {
+	// Args are main's arguments (all treated as defined).
+	Args []int64
+	// MaxSteps bounds execution (0 = default).
+	MaxSteps int64
+	// Input supplies values for the input() builtin.
+	Input func(i int) int64
+}
+
+func (o RunOptions) interpOptions() (interp.Options, []interp.Value) {
+	var args []interp.Value
+	for _, a := range o.Args {
+		args = append(args, interp.IntVal(a))
+	}
+	return interp.Options{MaxSteps: o.MaxSteps, Input: o.Input}, args
+}
+
+// Run executes the program under the analysis' instrumentation plan.
+func (a *Analysis) Run(opts RunOptions) (*interp.Result, error) {
+	io, args := opts.interpOptions()
+	io.Shadow = &interp.ShadowConfig{Plan: a.Plan}
+	return interp.Run(a.Prog, "main", args, io)
+}
+
+// RunNative executes the program without any instrumentation (the
+// slowdown baseline). The result still carries the ground-truth oracle
+// warnings.
+func RunNative(prog *ir.Program, opts RunOptions) (*interp.Result, error) {
+	io, args := opts.interpOptions()
+	return interp.Run(prog, "main", args, io)
+}
+
+// StaticStats returns the plan's static propagation/check counts (the
+// quantities of Figure 11).
+func (a *Analysis) StaticStats() instrument.Stats { return a.Plan.StaticStats() }
