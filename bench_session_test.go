@@ -1,0 +1,73 @@
+// Session-caching benchmarks: the cost of analyzing one program under
+// the paper's five configurations with and without a shared
+// AnalysisSession. The session variant computes the pointer analysis,
+// memory SSA and value-flow graphs once per program, so it should be
+// severalfold faster while producing identical plans (see session_test.go
+// for the equivalence test).
+package usher_test
+
+import (
+	"testing"
+
+	"github.com/valueflow/usher"
+	"github.com/valueflow/usher/internal/ir"
+	"github.com/valueflow/usher/internal/passes"
+	"github.com/valueflow/usher/internal/workload"
+)
+
+// sessionBenchProg compiles the medium profile once per benchmark run.
+func sessionBenchProg(b *testing.B) *ir.Program {
+	b.Helper()
+	p := mediumProfile()
+	src := workload.Generate(p)
+	prog, err := usher.Compile(p.Name+".c", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := passes.Apply(prog, passes.O0IM); err != nil {
+		b.Fatal(err)
+	}
+	return prog
+}
+
+// BenchmarkAnalyze5ConfigsStandalone analyzes all five paper
+// configurations with independent Analyze calls: every configuration
+// re-runs the pointer analysis, memory SSA and VFG construction.
+func BenchmarkAnalyze5ConfigsStandalone(b *testing.B) {
+	prog := sessionBenchProg(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range usher.Configs {
+			if an := usher.Analyze(prog, cfg); an.Plan == nil {
+				b.Fatal("no plan")
+			}
+		}
+	}
+}
+
+// BenchmarkAnalyze5ConfigsSession analyzes all five configurations from
+// one session: the config-invariant artifacts are computed once and
+// shared, leaving only plan emission (and Opt I/II) per configuration.
+func BenchmarkAnalyze5ConfigsSession(b *testing.B) {
+	prog := sessionBenchProg(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := usher.NewSession(prog)
+		for _, cfg := range usher.Configs {
+			if an := s.Analyze(cfg); an.Plan == nil {
+				b.Fatal("no plan")
+			}
+		}
+	}
+}
+
+// BenchmarkSessionBaseArtifacts isolates the cost the session amortizes:
+// pointer analysis + memory SSA + full VFG + Γ for one program.
+func BenchmarkSessionBaseArtifacts(b *testing.B) {
+	prog := sessionBenchProg(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := usher.NewSession(prog)
+		s.Graph(false)
+	}
+}

@@ -3,15 +3,23 @@
 //
 // Usage:
 //
-//	usher-bench [-table1] [-fig10] [-fig11] [-opt-levels] [-all]
+//	usher-bench [-table1] [-fig10] [-fig11] [-opt-levels] [-ablations] [-all]
+//	            [-parallel N] [-json path]
 //
-// With no flags, -all is assumed.
+// With no selection flags, -all is assumed. Work is spread over -parallel
+// workers (default: one per CPU) at two levels — across workload profiles
+// and across configurations within a profile — with per-profile analysis
+// sessions sharing the config-invariant artifacts; every reported number
+// is identical to a -parallel 1 run. -json additionally writes the full
+// results, per-phase wall-clock and machine info to the given path.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"github.com/valueflow/usher/internal/bench"
 	"github.com/valueflow/usher/internal/passes"
@@ -24,6 +32,8 @@ func main() {
 	optLevels := flag.Bool("opt-levels", false, "slowdowns under O1 and O2 (Section 4.6)")
 	ablations := flag.Bool("ablations", false, "design-choice ablation study")
 	all := flag.Bool("all", false, "everything")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "max concurrent workers (1 = serial)")
+	jsonPath := flag.String("json", "", "write results as JSON to this path")
 	flag.Parse()
 
 	if !*table1 && !*fig10 && !*fig11 && !*optLevels && !*ablations {
@@ -34,51 +44,80 @@ func main() {
 		os.Exit(1)
 	}
 
+	report := &bench.Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Parallel:    *parallel,
+	}
+
 	if *all || *table1 {
 		fmt.Println("=== Table 1: benchmark statistics under O0+IM ===")
-		rows, err := bench.Table1()
+		start := time.Now()
+		rows, err := bench.Table1Parallel(*parallel)
 		if err != nil {
 			fail(err)
 		}
+		report.AddPhase("table1", start)
+		report.Table1 = rows
 		bench.WriteTable1(os.Stdout, rows)
 		fmt.Println()
 	}
 	if *all || *fig10 {
 		fmt.Println("=== Figure 10: execution-time slowdowns (O0+IM) ===")
-		rows, err := bench.Fig10(passes.O0IM)
+		start := time.Now()
+		rows, err := bench.Fig10Parallel(passes.O0IM, *parallel)
 		if err != nil {
 			fail(err)
 		}
+		report.AddPhase("fig10", start)
+		report.Fig10 = append(report.Fig10, bench.LevelRows{Level: passes.O0IM.String(), Rows: rows})
 		bench.WriteFig10(os.Stdout, passes.O0IM, rows)
 		fmt.Println()
 	}
 	if *all || *fig11 {
 		fmt.Println("=== Figure 11: static instrumentation counts ===")
-		rows, err := bench.Fig11()
+		start := time.Now()
+		rows, err := bench.Fig11Parallel(*parallel)
 		if err != nil {
 			fail(err)
 		}
+		report.AddPhase("fig11", start)
+		report.Fig11 = rows
 		bench.WriteFig11(os.Stdout, rows)
 		fmt.Println()
 	}
 	if *all || *ablations {
 		fmt.Println("=== Ablations: context sensitivity, semi-strong updates, heap cloning, node merging ===")
-		rows, err := bench.Ablations()
+		start := time.Now()
+		rows, err := bench.AblationsParallel(*parallel)
 		if err != nil {
 			fail(err)
 		}
+		report.AddPhase("ablations", start)
+		report.Ablations = rows
 		bench.WriteAblations(os.Stdout, rows)
 		fmt.Println()
 	}
 	if *all || *optLevels {
 		for _, level := range []passes.Level{passes.O1, passes.O2} {
 			fmt.Printf("=== Section 4.6: slowdowns under %s ===\n", level)
-			rows, err := bench.Fig10(level)
+			start := time.Now()
+			rows, err := bench.Fig10Parallel(level, *parallel)
 			if err != nil {
 				fail(err)
 			}
+			report.AddPhase("fig10-"+level.String(), start)
+			report.Fig10 = append(report.Fig10, bench.LevelRows{Level: level.String(), Rows: rows})
 			bench.WriteFig10(os.Stdout, level, rows)
 			fmt.Println()
 		}
+	}
+
+	if *jsonPath != "" {
+		if err := report.WriteJSON(*jsonPath); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote JSON results to %s\n", *jsonPath)
 	}
 }

@@ -38,15 +38,26 @@ type AblationRow struct {
 	VFGNodes, MergedAway int
 }
 
-// Ablations measures every design-choice ablation over the suite.
-func Ablations() ([]AblationRow, error) {
-	var rows []AblationRow
-	for _, p := range workload.Profiles {
-		row, err := ablationRow(p)
+// Ablations measures every design-choice ablation over the suite with
+// the default parallelism.
+func Ablations() ([]AblationRow, error) { return AblationsParallel(DefaultParallelism()) }
+
+// AblationsParallel runs the ablation study using up to parallel workers
+// across profiles. Each row builds its own graphs, so rows are fully
+// independent.
+func AblationsParallel(parallel int) ([]AblationRow, error) {
+	profiles := workload.Profiles
+	rows := make([]AblationRow, len(profiles))
+	err := forEach(parallel, len(profiles), func(i int) error {
+		row, err := ablationRow(profiles[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

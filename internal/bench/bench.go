@@ -103,15 +103,32 @@ type Table1Row struct {
 	OptIS, OptIIR int
 }
 
-// Table1 computes the static statistics of every benchmark under O0+IM.
-func Table1() ([]Table1Row, error) {
-	var rows []Table1Row
-	for _, p := range workload.Profiles {
-		c, err := Prepare(p, passes.O0IM)
+// Table1 computes the static statistics of every benchmark under O0+IM
+// with the default parallelism.
+func Table1() ([]Table1Row, error) { return Table1Parallel(DefaultParallelism()) }
+
+// Table1Parallel computes Table 1 using up to parallel workers.
+// Generation, compilation and optimization run concurrently across
+// profiles; the measured analyses (the Time/Mem columns) then run
+// serially so per-benchmark allocation and wall-clock attribution stay
+// clean. All reported numbers are identical for any parallelism.
+func Table1Parallel(parallel int) ([]Table1Row, error) {
+	profiles := workload.Profiles
+	compiled := make([]*Compiled, len(profiles))
+	err := forEach(parallel, len(profiles), func(i int) error {
+		c, err := Prepare(profiles[i], passes.O0IM)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, table1Row(c))
+		compiled[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table1Row, len(profiles))
+	for i, c := range compiled {
+		rows[i] = table1Row(c)
 	}
 	return rows, nil
 }
@@ -216,6 +233,7 @@ func table1Row(c *Compiled) Table1Row {
 // ConfigRun is one configuration's dynamic result on one benchmark.
 type ConfigRun struct {
 	Config      usher.Config
+	ConfigName  string
 	Props       int64
 	Checks      int64
 	OverheadPct float64
@@ -232,54 +250,78 @@ type OverheadRow struct {
 
 // Fig10 measures the dynamic slowdown of every configuration on every
 // benchmark under the given optimization level (O0+IM for the paper's
-// Figure 10; O1/O2 for §4.6).
+// Figure 10; O1/O2 for §4.6), with the default parallelism.
 func Fig10(level passes.Level) ([]OverheadRow, error) {
-	var rows []OverheadRow
-	for _, p := range workload.Profiles {
-		c, err := Prepare(p, level)
+	return Fig10Parallel(level, DefaultParallelism())
+}
+
+// Fig10Parallel is Fig10 with an explicit worker bound, applied at two
+// levels: across workload profiles, and across configurations within a
+// profile (which share one analysis session, so the pointer analysis,
+// memory SSA and VFG of each program are built once, not once per
+// configuration). parallel <= 1 reproduces the serial driver exactly.
+func Fig10Parallel(level passes.Level, parallel int) ([]OverheadRow, error) {
+	return Fig10Profiles(workload.Profiles, level, parallel)
+}
+
+// Fig10Profiles measures the given profiles only (the full suite for the
+// paper's figure; subsets for tests).
+func Fig10Profiles(profiles []workload.Profile, level passes.Level, parallel int) ([]OverheadRow, error) {
+	rows := make([]OverheadRow, len(profiles))
+	err := forEach(parallel, len(profiles), func(i int) error {
+		c, err := Prepare(profiles[i], level)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row, err := overheadRow(c)
+		row, err := overheadRow(c, parallel)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
 
-func overheadRow(c *Compiled) (OverheadRow, error) {
+func overheadRow(c *Compiled, parallel int) (OverheadRow, error) {
 	row := OverheadRow{Name: c.Profile.Name}
 	native, err := usher.RunNative(c.Prog, usher.RunOptions{})
 	if err != nil {
 		return row, fmt.Errorf("%s native: %w", c.Profile.Name, err)
 	}
 	row.NativeSteps = native.Steps
-	for _, cfg := range usher.Configs {
-		an := usher.Analyze(c.Prog, cfg)
+	session := usher.NewSession(c.Prog)
+	row.Runs = make([]ConfigRun, len(usher.Configs))
+	err = forEach(parallel, len(usher.Configs), func(i int) error {
+		cfg := usher.Configs[i]
+		an := session.Analyze(cfg)
 		start := time.Now()
 		res, err := an.Run(usher.RunOptions{})
 		wall := time.Since(start).Seconds()
 		if err != nil {
-			return row, fmt.Errorf("%s %v: %w", c.Profile.Name, cfg, err)
+			return fmt.Errorf("%s %v: %w", c.Profile.Name, cfg, err)
 		}
 		if len(res.ShadowViolations) > 0 {
-			return row, fmt.Errorf("%s %v: shadow violations: %v", c.Profile.Name, cfg, res.ShadowViolations[0])
+			return fmt.Errorf("%s %v: shadow violations: %v", c.Profile.Name, cfg, res.ShadowViolations[0])
 		}
 		if res.Exit.Int != native.Exit.Int {
-			return row, fmt.Errorf("%s %v: exit diverged (%d vs %d)", c.Profile.Name, cfg, res.Exit.Int, native.Exit.Int)
+			return fmt.Errorf("%s %v: exit diverged (%d vs %d)", c.Profile.Name, cfg, res.Exit.Int, native.Exit.Int)
 		}
-		row.Runs = append(row.Runs, ConfigRun{
+		row.Runs[i] = ConfigRun{
 			Config:      cfg,
+			ConfigName:  cfg.String(),
 			Props:       res.ShadowProps,
 			Checks:      res.ShadowChecks,
 			OverheadPct: Overhead(res),
 			Warnings:    len(res.ShadowWarnings),
 			WallSec:     wall,
-		})
-	}
-	return row, nil
+		}
+		return nil
+	})
+	return row, err
 }
 
 // StaticRow is one benchmark's Figure 11 measurements: static counts per
@@ -294,26 +336,40 @@ type StaticRow struct {
 	ChecksPct []float64
 }
 
-// Fig11 computes the static instrumentation counts under O0+IM.
-func Fig11() ([]StaticRow, error) {
-	var rows []StaticRow
-	for _, p := range workload.Profiles {
-		c, err := Prepare(p, passes.O0IM)
+// Fig11 computes the static instrumentation counts under O0+IM with the
+// default parallelism.
+func Fig11() ([]StaticRow, error) { return Fig11Parallel(DefaultParallelism()) }
+
+// Fig11Parallel computes Figure 11 using up to parallel workers across
+// profiles and across configurations within a profile (per-profile
+// analysis sessions share the config-invariant artifacts).
+func Fig11Parallel(parallel int) ([]StaticRow, error) {
+	profiles := workload.Profiles
+	rows := make([]StaticRow, len(profiles))
+	err := forEach(parallel, len(profiles), func(i int) error {
+		c, err := Prepare(profiles[i], passes.O0IM)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row := StaticRow{Name: p.Name}
-		var base instrument.Stats
-		for i, cfg := range usher.Configs {
-			st := usher.Analyze(c.Prog, cfg).StaticStats()
-			if i == 0 {
-				base = st
-				row.Base = st
-			}
-			row.PropsPct = append(row.PropsPct, pct(st.Props, base.Props))
-			row.ChecksPct = append(row.ChecksPct, pct(st.Checks, base.Checks))
+		session := usher.NewSession(c.Prog)
+		stats := make([]instrument.Stats, len(usher.Configs))
+		err = forEach(parallel, len(usher.Configs), func(j int) error {
+			stats[j] = session.Analyze(usher.Configs[j]).StaticStats()
+			return nil
+		})
+		if err != nil {
+			return err
 		}
-		rows = append(rows, row)
+		row := StaticRow{Name: profiles[i].Name, Base: stats[0]}
+		for _, st := range stats {
+			row.PropsPct = append(row.PropsPct, pct(st.Props, stats[0].Props))
+			row.ChecksPct = append(row.ChecksPct, pct(st.Checks, stats[0].Checks))
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+)
+
+// PhaseTime records the wall-clock duration of one driver phase.
+type PhaseTime struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// LevelRows pairs a Figure 10 run with its optimization level.
+type LevelRows struct {
+	Level string        `json:"level"`
+	Rows  []OverheadRow `json:"rows"`
+}
+
+// Report is the machine-readable form of one usher-bench invocation,
+// written by the -json flag. It captures everything the text renderers
+// print plus the execution environment and per-phase wall-clock, so perf
+// trajectories can be tracked across commits and machines.
+type Report struct {
+	GeneratedAt string `json:"generated_at"`
+	NumCPU      int    `json:"num_cpu"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	Parallel    int    `json:"parallel"`
+
+	Phases []PhaseTime `json:"phases"`
+
+	Table1    []Table1Row   `json:"table1,omitempty"`
+	Fig10     []LevelRows   `json:"fig10,omitempty"`
+	Fig11     []StaticRow   `json:"fig11,omitempty"`
+	Ablations []AblationRow `json:"ablations,omitempty"`
+}
+
+// AddPhase appends a phase timing.
+func (r *Report) AddPhase(name string, start time.Time) {
+	r.Phases = append(r.Phases, PhaseTime{Name: name, Seconds: time.Since(start).Seconds()})
+}
+
+// WriteJSON writes the report, indented, to path.
+func (r *Report) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultParallelism is the worker count used by the non-parallel entry
+// points (Table1, Fig10, ...): one worker per CPU.
+func DefaultParallelism() int { return runtime.NumCPU() }
+
+// forEach runs f(0..n-1) on at most parallel workers and returns the
+// first (lowest-index) error. With parallel <= 1 it degenerates to a
+// plain sequential loop, reproducing the pre-parallel driver exactly.
+// Results must be written by f into pre-sized slices indexed by i, which
+// keeps output ordering deterministic regardless of scheduling.
+func forEach(parallel, n int, f func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if parallel <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if parallel > n {
+		parallel = n
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	// Lowest index wins, matching the error the serial loop would return.
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

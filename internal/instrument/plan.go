@@ -15,6 +15,10 @@
 package instrument
 
 import (
+	"fmt"
+	"sort"
+	"strings"
+
 	"github.com/valueflow/usher/internal/ir"
 )
 
@@ -180,6 +184,43 @@ func (p *Plan) StaticStats() Stats {
 		}
 	}
 	return st
+}
+
+// Fingerprint renders the plan canonically: functions sorted by name,
+// labels sorted numerically, items in emission order. Two plans with
+// equal fingerprints schedule exactly the same shadow work, so the
+// fingerprint is the equality notion used by the session-vs-standalone
+// and parallel-vs-serial regression tests.
+func (p *Plan) Fingerprint() string {
+	fns := make([]*FnPlan, 0, len(p.Fns))
+	for _, fp := range p.Fns {
+		fns = append(fns, fp)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Fn.Name < fns[j].Fn.Name })
+
+	var sb strings.Builder
+	for _, fp := range fns {
+		fmt.Fprintf(&sb, "func %s recv=%v setT=%v retSend=%v\n",
+			fp.Fn.Name, fp.ParamRecv, fp.ParamSetT, fp.RetSend)
+		var shadowed []int
+		for id, on := range fp.shadowRegs {
+			if on {
+				shadowed = append(shadowed, id)
+			}
+		}
+		fmt.Fprintf(&sb, "  shadowed=%v\n", shadowed)
+		labels := make([]int, 0, len(fp.Items))
+		for l := range fp.Items {
+			labels = append(labels, l)
+		}
+		sort.Ints(labels)
+		for _, l := range labels {
+			for _, it := range fp.Items[l] {
+				fmt.Fprintf(&sb, "  @%d %s dst=%v val=%v srcs=%v\n", l, it.Kind, it.Dst, it.Val, it.Srcs)
+			}
+		}
+	}
+	return sb.String()
 }
 
 // Full builds the MSan-model plan: every statement is shadowed and every

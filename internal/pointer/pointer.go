@@ -103,6 +103,7 @@ func Analyze(prog *ir.Program) *Result {
 	s := newSolver(prog)
 	s.generate()
 	s.solve()
+	s.freeze()
 	res := &Result{
 		solver:    s,
 		callees:   s.callees,

@@ -100,6 +100,27 @@ func (s *solver) find(n int) int {
 	return n
 }
 
+// findRO canonicalizes without path compression. Query entry points use
+// it so that a solved Result is strictly read-only and can be shared
+// across concurrent consumers (path compression writes would race).
+func (s *solver) findRO(n int) int {
+	for s.parent[n] != n {
+		n = s.parent[n]
+	}
+	return n
+}
+
+// freeze flattens the union-find and materializes lazily-initialized
+// tables once solving is done, so subsequent queries perform no writes.
+func (s *solver) freeze() {
+	for i := range s.parent {
+		s.parent[i] = s.find(i)
+	}
+	if s.funcConsts == nil {
+		s.funcConsts = make(map[*ir.Function]int)
+	}
+}
+
 // union merges node b into node a (both canonicalized), returning the root.
 func (s *solver) union(a, b int) int {
 	a, b = s.find(a), s.find(b)
@@ -209,7 +230,7 @@ func (s *solver) operandNode(v ir.Value, create bool) (int, bool) {
 	case *ir.Register:
 		k := regKey{v.Fn, v.ID}
 		if id, ok := s.regNodes[k]; ok {
-			return s.find(id), true
+			return s.findRO(id), true
 		}
 		if !create {
 			return 0, false
@@ -217,7 +238,7 @@ func (s *solver) operandNode(v ir.Value, create bool) (int, bool) {
 		return s.regNode(v), true
 	case *ir.GlobalAddr:
 		if id, ok := s.globNodes[v.Obj]; ok {
-			return s.find(id), true
+			return s.findRO(id), true
 		}
 		if !create {
 			return 0, false
@@ -242,10 +263,13 @@ func (s *solver) funcConstNode(fn *ir.Function, create bool) int {
 	// keyed in globNodes-like fashion: store under funcNodes with offset.
 	// Simpler: cache a const node per function.
 	if s.funcConsts == nil {
+		if !create {
+			return -1
+		}
 		s.funcConsts = make(map[*ir.Function]int)
 	}
 	if id, ok := s.funcConsts[fn]; ok {
-		return s.find(id)
+		return s.findRO(id)
 	}
 	if !create {
 		return -1
@@ -483,11 +507,11 @@ func (s *solver) solve() {
 // locsOf returns the canonicalized, deduplicated, sorted locations of a
 // node.
 func (s *solver) locsOf(n int) []Loc {
-	n = s.find(n)
+	n = s.findRO(n)
 	seen := make(map[int]struct{})
 	var locs []Loc
 	for raw := range s.nodes[n].pts {
-		c := s.find(raw)
+		c := s.findRO(raw)
 		if _, dup := seen[c]; dup {
 			continue
 		}

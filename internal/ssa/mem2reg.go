@@ -63,9 +63,13 @@ func promoteFunc(fn *ir.Function) int {
 				}
 			}
 		}
+		// Seed the worklist in block order so the phi registers created
+		// below are numbered deterministically across runs.
 		work := make([]*ir.Block, 0, len(defBlocks))
-		for b := range defBlocks {
-			work = append(work, b)
+		for _, b := range fn.Blocks {
+			if defBlocks[b] {
+				work = append(work, b)
+			}
 		}
 		placed := make(map[*ir.Block]bool)
 		for len(work) > 0 {

@@ -1,0 +1,27 @@
+package vfg
+
+import "math/bits"
+
+// bitset is a dense bit vector over node (or context) ids: one word per 64
+// ids. Resolution uses it for the ⊥ frontier and the visited sets, which
+// keeps Γ resolution allocation-free per step and cache-friendly compared
+// to per-node maps.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) has(i int) bool {
+	w := i >> 6
+	return w < len(b) && b[w]&(1<<(uint(i)&63)) != 0
+}
+
+func (b bitset) set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// count returns the number of set bits.
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

@@ -21,15 +21,18 @@ func (s State) String() string {
 	return "⊤"
 }
 
-// Gamma maps VFG nodes to their definedness.
+// Gamma maps VFG nodes to their definedness. The ⊥ set is a dense bit
+// set over node ids, one word per 64 nodes.
 type Gamma struct {
 	g      *Graph
-	bottom []bool
+	n      int // node count at resolution time
+	bottom bitset
 	// eq is set when resolution ran over access-equivalence classes.
 	eq *Equivalence
 }
 
-// Of returns the state of n.
+// Of returns the state of n. Nodes unknown to the resolution (nil, or
+// created after it — impossible on sealed graphs) are conservatively ⊥.
 func (gm *Gamma) Of(n *Node) State {
 	if n == nil {
 		return Bottom
@@ -38,7 +41,7 @@ func (gm *Gamma) Of(n *Node) State {
 	if gm.eq != nil {
 		id = gm.eq.Rep(id)
 	}
-	if gm.bottom[id] {
+	if id >= gm.n || gm.bottom.has(id) {
 		return Bottom
 	}
 	return Top
@@ -57,6 +60,10 @@ func (gm *Gamma) OfValue(v ir.Value) State {
 
 // BottomCount returns the number of ⊥ nodes.
 func (gm *Gamma) BottomCount() int {
+	if gm.eq == nil {
+		return gm.bottom.count()
+	}
+	// Under merging, ⊥ bits live on class representatives; count members.
 	n := 0
 	for _, node := range gm.g.Nodes {
 		if gm.Of(node) == Bottom {
@@ -99,9 +106,18 @@ func ResolveCut(g *Graph, cut func(from, to *Node) bool) *Gamma {
 }
 
 // ResolveWith is the general entry point.
+//
+// The propagation state is kept in dense bit sets rather than per-node
+// maps: the ⊥ frontier is one bit per node, the visited-in-unknown-context
+// set is one bit per node, and the visited-in-specific-context sets are
+// per-node context bit vectors allocated only for nodes that are ever
+// reached under a specific call-site context. Resolution performs no
+// allocation proportional to the number of (node, context) visits and
+// never mutates the graph, so it may run concurrently over a shared graph.
 func ResolveWith(g *Graph, opts ResolveOptions) *Gamma {
 	cut := opts.Cut
-	gm := &Gamma{g: g, bottom: make([]bool, len(g.Nodes))}
+	nn := len(g.Nodes)
+	gm := &Gamma{g: g, n: nn, bottom: newBitset(nn)}
 
 	// Access-equivalence merging: resolve per class representative.
 	// Edge cuts key on individual nodes, so merging is disabled under
@@ -116,44 +132,56 @@ func ResolveWith(g *Graph, opts ResolveOptions) *Gamma {
 		usersOf = func(n *Node) []Edge { return eq.classUsers[n.ID] }
 	}
 
-	// Context ids: 0 = unknown, otherwise 1 + call-site index.
-	siteIDs := make(map[*ir.Call]int)
-	siteID := func(c *ir.Call) int {
-		if id, ok := siteIDs[c]; ok {
-			return id
+	// Context ids: 0 = unknown, otherwise the graph's dense call-site id.
+	// Sealed graphs carry the table precomputed; unsealed ones (hand-built
+	// in tests) get a local assignment in the same deterministic order.
+	siteIDs, numSites := g.siteIDs, g.numSites
+	if siteIDs == nil {
+		siteIDs = make(map[*ir.Call]int)
+		for _, n := range g.Nodes {
+			for _, e := range n.Deps {
+				if e.Site != nil {
+					if _, ok := siteIDs[e.Site]; !ok {
+						numSites++
+						siteIDs[e.Site] = numSites
+					}
+				}
+			}
 		}
-		id := len(siteIDs) + 1
-		siteIDs[c] = id
-		return id
 	}
+	numCtx := numSites + 1
 
 	type state struct {
 		node *Node
 		ctx  int
 	}
-	// visited[node] holds the contexts seen; ctxUnknown subsumes all.
-	visited := make([]map[int]bool, len(g.Nodes))
+	// Visited sets: ctxUnknown subsumes every specific context.
+	visitedUnknown := newBitset(nn)
+	visitedCtx := make([]bitset, nn)
 	seen := func(n *Node, ctx int) bool {
-		m := visited[n.ID]
-		if m == nil {
-			return false
-		}
-		if m[ctxUnknown] {
+		if visitedUnknown.has(n.ID) {
 			return true
 		}
-		return m[ctx]
+		if ctx == ctxUnknown {
+			return false
+		}
+		b := visitedCtx[n.ID]
+		return b != nil && b.has(ctx)
 	}
 	mark := func(n *Node, ctx int) {
-		if visited[n.ID] == nil {
-			visited[n.ID] = make(map[int]bool)
-		}
 		if ctx == ctxUnknown {
 			// Widen: unknown subsumes all specific contexts.
-			visited[n.ID] = map[int]bool{ctxUnknown: true}
+			visitedUnknown.set(n.ID)
+			visitedCtx[n.ID] = nil
 		} else {
-			visited[n.ID][ctx] = true
+			b := visitedCtx[n.ID]
+			if b == nil {
+				b = newBitset(numCtx)
+				visitedCtx[n.ID] = b
+			}
+			b.set(ctx)
 		}
-		gm.bottom[n.ID] = true
+		gm.bottom.set(n.ID)
 	}
 
 	var work []state
@@ -195,12 +223,11 @@ func ResolveWith(g *Graph, opts ResolveOptions) *Gamma {
 				push(e.To, s.ctx)
 			case EdgeCall:
 				// Entering the callee at e.Site: remember it (1 level).
-				push(e.To, siteID(e.Site))
+				push(e.To, siteIDs[e.Site])
 			case EdgeRet:
 				// Leaving the callee towards e.Site: allowed if we entered
 				// there, or if the entry site is unknown.
-				id := siteID(e.Site)
-				if s.ctx == ctxUnknown || s.ctx == id {
+				if s.ctx == ctxUnknown || s.ctx == siteIDs[e.Site] {
 					push(e.To, ctxUnknown)
 				}
 			}
@@ -226,8 +253,9 @@ func CriticalUses(g *Graph) map[*Node][]ir.Instr {
 				}
 				for _, v := range vals {
 					if r, isReg := v.(*ir.Register); isReg {
-						n := g.RegNode(r)
-						uses[n] = append(uses[n], in)
+						if n := g.RegNode(r); n != nil {
+							uses[n] = append(uses[n], in)
+						}
 					}
 				}
 			}

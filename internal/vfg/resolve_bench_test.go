@@ -1,0 +1,79 @@
+package vfg_test
+
+import (
+	"testing"
+
+	"github.com/valueflow/usher"
+	"github.com/valueflow/usher/internal/memssa"
+	"github.com/valueflow/usher/internal/passes"
+	"github.com/valueflow/usher/internal/pointer"
+	"github.com/valueflow/usher/internal/vfg"
+	"github.com/valueflow/usher/internal/workload"
+)
+
+// benchGraph builds the full VFG of one workload profile.
+func benchGraph(b *testing.B, name string) *vfg.Graph {
+	b.Helper()
+	p, ok := workload.ByName(name)
+	if !ok {
+		b.Fatalf("no workload %s", name)
+	}
+	src := workload.Generate(p)
+	prog, err := usher.Compile(p.Name+".c", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := passes.Apply(prog, passes.O0IM); err != nil {
+		b.Fatal(err)
+	}
+	pa := pointer.Analyze(prog)
+	mem := memssa.Build(prog, pa)
+	return vfg.Build(prog, pa, mem, vfg.Options{})
+}
+
+// BenchmarkResolve measures bit-set Γ resolution on a mid-size graph
+// (~10k nodes).
+func BenchmarkResolve(b *testing.B) {
+	g := benchGraph(b, "mesa")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gm := vfg.Resolve(g)
+		if gm.BottomCount() == 0 {
+			b.Fatal("no ⊥ nodes")
+		}
+	}
+}
+
+// BenchmarkResolveMerged resolves over access-equivalence classes.
+func BenchmarkResolveMerged(b *testing.B) {
+	g := benchGraph(b, "mesa")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gm := vfg.ResolveWith(g, vfg.ResolveOptions{MergeEquivalent: true})
+		if gm.BottomCount() == 0 {
+			b.Fatal("no ⊥ nodes")
+		}
+	}
+}
+
+// BenchmarkResolveContextInsensitive is the §3.3 ablation's resolution.
+func BenchmarkResolveContextInsensitive(b *testing.B) {
+	g := benchGraph(b, "mesa")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gm := vfg.ResolveWith(g, vfg.ResolveOptions{ContextInsensitive: true})
+		if gm.BottomCount() == 0 {
+			b.Fatal("no ⊥ nodes")
+		}
+	}
+}
+
+// BenchmarkResolveLarge runs resolution on the largest suite graph
+// (~90k nodes) to expose cache behaviour at scale.
+func BenchmarkResolveLarge(b *testing.B) {
+	g := benchGraph(b, "gcc")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vfg.Resolve(g)
+	}
+}

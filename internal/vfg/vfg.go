@@ -145,6 +145,17 @@ type Graph struct {
 	StoreUpdates map[*memssa.Def]UpdateKind
 	// SemiStrongCuts counts applications of the semi-strong rule.
 	SemiStrongCuts int
+
+	// sealed marks the graph immutable: after Build returns, node lookups
+	// never materialize new nodes, so a Graph (and everything hanging off
+	// it) can be shared read-only across concurrent consumers.
+	sealed bool
+	// siteIDs/numSites assign a dense, deterministic id (1..numSites) to
+	// every call site appearing on an interprocedural edge; id 0 is the
+	// unknown context. Precomputing the table at build time keeps Resolve
+	// read-only on the graph.
+	siteIDs  map[*ir.Call]int
+	numSites int
 }
 
 // Build constructs the VFG.
@@ -166,8 +177,66 @@ func Build(prog *ir.Program, pa *pointer.Result, mem *memssa.Info, opts Options)
 		}
 	}
 	g.linkParams()
-	g.finish()
+	g.seal()
 	return g
+}
+
+// seal completes construction and freezes the graph: every register that
+// could ever be queried gets its node now, the reverse adjacency and the
+// call-site table are built, and lazy node creation is switched off.
+func (g *Graph) seal() {
+	// Materialize nodes for every parameter and every defined register,
+	// so post-build lookups (CriticalUses, instrumentation, Opt II) never
+	// mutate the node table. Operand registers are always defined by some
+	// instruction or parameter, so this covers all of them.
+	for _, fn := range g.Prog.Funcs {
+		if !fn.HasBody {
+			continue
+		}
+		for _, prm := range fn.Params {
+			g.RegNode(prm)
+		}
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				switch in := in.(type) {
+				case *ir.Alloc:
+					g.RegNode(in.Dst)
+				case *ir.Copy:
+					g.RegNode(in.Dst)
+				case *ir.BinOp:
+					g.RegNode(in.Dst)
+				case *ir.FieldAddr:
+					g.RegNode(in.Dst)
+				case *ir.IndexAddr:
+					g.RegNode(in.Dst)
+				case *ir.Phi:
+					g.RegNode(in.Dst)
+				case *ir.Load:
+					g.RegNode(in.Dst)
+				case *ir.Call:
+					if in.Dst != nil {
+						g.RegNode(in.Dst)
+					}
+				}
+			}
+		}
+	}
+	g.finish()
+
+	// Dense call-site ids, assigned in deterministic edge order.
+	g.siteIDs = make(map[*ir.Call]int)
+	for _, n := range g.Nodes {
+		for _, e := range n.Deps {
+			if e.Site == nil {
+				continue
+			}
+			if _, ok := g.siteIDs[e.Site]; !ok {
+				g.numSites++
+				g.siteIDs[e.Site] = g.numSites
+			}
+		}
+	}
+	g.sealed = true
 }
 
 func (g *Graph) newNode(kind NodeKind, fn *ir.Function) *Node {
@@ -176,10 +245,16 @@ func (g *Graph) newNode(kind NodeKind, fn *ir.Function) *Node {
 	return n
 }
 
-// RegNode returns the node of a register definition.
+// RegNode returns the node of a register definition. On a sealed graph
+// misses return nil instead of materializing a node (callers treat nil
+// conservatively), keeping lookups free of side effects so they are safe
+// under concurrent sharing.
 func (g *Graph) RegNode(r *ir.Register) *Node {
 	if n, ok := g.regNodes[r]; ok {
 		return n
+	}
+	if g.sealed {
+		return nil
 	}
 	n := g.newNode(NodeReg, r.Fn)
 	n.Reg = r
@@ -195,6 +270,9 @@ func (g *Graph) MemNode(d *memssa.Def) *Node {
 	}
 	if n, ok := g.memNodes[d]; ok {
 		return n
+	}
+	if g.sealed {
+		return nil
 	}
 	n := g.newNode(NodeMem, d.Fn)
 	n.Mem = d

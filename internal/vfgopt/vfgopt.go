@@ -125,13 +125,18 @@ func RedundantCheckElim(g *vfg.Graph, gm *vfg.Gamma) (*vfg.Gamma, int) {
 		// address-taken versions read by the closure's loads (line 4).
 		closure := make(map[int]bool)
 		for _, r := range m.All {
-			closure[g.RegNode(r).ID] = true
+			if rn := g.RegNode(r); rn != nil {
+				closure[rn.ID] = true
+			}
 		}
 		for _, r := range m.All {
 			if _, isLoad := r.Def.(*ir.Load); !isLoad {
 				continue
 			}
 			ln := g.RegNode(r)
+			if ln == nil {
+				continue
+			}
 			for _, e := range ln.Deps {
 				if e.To.Kind == vfg.NodeMem && concreteVar(g, e.To.Mem.Var) {
 					closure[e.To.ID] = true

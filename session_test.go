@@ -1,0 +1,146 @@
+package usher_test
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/valueflow/usher"
+	"github.com/valueflow/usher/internal/passes"
+	"github.com/valueflow/usher/internal/workload"
+)
+
+func prepProg(t *testing.T, name string) *usher.Session {
+	t.Helper()
+	p, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("no workload %s", name)
+	}
+	src := workload.Generate(p)
+	prog, err := usher.Compile(p.Name+".c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := passes.Apply(prog, passes.O0IM); err != nil {
+		t.Fatal(err)
+	}
+	return usher.NewSession(prog)
+}
+
+// TestSessionMatchesStandaloneAnalyze is the sharing-hazard regression
+// test: analyzing every configuration from one shared session must
+// produce exactly the plans, Γ and optimization statistics of independent
+// Analyze calls. A config-specific pass mutating the shared graph or
+// gamma would leak into later configurations and break this.
+func TestSessionMatchesStandaloneAnalyze(t *testing.T) {
+	for _, name := range []string{"mcf", "equake"} {
+		s := prepProg(t, name)
+		// Deliberately analyze in an order that interleaves the TL and
+		// full graphs and runs the mutating-prone opts (I/II/III) before
+		// re-analyzing earlier configs.
+		order := append(append([]usher.Config{}, usher.ExtendedConfigs...), usher.Configs...)
+		for _, cfg := range order {
+			got := s.Analyze(cfg)
+			want := usher.Analyze(s.Prog, cfg)
+			if g, w := got.Plan.Fingerprint(), want.Plan.Fingerprint(); g != w {
+				t.Fatalf("%s/%v: session plan diverges from standalone plan:\nsession:\n%s\nstandalone:\n%s", name, cfg, g, w)
+			}
+			if g, w := got.Gamma.BottomCount(), want.Gamma.BottomCount(); g != w {
+				t.Errorf("%s/%v: ⊥ count %d != %d", name, cfg, g, w)
+			}
+			if got.MFCsSimplified != want.MFCsSimplified || got.Redirected != want.Redirected || got.ChecksElided != want.ChecksElided {
+				t.Errorf("%s/%v: opt stats (%d,%d,%d) != (%d,%d,%d)", name, cfg,
+					got.MFCsSimplified, got.Redirected, got.ChecksElided,
+					want.MFCsSimplified, want.Redirected, want.ChecksElided)
+			}
+			if got.StaticStats() != want.StaticStats() {
+				t.Errorf("%s/%v: static stats %+v != %+v", name, cfg, got.StaticStats(), want.StaticStats())
+			}
+			if len(got.Graph.Nodes) != len(want.Graph.Nodes) {
+				t.Errorf("%s/%v: graph size %d != %d", name, cfg, len(got.Graph.Nodes), len(want.Graph.Nodes))
+			}
+		}
+	}
+}
+
+// TestSessionSharesArtifacts asserts the caching actually happens: all
+// configurations see the same pointer analysis, and all non-TL
+// configurations the same graph instance.
+func TestSessionSharesArtifacts(t *testing.T) {
+	s := prepProg(t, "mcf")
+	msan := s.Analyze(usher.ConfigMSan)
+	tl := s.Analyze(usher.ConfigUsherTL)
+	full := s.Analyze(usher.ConfigUsherFull)
+	opt1 := s.Analyze(usher.ConfigUsherOptI)
+
+	if msan.Pointer != tl.Pointer || tl.Pointer != full.Pointer {
+		t.Error("pointer analysis not shared across configurations")
+	}
+	if msan.Mem != full.Mem {
+		t.Error("memory SSA not shared across configurations")
+	}
+	if msan.Graph != full.Graph || full.Graph != opt1.Graph {
+		t.Error("full VFG not shared across non-TL configurations")
+	}
+	if tl.Graph == full.Graph {
+		t.Error("TL configuration must use its own top-level-only graph")
+	}
+	if !tl.Graph.Opts.TopLevelOnly {
+		t.Error("TL graph not built top-level-only")
+	}
+}
+
+// TestSessionConcurrentAnalyze exercises the shared artifacts from many
+// goroutines (run under -race to catch mutation of shared state) and
+// checks the results still match a serial session.
+func TestSessionConcurrentAnalyze(t *testing.T) {
+	s := prepProg(t, "equake")
+	serial := prepProg(t, "equake")
+
+	want := make(map[usher.Config]string)
+	for _, cfg := range usher.ExtendedConfigs {
+		want[cfg] = serial.Analyze(cfg).Plan.Fingerprint()
+	}
+
+	const rounds = 3
+	var wg sync.WaitGroup
+	errs := make(chan string, len(usher.ExtendedConfigs)*rounds)
+	for r := 0; r < rounds; r++ {
+		for _, cfg := range usher.ExtendedConfigs {
+			wg.Add(1)
+			go func(cfg usher.Config) {
+				defer wg.Done()
+				an := s.Analyze(cfg)
+				if fp := an.Plan.Fingerprint(); fp != want[cfg] {
+					errs <- cfg.String()
+				}
+			}(cfg)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for cfg := range errs {
+		t.Errorf("concurrent analysis of %s diverged from serial", cfg)
+	}
+}
+
+// TestSessionRunsExecutable makes sure a session-produced analysis still
+// drives the interpreter end to end.
+func TestSessionRunsExecutable(t *testing.T) {
+	s := prepProg(t, "mcf")
+	native, err := usher.RunNative(s.Prog, usher.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range usher.Configs {
+		res, err := s.Analyze(cfg).Run(usher.RunOptions{})
+		if err != nil {
+			t.Fatalf("%v: %v", cfg, err)
+		}
+		if res.Exit.Int != native.Exit.Int {
+			t.Fatalf("%v: exit %d != native %d", cfg, res.Exit.Int, native.Exit.Int)
+		}
+		if len(res.ShadowViolations) > 0 {
+			t.Fatalf("%v: shadow violation: %s", cfg, res.ShadowViolations[0])
+		}
+	}
+}

@@ -110,37 +110,13 @@ type Analysis struct {
 }
 
 // Analyze runs the full static pipeline for the chosen configuration.
+// To analyze the same program under several configurations, create a
+// Session and call its Analyze method instead: the session computes the
+// config-invariant artifacts (pointer analysis, memory SSA, VFG, Γ) once
+// and shares them, which is several times faster and produces identical
+// results.
 func Analyze(prog *ir.Program, cfg Config) *Analysis {
-	a := &Analysis{Config: cfg, Prog: prog}
-	a.Pointer = pointer.Analyze(prog)
-	a.Mem = memssa.Build(prog, a.Pointer)
-
-	if cfg == ConfigMSan {
-		// Full instrumentation needs no VFG, but building one (with its
-		// Γ) is cheap and useful for reporting.
-		a.Graph = vfg.Build(prog, a.Pointer, a.Mem, vfg.Options{})
-		a.Gamma = vfg.Resolve(a.Graph)
-		a.Plan = instrument.Full(prog)
-		return a
-	}
-
-	vopts := vfg.Options{TopLevelOnly: cfg == ConfigUsherTL}
-	a.Graph = vfg.Build(prog, a.Pointer, a.Mem, vopts)
-	a.Gamma = vfg.Resolve(a.Graph)
-
-	gopts := instrument.GuidedOptions{
-		OptI:       cfg >= ConfigUsherOptI,
-		OptII:      cfg >= ConfigUsherFull,
-		OptIII:     cfg >= ConfigUsherOptIII,
-		MemoryFull: cfg == ConfigUsherTL,
-	}
-	res := instrument.Guided(cfg.String(), a.Graph, a.Gamma, gopts)
-	a.Plan = res.Plan
-	a.Gamma = res.Gamma
-	a.MFCsSimplified = res.MFCsSimplified
-	a.Redirected = res.Redirected
-	a.ChecksElided = res.ChecksElided
-	return a
+	return NewSession(prog).Analyze(cfg)
 }
 
 // RunOptions configures an instrumented execution.
