@@ -38,7 +38,7 @@ func BenchmarkAnalyze5ConfigsStandalone(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, cfg := range usher.Configs {
-			if an := usher.Analyze(prog, cfg); an.Plan == nil {
+			if an := usher.MustAnalyze(prog, cfg); an.Plan == nil {
 				b.Fatal("no plan")
 			}
 		}
@@ -54,7 +54,7 @@ func BenchmarkAnalyze5ConfigsSession(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := usher.NewSession(prog)
 		for _, cfg := range usher.Configs {
-			if an := s.Analyze(cfg); an.Plan == nil {
+			if an := s.MustAnalyze(cfg); an.Plan == nil {
 				b.Fatal("no plan")
 			}
 		}

@@ -70,7 +70,7 @@ func BenchmarkFig10PerBenchmark(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			an := usher.Analyze(c.Prog, usher.ConfigUsherFull)
+			an := usher.MustAnalyze(c.Prog, usher.ConfigUsherFull)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				res, err := an.Run(usher.RunOptions{})
@@ -128,7 +128,7 @@ func BenchmarkAnalysisCost(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		usher.Analyze(c.Prog, usher.ConfigUsherFull)
+		usher.MustAnalyze(c.Prog, usher.ConfigUsherFull)
 	}
 }
 
@@ -193,7 +193,7 @@ func benchInterp(b *testing.B, cfg usher.Config) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	an := usher.Analyze(c.Prog, cfg)
+	an := usher.MustAnalyze(c.Prog, cfg)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := an.Run(usher.RunOptions{}); err != nil {

@@ -39,16 +39,25 @@ func main() {
 	if !*table1 && !*fig10 && !*fig11 && !*optLevels && !*ablations {
 		*all = true
 	}
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "usher-bench:", err)
-		os.Exit(1)
-	}
-
 	report := &bench.Report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		NumCPU:      runtime.NumCPU(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Parallel:    *parallel,
+	}
+	// fail writes the partial report before exiting, so a late-phase
+	// failure does not discard the completed phases: the JSON carries
+	// everything finished so far plus an "error" field.
+	fail := func(err error) {
+		if *jsonPath != "" {
+			if werr := report.WriteFailure(*jsonPath, err); werr != nil {
+				fmt.Fprintln(os.Stderr, "usher-bench: writing partial report:", werr)
+			} else {
+				fmt.Fprintf(os.Stderr, "usher-bench: wrote partial JSON results to %s\n", *jsonPath)
+			}
+		}
+		fmt.Fprintln(os.Stderr, "usher-bench:", err)
+		os.Exit(1)
 	}
 
 	if *all || *table1 {

@@ -23,6 +23,7 @@ import (
 
 	"github.com/valueflow/usher"
 	"github.com/valueflow/usher/internal/bench"
+	"github.com/valueflow/usher/internal/diag"
 	"github.com/valueflow/usher/internal/interp"
 	"github.com/valueflow/usher/internal/ir"
 	"github.com/valueflow/usher/internal/passes"
@@ -70,7 +71,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	an := usher.Analyze(prog, cfg)
+	an, err := usher.Analyze(prog, cfg)
+	if err != nil {
+		fatal(err)
+	}
 	st := an.StaticStats()
 	fmt.Printf("%s: %d static shadow propagations, %d static checks", cfg, st.Props, st.Checks)
 	if an.MFCsSimplified > 0 || an.Redirected > 0 {
@@ -164,8 +168,12 @@ func compareConfigs(prog *ir.Program) {
 	}
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "config\tstatic-props\tstatic-checks\tdyn-props\tdyn-checks\toverhead%\twarnings")
+	s := usher.NewSession(prog)
 	for _, cfg := range usher.Configs {
-		an := usher.Analyze(prog, cfg)
+		an, err := s.Analyze(cfg)
+		if err != nil {
+			fatal(err)
+		}
 		st := an.StaticStats()
 		res, err := an.Run(usher.RunOptions{})
 		if err != nil {
@@ -179,7 +187,15 @@ func compareConfigs(prog *ir.Program) {
 	tw.Flush()
 }
 
+// fatal renders err on stderr and exits non-zero. Structured diagnostics
+// (see internal/diag) are printed one per line in source order.
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "usherc:", err)
+	if ds := diag.All(err); len(ds) > 0 {
+		for _, d := range ds {
+			fmt.Fprintln(os.Stderr, "usherc:", d)
+		}
+	} else {
+		fmt.Fprintln(os.Stderr, "usherc:", err)
+	}
 	os.Exit(1)
 }

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"github.com/valueflow/usher"
+	"github.com/valueflow/usher/internal/diag"
 	"github.com/valueflow/usher/internal/ir"
 	"github.com/valueflow/usher/internal/memssa"
 	"github.com/valueflow/usher/internal/passes"
@@ -48,10 +49,17 @@ func main() {
 	if err := passes.Apply(prog, passes.O0IM); err != nil {
 		fatal(err)
 	}
-	pa := pointer.Analyze(prog)
-	mem := memssa.Build(prog, pa)
-	g := vfg.Build(prog, pa, mem, vfg.Options{})
-	gm := vfg.Resolve(g)
+	// Build the shared artifacts through a Session so an internal panic in
+	// any analysis stage surfaces as a rendered error, not a crash.
+	s := usher.NewSession(prog)
+	pa, mem, err := s.Base()
+	if err != nil {
+		fatal(err)
+	}
+	g, gm, err := s.Graph(false)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *showIR {
 		fmt.Println("=== IR (O0+IM) ===")
@@ -193,7 +201,15 @@ func dumpDOT(g *vfg.Graph, gm *vfg.Gamma) {
 	fmt.Println("}")
 }
 
+// fatal renders err on stderr and exits non-zero. Structured diagnostics
+// (see internal/diag) are printed one per line in source order.
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "vfg-dump:", err)
+	if ds := diag.All(err); len(ds) > 0 {
+		for _, d := range ds {
+			fmt.Fprintln(os.Stderr, "vfg-dump:", d)
+		}
+	} else {
+		fmt.Fprintln(os.Stderr, "vfg-dump:", err)
+	}
 	os.Exit(1)
 }

@@ -1,0 +1,162 @@
+package usher_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/valueflow/usher"
+	"github.com/valueflow/usher/internal/diag"
+)
+
+// TestCompileErrors pins the frontend error contract: malformed input
+// comes back from Compile as positioned diagnostics — never a panic and
+// never a bare unpositioned error. Each case names the phase that must
+// report it and a substring of the expected message.
+func TestCompileErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		src   string
+		phase diag.Phase
+		want  string
+		line  int
+		col   int
+	}{
+		{
+			name:  "unterminated block comment",
+			src:   "int main(void) { /* unterminated",
+			phase: diag.PhaseLex,
+			want:  "unterminated block comment",
+			line:  1, col: 18,
+		},
+		{
+			name:  "illegal character",
+			src:   "int main(void) { int x = 1 $ 2; return x; }",
+			phase: diag.PhaseLex,
+			want:  "illegal character '$'",
+			line:  1, col: 28,
+		},
+		{
+			name:  "assignment to non-lvalue",
+			src:   "int main(void) { 3 = 4; return 0; }",
+			phase: diag.PhaseType,
+			want:  "cannot assign to this expression",
+			line:  1, col: 18,
+		},
+		{
+			name:  "call of undefined function",
+			src:   "int main(void) { return frobnicate(1); }",
+			phase: diag.PhaseType,
+			want:  "undefined: frobnicate",
+			line:  1, col: 25,
+		},
+		{
+			name:  "builtin arity mismatch",
+			src:   "int main(void) { print(1, 2); return 0; }",
+			phase: diag.PhaseType,
+			want:  "wrong number of arguments: got 2, want 1",
+			line:  1, col: 23,
+		},
+		{
+			name:  "builtin used as a value",
+			src:   "int main(void) { void (*p)(int); p = print; return 0; }",
+			phase: diag.PhaseType,
+			want:  "builtin print can only be called",
+			line:  1, col: 38,
+		},
+		{
+			name:  "duplicate function definition",
+			src:   "int f(void) { return 1; } int f(void) { return 2; } int main(void) { return f(); }",
+			phase: diag.PhaseType,
+			want:  "redefinition of f",
+			line:  1, col: 32,
+		},
+		{
+			name:  "nesting depth limit",
+			src:   "int main(void) { return " + strings.Repeat("(", 3000) + "1" + strings.Repeat(")", 3000) + "; }",
+			phase: diag.PhaseParse,
+			want:  "nesting too deep",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			prog, err := usher.Compile("t.c", tt.src)
+			if err == nil {
+				t.Fatal("Compile succeeded, want an error")
+			}
+			if prog != nil {
+				t.Error("Compile returned both a program and an error")
+			}
+			diags := diag.All(err)
+			if len(diags) == 0 {
+				t.Fatalf("error carries no diagnostics: %v", err)
+			}
+			var hit *diag.Diagnostic
+			for _, d := range diags {
+				if strings.Contains(d.Msg, tt.want) {
+					hit = d
+					break
+				}
+			}
+			if hit == nil {
+				t.Fatalf("no diagnostic contains %q; got:\n%v", tt.want, err)
+			}
+			if hit.Phase != tt.phase {
+				t.Errorf("phase = %q, want %q", hit.Phase, tt.phase)
+			}
+			if hit.Pos.File != "t.c" || hit.Pos.Line == 0 {
+				t.Errorf("diagnostic not positioned: %s", hit)
+			}
+			if tt.line != 0 && (hit.Pos.Line != tt.line || hit.Pos.Col != tt.col) {
+				t.Errorf("pos = %d:%d, want %d:%d", hit.Pos.Line, hit.Pos.Col, tt.line, tt.col)
+			}
+		})
+	}
+}
+
+// TestCompileReportsAllErrorsInOrder checks that a source with several
+// independent mistakes reports every one of them, sorted by source
+// position, rather than stopping at the first.
+func TestCompileReportsAllErrorsInOrder(t *testing.T) {
+	src := "int main(void) {\n" +
+		"\t3 = 4;\n" +
+		"\tprint(1, 2);\n" +
+		"\treturn frobnicate(1);\n" +
+		"}\n"
+	_, err := usher.Compile("t.c", src)
+	if err == nil {
+		t.Fatal("Compile succeeded, want errors")
+	}
+	diags := diag.All(err)
+	wants := []struct {
+		msg  string
+		line int
+	}{
+		{"cannot assign to this expression", 2},
+		{"wrong number of arguments", 3},
+		{"undefined: frobnicate", 4},
+	}
+	found := 0
+	for _, w := range wants {
+		ok := false
+		for _, d := range diags {
+			if strings.Contains(d.Msg, w.msg) && d.Pos.Line == w.line {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("missing diagnostic %q on line %d; got:\n%v", w.msg, w.line, err)
+			continue
+		}
+		found++
+	}
+	if found < len(wants) {
+		return
+	}
+	for i := 1; i < len(diags); i++ {
+		p, q := diags[i-1].Pos, diags[i].Pos
+		if p.Line > q.Line || (p.Line == q.Line && p.Col > q.Col) {
+			t.Errorf("diagnostics out of source order: %s before %s", diags[i-1], diags[i])
+		}
+	}
+}

@@ -27,7 +27,7 @@ func TestCompileAndAnalyzeDeterministic(t *testing.T) {
 		if err := passes.Apply(prog, passes.O0IM); err != nil {
 			t.Fatal(err)
 		}
-		return usher.Analyze(prog, usher.ConfigUsherFull).Plan.Fingerprint()
+		return usher.MustAnalyze(prog, usher.ConfigUsherFull).Plan.Fingerprint()
 	}
 	a, b := fp(), fp()
 	if a != b {

@@ -23,8 +23,8 @@ int main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	msan := usher.Analyze(prog, usher.ConfigMSan)
-	ush := usher.Analyze(prog, usher.ConfigUsherFull)
+	msan := usher.MustAnalyze(prog, usher.ConfigMSan)
+	ush := usher.MustAnalyze(prog, usher.ConfigUsherFull)
 
 	msanRes, _ := msan.Run(usher.RunOptions{})
 	ushRes, _ := ush.Run(usher.RunOptions{})

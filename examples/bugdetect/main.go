@@ -48,7 +48,7 @@ func main() {
 	fmt.Println("running the packet checksum under every configuration:")
 	fmt.Println()
 	for _, cfg := range usher.Configs {
-		an := usher.Analyze(prog, cfg)
+		an := usher.MustAnalyze(prog, cfg)
 		res, err := an.Run(usher.RunOptions{})
 		if err != nil {
 			log.Fatalf("%v: %v", cfg, err)

@@ -37,7 +37,7 @@ func main() {
 	fmt.Println("config       dyn-props   dyn-checks  overhead%  saved-vs-MSan")
 	var msanWork float64
 	for _, cfg := range usher.Configs {
-		an := usher.Analyze(c.Prog, cfg)
+		an := usher.MustAnalyze(c.Prog, cfg)
 		res, err := an.Run(usher.RunOptions{})
 		if err != nil {
 			log.Fatal(err)
@@ -55,7 +55,7 @@ func main() {
 	}
 
 	// Where the static savings come from.
-	full := usher.Analyze(c.Prog, usher.ConfigUsherFull)
+	full := usher.MustAnalyze(c.Prog, usher.ConfigUsherFull)
 	fmt.Printf("\nUsher static detail: %d MFCs simplified by Opt I, %d nodes redirected by Opt II\n",
 		full.MFCsSimplified, full.Redirected)
 }

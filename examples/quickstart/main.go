@@ -40,7 +40,7 @@ func main() {
 	}
 
 	// Full instrumentation: the MSan baseline.
-	msan := usher.Analyze(prog, usher.ConfigMSan)
+	msan := usher.MustAnalyze(prog, usher.ConfigMSan)
 	msanRes, err := msan.Run(usher.RunOptions{})
 	if err != nil {
 		log.Fatal(err)
@@ -48,7 +48,7 @@ func main() {
 
 	// Guided instrumentation: the paper's Usher (value-flow analysis +
 	// Opt I + Opt II).
-	ush := usher.Analyze(prog, usher.ConfigUsherFull)
+	ush := usher.MustAnalyze(prog, usher.ConfigUsherFull)
 	ushRes, err := ush.Run(usher.RunOptions{})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,89 @@
+package usher_test
+
+import (
+	"testing"
+
+	"github.com/valueflow/usher"
+	"github.com/valueflow/usher/internal/randprog"
+)
+
+// pipeline pushes src through the whole public surface — compile,
+// analyze (both VFG variants), instrumented and native execution — and
+// asserts that malformed input surfaces as errors, never panics. The
+// fuzz targets below are thin wrappers; any panic fails the fuzzer.
+func pipeline(t *testing.T, src string) {
+	t.Helper()
+	prog, err := usher.Compile("fuzz.c", src)
+	if err != nil {
+		if prog != nil {
+			t.Fatalf("Compile returned both a program and an error: %v", err)
+		}
+		return
+	}
+	opts := usher.RunOptions{MaxSteps: 50_000}
+	s := usher.NewSession(prog)
+	for _, cfg := range []usher.Config{usher.ConfigUsherTL, usher.ConfigUsherFull} {
+		an, err := s.Analyze(cfg)
+		if err != nil {
+			t.Fatalf("%v: analysis of compiled program failed: %v", cfg, err)
+		}
+		if _, err := an.Run(opts); err != nil {
+			// Runtime traps (invalid pointers, fuel exhaustion) are legal
+			// outcomes; escaping panics are not, and the fuzzer catches
+			// those by itself.
+			continue
+		}
+	}
+	usher.RunNative(prog, opts)
+}
+
+// FuzzCompile feeds arbitrary bytes through lex→parse→type→lower→
+// analyze→run, asserting no panic escapes the public API:
+//
+//	go test -fuzz=FuzzCompile -fuzztime=30s
+//
+// The checked-in corpus under testdata/fuzz/FuzzCompile holds the
+// regression inputs for every frontend bug the fuzzer has surfaced.
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		"",
+		"int main(void) { return 0; }",
+		"int main(void) { int x; print(x); return 0; }",
+		"struct S { int a; int b; }; int main(void) { struct S s; s.a = 1; return s.b; }",
+		"int f(int a) { return a + 1; } int main(void) { int (*p)(int); p = f; return p(2); }",
+		"int main(void) { /* unterminated",
+		"int main(void) { 3 = 4; return 0; }",
+		"int main(void) { return frobnicate(1); }",
+		"int main(void) { print(1, 2); return 0; }",
+		"int main(void) { int x = 1 $ 2; return x; }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return
+		}
+		pipeline(t, src)
+	})
+}
+
+// FuzzMutatedRandprog generates a valid random program and flips one
+// byte before feeding it to the pipeline, exploring near-valid inputs
+// that plain byte fuzzing rarely reaches:
+//
+//	go test -fuzz=FuzzMutatedRandprog -fuzztime=30s
+func FuzzMutatedRandprog(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed, uint(seed*37), byte('{'))
+	}
+	f.Fuzz(func(t *testing.T, seed int64, off uint, b byte) {
+		src := randprog.Generate(seed, randprog.DefaultOptions)
+		if len(src) > 0 {
+			mutated := []byte(src)
+			mutated[int(off)%len(mutated)] = b
+			src = string(mutated)
+		}
+		pipeline(t, src)
+	})
+}

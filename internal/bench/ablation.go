@@ -112,7 +112,10 @@ func ablationRow(p workload.Profile) (AblationRow, error) {
 			ir.ComputeCFG(fn)
 		}
 	}
-	an2 := usher.Analyze(prog2, usher.ConfigUsherFull)
+	an2, err := usher.Analyze(prog2, usher.ConfigUsherFull)
+	if err != nil {
+		return row, err
+	}
 	row.ChecksNoCloning = an2.StaticStats().Checks
 	return row, nil
 }

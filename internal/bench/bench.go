@@ -128,12 +128,16 @@ func Table1Parallel(parallel int) ([]Table1Row, error) {
 	}
 	rows := make([]Table1Row, len(profiles))
 	for i, c := range compiled {
-		rows[i] = table1Row(c)
+		row, err := table1Row(c)
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = row
 	}
 	return rows, nil
 }
 
-func table1Row(c *Compiled) Table1Row {
+func table1Row(c *Compiled) (Table1Row, error) {
 	row := Table1Row{Name: c.Profile.Name}
 	row.KLOC = float64(strings.Count(c.Source, "\n")) / 1000
 
@@ -141,7 +145,10 @@ func table1Row(c *Compiled) Table1Row {
 	runtime.GC()
 	runtime.ReadMemStats(&m0)
 	start := time.Now()
-	an := usher.Analyze(c.Prog, usher.ConfigUsherFull)
+	an, err := usher.Analyze(c.Prog, usher.ConfigUsherFull)
+	if err != nil {
+		return row, fmt.Errorf("%s: %w", c.Profile.Name, err)
+	}
 	row.TimeSec = time.Since(start).Seconds()
 	runtime.ReadMemStats(&m1)
 	row.MemMB = float64(m1.TotalAlloc-m0.TotalAlloc) / (1 << 20)
@@ -227,7 +234,7 @@ func table1Row(c *Compiled) Table1Row {
 	}
 	row.OptIS = an.MFCsSimplified
 	row.OptIIR = an.Redirected
-	return row
+	return row, nil
 }
 
 // ConfigRun is one configuration's dynamic result on one benchmark.
@@ -297,7 +304,10 @@ func overheadRow(c *Compiled, parallel int) (OverheadRow, error) {
 	row.Runs = make([]ConfigRun, len(usher.Configs))
 	err = forEach(parallel, len(usher.Configs), func(i int) error {
 		cfg := usher.Configs[i]
-		an := session.Analyze(cfg)
+		an, err := session.Analyze(cfg)
+		if err != nil {
+			return fmt.Errorf("%s %v: %w", c.Profile.Name, cfg, err)
+		}
 		start := time.Now()
 		res, err := an.Run(usher.RunOptions{})
 		wall := time.Since(start).Seconds()
@@ -354,7 +364,11 @@ func Fig11Parallel(parallel int) ([]StaticRow, error) {
 		session := usher.NewSession(c.Prog)
 		stats := make([]instrument.Stats, len(usher.Configs))
 		err = forEach(parallel, len(usher.Configs), func(j int) error {
-			stats[j] = session.Analyze(usher.Configs[j]).StaticStats()
+			an, err := session.Analyze(usher.Configs[j])
+			if err != nil {
+				return fmt.Errorf("%s %v: %w", profiles[i].Name, usher.Configs[j], err)
+			}
+			stats[j] = an.StaticStats()
 			return nil
 		})
 		if err != nil {

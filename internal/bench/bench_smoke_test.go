@@ -25,7 +25,7 @@ func prepareOne(t *testing.T, name string) *bench.Compiled {
 
 func TestOverheadModel(t *testing.T) {
 	c := prepareOne(t, "gzip")
-	an := usher.Analyze(c.Prog, usher.ConfigMSan)
+	an := usher.MustAnalyze(c.Prog, usher.ConfigMSan)
 	res, err := an.Run(usher.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -43,7 +43,7 @@ func TestFig10ShapeOnSubset(t *testing.T) {
 		c := prepareOne(t, name)
 		var prev float64 = 1e18
 		for _, cfg := range usher.Configs {
-			an := usher.Analyze(c.Prog, cfg)
+			an := usher.MustAnalyze(c.Prog, cfg)
 			res, err := an.Run(usher.RunOptions{})
 			if err != nil {
 				t.Fatal(err)

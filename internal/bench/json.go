@@ -30,6 +30,10 @@ type Report struct {
 
 	Phases []PhaseTime `json:"phases"`
 
+	// Error is set when a phase failed: the report then holds the results
+	// of every phase completed before the failure.
+	Error string `json:"error,omitempty"`
+
 	Table1    []Table1Row   `json:"table1,omitempty"`
 	Fig10     []LevelRows   `json:"fig10,omitempty"`
 	Fig11     []StaticRow   `json:"fig11,omitempty"`
@@ -39,6 +43,15 @@ type Report struct {
 // AddPhase appends a phase timing.
 func (r *Report) AddPhase(name string, start time.Time) {
 	r.Phases = append(r.Phases, PhaseTime{Name: name, Seconds: time.Since(start).Seconds()})
+}
+
+// WriteFailure records err on the report and writes the partial report
+// to path: every phase completed before the failure is preserved, with
+// the failure itself in the "error" field. It is the -json rendering of
+// a phase failure in cmd/usher-bench.
+func (r *Report) WriteFailure(path string, err error) error {
+	r.Error = err.Error()
+	return r.WriteJSON(path)
 }
 
 // WriteJSON writes the report, indented, to path.

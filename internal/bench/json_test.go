@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestWriteFailureKeepsCompletedPhases pins the partial-report contract:
+// when a phase fails, the JSON written by the failure path still carries
+// every phase completed before it, plus the error. The pre-fix driver
+// exited without writing anything.
+func TestWriteFailureKeepsCompletedPhases(t *testing.T) {
+	r := &Report{GeneratedAt: "2026-01-01T00:00:00Z", NumCPU: 4, GOMAXPROCS: 4, Parallel: 4}
+	r.AddPhase("table1", time.Now())
+	r.Table1 = []Table1Row{{Name: "mcf", KLOC: 1.5}}
+
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := r.WriteFailure(path, errors.New("fig10 exploded")); err != nil {
+		t.Fatalf("WriteFailure: %v", err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read report: %v", err)
+	}
+	var got Report
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("unmarshal report: %v", err)
+	}
+	if got.Error != "fig10 exploded" {
+		t.Errorf("Error = %q, want the phase failure", got.Error)
+	}
+	if len(got.Table1) != 1 || got.Table1[0].Name != "mcf" {
+		t.Errorf("Table1 = %+v, want the completed phase preserved", got.Table1)
+	}
+	if len(got.Phases) != 1 || got.Phases[0].Name != "table1" {
+		t.Errorf("Phases = %+v, want the completed phase timing preserved", got.Phases)
+	}
+}
+
+// TestWriteJSONOmitsErrorOnSuccess keeps successful reports free of an
+// "error" key.
+func TestWriteJSONOmitsErrorOnSuccess(t *testing.T) {
+	r := &Report{GeneratedAt: "2026-01-01T00:00:00Z"}
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := r.WriteJSON(path); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read report: %v", err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatalf("unmarshal report: %v", err)
+	}
+	if _, present := raw["error"]; present {
+		t.Errorf("successful report contains an error key: %s", data)
+	}
+}

@@ -31,22 +31,36 @@ func forEach(parallel, n int, f func(i int) error) error {
 	}
 	errs := make([]error, n)
 	idx := make(chan int)
+	// done is closed by the first worker that records an error, stopping
+	// the dispatcher from handing out the remaining indices (the serial
+	// loop likewise stops at the first failure). In-flight work finishes.
+	done := make(chan struct{})
+	var closeOnce sync.Once
 	var wg sync.WaitGroup
 	for w := 0; w < parallel; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				errs[i] = f(i)
+				if errs[i] = f(i); errs[i] != nil {
+					closeOnce.Do(func() { close(done) })
+				}
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-done:
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()
-	// Lowest index wins, matching the error the serial loop would return.
+	// Lowest index wins. This matches the serial loop: indices are handed
+	// out in order, so any index the serial loop would have failed on was
+	// dispatched no later than the error that stopped the dispatcher.
 	for _, err := range errs {
 		if err != nil {
 			return err

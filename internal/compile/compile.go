@@ -4,8 +4,7 @@
 package compile
 
 import (
-	"fmt"
-
+	"github.com/valueflow/usher/internal/diag"
 	"github.com/valueflow/usher/internal/ir"
 	"github.com/valueflow/usher/internal/lower"
 	"github.com/valueflow/usher/internal/parser"
@@ -16,38 +15,46 @@ import (
 // Source compiles MiniC source into SSA-form IR (the paper's O0+IM
 // baseline: lowering plus mem2reg; the inlining step of O0+IM and the
 // O1/O2 pipelines live in package passes).
-func Source(file, src string) (*ir.Program, error) {
+//
+// Source never panics on malformed input: every frontend problem is
+// reported as positioned diagnostics (see package diag), and an
+// unexpected panic below — an internal invariant violation — is
+// converted into an internal-error diagnostic at this boundary.
+func Source(file, src string) (_ *ir.Program, err error) {
+	defer diag.Guard(diag.PhaseInternal, &err)
 	prog, err := parser.Parse(file, src)
 	if err != nil {
-		return nil, fmt.Errorf("parse: %w", err)
+		return nil, err
 	}
 	info, err := types.Check(prog)
 	if err != nil {
-		return nil, fmt.Errorf("typecheck: %w", err)
+		return nil, err
 	}
 	irp, err := lower.Lower(prog, info)
 	if err != nil {
-		return nil, fmt.Errorf("lower: %w", err)
+		return nil, err
 	}
 	ssa.Promote(irp)
 	for _, fn := range irp.Funcs {
 		ir.ComputeCFG(fn)
 	}
+	var diags diag.List
 	if err := ir.Verify(irp); err != nil {
-		return nil, fmt.Errorf("verify: %w", err)
+		diags.Merge(diag.PhaseVerify, err)
+	} else if err := ssa.VerifySSA(irp); err != nil {
+		diags.Merge(diag.PhaseVerify, err)
 	}
-	if err := ssa.VerifySSA(irp); err != nil {
-		return nil, fmt.Errorf("ssa: %w", err)
+	if err := diags.Err(); err != nil {
+		return nil, err
 	}
 	return irp, nil
 }
 
 // MustSource compiles known-good source, panicking on error. For tests
-// and generated workloads.
+// and generated workloads; passing source that does not compile is a
+// caller contract violation.
 func MustSource(file, src string) *ir.Program {
 	irp, err := Source(file, src)
-	if err != nil {
-		panic(fmt.Sprintf("compile %s: %v", file, err))
-	}
+	diag.MustNil("compile "+file, err)
 	return irp
 }

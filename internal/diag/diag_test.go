@@ -1,0 +1,135 @@
+package diag
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/valueflow/usher/internal/token"
+)
+
+func at(line, col int) token.Pos {
+	return token.Pos{File: "t.c", Line: line, Col: col}
+}
+
+func TestDiagnosticRendering(t *testing.T) {
+	d := &Diagnostic{Phase: PhaseLex, Pos: at(3, 7), Msg: "illegal character '$'"}
+	if got, want := d.Error(), "t.c:3:7: lex: illegal character '$'"; got != want {
+		t.Errorf("positioned: got %q, want %q", got, want)
+	}
+	d = &Diagnostic{Phase: PhaseInternal, Msg: "boom"}
+	if got, want := d.Error(), "internal: boom"; got != want {
+		t.Errorf("position-less: got %q, want %q", got, want)
+	}
+}
+
+func TestListErrSortsIntoSourceOrder(t *testing.T) {
+	var l List
+	l.Addf(PhaseType, at(5, 1), "third")
+	l.Addf(PhaseParse, at(2, 9), "second")
+	l.Addf(PhaseLex, at(2, 3), "first")
+	l.Addf(PhaseInternal, token.Pos{}, "last: no position")
+
+	err := l.Err()
+	ds := All(err)
+	if len(ds) != 4 {
+		t.Fatalf("All returned %d diagnostics, want 4", len(ds))
+	}
+	var got []string
+	for _, d := range ds {
+		got = append(got, d.Msg)
+	}
+	want := []string{"first", "second", "third", "last: no position"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if !strings.Contains(err.Error(), "first") || !strings.Contains(err.Error(), "\n") {
+		t.Errorf("multi-diagnostic rendering = %q", err)
+	}
+}
+
+func TestEmptyListErrIsNil(t *testing.T) {
+	var l List
+	if err := l.Err(); err != nil {
+		t.Errorf("empty list Err = %v, want nil", err)
+	}
+	if l.Len() != 0 {
+		t.Errorf("empty list Len = %d", l.Len())
+	}
+}
+
+func TestMergeAbsorbsDiagnosticsAndForeignErrors(t *testing.T) {
+	var inner List
+	inner.Addf(PhaseLex, at(1, 1), "from inner")
+	var l List
+	l.Merge(PhaseParse, inner.Err())
+	l.Merge(PhaseParse, nil)
+	l.Merge(PhaseVerify, errors.New("plain error"))
+	ds := All(l.Err())
+	if len(ds) != 2 {
+		t.Fatalf("merged %d diagnostics, want 2", len(ds))
+	}
+	if ds[0].Phase != PhaseLex || ds[0].Msg != "from inner" {
+		t.Errorf("diagnostic not absorbed verbatim: %s", ds[0])
+	}
+	if ds[1].Phase != PhaseVerify || ds[1].Msg != "plain error" {
+		t.Errorf("foreign error not recorded under the merge phase: %s", ds[1])
+	}
+}
+
+func TestGuardConvertsPanics(t *testing.T) {
+	f := func() (err error) {
+		defer Guard(PhaseAnalyze, &err)
+		panic("invariant broken")
+	}
+	err := f()
+	ds := All(err)
+	if len(ds) != 1 || ds[0].Phase != PhaseAnalyze {
+		t.Fatalf("guard produced %v, want one analyze diagnostic", err)
+	}
+	if !strings.Contains(ds[0].Msg, "internal error: invariant broken") {
+		t.Errorf("Msg = %q", ds[0].Msg)
+	}
+
+	g := func() (err error) {
+		defer Guard(PhaseAnalyze, &err)
+		return nil
+	}
+	if err := g(); err != nil {
+		t.Errorf("guard overwrote a clean return with %v", err)
+	}
+}
+
+func TestAllUnwrapsThroughWrapping(t *testing.T) {
+	var l List
+	l.Addf(PhaseLower, at(4, 2), "inner")
+	wrapped := fmt.Errorf("profile mcf: %w", l.Err())
+	ds := All(wrapped)
+	if len(ds) != 1 || ds[0].Msg != "inner" {
+		t.Fatalf("All through %%w = %v", ds)
+	}
+	single := fmt.Errorf("outer: %w", &Diagnostic{Phase: PhaseInterp, Msg: "trap"})
+	if ds := All(single); len(ds) != 1 || ds[0].Msg != "trap" {
+		t.Fatalf("All on wrapped *Diagnostic = %v", ds)
+	}
+	if ds := All(errors.New("opaque")); ds != nil {
+		t.Fatalf("All on a foreign error = %v, want nil", ds)
+	}
+}
+
+func TestMustNil(t *testing.T) {
+	MustNil("ok", nil)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("MustNil did not panic on a non-nil error")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "compile t.c") {
+			t.Errorf("panic value = %v", r)
+		}
+	}()
+	MustNil("compile t.c", errors.New("bad input"))
+}

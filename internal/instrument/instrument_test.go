@@ -128,7 +128,7 @@ int main() {
 func runConfig(t *testing.T, src string, args []int64, cfg usher.Config) *interp.Result {
 	t.Helper()
 	prog := usher.MustCompile("t.c", src)
-	an := usher.Analyze(prog, cfg)
+	an := usher.MustAnalyze(prog, cfg)
 	res, err := an.Run(usher.RunOptions{Args: args})
 	if err != nil {
 		t.Fatalf("[%v] run: %v", cfg, err)
@@ -190,7 +190,7 @@ func TestMonotoneSavings(t *testing.T) {
 		prog := usher.MustCompile("t.c", tt.src)
 		prevProps, prevChecks := -1, -1
 		for _, cfg := range usher.Configs {
-			an := usher.Analyze(prog, cfg)
+			an := usher.MustAnalyze(prog, cfg)
 			st := an.StaticStats()
 			if prevProps >= 0 {
 				if st.Props > prevProps {
@@ -210,8 +210,8 @@ func TestMonotoneSavings(t *testing.T) {
 func TestGuidedSavesOverFull(t *testing.T) {
 	src := soundnessPrograms[0].src // clean-loop
 	prog := usher.MustCompile("t.c", src)
-	full := usher.Analyze(prog, usher.ConfigMSan).StaticStats()
-	guided := usher.Analyze(prog, usher.ConfigUsherFull).StaticStats()
+	full := usher.MustAnalyze(prog, usher.ConfigMSan).StaticStats()
+	guided := usher.MustAnalyze(prog, usher.ConfigUsherFull).StaticStats()
 	if guided.Props >= full.Props {
 		t.Errorf("guided props %d not below full %d", guided.Props, full.Props)
 	}
@@ -267,8 +267,8 @@ int main() {
 	}
 	// The static check count must drop.
 	prog := usher.MustCompile("t.c", src)
-	cOptI := usher.Analyze(prog, usher.ConfigUsherOptI).StaticStats().Checks
-	cFull := usher.Analyze(prog, usher.ConfigUsherFull).StaticStats().Checks
+	cOptI := usher.MustAnalyze(prog, usher.ConfigUsherOptI).StaticStats().Checks
+	cFull := usher.MustAnalyze(prog, usher.ConfigUsherFull).StaticStats().Checks
 	if cFull >= cOptI {
 		t.Errorf("Opt II did not reduce checks: %d >= %d", cFull, cOptI)
 	}
@@ -289,8 +289,8 @@ int main() {
   return 0;
 }`
 	prog := usher.MustCompile("t.c", src)
-	plain := usher.Analyze(prog, usher.ConfigUsherTLAT)
-	opt := usher.Analyze(prog, usher.ConfigUsherOptI)
+	plain := usher.MustAnalyze(prog, usher.ConfigUsherTLAT)
+	opt := usher.MustAnalyze(prog, usher.ConfigUsherOptI)
 	if opt.MFCsSimplified == 0 {
 		t.Error("Opt I simplified no closures")
 	}

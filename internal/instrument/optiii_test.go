@@ -21,8 +21,8 @@ int main() {
 
 func TestOptIIIElidesDominatedChecks(t *testing.T) {
 	prog := usher.MustCompile("t.c", optIIISrc)
-	base := usher.Analyze(prog, usher.ConfigUsherFull)
-	ext := usher.Analyze(prog, usher.ConfigUsherOptIII)
+	base := usher.MustAnalyze(prog, usher.ConfigUsherFull)
+	ext := usher.MustAnalyze(prog, usher.ConfigUsherOptIII)
 	if ext.ChecksElided != 2 {
 		t.Errorf("checks elided = %d, want 2", ext.ChecksElided)
 	}
@@ -53,7 +53,7 @@ int main(int sel) {
   return 0;
 }`
 	prog := usher.MustCompile("t.c", src)
-	ext := usher.Analyze(prog, usher.ConfigUsherOptIII)
+	ext := usher.MustAnalyze(prog, usher.ConfigUsherOptIII)
 	if ext.ChecksElided != 0 {
 		t.Errorf("checks elided = %d, want 0 (no dominance)", ext.ChecksElided)
 	}
@@ -73,7 +73,7 @@ func TestOptIIISoundOnRandomPrograms(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		an := usher.Analyze(prog, usher.ConfigUsherOptIII)
+		an := usher.MustAnalyze(prog, usher.ConfigUsherOptIII)
 		res, err := an.Run(usher.RunOptions{})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)

@@ -13,6 +13,11 @@ type Options struct {
 	MaxSteps int64
 	// MaxDepth bounds the call stack (0 = default).
 	MaxDepth int
+	// MaxCells bounds the total number of memory cells allocated over the
+	// whole execution (0 = default). Without it a single huge allocation
+	// — int a[200000000] — makes the interpreter swallow gigabytes before
+	// a single instruction runs.
+	MaxCells int64
 	// Input supplies the value returned by the i-th call to input().
 	// Defaults to a fixed deterministic sequence.
 	Input func(i int) int64
@@ -96,20 +101,34 @@ type RuntimeError struct {
 }
 
 func (e *RuntimeError) Error() string {
-	return fmt.Sprintf("%s: runtime error in %s: %s", e.Pos, e.Fn, e.Msg)
+	s := "runtime error"
+	if e.Fn != "" {
+		s += " in " + e.Fn
+	}
+	s += ": " + e.Msg
+	if e.Pos.IsValid() {
+		return e.Pos.String() + ": " + s
+	}
+	return s
 }
 
 // Machine executes one program.
 type Machine struct {
-	prog    *ir.Program
-	opts    Options
-	globals map[*ir.Object]*Instance
-	res     *Result
-	oracle  map[Site]bool
-	shadowM *shadowMachine
-	nextSeq int
-	ninput  int
-	depth   int
+	prog      *ir.Program
+	opts      Options
+	globals   map[*ir.Object]*Instance
+	res       *Result
+	oracle    map[Site]bool
+	shadowM   *shadowMachine
+	nextSeq   int
+	ninput    int
+	depth     int
+	cellsLeft int64
+
+	// curFn and curIn track the instruction being executed, so that an
+	// unexpected panic can be wrapped with its location (see trap).
+	curFn *ir.Function
+	curIn ir.Instr
 
 	// phi evaluation scratch, reused across blocks (consumed before any
 	// nested call can start).
@@ -128,25 +147,19 @@ func Run(prog *ir.Program, fnName string, args []Value, opts Options) (*Result, 
 	if opts.MaxDepth == 0 {
 		opts.MaxDepth = 8192
 	}
+	if opts.MaxCells == 0 {
+		opts.MaxCells = 1 << 24
+	}
 	if opts.Input == nil {
 		opts.Input = func(i int) int64 { return int64((i*2654435761 + 12345) % 1000) }
 	}
 	m := &Machine{
-		prog:    prog,
-		opts:    opts,
-		globals: make(map[*ir.Object]*Instance),
-		res:     &Result{},
-		oracle:  make(map[Site]bool),
-	}
-	for _, g := range prog.Globals {
-		inst := m.newInstance(g, g.Size)
-		if g.Size > 0 {
-			inst.Cells[0].Val = IntVal(g.InitVal)
-		}
-		m.globals[g] = inst
-	}
-	if opts.Shadow != nil {
-		m.shadowM = newShadowMachine(m, opts.Shadow)
+		prog:      prog,
+		opts:      opts,
+		globals:   make(map[*ir.Object]*Instance),
+		res:       &Result{},
+		oracle:    make(map[Site]bool),
+		cellsLeft: opts.MaxCells,
 	}
 	fn := prog.FuncByName(fnName)
 	if fn == nil || !fn.HasBody {
@@ -160,7 +173,20 @@ func Run(prog *ir.Program, fnName string, args []Value, opts Options) (*Result, 
 		defs[i] = true
 	}
 	var exit Value
+	// Global allocation runs under the trap too: an over-budget global
+	// (int a[200000000]) traps like any other allocation instead of
+	// exhausting host memory before execution starts.
 	err := m.trap(func() {
+		for _, g := range prog.Globals {
+			inst := m.newInstance(g, g.Size)
+			if g.Size > 0 {
+				inst.Cells[0].Val = IntVal(g.InitVal)
+			}
+			m.globals[g] = inst
+		}
+		if opts.Shadow != nil {
+			m.shadowM = newShadowMachine(m, opts.Shadow)
+		}
 		v, _ := m.call(fn, args, defs)
 		exit = v
 	})
@@ -171,13 +197,23 @@ func Run(prog *ir.Program, fnName string, args []Value, opts Options) (*Result, 
 	return m.res, nil
 }
 
-// trap converts machineError panics into *RuntimeError.
+// trap converts panics raised during execution into *RuntimeError.
+// Expected traps arrive as *RuntimeError (via fail). Anything else is an
+// interpreter bug; instead of re-panicking bare it is wrapped with the
+// current function and instruction label so the report is actionable.
 func (m *Machine) trap(f func()) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			me, ok := r.(*RuntimeError)
 			if !ok {
-				panic(r)
+				me = &RuntimeError{Msg: fmt.Sprintf("internal error: %v", r)}
+				if m.curFn != nil {
+					me.Fn = m.curFn.Name
+				}
+				if m.curIn != nil {
+					me.Msg = fmt.Sprintf("internal error at l%d (%s): %v", m.curIn.Label(), m.curIn, r)
+					me.Pos = m.curIn.Pos()
+				}
 			}
 			me.Result = m.res
 			err = me
@@ -192,6 +228,12 @@ func (m *Machine) fail(fn *ir.Function, pos token.Pos, format string, args ...an
 }
 
 func (m *Machine) newInstance(obj *ir.Object, size int) *Instance {
+	if int64(size) > m.cellsLeft {
+		panic(&RuntimeError{Msg: fmt.Sprintf(
+			"allocation of %d cells for %s exceeds the remaining memory budget (%d of %d cells)",
+			size, obj.Name, m.cellsLeft, m.opts.MaxCells)})
+	}
+	m.cellsLeft -= int64(size)
 	inst := &Instance{Obj: obj, Cells: make([]Cell, size), Seq: m.nextSeq}
 	m.nextSeq++
 	if obj.ZeroInit {
@@ -242,7 +284,8 @@ func (m *Machine) eval(fr *frame, v ir.Value) (Value, bool) {
 	case *ir.Register:
 		return fr.regs[v.ID], fr.defs[v.ID]
 	}
-	panic(fmt.Sprintf("interp: unknown operand %T", v))
+	m.fail(fr.fn, token.Pos{}, "unknown operand %T", v)
+	return Value{}, false
 }
 
 func (fr *frame) set(r *ir.Register, v Value, defined bool) {
@@ -403,6 +446,7 @@ func (m *Machine) execBlock(fr *frame, b *ir.Block, prev *ir.Block) (next *ir.Bl
 }
 
 func (m *Machine) step(fr *frame, in ir.Instr) {
+	m.curFn, m.curIn = fr.fn, in
 	m.res.Steps++
 	if m.res.Steps > m.opts.MaxSteps {
 		m.fail(fr.fn, in.Pos(), "step budget exhausted (%d)", m.opts.MaxSteps)

@@ -1,0 +1,70 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/valueflow/usher/internal/ir"
+	"github.com/valueflow/usher/internal/token"
+)
+
+// TestTrapWrapsForeignPanics pins the hardened trap contract: a panic
+// that is not a *RuntimeError (an interpreter bug) must come back as an
+// error carrying the current function name and instruction label, not
+// re-panic bare.
+func TestTrapWrapsForeignPanics(t *testing.T) {
+	fn := &ir.Function{Name: "victim"}
+	b := fn.NewBlock("entry")
+	dst := fn.NewReg("x")
+	in := ir.NewLoad(dst, ir.IntConst(0))
+	in.SetPos(token.Pos{File: "v.c", Line: 3, Col: 7})
+	b.Append(in)
+
+	m := &Machine{res: &Result{}}
+	m.curFn, m.curIn = fn, in
+	err := m.trap(func() { panic("kaboom") })
+	if err == nil {
+		t.Fatal("trap returned nil for a foreign panic")
+	}
+	re, ok := err.(*RuntimeError)
+	if !ok {
+		t.Fatalf("trap returned %T, want *RuntimeError", err)
+	}
+	if re.Fn != "victim" {
+		t.Errorf("Fn = %q, want the current function", re.Fn)
+	}
+	if re.Pos.Line != 3 {
+		t.Errorf("Pos = %v, want the current instruction position", re.Pos)
+	}
+	if !strings.Contains(re.Msg, "kaboom") || !strings.Contains(re.Msg, "l"+itoa(in.Label())) {
+		t.Errorf("Msg = %q, want the panic value and instruction label", re.Msg)
+	}
+	if re.Result != m.res {
+		t.Error("Result not attached to the wrapped error")
+	}
+}
+
+// TestTrapPassesRuntimeErrors keeps the expected-trap path intact.
+func TestTrapPassesRuntimeErrors(t *testing.T) {
+	m := &Machine{res: &Result{}}
+	want := &RuntimeError{Msg: "boom", Fn: "main"}
+	err := m.trap(func() { panic(want) })
+	if err != want {
+		t.Fatalf("trap returned %v, want the original *RuntimeError", err)
+	}
+	if want.Result != m.res {
+		t.Error("Result not attached to the runtime error")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

@@ -4,6 +4,7 @@ package lexer
 import (
 	"fmt"
 
+	"github.com/valueflow/usher/internal/diag"
 	"github.com/valueflow/usher/internal/token"
 )
 
@@ -15,7 +16,7 @@ type Lexer struct {
 	off  int // byte offset of the next unread byte
 	line int
 	col  int
-	errs []error
+	errs []*diag.Diagnostic
 }
 
 // New returns a lexer over src. The file name is used in positions only.
@@ -23,8 +24,12 @@ func New(file, src string) *Lexer {
 	return &Lexer{src: src, file: file, line: 1, col: 1}
 }
 
-// Errors returns the lexical errors encountered so far.
-func (l *Lexer) Errors() []error { return l.errs }
+// Errors returns the lexical diagnostics encountered so far.
+func (l *Lexer) Errors() []*diag.Diagnostic { return l.errs }
+
+func (l *Lexer) errorf(pos token.Pos, format string, args ...any) {
+	l.errs = append(l.errs, &diag.Diagnostic{Phase: diag.PhaseLex, Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
 
 func (l *Lexer) pos() token.Pos {
 	return token.Pos{File: l.file, Line: l.line, Col: l.col}
@@ -81,7 +86,7 @@ func (l *Lexer) skipSpaceAndComments() {
 				l.advance()
 			}
 			if !closed {
-				l.errs = append(l.errs, fmt.Errorf("%s: unterminated block comment", start))
+				l.errorf(start, "unterminated block comment")
 			}
 		default:
 			return
@@ -205,7 +210,7 @@ func (l *Lexer) Next() token.Token {
 		}
 		return two('=', token.GEQ, token.GT)
 	}
-	l.errs = append(l.errs, fmt.Errorf("%s: illegal character %q", pos, c))
+	l.errorf(pos, "illegal character %q", c)
 	return mk(token.ILLEGAL, string(c))
 }
 

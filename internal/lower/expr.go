@@ -9,6 +9,11 @@ import (
 	"github.com/valueflow/usher/internal/types"
 )
 
+// maxFieldSensitiveCells bounds the size of heap objects modelled
+// field-sensitively. Struct-shaped allocations stay well below it; any
+// larger constant extent behaves like an array and is collapsed.
+const maxFieldSensitiveCells = 4096
+
 // rvalueOrVoid lowers an expression in statement position, tolerating void
 // calls.
 func (lw *lowerer) rvalueOrVoid(e ast.Expr) {
@@ -32,7 +37,7 @@ func (lw *lowerer) rvalue(e ast.Expr) ir.Value {
 		case types.SymFunc:
 			return &ir.FuncValue{Fn: lw.funcs[sym]}
 		case types.SymBuiltin:
-			panic(fmt.Sprintf("lower: builtin %s used as a value at %s", sym.Name, e.Pos()))
+			lw.failf(e.Pos(), "builtin %s used as a value", sym.Name)
 		}
 		if _, isArr := sym.Type.(*types.Array); isArr {
 			return lw.lvalue(e) // array-to-pointer decay
@@ -65,7 +70,8 @@ func (lw *lowerer) rvalue(e ast.Expr) ir.Value {
 		t := lw.resolveSizeType(e.T)
 		return ir.IntConst(int64(t.Size()))
 	}
-	panic(fmt.Sprintf("lower: unknown rvalue %T at %s", e, e.Pos()))
+	lw.failf(e.Pos(), "unknown rvalue %T", e)
+	return nil
 }
 
 // resolveSizeType resolves a type expression for sizeof. It mirrors the
@@ -102,7 +108,7 @@ func (lw *lowerer) lvalue(e ast.Expr) ir.Value {
 		case types.SymLocal, types.SymParam:
 			return lw.slots[sym]
 		}
-		panic(fmt.Sprintf("lower: %s is not an lvalue at %s", sym.Name, e.Pos()))
+		lw.failf(e.Pos(), "%s is not an lvalue", sym.Name)
 	case *ast.Unary:
 		if e.Op == token.STAR {
 			return lw.rvalue(e.X)
@@ -148,7 +154,8 @@ func (lw *lowerer) lvalue(e ast.Expr) ir.Value {
 		lw.emit(ir.NewFieldAddr(dst, base, f.Offset), e.Pos())
 		return dst
 	}
-	panic(fmt.Sprintf("lower: unknown lvalue %T at %s", e, e.Pos()))
+	lw.failf(e.Pos(), "unknown lvalue %T", e)
+	return nil
 }
 
 func (lw *lowerer) lowerUnary(e *ast.Unary) ir.Value {
@@ -179,7 +186,8 @@ func (lw *lowerer) lowerUnary(e *ast.Unary) ir.Value {
 		lw.emit(ir.NewBinOp(dst, ir.OpXor, x, ir.IntConst(-1)), e.Pos())
 		return dst
 	}
-	panic(fmt.Sprintf("lower: unknown unary %s at %s", e.Op, e.Pos()))
+	lw.failf(e.Pos(), "unknown unary %s", e.Op)
+	return nil
 }
 
 var binOps = map[token.Kind]ir.Op{
@@ -300,6 +308,10 @@ func (lw *lowerer) lowerCall(e *ast.Call, wantValue bool) ir.Value {
 }
 
 func (lw *lowerer) lowerBuiltin(name string, e *ast.Call, wantValue bool) ir.Value {
+	if name != "input" && len(e.Args) < 1 {
+		// The checker reports the arity error; don't lower past it.
+		lw.failf(e.Pos(), "builtin %s needs an argument", name)
+	}
 	switch name {
 	case "malloc", "calloc":
 		zero := name == "calloc"
@@ -316,7 +328,12 @@ func (lw *lowerer) lowerBuiltin(name string, e *ast.Call, wantValue bool) ir.Val
 		obj := lw.irp.NewObject(fmt.Sprintf("%s.l%s", name, e.Pos()), size, ir.ObjHeap)
 		obj.ZeroInit = zero
 		obj.Fn = lw.fn
-		if dyn != nil {
+		// Dynamic extents and very large constant extents are modelled
+		// field-insensitively: the analyses walk every field of a
+		// field-sensitive object, so malloc(200000000) must collapse like
+		// an array or the pointer analysis chews through 2e8 field
+		// variables.
+		if dyn != nil || size > maxFieldSensitiveCells {
 			obj.Collapse()
 		}
 		dst := lw.fn.NewReg("")
@@ -337,5 +354,6 @@ func (lw *lowerer) lowerBuiltin(name string, e *ast.Call, wantValue bool) ir.Val
 		lw.emit(ir.NewCall(dst, nil, nil, ir.BuiltinInput), e.Pos())
 		return dst
 	}
-	panic(fmt.Sprintf("lower: unknown builtin %s at %s", name, e.Pos()))
+	lw.failf(e.Pos(), "unknown builtin %s", name)
+	return nil
 }

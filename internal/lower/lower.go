@@ -13,10 +13,16 @@ import (
 	"fmt"
 
 	"github.com/valueflow/usher/internal/ast"
+	"github.com/valueflow/usher/internal/diag"
 	"github.com/valueflow/usher/internal/ir"
 	"github.com/valueflow/usher/internal/token"
 	"github.com/valueflow/usher/internal/types"
 )
+
+// bailout is the sentinel panicked by failf to abandon lowering of the
+// current function. It never escapes lowerFunc, which recovers it (and
+// any unexpected panic) and poisons only the offending function.
+type bailout struct{}
 
 // Lower translates prog (already checked, with info) into an IR program.
 func Lower(prog *ast.Program, info *types.Info) (*ir.Program, error) {
@@ -65,9 +71,10 @@ func Lower(prog *ast.Program, info *types.Info) (*ir.Program, error) {
 		lw.funcs[sym] = fn
 	}
 	for _, fd := range info.Funcs {
-		if err := lw.lowerFunc(fd); err != nil {
-			return nil, err
-		}
+		lw.lowerFunc(fd)
+	}
+	if err := lw.diags.Err(); err != nil {
+		return nil, err
 	}
 	for _, fn := range lw.irp.Funcs {
 		pruneUnreachable(fn)
@@ -87,6 +94,7 @@ type loopCtx struct {
 type lowerer struct {
 	info    *types.Info
 	irp     *ir.Program
+	diags   diag.List
 	globals map[*types.Symbol]*ir.Object
 	funcs   map[*types.Symbol]*ir.Function
 
@@ -97,6 +105,13 @@ type lowerer struct {
 	slots  map[*types.Symbol]*ir.Register // symbol -> alloca address register
 	loops  []loopCtx
 	isVoid bool
+}
+
+// failf records a lowering diagnostic and abandons the current function
+// via a bailout panic, which lowerFunc recovers.
+func (lw *lowerer) failf(pos token.Pos, format string, args ...any) {
+	lw.diags.Addf(diag.PhaseLower, pos, format, args...)
+	panic(bailout{})
 }
 
 func (lw *lowerer) emit(in ir.Instr, pos token.Pos) {
@@ -126,11 +141,28 @@ func (lw *lowerer) allocaAtEntry(name string, size int, pos token.Pos) (*ir.Regi
 	return addr, obj
 }
 
-func (lw *lowerer) lowerFunc(fd *ast.FuncDecl) error {
+// lowerFunc lowers one function body. Lowering errors — a failf bailout
+// or an unexpected panic — poison only this function: its partial body
+// is dropped and the remaining functions still lower, so one bad
+// function yields one diagnostic instead of aborting the program.
+func (lw *lowerer) lowerFunc(fd *ast.FuncDecl) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if _, ok := r.(bailout); !ok {
+			lw.diags.Add(diag.Recovered(diag.PhaseLower, r))
+		}
+		if lw.fn != nil {
+			lw.fn.Blocks = nil
+			lw.fn.HasBody = false
+		}
+	}()
 	sym := lw.info.Symbols[fd]
 	fn := lw.funcs[sym]
+	lw.fn = fn // set before anything can panic, so recovery poisons this fn
 	ft := sym.Type.(*types.Func)
-	lw.fn = fn
 	lw.slots = make(map[*types.Symbol]*ir.Register)
 	lw.loops = nil
 	lw.isVoid = ft.Ret == types.Void
@@ -157,8 +189,7 @@ func (lw *lowerer) lowerFunc(fd *ast.FuncDecl) error {
 	}
 	// The entry block falls through to the body.
 	lw.entry.Append(ir.NewJump(body))
-	// Move entry to position 0 (it was created first, so it is).
-	return nil
+	// Entry sits at position 0 (it was created first, so it is).
 }
 
 // emitImplicitReturn handles control reaching the end of a function body.
@@ -213,11 +244,17 @@ func (lw *lowerer) lowerStmt(s ast.Stmt) {
 			lw.emit(ir.NewRet(nil), s.Pos())
 		}
 	case *ast.BreakStmt:
+		if len(lw.loops) == 0 {
+			lw.failf(s.Pos(), "break outside loop")
+		}
 		lw.emit(ir.NewJump(lw.loops[len(lw.loops)-1].breakTo), s.Pos())
 	case *ast.ContinueStmt:
+		if len(lw.loops) == 0 {
+			lw.failf(s.Pos(), "continue outside loop")
+		}
 		lw.emit(ir.NewJump(lw.loops[len(lw.loops)-1].continueTo), s.Pos())
 	default:
-		panic(fmt.Sprintf("lower: unknown statement %T", s))
+		lw.failf(s.Pos(), "unknown statement %T", s)
 	}
 }
 

@@ -6,45 +6,83 @@
 package parser
 
 import (
-	"errors"
-	"fmt"
 	"strconv"
 
 	"github.com/valueflow/usher/internal/ast"
+	"github.com/valueflow/usher/internal/diag"
 	"github.com/valueflow/usher/internal/lexer"
 	"github.com/valueflow/usher/internal/token"
 )
 
+// maxNest bounds the nesting depth of statements, expressions and
+// declarators. The recursive-descent parser (and the recursive
+// typechecker and lowerer behind it) consume native stack per nesting
+// level, so unbounded nesting lets a small hostile input crash the
+// process with an unrecoverable stack overflow. Real programs nest a
+// few dozen levels at most.
+const maxNest = 256
+
+// bailout aborts parsing after an unrecoverable diagnostic (nesting
+// limit exceeded). It is panicked internally and recovered in Parse.
+type bailout struct{}
+
 // Parser parses one MiniC translation unit.
 type Parser struct {
-	toks []token.Token
-	pos  int
-	errs []error
-	file string
+	toks  []token.Token
+	pos   int
+	diags diag.List
+	file  string
+	prog  *ast.Program
+	nest  int
 }
 
-// Parse parses src and returns the program. Lexical and syntax errors are
-// joined into the returned error; a partial tree is still returned.
+// Parse parses src and returns the program. Lexical and syntax errors
+// are accumulated as diagnostics and returned as a single error in
+// source order; a partial tree is still returned. Parse never panics on
+// malformed input.
 func Parse(file, src string) (*ast.Program, error) {
 	lx := lexer.New(file, src)
 	p := &Parser{toks: lx.All(), file: file}
-	prog := p.parseProgram()
-	errs := append(lx.Errors(), p.errs...)
-	if len(errs) > 0 {
-		return prog, errors.Join(errs...)
+	p.run()
+	for _, d := range lx.Errors() {
+		p.diags.Add(d)
 	}
-	return prog, nil
+	return p.prog, p.diags.Err()
+}
+
+// run drives parseProgram, recovering the bailout panic raised when the
+// nesting limit is hit so that a partial tree and the accumulated
+// diagnostics survive.
+func (p *Parser) run() {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(bailout); !ok {
+				panic(r)
+			}
+		}
+	}()
+	p.parseProgram()
 }
 
 // MustParse is Parse for known-good sources (tests, generated workloads);
-// it panics on error.
+// it panics on error (a caller contract violation, see package diag).
 func MustParse(file, src string) *ast.Program {
 	prog, err := Parse(file, src)
-	if err != nil {
-		panic(fmt.Sprintf("parse %s: %v", file, err))
-	}
+	diag.MustNil("parse "+file, err)
 	return prog
 }
+
+// enter records one nesting level (statement, expression or declarator)
+// and aborts the parse when the depth limit is exceeded.
+func (p *Parser) enter() {
+	p.nest++
+	if p.nest > maxNest {
+		p.errorf("nesting too deep (limit %d)", maxNest)
+		panic(bailout{})
+	}
+}
+
+func (p *Parser) leave() { p.nest-- }
 
 func (p *Parser) cur() token.Token  { return p.toks[p.pos] }
 func (p *Parser) peek() token.Token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
@@ -76,7 +114,11 @@ func (p *Parser) expect(k token.Kind) token.Token {
 }
 
 func (p *Parser) errorf(format string, args ...any) {
-	p.errs = append(p.errs, fmt.Errorf("%s: %s", p.cur().Pos, fmt.Sprintf(format, args...)))
+	p.errorfAt(p.cur().Pos, format, args...)
+}
+
+func (p *Parser) errorfAt(pos token.Pos, format string, args ...any) {
+	p.diags.Addf(diag.PhaseParse, pos, format, args...)
 }
 
 // sync skips tokens until a likely statement/declaration boundary, for
@@ -93,20 +135,19 @@ func (p *Parser) sync() {
 	}
 }
 
-func (p *Parser) parseProgram() *ast.Program {
-	prog := &ast.Program{File: p.file}
+func (p *Parser) parseProgram() {
+	p.prog = &ast.Program{File: p.file}
 	for !p.at(token.EOF) {
 		start := p.pos
 		d := p.parseTopDecl()
 		if d != nil {
-			prog.Decls = append(prog.Decls, d)
+			p.prog.Decls = append(p.prog.Decls, d)
 		}
 		if p.pos == start { // no progress: recover
 			p.errorf("unexpected token %s", p.cur())
 			p.advance()
 		}
 	}
-	return prog
 }
 
 func (p *Parser) parseTopDecl() ast.Decl {
@@ -137,7 +178,7 @@ func (p *Parser) parseTopDecl() ast.Decl {
 		}
 		for _, pa := range fd.Params {
 			if pa.Name == "" {
-				p.errs = append(p.errs, fmt.Errorf("%s: parameter of %s needs a name", pa.Pos, name))
+				p.errorfAt(pa.Pos, "parameter of %s needs a name", name)
 			}
 		}
 		fd.Body = p.parseBlock()
@@ -207,10 +248,18 @@ func (p *Parser) parseDeclarator(base ast.TypeExpr) (string, ast.TypeExpr, []ast
 }
 
 func (p *Parser) declarator() (string, typeWrap, []ast.Param, bool) {
+	p.enter()
+	defer p.leave()
 	stars := 0
 	starPos := p.cur().Pos
 	for p.accept(token.STAR) {
 		stars++
+	}
+	// Pointer levels build a recursive TypeExpr chain that the checker
+	// resolves recursively; cap them like any other nesting.
+	if stars > maxNest {
+		p.errorfAt(starPos, "too many pointer levels (limit %d)", maxNest)
+		panic(bailout{})
 	}
 	name, direct, params, plain := p.directDeclarator()
 	return name, func(t ast.TypeExpr) ast.TypeExpr {
@@ -251,12 +300,16 @@ func (p *Parser) directDeclarator() (string, typeWrap, []ast.Param, bool) {
 	var suffixes []suffix
 	var firstParams []ast.Param
 	for {
+		if len(suffixes) > maxNest {
+			p.errorf("too many declarator suffixes (limit %d)", maxNest)
+			panic(bailout{})
+		}
 		if p.at(token.LBRACKET) {
 			sp := p.advance().Pos
 			lenTok := p.expect(token.NUMBER)
 			n, err := strconv.ParseInt(lenTok.Text, 10, 64)
 			if err != nil {
-				p.errs = append(p.errs, fmt.Errorf("%s: bad array length %q", lenTok.Pos, lenTok.Text))
+				p.errorfAt(lenTok.Pos, "bad array length %q", lenTok.Text)
 				n = 1
 			}
 			p.expect(token.RBRACKET)
@@ -358,6 +411,8 @@ func (p *Parser) startsType() bool {
 }
 
 func (p *Parser) parseStmt() ast.Stmt {
+	p.enter()
+	defer p.leave()
 	switch p.cur().Kind {
 	case token.LBRACE:
 		return p.parseBlock()
@@ -521,7 +576,12 @@ func (p *Parser) parseBinary(minPrec int) ast.Expr {
 	}
 }
 
+// parseUnary guards the nesting depth for all expression forms: every
+// level of expression nesting (parenthesis, unary operator, binary
+// operand, call argument, index) re-enters it.
 func (p *Parser) parseUnary() ast.Expr {
+	p.enter()
+	defer p.leave()
 	switch p.cur().Kind {
 	case token.STAR, token.AMP, token.MINUS, token.NOT, token.TILDE:
 		t := p.advance()
@@ -592,7 +652,7 @@ func (p *Parser) parsePrimary() ast.Expr {
 		t := p.advance()
 		v, err := strconv.ParseInt(t.Text, 10, 64)
 		if err != nil {
-			p.errs = append(p.errs, fmt.Errorf("%s: bad number %q", t.Pos, t.Text))
+			p.errorfAt(t.Pos, "bad number %q", t.Text)
 		}
 		return &ast.NumberLit{P: t.Pos, Value: v}
 	case token.IDENT:

@@ -1,10 +1,8 @@
 package types
 
 import (
-	"errors"
-	"fmt"
-
 	"github.com/valueflow/usher/internal/ast"
+	"github.com/valueflow/usher/internal/diag"
 	"github.com/valueflow/usher/internal/token"
 )
 
@@ -82,7 +80,7 @@ func (in *Info) TypeOf(e ast.Expr) Type { return in.Types[e] }
 
 type checker struct {
 	info   *Info
-	errs   []error
+	diags  diag.List
 	scopes []map[string]*Symbol
 	// current function context
 	curRet    Type
@@ -90,8 +88,15 @@ type checker struct {
 }
 
 // Check type-checks prog and returns the annotation info. All detected
-// errors are joined into the returned error.
-func Check(prog *ast.Program) (*Info, error) {
+// errors are accumulated as diagnostics and returned as a single error
+// in source order. Check never panics on malformed input: an unexpected
+// panic (a checker bug) is returned as an internal-error diagnostic.
+func Check(prog *ast.Program) (_ *Info, err error) {
+	defer diag.Guard(diag.PhaseType, &err)
+	return check(prog)
+}
+
+func check(prog *ast.Program) (*Info, error) {
 	c := &checker{info: &Info{
 		Structs:      make(map[string]*Struct),
 		Types:        make(map[ast.Expr]Type),
@@ -129,6 +134,10 @@ func Check(prog *ast.Program) (*Info, error) {
 			}
 			if prev := c.lookup(d.Name); prev != nil {
 				if prev.Kind == SymFunc && Identical(prev.Type, ft) {
+					if fd, ok := prev.Decl.(*ast.FuncDecl); ok && fd.Body != nil && d.Body != nil {
+						c.errorf(d.Pos(), "redefinition of %s", d.Name)
+						continue
+					}
 					// Prototype followed by definition: share the symbol.
 					c.info.Symbols[d] = prev
 					if d.Body != nil {
@@ -147,7 +156,7 @@ func Check(prog *ast.Program) (*Info, error) {
 	// Pass 3: function bodies.
 	for _, d := range prog.Decls {
 		fd, ok := d.(*ast.FuncDecl)
-		if !ok || fd.Body == nil {
+		if !ok || fd.Body == nil || c.info.Symbols[fd] == nil {
 			continue
 		}
 		c.info.Funcs = append(c.info.Funcs, fd)
@@ -163,14 +172,11 @@ func Check(prog *ast.Program) (*Info, error) {
 			c.checkExpr(vd.Init)
 		}
 	}
-	if len(c.errs) > 0 {
-		return c.info, errors.Join(c.errs...)
-	}
-	return c.info, nil
+	return c.info, c.diags.Err()
 }
 
 func (c *checker) errorf(pos token.Pos, format string, args ...any) {
-	c.errs = append(c.errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+	c.diags.Addf(diag.PhaseType, pos, format, args...)
 }
 
 func (c *checker) push() { c.scopes = append(c.scopes, make(map[string]*Symbol)) }
@@ -431,10 +437,13 @@ func (c *checker) exprType(e ast.Expr) Type {
 	case *ast.Ident:
 		sym := c.lookup(e.Name)
 		if sym == nil {
-			if sig, ok := builtinSigs[e.Name]; ok {
-				bsym := &Symbol{Name: e.Name, Type: sig, Kind: SymBuiltin}
-				c.info.Uses[e] = bsym
-				return &Pointer{Elem: sig}
+			if _, ok := builtinSigs[e.Name]; ok {
+				// Builtins are not first-class values: their addresses cannot
+				// be taken and they cannot flow through function pointers
+				// (calleeType handles the direct-call case before reaching
+				// here).
+				c.errorf(e.Pos(), "builtin %s can only be called", e.Name)
+				return Int
 			}
 			c.errorf(e.Pos(), "undefined: %s", e.Name)
 			return Int
@@ -660,6 +669,15 @@ func (c *checker) callType(e *ast.Call) Type {
 // calleeType resolves the function type of a call target, checking the
 // callee expression. It returns nil if the callee is not callable.
 func (c *checker) calleeType(fun ast.Expr) *Func {
+	// Direct calls to builtins: the only legal position for a builtin name.
+	if id, ok := fun.(*ast.Ident); ok && c.lookup(id.Name) == nil {
+		if sig, ok := builtinSigs[id.Name]; ok {
+			bsym := &Symbol{Name: id.Name, Type: sig, Kind: SymBuiltin}
+			c.info.Uses[id] = bsym
+			c.info.Types[id] = &Pointer{Elem: sig}
+			return sig
+		}
+	}
 	t := c.checkExpr(fun)
 	if pt, ok := t.(*Pointer); ok {
 		if ft, ok := pt.Elem.(*Func); ok {

@@ -137,7 +137,7 @@ func TestOverheadOrderingPerBenchmark(t *testing.T) {
 				t.Fatal(err)
 			}
 			work := func(cfg usher.Config) float64 {
-				an := usher.Analyze(prog, cfg)
+				an := usher.MustAnalyze(prog, cfg)
 				res, err := an.Run(usher.RunOptions{})
 				if err != nil {
 					t.Fatal(err)

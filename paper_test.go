@@ -97,8 +97,8 @@ int main() {
 	}
 
 	// Opt I must reduce static propagations relative to plain TL+AT.
-	plain := usher.Analyze(prog, usher.ConfigUsherTLAT)
-	opt := usher.Analyze(prog, usher.ConfigUsherOptI)
+	plain := usher.MustAnalyze(prog, usher.ConfigUsherTLAT)
+	opt := usher.MustAnalyze(prog, usher.ConfigUsherOptI)
 	if opt.MFCsSimplified == 0 {
 		t.Error("Opt I simplified nothing on the Figure 8 shape")
 	}
@@ -118,7 +118,7 @@ func TestPaperSection45ParserBug(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, cfg := range usher.ExtendedConfigs {
-		an := usher.Analyze(prog, cfg)
+		an := usher.MustAnalyze(prog, cfg)
 		res, err := an.Run(usher.RunOptions{})
 		if err != nil {
 			t.Fatalf("[%v] %v", cfg, err)

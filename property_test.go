@@ -31,7 +31,7 @@ func checkSeed(seed int64) error {
 	oracle := native.OracleSites()
 
 	for _, cfg := range usher.Configs {
-		an := usher.Analyze(prog, cfg)
+		an := usher.MustAnalyze(prog, cfg)
 		res, err := an.Run(usher.RunOptions{})
 		if err != nil {
 			return errseed(seed, cfg.String()+" run", err)
@@ -152,7 +152,7 @@ func TestPropertyMonotoneStaticCounts(t *testing.T) {
 		prog := compile.MustSource("rand.c", src)
 		prevProps, prevChecks := -1, -1
 		for _, cfg := range usher.Configs {
-			st := usher.Analyze(prog, cfg).StaticStats()
+			st := usher.MustAnalyze(prog, cfg).StaticStats()
 			if prevProps >= 0 && (st.Props > prevProps || st.Checks > prevChecks) {
 				t.Logf("seed %d: %v has props=%d checks=%d after %d/%d",
 					seed, cfg, st.Props, st.Checks, prevProps, prevChecks)
@@ -188,7 +188,7 @@ func TestLargeRandomPrograms(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d native: %v", seed, err)
 		}
-		an := usher.Analyze(prog, usher.ConfigUsherFull)
+		an := usher.MustAnalyze(prog, usher.ConfigUsherFull)
 		res, err := an.Run(usher.RunOptions{})
 		if err != nil {
 			t.Fatalf("seed %d usher: %v", seed, err)

@@ -3,6 +3,7 @@ package usher
 import (
 	"sync"
 
+	"github.com/valueflow/usher/internal/diag"
 	"github.com/valueflow/usher/internal/instrument"
 	"github.com/valueflow/usher/internal/ir"
 	"github.com/valueflow/usher/internal/memssa"
@@ -23,6 +24,12 @@ import (
 // through an edge filter without touching the graph). A Session is safe
 // for concurrent Analyze calls from multiple goroutines.
 //
+// A panic inside any analysis stage — an internal invariant violation,
+// typically provoked by IR the frontend should have rejected — is
+// captured as an error rather than crashing the process. The error is
+// cached alongside the artifact: every later call for the same artifact
+// reports the same error.
+//
 // Two VFG variants exist: the full graph (address-taken variables
 // modelled), shared by MSan, UsherTL+AT, UsherOptI, Usher and
 // Usher+OptIII, and the top-level-only graph used by UsherTL. Each is
@@ -33,14 +40,17 @@ type Session struct {
 	baseOnce sync.Once
 	pa       *pointer.Result
 	mem      *memssa.Info
+	baseErr  error
 
 	fullOnce  sync.Once
 	fullG     *vfg.Graph
 	fullGamma *vfg.Gamma
+	fullErr   error
 
 	tlOnce  sync.Once
 	tlG     *vfg.Graph
 	tlGamma *vfg.Gamma
+	tlErr   error
 }
 
 // NewSession prepares a shared-analysis session for prog. All artifacts
@@ -51,43 +61,65 @@ func NewSession(prog *ir.Program) *Session {
 
 // Base returns the configuration-invariant pointer analysis and memory
 // SSA, computing them on first use.
-func (s *Session) Base() (*pointer.Result, *memssa.Info) {
+func (s *Session) Base() (*pointer.Result, *memssa.Info, error) {
 	s.baseOnce.Do(func() {
+		defer diag.Guard(diag.PhaseAnalyze, &s.baseErr)
 		s.pa = pointer.Analyze(s.Prog)
 		s.mem = memssa.Build(s.Prog, s.pa)
 	})
-	return s.pa, s.mem
+	if s.baseErr != nil {
+		return nil, nil, s.baseErr
+	}
+	return s.pa, s.mem, nil
 }
 
 // Graph returns the shared value-flow graph and its resolved Γ for the
 // given variant (topLevelOnly selects the Usher_TL graph).
-func (s *Session) Graph(topLevelOnly bool) (*vfg.Graph, *vfg.Gamma) {
-	pa, mem := s.Base()
+func (s *Session) Graph(topLevelOnly bool) (*vfg.Graph, *vfg.Gamma, error) {
+	pa, mem, err := s.Base()
+	if err != nil {
+		return nil, nil, err
+	}
 	if topLevelOnly {
 		s.tlOnce.Do(func() {
+			defer diag.Guard(diag.PhaseAnalyze, &s.tlErr)
 			s.tlG = vfg.Build(s.Prog, pa, mem, vfg.Options{TopLevelOnly: true})
 			s.tlGamma = vfg.Resolve(s.tlG)
 		})
-		return s.tlG, s.tlGamma
+		if s.tlErr != nil {
+			return nil, nil, s.tlErr
+		}
+		return s.tlG, s.tlGamma, nil
 	}
 	s.fullOnce.Do(func() {
+		defer diag.Guard(diag.PhaseAnalyze, &s.fullErr)
 		s.fullG = vfg.Build(s.Prog, pa, mem, vfg.Options{})
 		s.fullGamma = vfg.Resolve(s.fullG)
 	})
-	return s.fullG, s.fullGamma
+	if s.fullErr != nil {
+		return nil, nil, s.fullErr
+	}
+	return s.fullG, s.fullGamma, nil
 }
 
 // Analyze runs the static pipeline for one configuration, reusing every
 // config-invariant artifact the session has already computed. The result
 // is identical to a standalone Analyze call on the same program.
-func (s *Session) Analyze(cfg Config) *Analysis {
+func (s *Session) Analyze(cfg Config) (_ *Analysis, err error) {
+	defer diag.Guard(diag.PhaseAnalyze, &err)
 	a := &Analysis{Config: cfg, Prog: s.Prog}
-	a.Pointer, a.Mem = s.Base()
-	a.Graph, a.Gamma = s.Graph(cfg == ConfigUsherTL)
+	a.Pointer, a.Mem, err = s.Base()
+	if err != nil {
+		return nil, err
+	}
+	a.Graph, a.Gamma, err = s.Graph(cfg == ConfigUsherTL)
+	if err != nil {
+		return nil, err
+	}
 
 	if cfg == ConfigMSan {
 		a.Plan = instrument.Full(s.Prog)
-		return a
+		return a, nil
 	}
 
 	gopts := instrument.GuidedOptions{
@@ -102,15 +134,28 @@ func (s *Session) Analyze(cfg Config) *Analysis {
 	a.MFCsSimplified = res.MFCsSimplified
 	a.Redirected = res.Redirected
 	a.ChecksElided = res.ChecksElided
+	return a, nil
+}
+
+// MustAnalyze is Analyze for programs known to analyze cleanly; it panics
+// on error (a caller contract violation, see package diag).
+func (s *Session) MustAnalyze(cfg Config) *Analysis {
+	a, err := s.Analyze(cfg)
+	diag.MustNil("analyze "+cfg.String(), err)
 	return a
 }
 
 // AnalyzeAll analyzes every configuration in cfgs, reusing the shared
-// artifacts, and returns the results in the same order.
-func (s *Session) AnalyzeAll(cfgs []Config) []*Analysis {
+// artifacts, and returns the results in the same order. The first
+// configuration that fails aborts the sweep.
+func (s *Session) AnalyzeAll(cfgs []Config) ([]*Analysis, error) {
 	out := make([]*Analysis, len(cfgs))
 	for i, cfg := range cfgs {
-		out[i] = s.Analyze(cfg)
+		a, err := s.Analyze(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = a
 	}
-	return out
+	return out, nil
 }

@@ -39,8 +39,8 @@ func TestSessionMatchesStandaloneAnalyze(t *testing.T) {
 		// re-analyzing earlier configs.
 		order := append(append([]usher.Config{}, usher.ExtendedConfigs...), usher.Configs...)
 		for _, cfg := range order {
-			got := s.Analyze(cfg)
-			want := usher.Analyze(s.Prog, cfg)
+			got := s.MustAnalyze(cfg)
+			want := usher.MustAnalyze(s.Prog, cfg)
 			if g, w := got.Plan.Fingerprint(), want.Plan.Fingerprint(); g != w {
 				t.Fatalf("%s/%v: session plan diverges from standalone plan:\nsession:\n%s\nstandalone:\n%s", name, cfg, g, w)
 			}
@@ -67,10 +67,10 @@ func TestSessionMatchesStandaloneAnalyze(t *testing.T) {
 // configurations the same graph instance.
 func TestSessionSharesArtifacts(t *testing.T) {
 	s := prepProg(t, "mcf")
-	msan := s.Analyze(usher.ConfigMSan)
-	tl := s.Analyze(usher.ConfigUsherTL)
-	full := s.Analyze(usher.ConfigUsherFull)
-	opt1 := s.Analyze(usher.ConfigUsherOptI)
+	msan := s.MustAnalyze(usher.ConfigMSan)
+	tl := s.MustAnalyze(usher.ConfigUsherTL)
+	full := s.MustAnalyze(usher.ConfigUsherFull)
+	opt1 := s.MustAnalyze(usher.ConfigUsherOptI)
 
 	if msan.Pointer != tl.Pointer || tl.Pointer != full.Pointer {
 		t.Error("pointer analysis not shared across configurations")
@@ -98,7 +98,7 @@ func TestSessionConcurrentAnalyze(t *testing.T) {
 
 	want := make(map[usher.Config]string)
 	for _, cfg := range usher.ExtendedConfigs {
-		want[cfg] = serial.Analyze(cfg).Plan.Fingerprint()
+		want[cfg] = serial.MustAnalyze(cfg).Plan.Fingerprint()
 	}
 
 	const rounds = 3
@@ -109,7 +109,7 @@ func TestSessionConcurrentAnalyze(t *testing.T) {
 			wg.Add(1)
 			go func(cfg usher.Config) {
 				defer wg.Done()
-				an := s.Analyze(cfg)
+				an := s.MustAnalyze(cfg)
 				if fp := an.Plan.Fingerprint(); fp != want[cfg] {
 					errs <- cfg.String()
 				}
@@ -132,7 +132,7 @@ func TestSessionRunsExecutable(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, cfg := range usher.Configs {
-		res, err := s.Analyze(cfg).Run(usher.RunOptions{})
+		res, err := s.MustAnalyze(cfg).Run(usher.RunOptions{})
 		if err != nil {
 			t.Fatalf("%v: %v", cfg, err)
 		}

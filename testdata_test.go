@@ -37,7 +37,7 @@ func TestTestdataPrograms(t *testing.T) {
 				t.Fatalf("oracle warnings = %v, buggy = %v", native.OracleWarnings, buggy)
 			}
 			for _, cfg := range usher.Configs {
-				an := usher.Analyze(prog, cfg)
+				an := usher.MustAnalyze(prog, cfg)
 				res, err := an.Run(usher.RunOptions{})
 				if err != nil {
 					t.Fatalf("[%v] run: %v", cfg, err)

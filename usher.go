@@ -12,8 +12,8 @@
 // Typical use:
 //
 //	prog, err := usher.Compile("prog.c", src)
-//	an := usher.Analyze(prog, usher.ConfigUsherFull)
-//	res, err := an.Run(nil, usher.RunOptions{})
+//	an, err := usher.Analyze(prog, usher.ConfigUsherFull)
+//	res, err := an.Run(usher.RunOptions{})
 //	// res.ShadowWarnings: detected uses of undefined values
 //	// res.ShadowProps/ShadowChecks: dynamic instrumentation cost
 package usher
@@ -115,8 +115,17 @@ type Analysis struct {
 // config-invariant artifacts (pointer analysis, memory SSA, VFG, Γ) once
 // and shares them, which is several times faster and produces identical
 // results.
-func Analyze(prog *ir.Program, cfg Config) *Analysis {
+//
+// Analyze never panics: an internal invariant violation inside any
+// analysis stage is returned as an error (see package diag).
+func Analyze(prog *ir.Program, cfg Config) (*Analysis, error) {
 	return NewSession(prog).Analyze(cfg)
+}
+
+// MustAnalyze is Analyze for programs known to analyze cleanly; it
+// panics on error (a caller contract violation, see package diag).
+func MustAnalyze(prog *ir.Program, cfg Config) *Analysis {
+	return NewSession(prog).MustAnalyze(cfg)
 }
 
 // RunOptions configures an instrumented execution.

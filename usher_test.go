@@ -47,7 +47,7 @@ func TestAnalyzeAllConfigs(t *testing.T) {
 	prog := usher.MustCompile("facade.c", facadeSrc)
 	var exits []int64
 	for _, cfg := range usher.Configs {
-		an := usher.Analyze(prog, cfg)
+		an := usher.MustAnalyze(prog, cfg)
 		if an.Plan == nil || an.Gamma == nil || an.Graph == nil {
 			t.Fatalf("[%v] incomplete analysis", cfg)
 		}
@@ -93,7 +93,7 @@ int main() {
   print(a + b);
   return 0;
 }`)
-	an := usher.Analyze(prog, usher.ConfigUsherFull)
+	an := usher.MustAnalyze(prog, usher.ConfigUsherFull)
 	res, err := an.Run(usher.RunOptions{Input: func(i int) int64 { return int64(10 * (i + 1)) }})
 	if err != nil {
 		t.Fatal(err)
@@ -116,8 +116,8 @@ func TestRunArgs(t *testing.T) {
 
 func TestStaticStatsExposed(t *testing.T) {
 	prog := usher.MustCompile("facade.c", facadeSrc)
-	full := usher.Analyze(prog, usher.ConfigMSan).StaticStats()
-	guided := usher.Analyze(prog, usher.ConfigUsherFull).StaticStats()
+	full := usher.MustAnalyze(prog, usher.ConfigMSan).StaticStats()
+	guided := usher.MustAnalyze(prog, usher.ConfigUsherFull).StaticStats()
 	if full.Props == 0 || full.Checks == 0 {
 		t.Fatalf("MSan stats empty: %+v", full)
 	}
@@ -140,7 +140,7 @@ func TestNoMainIsAnError(t *testing.T) {
 		t.Fatal("running a program without main must fail")
 	}
 	// Analysis of a main-less library still works.
-	an := usher.Analyze(prog, usher.ConfigUsherFull)
+	an := usher.MustAnalyze(prog, usher.ConfigUsherFull)
 	if an.Plan == nil {
 		t.Fatal("analysis failed on a library")
 	}
@@ -156,7 +156,7 @@ func TestWrongArgCount(t *testing.T) {
 func TestEmptyMain(t *testing.T) {
 	prog := usher.MustCompile("m.c", `int main() { return 0; }`)
 	for _, cfg := range usher.ExtendedConfigs {
-		an := usher.Analyze(prog, cfg)
+		an := usher.MustAnalyze(prog, cfg)
 		res, err := an.Run(usher.RunOptions{})
 		if err != nil {
 			t.Fatalf("[%v] %v", cfg, err)
@@ -176,7 +176,7 @@ func TestDeadFunctionsAnalyzed(t *testing.T) {
 	prog := usher.MustCompile("m.c", `
 int unused(int *p) { return p[3]; }
 int main() { return 0; }`)
-	an := usher.Analyze(prog, usher.ConfigUsherFull)
+	an := usher.MustAnalyze(prog, usher.ConfigUsherFull)
 	res, err := an.Run(usher.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
