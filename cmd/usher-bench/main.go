@@ -40,10 +40,11 @@ func main() {
 		*all = true
 	}
 	report := &bench.Report{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		NumCPU:      runtime.NumCPU(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		Parallel:    *parallel,
+		SchemaVersion: bench.SchemaVersion,
+		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Parallel:      *parallel,
 	}
 	// fail writes the partial report before exiting, so a late-phase
 	// failure does not discard the completed phases: the JSON carries

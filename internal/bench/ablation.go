@@ -48,7 +48,7 @@ func Ablations() ([]AblationRow, error) { return AblationsParallel(DefaultParall
 func AblationsParallel(parallel int) ([]AblationRow, error) {
 	profiles := workload.Profiles
 	rows := make([]AblationRow, len(profiles))
-	err := forEach(parallel, len(profiles), func(i int) error {
+	err := ForEach(parallel, len(profiles), func(i int) error {
 		row, err := ablationRow(profiles[i])
 		if err != nil {
 			return err

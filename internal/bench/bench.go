@@ -115,7 +115,7 @@ func Table1() ([]Table1Row, error) { return Table1Parallel(DefaultParallelism())
 func Table1Parallel(parallel int) ([]Table1Row, error) {
 	profiles := workload.Profiles
 	compiled := make([]*Compiled, len(profiles))
-	err := forEach(parallel, len(profiles), func(i int) error {
+	err := ForEach(parallel, len(profiles), func(i int) error {
 		c, err := Prepare(profiles[i], passes.O0IM)
 		if err != nil {
 			return err
@@ -275,7 +275,7 @@ func Fig10Parallel(level passes.Level, parallel int) ([]OverheadRow, error) {
 // paper's figure; subsets for tests).
 func Fig10Profiles(profiles []workload.Profile, level passes.Level, parallel int) ([]OverheadRow, error) {
 	rows := make([]OverheadRow, len(profiles))
-	err := forEach(parallel, len(profiles), func(i int) error {
+	err := ForEach(parallel, len(profiles), func(i int) error {
 		c, err := Prepare(profiles[i], level)
 		if err != nil {
 			return err
@@ -302,7 +302,7 @@ func overheadRow(c *Compiled, parallel int) (OverheadRow, error) {
 	row.NativeSteps = native.Steps
 	session := usher.NewSession(c.Prog)
 	row.Runs = make([]ConfigRun, len(usher.Configs))
-	err = forEach(parallel, len(usher.Configs), func(i int) error {
+	err = ForEach(parallel, len(usher.Configs), func(i int) error {
 		cfg := usher.Configs[i]
 		an, err := session.Analyze(cfg)
 		if err != nil {
@@ -356,14 +356,14 @@ func Fig11() ([]StaticRow, error) { return Fig11Parallel(DefaultParallelism()) }
 func Fig11Parallel(parallel int) ([]StaticRow, error) {
 	profiles := workload.Profiles
 	rows := make([]StaticRow, len(profiles))
-	err := forEach(parallel, len(profiles), func(i int) error {
+	err := ForEach(parallel, len(profiles), func(i int) error {
 		c, err := Prepare(profiles[i], passes.O0IM)
 		if err != nil {
 			return err
 		}
 		session := usher.NewSession(c.Prog)
 		stats := make([]instrument.Stats, len(usher.Configs))
-		err = forEach(parallel, len(usher.Configs), func(j int) error {
+		err = ForEach(parallel, len(usher.Configs), func(j int) error {
 			an, err := session.Analyze(usher.Configs[j])
 			if err != nil {
 				return fmt.Errorf("%s %v: %w", profiles[i].Name, usher.Configs[j], err)

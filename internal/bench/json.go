@@ -18,15 +18,20 @@ type LevelRows struct {
 	Rows  []OverheadRow `json:"rows"`
 }
 
+// SchemaVersion identifies the JSON layout of Report, so downstream
+// tooling can evolve alongside it. Bump on any incompatible change.
+const SchemaVersion = 1
+
 // Report is the machine-readable form of one usher-bench invocation,
 // written by the -json flag. It captures everything the text renderers
 // print plus the execution environment and per-phase wall-clock, so perf
 // trajectories can be tracked across commits and machines.
 type Report struct {
-	GeneratedAt string `json:"generated_at"`
-	NumCPU      int    `json:"num_cpu"`
-	GOMAXPROCS  int    `json:"gomaxprocs"`
-	Parallel    int    `json:"parallel"`
+	SchemaVersion int    `json:"schemaVersion"`
+	GeneratedAt   string `json:"generated_at"`
+	NumCPU        int    `json:"num_cpu"`
+	GOMAXPROCS    int    `json:"gomaxprocs"`
+	Parallel      int    `json:"parallel"`
 
 	Phases []PhaseTime `json:"phases"`
 

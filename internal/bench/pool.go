@@ -9,12 +9,13 @@ import (
 // points (Table1, Fig10, ...): one worker per CPU.
 func DefaultParallelism() int { return runtime.NumCPU() }
 
-// forEach runs f(0..n-1) on at most parallel workers and returns the
+// ForEach runs f(0..n-1) on at most parallel workers and returns the
 // first (lowest-index) error. With parallel <= 1 it degenerates to a
 // plain sequential loop, reproducing the pre-parallel driver exactly.
 // Results must be written by f into pre-sized slices indexed by i, which
-// keeps output ordering deterministic regardless of scheduling.
-func forEach(parallel, n int, f func(i int) error) error {
+// keeps output ordering deterministic regardless of scheduling. It is
+// the shared worker pool behind usher-bench and usher-difftest.
+func ForEach(parallel, n int, f func(i int) error) error {
 	if n == 0 {
 		return nil
 	}

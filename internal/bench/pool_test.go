@@ -16,7 +16,7 @@ func TestForEachStopsDispatchOnError(t *testing.T) {
 	const n = 1000
 	var calls atomic.Int64
 	boom := errors.New("boom")
-	err := forEach(4, n, func(i int) error {
+	err := ForEach(4, n, func(i int) error {
 		calls.Add(1)
 		if i == 0 {
 			return boom
@@ -36,7 +36,7 @@ func TestForEachStopsDispatchOnError(t *testing.T) {
 // fail, the error returned is the one the serial loop would have hit.
 func TestForEachReturnsLowestIndexError(t *testing.T) {
 	for _, parallel := range []int{1, 4} {
-		err := forEach(parallel, 64, func(i int) error {
+		err := ForEach(parallel, 64, func(i int) error {
 			if i >= 2 {
 				return fmt.Errorf("fail %d", i)
 			}
@@ -54,7 +54,7 @@ func TestForEachCompletesWithoutError(t *testing.T) {
 	for _, parallel := range []int{1, 3, 16} {
 		const n = 100
 		seen := make([]atomic.Int32, n)
-		if err := forEach(parallel, n, func(i int) error {
+		if err := ForEach(parallel, n, func(i int) error {
 			seen[i].Add(1)
 			return nil
 		}); err != nil {

@@ -1,0 +1,133 @@
+package difftest
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/valueflow/usher/internal/bench"
+	"github.com/valueflow/usher/internal/randprog"
+)
+
+// SchemaVersion identifies the JSON layout of Report, so downstream
+// tooling can evolve alongside it. Bump on any incompatible change.
+const SchemaVersion = 1
+
+// CampaignOptions configure a differential-testing sweep.
+type CampaignOptions struct {
+	// From is the first randprog seed; Seeds is the number of seeds.
+	From, Seeds int64
+	// Parallel is the worker count (<= 1 means serial). Results are
+	// bit-identical for any value.
+	Parallel int
+	// Gen bounds the generated programs (zero value: randprog defaults).
+	Gen randprog.Options
+	// Minimize shrinks every diverging program to a minimal repro.
+	Minimize bool
+}
+
+// Finding is one diverging seed, with its minimized reproducer when
+// minimization was requested.
+type Finding struct {
+	Seed       int64       `json:"seed"`
+	Divergence *Divergence `json:"divergence"`
+	// Clean is the generator's implied label for the program.
+	Clean bool `json:"clean"`
+	// Stmts and MinStmts count statements before and after minimization.
+	Stmts     int    `json:"stmts"`
+	MinStmts  int    `json:"min_stmts,omitempty"`
+	Source    string `json:"source"`
+	Minimized string `json:"minimized,omitempty"`
+}
+
+// Report is the machine-readable outcome of one campaign. Every field is
+// a pure function of the options, so the JSON rendering is bit-identical
+// for any Parallel value and carries no timing or host information.
+type Report struct {
+	SchemaVersion int              `json:"schemaVersion"`
+	Tool          string           `json:"tool"`
+	Configs       []string         `json:"configs"`
+	From          int64            `json:"from"`
+	Seeds         int64            `json:"seeds"`
+	Generator     randprog.Options `json:"generator"`
+	// Checked counts seeds actually compared; Divergent counts findings.
+	Checked   int64     `json:"checked"`
+	Divergent int       `json:"divergent"`
+	Findings  []Finding `json:"findings,omitempty"`
+}
+
+// WriteJSON writes the report, indented, to path.
+func (r *Report) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Campaign sweeps the seed range through the differential oracle on
+// opts.Parallel workers (reusing the deterministic usher-bench pool) and
+// returns the findings ordered by seed. A divergence is a *finding*, not
+// an error: the sweep always covers the whole range. The error return is
+// reserved for infrastructure failures.
+func Campaign(opts CampaignOptions) (*Report, error) {
+	if opts.Seeds < 0 {
+		return nil, fmt.Errorf("difftest: negative seed count %d", opts.Seeds)
+	}
+	gen := opts.Gen
+	if gen == (randprog.Options{}) {
+		gen = randprog.DefaultOptions
+	}
+	checker := New()
+	report := &Report{
+		SchemaVersion: SchemaVersion,
+		Tool:          "usher-difftest",
+		From:          opts.From,
+		Seeds:         opts.Seeds,
+		Generator:     gen,
+	}
+	for _, cfg := range checker.Configs {
+		report.Configs = append(report.Configs, cfg.String())
+	}
+
+	// findings[i] belongs to seed From+i: the slice is pre-sized and
+	// written by index, so ordering never depends on scheduling.
+	findings := make([]*Finding, opts.Seeds)
+	err := bench.ForEach(opts.Parallel, int(opts.Seeds), func(i int) error {
+		seed := opts.From + int64(i)
+		src, info := randprog.GenerateInfo(seed, gen)
+		div := checker.Check(src)
+		if div == nil {
+			return nil
+		}
+		f := &Finding{
+			Seed:       seed,
+			Divergence: div,
+			Clean:      info.Clean(),
+			Stmts:      CountStmts(src),
+			Source:     src,
+		}
+		if opts.Minimize {
+			min := Minimize(src, func(candidate string) bool {
+				return div.SameBug(checker.Check(candidate))
+			})
+			f.Minimized = min
+			f.MinStmts = CountStmts(min)
+		}
+		findings[i] = f
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range findings {
+		report.Checked++
+		if f != nil {
+			report.Divergent++
+			report.Findings = append(report.Findings, *f)
+		}
+	}
+	report.Checked = opts.Seeds
+	return report, nil
+}

@@ -1,0 +1,223 @@
+// Package difftest is the differential soundness oracle for the Usher
+// instrumentation pipeline.
+//
+// The paper's central claim (§3.5) is that the guided instrumentation
+// and its optimizations prune shadow work *without changing what the
+// detector reports*. This package turns that claim into an executable
+// oracle: each candidate MiniC program is compiled once, executed
+// natively for the ground truth, and then executed under every
+// instrumentation configuration — Full (MSan), Usher_TL, Usher_TL+AT,
+// Usher+OptI, Usher (OptII) and Usher+OptIII — with the canonical
+// warning sets cross-checked against the oracle and against each
+// configuration's soundness contract:
+//
+//   - every configuration: identical program semantics (exit value,
+//     output stream, executed instruction count), no shadow-soundness
+//     violations (reads of uninitialized shadow state), and no false
+//     positives (a reported site the oracle never reached);
+//   - configurations without check elimination (MSan, Usher_TL,
+//     Usher_TL+AT, Usher+OptI): the reported sites equal the oracle
+//     sites exactly;
+//   - configurations with check elimination (Usher, Usher+OptIII):
+//     reported sites are a subset of the oracle's, and at least one
+//     report survives whenever the oracle is non-empty (elision may
+//     suppress dominated duplicates, never the detection itself).
+//
+// Any violation is a Divergence. The integrated minimizer (minimize.go)
+// shrinks a diverging program to a minimal repro, and the campaign
+// driver (campaign.go) sweeps randprog seed ranges in parallel with
+// bit-identical output for any worker count.
+package difftest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/valueflow/usher"
+	"github.com/valueflow/usher/internal/interp"
+)
+
+// Kind classifies a divergence.
+type Kind string
+
+// Divergence kinds, roughly ordered by severity.
+const (
+	// KindCompile: a generated program failed to compile (generator bug).
+	KindCompile Kind = "compile-error"
+	// KindNativeTrap: the uninstrumented run trapped (generator bug —
+	// generated programs must terminate cleanly within budget).
+	KindNativeTrap Kind = "native-trap"
+	// KindAnalyze: the static analysis failed on a compiled program.
+	KindAnalyze Kind = "analyze-error"
+	// KindRunTrap: an instrumented run trapped while the native run did
+	// not — instrumentation must never change termination behaviour.
+	KindRunTrap Kind = "run-trap"
+	// KindExit: the instrumented exit value differs from the native one.
+	KindExit Kind = "exit-mismatch"
+	// KindOutput: the print streams differ.
+	KindOutput Kind = "output-mismatch"
+	// KindSteps: the executed instruction counts differ (shadow work is
+	// accounted separately and must not perturb the instruction stream).
+	KindSteps Kind = "step-mismatch"
+	// KindViolation: the shadow machine read shadow state the plan never
+	// initialized (the §3.4 well-definedness guarantee is broken).
+	KindViolation Kind = "shadow-violation"
+	// KindFalsePositive: a reported site the oracle never flagged.
+	KindFalsePositive Kind = "false-positive"
+	// KindMissed: an exact configuration failed to report an oracle site.
+	KindMissed Kind = "missed-warning"
+	// KindSuppressed: an eliding configuration suppressed every report of
+	// a non-empty oracle.
+	KindSuppressed Kind = "all-suppressed"
+)
+
+// Divergence describes one soundness violation found on one program.
+type Divergence struct {
+	// Config is the configuration that diverged ("" for compile/native
+	// failures that precede any configuration).
+	Config string `json:"config,omitempty"`
+	// Kind classifies the violation.
+	Kind Kind `json:"kind"`
+	// Detail is a human-readable description.
+	Detail string `json:"detail"`
+}
+
+func (d *Divergence) String() string {
+	if d == nil {
+		return "<no divergence>"
+	}
+	if d.Config == "" {
+		return fmt.Sprintf("%s: %s", d.Kind, d.Detail)
+	}
+	return fmt.Sprintf("[%s] %s: %s", d.Config, d.Kind, d.Detail)
+}
+
+// SameBug reports whether two divergences witness the same underlying
+// bug for minimization purposes: same configuration and same kind. The
+// detail (labels, positions) is allowed to drift as the program shrinks.
+func (d *Divergence) SameBug(o *Divergence) bool {
+	return d != nil && o != nil && d.Config == o.Config && d.Kind == o.Kind
+}
+
+// exactConfigs report every oracle site; elidingConfigs may suppress
+// dominated duplicates (Opt II / Opt III) but never the detection.
+func eliding(cfg usher.Config) bool {
+	return cfg == usher.ConfigUsherFull || cfg == usher.ConfigUsherOptIII
+}
+
+// Checker runs one program under every configuration and compares the
+// canonical warning sets. The zero value is not usable; call New.
+type Checker struct {
+	// Configs are the instrumentation configurations to cross-check.
+	Configs []usher.Config
+	// RunOpts configure every execution (the same options are applied to
+	// the native ground-truth run and each instrumented run).
+	RunOpts usher.RunOptions
+}
+
+// New returns a Checker covering every configuration, the paper's five
+// plus the Opt III extension.
+func New() *Checker {
+	return &Checker{Configs: usher.ExtendedConfigs}
+}
+
+// Check compiles and cross-executes src, returning the first divergence
+// found, or nil when every configuration agrees with the oracle.
+func (c *Checker) Check(src string) *Divergence {
+	prog, err := usher.Compile("difftest.c", src)
+	if err != nil {
+		return &Divergence{Kind: KindCompile, Detail: err.Error()}
+	}
+	native, err := usher.RunNative(prog, c.RunOpts)
+	if err != nil {
+		return &Divergence{Kind: KindNativeTrap, Detail: err.Error()}
+	}
+	oracle := native.OracleSites()
+
+	session := usher.NewSession(prog)
+	for _, cfg := range c.Configs {
+		an, err := session.Analyze(cfg)
+		if err != nil {
+			return &Divergence{Config: cfg.String(), Kind: KindAnalyze, Detail: err.Error()}
+		}
+		res, err := an.Run(c.RunOpts)
+		if err != nil {
+			return &Divergence{Config: cfg.String(), Kind: KindRunTrap, Detail: err.Error()}
+		}
+		if d := compare(cfg, native, oracle, res); d != nil {
+			return d
+		}
+	}
+	return nil
+}
+
+// compare applies the per-configuration soundness contract.
+func compare(cfg usher.Config, native *interp.Result, oracle map[interp.Site]bool, res *interp.Result) *Divergence {
+	name := cfg.String()
+	if res.Exit.Int != native.Exit.Int {
+		return &Divergence{Config: name, Kind: KindExit,
+			Detail: fmt.Sprintf("exit %d, native %d", res.Exit.Int, native.Exit.Int)}
+	}
+	if !equalInts(res.Out, native.Out) {
+		return &Divergence{Config: name, Kind: KindOutput,
+			Detail: fmt.Sprintf("output %v, native %v", clip(res.Out), clip(native.Out))}
+	}
+	if res.Steps != native.Steps {
+		return &Divergence{Config: name, Kind: KindSteps,
+			Detail: fmt.Sprintf("steps %d, native %d", res.Steps, native.Steps)}
+	}
+	if len(res.ShadowViolations) > 0 {
+		return &Divergence{Config: name, Kind: KindViolation, Detail: res.ShadowViolations[0]}
+	}
+	shadow := res.ShadowSites()
+	for _, w := range res.ShadowWarnings {
+		if !oracle[interp.Site{Fn: w.Fn, Label: w.Label}] {
+			return &Divergence{Config: name, Kind: KindFalsePositive,
+				Detail: fmt.Sprintf("reported %v, oracle %s", w, siteSet(oracle))}
+		}
+	}
+	if eliding(cfg) {
+		if len(oracle) > 0 && len(shadow) == 0 {
+			return &Divergence{Config: name, Kind: KindSuppressed,
+				Detail: fmt.Sprintf("oracle has %d site(s) %s, none reported", len(oracle), siteSet(oracle))}
+		}
+		return nil
+	}
+	for _, w := range native.OracleWarnings {
+		if !shadow[interp.Site{Fn: w.Fn, Label: w.Label}] {
+			return &Divergence{Config: name, Kind: KindMissed,
+				Detail: fmt.Sprintf("oracle site %v not reported (reported: %s)", w, siteSet(shadow))}
+		}
+	}
+	return nil
+}
+
+func equalInts(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func clip(xs []int64) []int64 {
+	if len(xs) > 8 {
+		return xs[:8]
+	}
+	return xs
+}
+
+// siteSet renders a site set canonically (sorted) for divergence details.
+func siteSet(s map[interp.Site]bool) string {
+	keys := make([]string, 0, len(s))
+	for site := range s {
+		keys = append(keys, fmt.Sprintf("%s:l%d", site.Fn, site.Label))
+	}
+	sort.Strings(keys)
+	return "{" + strings.Join(keys, ", ") + "}"
+}

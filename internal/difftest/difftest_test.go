@@ -1,0 +1,229 @@
+package difftest
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/valueflow/usher"
+	"github.com/valueflow/usher/internal/randprog"
+)
+
+// TestCheckAgreesOnHandWritten pins the oracle on programs where the
+// expected outcome is obvious by inspection.
+func TestCheckAgreesOnHandWritten(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"clean", `
+int main() {
+  int x = 3;
+  int y = x + 4;
+  print(y);
+  return y;
+}
+`},
+		{"uninit-local", `
+int main() {
+  int x;
+  print(x);
+  return 0;
+}
+`},
+		{"partial-heap", `
+int main() {
+  int *p = malloc(8);
+  p[0] = 1;
+  print(p[3]);
+  return 0;
+}
+`},
+		{"branch-defined", `
+int main() {
+  int x;
+  if (1 < 2) { x = 5; }
+  print(x);
+  return x;
+}
+`},
+	}
+	c := New()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if d := c.Check(tc.src); d != nil {
+				t.Fatalf("unexpected divergence: %v", d)
+			}
+		})
+	}
+}
+
+// TestCheckReportsCompileError: the oracle classifies unparseable input
+// instead of panicking, so minimization candidates can be rejected.
+func TestCheckReportsCompileError(t *testing.T) {
+	d := New().Check("int main( {")
+	if d == nil || d.Kind != KindCompile {
+		t.Fatalf("want compile-error divergence, got %v", d)
+	}
+}
+
+// TestCampaignCleanSweep runs a small campaign and expects full agreement.
+func TestCampaignCleanSweep(t *testing.T) {
+	n := int64(60)
+	if testing.Short() {
+		n = 15
+	}
+	rep, err := Campaign(CampaignOptions{Seeds: n, Parallel: 4, Minimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Checked != n {
+		t.Fatalf("checked %d of %d seeds", rep.Checked, n)
+	}
+	for _, f := range rep.Findings {
+		t.Errorf("seed %d diverged: %v\nminimized repro:\n%s", f.Seed, f.Divergence, f.Minimized)
+	}
+	if rep.SchemaVersion != SchemaVersion {
+		t.Fatalf("schemaVersion %d, want %d", rep.SchemaVersion, SchemaVersion)
+	}
+}
+
+// TestCampaignDeterministic: the JSON report must be bit-identical for
+// any worker count (the acceptance bar for -parallel).
+func TestCampaignDeterministic(t *testing.T) {
+	n := int64(40)
+	if testing.Short() {
+		n = 10
+	}
+	var blobs [][]byte
+	for _, parallel := range []int{1, 8} {
+		rep, err := Campaign(CampaignOptions{From: 100, Seeds: n, Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, data)
+	}
+	if !bytes.Equal(blobs[0], blobs[1]) {
+		t.Fatalf("report differs between -parallel 1 and 8:\n%s\n----\n%s", blobs[0], blobs[1])
+	}
+}
+
+// TestMinimizeRejectsNonRepro: input that does not satisfy the predicate
+// is returned unchanged.
+func TestMinimizeRejectsNonRepro(t *testing.T) {
+	src := "int main() { return 0; }\n"
+	if got := Minimize(src, func(string) bool { return false }); got != src {
+		t.Fatalf("Minimize changed a non-reproducing input:\n%s", got)
+	}
+}
+
+// TestMinimizeShrinksInjectedDivergence injects a detector bug — an
+// "exact" configuration that drops every report, so any program with a
+// non-empty oracle diverges with missed-warning — and requires the
+// minimizer to shrink a large diverging program by at least 80% of its
+// statements. This is the acceptance bar for the reducer.
+func TestMinimizeShrinksInjectedDivergence(t *testing.T) {
+	injected := func(src string) *Divergence {
+		prog, err := usher.Compile("inject.c", src)
+		if err != nil {
+			return &Divergence{Kind: KindCompile, Detail: err.Error()}
+		}
+		res, err := usher.RunNative(prog, usher.RunOptions{})
+		if err != nil {
+			return &Divergence{Kind: KindNativeTrap, Detail: err.Error()}
+		}
+		if len(res.OracleWarnings) > 0 {
+			// The broken detector reported nothing; first oracle site missed.
+			return &Divergence{Config: "msan", Kind: KindMissed,
+				Detail: res.OracleWarnings[0].String()}
+		}
+		return nil
+	}
+
+	// Find a comfortably large diverging program.
+	opts := randprog.Options{Helpers: 3, StmtsPerFunc: 14, MaxDepth: 3, UninitFrac: 0.4}
+	var src string
+	var orig *Divergence
+	for seed := int64(0); seed < 400; seed++ {
+		cand := randprog.Generate(seed, opts)
+		if CountStmts(cand) < 40 {
+			continue
+		}
+		if d := injected(cand); d != nil && d.Kind == KindMissed {
+			src, orig = cand, d
+			break
+		}
+	}
+	if src == "" {
+		t.Fatal("no large diverging program found in 400 seeds")
+	}
+
+	min := Minimize(src, func(cand string) bool {
+		return orig.SameBug(injected(cand))
+	})
+	before, after := CountStmts(src), CountStmts(min)
+	t.Logf("minimized %d -> %d statements:\n%s", before, after, min)
+	if !orig.SameBug(injected(min)) {
+		t.Fatalf("minimized program no longer reproduces:\n%s", min)
+	}
+	if after > before/5 {
+		t.Fatalf("minimizer shrunk %d -> %d statements; want at least 80%% reduction", before, after)
+	}
+}
+
+// TestMinimizeFixpoint: re-minimizing a minimal program is a no-op, so
+// committed repros in testdata/difftest are stable.
+func TestMinimizeFixpoint(t *testing.T) {
+	src := "int main() {\n  int x;\n  print(x);\n  return 0;\n}\n"
+	keep := func(cand string) bool {
+		prog, err := usher.Compile("fix.c", cand)
+		if err != nil {
+			return false
+		}
+		res, err := usher.RunNative(prog, usher.RunOptions{})
+		return err == nil && len(res.OracleWarnings) > 0
+	}
+	min := Minimize(src, keep)
+	if again := Minimize(min, keep); again != min {
+		t.Fatalf("not a fixpoint:\n%s\n----\n%s", min, again)
+	}
+}
+
+// TestCommittedRepros replays every minimized repro committed under
+// testdata/difftest. Each one was a real divergence when found; after
+// the corresponding fix it must pass the full oracle, and this test
+// keeps it passing.
+func TestCommittedRepros(t *testing.T) {
+	dir := filepath.Join("..", "..", "testdata", "difftest")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Skipf("no committed repros: %v", err)
+	}
+	c := New()
+	ran := false
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".c") {
+			continue
+		}
+		ran = true
+		t.Run(e.Name(), func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := c.Check(string(data)); d != nil {
+				t.Fatalf("repro diverges again (regression): %v", d)
+			}
+		})
+	}
+	if !ran {
+		t.Skip("testdata/difftest holds no .c repros")
+	}
+}

@@ -1,0 +1,290 @@
+package difftest
+
+import (
+	"github.com/valueflow/usher/internal/ast"
+	"github.com/valueflow/usher/internal/parser"
+)
+
+// Predicate reports whether a candidate source still exhibits the
+// behaviour being minimized. Candidates that no longer compile or no
+// longer diverge must return false; Minimize never inspects the program
+// itself, only the predicate's verdict, so it works for any property.
+type Predicate func(src string) bool
+
+// Minimize delta-debugs src down to a (locally) minimal program that
+// still satisfies keep. Reduction works on the MiniC AST in three
+// granularities, coarse to fine:
+//
+//   - declaration level: drop whole top-level functions and globals;
+//   - statement level: ddmin-style contiguous chunk removal inside every
+//     statement list, plus unwrapping if/else, while and for bodies into
+//     their enclosing block;
+//   - expression level: replace a binary operation by either operand,
+//     an index expression by index zero, and initializers, conditions
+//     and call arguments by the literal 0.
+//
+// After each accepted cut the candidate is reparsed and the passes
+// restart, so reductions compose until a fixpoint: no single remaining
+// cut preserves the predicate. If src itself fails keep (or fails to
+// parse), it is returned unchanged.
+func Minimize(src string, keep Predicate) string {
+	if !keep(src) {
+		return src
+	}
+	cur := src
+	for {
+		prog, err := parser.Parse("minimize.c", cur)
+		if err != nil {
+			return cur // not reachable for printer output; be safe
+		}
+		next, improved := reduceOnce(prog, keep)
+		if !improved {
+			return cur
+		}
+		cur = next
+	}
+}
+
+// CountStmts returns the number of statements in the program, the size
+// metric quoted by minimization reports ("shrunk by N% of statements").
+// Parse failures count as zero statements.
+func CountStmts(src string) int {
+	prog, err := parser.Parse("count.c", src)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, d := range prog.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			walkStmts(fd.Body, func(ast.Stmt) { n++ })
+		}
+	}
+	return n
+}
+
+func walkStmts(b *ast.Block, f func(ast.Stmt)) {
+	for _, s := range b.Stmts {
+		f(s)
+		switch s := s.(type) {
+		case *ast.Block:
+			walkStmts(s, f)
+		case *ast.IfStmt:
+			walkBody(s.Then, f)
+			if s.Else != nil {
+				walkBody(s.Else, f)
+			}
+		case *ast.WhileStmt:
+			walkBody(s.Body, f)
+		case *ast.ForStmt:
+			walkBody(s.Body, f)
+		}
+	}
+}
+
+func walkBody(s ast.Stmt, f func(ast.Stmt)) {
+	if blk, ok := s.(*ast.Block); ok {
+		walkStmts(blk, f)
+	} else if s != nil {
+		f(s)
+	}
+}
+
+// edit is one candidate reduction: apply mutates the AST, undo restores
+// it exactly. Edits are generated against the current tree and applied
+// one at a time; an accepted edit's rendering becomes the new tree.
+type edit struct {
+	apply func()
+	undo  func()
+}
+
+// reduceOnce tries every candidate edit, coarsest first, and returns the
+// rendering of the first accepted one.
+func reduceOnce(prog *ast.Program, keep Predicate) (string, bool) {
+	for _, e := range collectEdits(prog) {
+		e.apply()
+		candidate := ast.Print(prog)
+		e.undo()
+		if keep(candidate) {
+			return candidate, true
+		}
+	}
+	return "", false
+}
+
+func collectEdits(prog *ast.Program) []edit {
+	var edits []edit
+
+	// Declaration level: drop each top-level declaration.
+	for i := range prog.Decls {
+		i := i
+		var removed ast.Decl
+		edits = append(edits, edit{
+			apply: func() {
+				removed = prog.Decls[i]
+				prog.Decls = append(prog.Decls[:i:i], prog.Decls[i+1:]...)
+			},
+			undo: func() {
+				prog.Decls = append(prog.Decls[:i:i], append([]ast.Decl{removed}, prog.Decls[i:]...)...)
+			},
+		})
+	}
+
+	// Statement level: chunk removal over every statement list, halving
+	// chunk sizes ddmin-style, then structure unwrapping.
+	var lists []*[]ast.Stmt
+	var unwraps []edit
+	var exprs []*ast.Expr
+	for _, d := range prog.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		collectBlock(fd.Body, &lists, &unwraps, &exprs)
+	}
+	for _, lp := range lists {
+		n := len(*lp)
+		for size := n; size >= 1; size /= 2 {
+			for start := 0; start+size <= n; start += size {
+				edits = append(edits, removeChunk(lp, start, size))
+			}
+		}
+	}
+	edits = append(edits, unwraps...)
+
+	// Expression level: structural simplifications.
+	for _, ep := range exprs {
+		edits = append(edits, exprEdits(ep)...)
+	}
+	return edits
+}
+
+func removeChunk(lp *[]ast.Stmt, start, size int) edit {
+	var removed []ast.Stmt
+	return edit{
+		apply: func() {
+			s := *lp
+			removed = append([]ast.Stmt(nil), s[start:start+size]...)
+			*lp = append(s[:start:start], s[start+size:]...)
+		},
+		undo: func() {
+			s := *lp
+			restored := make([]ast.Stmt, 0, len(s)+len(removed))
+			restored = append(restored, s[:start]...)
+			restored = append(restored, removed...)
+			restored = append(restored, s[start:]...)
+			*lp = restored
+		},
+	}
+}
+
+// collectBlock gathers, in one walk: every statement list (for chunk
+// removal), every control-structure unwrap, and every expression slot.
+func collectBlock(b *ast.Block, lists *[]*[]ast.Stmt, unwraps *[]edit, exprs *[]*ast.Expr) {
+	*lists = append(*lists, &b.Stmts)
+	for i := range b.Stmts {
+		i := i
+		switch s := b.Stmts[i].(type) {
+		case *ast.Block:
+			collectBlock(s, lists, unwraps, exprs)
+		case *ast.DeclStmt:
+			if s.Decl.Init != nil {
+				collectExpr(&s.Decl.Init, exprs)
+			}
+		case *ast.ExprStmt:
+			collectExpr(&s.X, exprs)
+		case *ast.IfStmt:
+			collectExpr(&s.Cond, exprs)
+			// Unwrap: replace the if with its then (or else) arm.
+			*unwraps = append(*unwraps, replaceStmt(&b.Stmts, i, s.Then))
+			if s.Else != nil {
+				*unwraps = append(*unwraps, replaceStmt(&b.Stmts, i, s.Else))
+			}
+			descend(s.Then, lists, unwraps, exprs)
+			if s.Else != nil {
+				descend(s.Else, lists, unwraps, exprs)
+			}
+		case *ast.WhileStmt:
+			collectExpr(&s.Cond, exprs)
+			*unwraps = append(*unwraps, replaceStmt(&b.Stmts, i, s.Body))
+			descend(s.Body, lists, unwraps, exprs)
+		case *ast.ForStmt:
+			if s.Cond != nil {
+				collectExpr(&s.Cond, exprs)
+			}
+			*unwraps = append(*unwraps, replaceStmt(&b.Stmts, i, s.Body))
+			descend(s.Body, lists, unwraps, exprs)
+		case *ast.ReturnStmt:
+			if s.X != nil {
+				collectExpr(&s.X, exprs)
+			}
+		}
+	}
+}
+
+func descend(s ast.Stmt, lists *[]*[]ast.Stmt, unwraps *[]edit, exprs *[]*ast.Expr) {
+	if blk, ok := s.(*ast.Block); ok {
+		collectBlock(blk, lists, unwraps, exprs)
+	}
+}
+
+func replaceStmt(list *[]ast.Stmt, i int, with ast.Stmt) edit {
+	var saved ast.Stmt
+	return edit{
+		apply: func() { saved = (*list)[i]; (*list)[i] = with },
+		undo:  func() { (*list)[i] = saved },
+	}
+}
+
+// collectExpr records the slot and recurses into subexpressions.
+func collectExpr(ep *ast.Expr, exprs *[]*ast.Expr) {
+	*exprs = append(*exprs, ep)
+	switch e := (*ep).(type) {
+	case *ast.Unary:
+		collectExpr(&e.X, exprs)
+	case *ast.Binary:
+		collectExpr(&e.X, exprs)
+		collectExpr(&e.Y, exprs)
+	case *ast.Assign:
+		collectExpr(&e.RHS, exprs)
+	case *ast.Call:
+		for i := range e.Args {
+			collectExpr(&e.Args[i], exprs)
+		}
+	case *ast.Index:
+		collectExpr(&e.Idx, exprs)
+	}
+}
+
+// exprEdits proposes simplifications of the expression in slot ep.
+func exprEdits(ep *ast.Expr) []edit {
+	var out []edit
+	replace := func(with ast.Expr) edit {
+		var saved ast.Expr
+		return edit{
+			apply: func() { saved = *ep; *ep = with },
+			undo:  func() { *ep = saved },
+		}
+	}
+	switch e := (*ep).(type) {
+	case *ast.Binary:
+		out = append(out, replace(e.X), replace(e.Y))
+	case *ast.Index:
+		if n, ok := e.Idx.(*ast.NumberLit); !ok || n.Value != 0 {
+			idx := &e.Idx
+			var saved ast.Expr
+			out = append(out, edit{
+				apply: func() { saved = *idx; *idx = &ast.NumberLit{P: e.P} },
+				undo:  func() { *idx = saved },
+			})
+		}
+	case *ast.NumberLit, *ast.Ident, *ast.Assign, *ast.Call:
+		// Assign/Call simplification happens through their slots below.
+	}
+	// Any non-literal, non-assignment expression may collapse to 0.
+	switch (*ep).(type) {
+	case *ast.NumberLit, *ast.Assign:
+	default:
+		out = append(out, replace(&ast.NumberLit{P: (*ep).Pos()}))
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package instrument_test
+
+import (
+	"testing"
+
+	"github.com/valueflow/usher"
+)
+
+// Opt III elides a check only when another check of the same definedness
+// class strictly dominates it in the CFG. These tests pin the dominance
+// edge cases where "executes earlier in practice" does NOT imply
+// dominance, so eliding would lose reports.
+
+// A check inside a loop body must not elide the check after the loop:
+// the body does not dominate the loop exit (the loop may run zero
+// times), so the post-loop use must keep its own check and still warn.
+func TestOptIIILoopBodyDoesNotElidePostLoop(t *testing.T) {
+	src := `
+int main() {
+  int *p = malloc(1);
+  int v = p[0];
+  for (int i = 0; i < 0; i++) { print(v); }
+  print(v);
+  return 0;
+}`
+	prog := usher.MustCompile("t.c", src)
+	ext := usher.MustAnalyze(prog, usher.ConfigUsherOptIII)
+	if ext.ChecksElided != 0 {
+		t.Errorf("checks elided = %d, want 0 (loop body does not dominate exit)", ext.ChecksElided)
+	}
+	res, err := ext.Run(usher.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ShadowWarnings) != 1 {
+		t.Fatalf("warnings = %v, want exactly the post-loop site", res.ShadowWarnings)
+	}
+}
+
+// A check at the end of a loop body reaches the top of the body through
+// the back edge on later iterations, but that pseudo-ordering is not
+// dominance: it must elide nothing, and both the in-loop and post-loop
+// sites must report.
+func TestOptIIIBackEdgeIsNotDominance(t *testing.T) {
+	src := `
+int main() {
+  int *p = malloc(1);
+  int v = p[0];
+  int i = 0;
+  while (i < 2) {
+    i = i + 1;
+    print(v);
+  }
+  print(v);
+  return 0;
+}`
+	prog := usher.MustCompile("t.c", src)
+	ext := usher.MustAnalyze(prog, usher.ConfigUsherOptIII)
+	if ext.ChecksElided != 0 {
+		t.Errorf("checks elided = %d, want 0 (back edge is not dominance)", ext.ChecksElided)
+	}
+	res, err := ext.Run(usher.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.ShadowSites()); got != 2 {
+		t.Fatalf("reported sites = %v, want both the loop and post-loop sites", res.ShadowSites())
+	}
+}
+
+// Diamond: checks in the two arms are dominance-incomparable with each
+// other and neither dominates the join, so nothing is elided and the
+// taken arm plus the join both report.
+func TestOptIIIDiamondArmsDoNotElideJoin(t *testing.T) {
+	src := `
+int main(int sel) {
+  int *p = malloc(1);
+  int v = p[0];
+  if (sel) { print(v); } else { print(v); }
+  print(v);
+  return 0;
+}`
+	prog := usher.MustCompile("t.c", src)
+	ext := usher.MustAnalyze(prog, usher.ConfigUsherOptIII)
+	if ext.ChecksElided != 0 {
+		t.Errorf("checks elided = %d, want 0 (arms and join are incomparable)", ext.ChecksElided)
+	}
+	res, err := ext.Run(usher.RunOptions{Args: []int64{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.ShadowSites()); got != 2 {
+		t.Fatalf("reported sites = %v, want taken arm + join", res.ShadowSites())
+	}
+}
+
+// Converse diamond: a check before the branch dominates both arms and
+// the join, so all three later checks are elided — and the one surviving
+// check still reports the bug.
+func TestOptIIIEntryCheckDominatesDiamond(t *testing.T) {
+	src := `
+int main(int sel) {
+  int *p = malloc(1);
+  int v = p[0];
+  print(v);
+  if (sel) { print(v); } else { print(v); }
+  print(v);
+  return 0;
+}`
+	prog := usher.MustCompile("t.c", src)
+	ext := usher.MustAnalyze(prog, usher.ConfigUsherOptIII)
+	if ext.ChecksElided != 3 {
+		t.Errorf("checks elided = %d, want 3 (entry check dominates the diamond)", ext.ChecksElided)
+	}
+	if got := ext.StaticStats().Checks; got != 1 {
+		t.Errorf("remaining checks = %d, want 1", got)
+	}
+	res, err := ext.Run(usher.RunOptions{Args: []int64{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ShadowWarnings) != 1 {
+		t.Fatalf("warnings = %v, want exactly the dominating site", res.ShadowWarnings)
+	}
+	if len(res.ShadowViolations) != 0 {
+		t.Fatalf("violations: %v", res.ShadowViolations)
+	}
+}

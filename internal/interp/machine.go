@@ -2,6 +2,7 @@ package interp
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/valueflow/usher/internal/ir"
 	"github.com/valueflow/usher/internal/token"
@@ -89,6 +90,46 @@ func (r *Result) ShadowSites() map[Site]bool {
 		s[Site{w.Fn, w.Label}] = true
 	}
 	return s
+}
+
+// canonicalize puts the warning lists into their canonical order —
+// sorted by (Fn, Pos, Label) with per-site duplicates removed — so that
+// two runs reporting the same sites yield bit-identical warning slices
+// regardless of the execution order that produced them. Run applies it
+// on every exit path, including trap returns with a partial result.
+func (r *Result) canonicalize() {
+	r.OracleWarnings = canonicalWarnings(r.OracleWarnings)
+	r.ShadowWarnings = canonicalWarnings(r.ShadowWarnings)
+}
+
+func canonicalWarnings(ws []Warning) []Warning {
+	if len(ws) < 2 {
+		return ws
+	}
+	sort.Slice(ws, func(i, j int) bool {
+		a, b := ws[i], ws[j]
+		if a.Fn != b.Fn {
+			return a.Fn < b.Fn
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		return a.Label < b.Label
+	})
+	// Collection already dedupes per (Fn, Label); this guards the
+	// canonical form against identical sites reached via distinct paths.
+	out := ws[:1]
+	for _, w := range ws[1:] {
+		last := out[len(out)-1]
+		if w.Fn == last.Fn && w.Label == last.Label {
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
 }
 
 // RuntimeError is a trap: invalid dereference, stack overflow, fuel
@@ -191,6 +232,7 @@ func Run(prog *ir.Program, fnName string, args []Value, opts Options) (*Result, 
 		exit = v
 	})
 	m.res.Exit = exit
+	m.res.canonicalize()
 	if err != nil {
 		return m.res, err
 	}

@@ -35,16 +35,51 @@ type Options struct {
 // DefaultOptions are suitable for fast fuzz rounds.
 var DefaultOptions = Options{Helpers: 3, StmtsPerFunc: 8, MaxDepth: 3, UninitFrac: 0.3}
 
+// Info is the implied ground-truth labeling of a generated program: what
+// the generator knows about the definedness of the values it created.
+//
+// The labeling is deliberately one-sided. Clean is a guarantee — a clean
+// program must execute without traps and with an empty oracle — whereas
+// a non-clean program only *may* warn: an uninitialized local can go
+// unread, and an undefined heap cell can sit outside every masked index
+// the program happens to compute. Tests must therefore only assert the
+// Clean direction (see TestCleanLabelTrustworthy).
+type Info struct {
+	// UninitLocals counts locals declared without an initializer.
+	UninitLocals int
+	// MallocBlocks counts heap blocks allocated with malloc. Their cells
+	// start undefined, and the generator's partial-initialization loop
+	// never provably covers all eight cells, so each such block is a
+	// potential source of undefined reads.
+	MallocBlocks int
+}
+
+// Clean reports whether the program provably contains no undefined
+// value: every local is initialized and every heap block is calloc'd
+// (zero-initialized). A clean program's native run must produce an empty
+// oracle; any warning or trap on a clean program is a generator bug.
+func (i Info) Clean() bool { return i.UninitLocals == 0 && i.MallocBlocks == 0 }
+
 // Generate produces a program from the seed.
 func Generate(seed int64, opts Options) string {
-	g := &rgen{rng: rand.New(rand.NewSource(seed)), opts: opts, loopVars: make(map[string]bool)}
-	return g.program()
+	src, _ := GenerateInfo(seed, opts)
+	return src
+}
+
+// GenerateInfo produces a program from the seed together with its
+// implied ground-truth labeling.
+func GenerateInfo(seed int64, opts Options) (string, Info) {
+	g := &rgen{rng: rand.New(rand.NewSource(seed)), opts: opts,
+		loopVars: make(map[string]bool), uninit: make(map[string]bool)}
+	src := g.program()
+	return src, g.info
 }
 
 type rgen struct {
 	rng  *rand.Rand
 	opts Options
 	b    strings.Builder
+	info Info
 
 	// per-function state
 	ints []string // int-typed variables in scope
@@ -52,9 +87,15 @@ type rgen struct {
 	// loopVars marks variables that must never be written (assigning to a
 	// loop counter could make the loop diverge).
 	loopVars map[string]bool
-	nextVar  int
-	depth    int
-	helpers  int // number of helpers callable from the current function
+	// uninit tracks locals declared without an initializer and not since
+	// overwritten by a plain assignment. Function tails read one of them
+	// with some probability, so a generated bug is usually *reachable*
+	// rather than dead code (compound assignments x += e keep x undefined
+	// and therefore stay in the set).
+	uninit  map[string]bool
+	nextVar int
+	depth   int
+	helpers int // number of helpers callable from the current function
 }
 
 func (g *rgen) pf(format string, args ...any) { fmt.Fprintf(&g.b, format, args...) }
@@ -132,6 +173,8 @@ func (g *rgen) stmt() {
 		v := g.fresh("x")
 		if g.rng.Float64() < g.opts.UninitFrac {
 			g.pf("%sint %s;\n", ind, v)
+			g.info.UninitLocals++
+			g.uninit[v] = true
 		} else {
 			g.pf("%sint %s = %s;\n", ind, v, g.expr(2))
 		}
@@ -141,6 +184,8 @@ func (g *rgen) stmt() {
 		alloc := "malloc"
 		if g.rng.Intn(2) == 0 {
 			alloc = "calloc"
+		} else {
+			g.info.MallocBlocks++
 		}
 		g.pf("%sint *%s = %s(8);\n", ind, p, alloc)
 		if g.rng.Intn(2) == 0 {
@@ -152,6 +197,7 @@ func (g *rgen) stmt() {
 	case 2: // assignment to existing int
 		if v, ok := g.pickAssignable(); ok {
 			g.pf("%s%s = %s;\n", ind, v, g.expr(2))
+			delete(g.uninit, v)
 		}
 	case 3: // store through pointer
 		if p, ok := g.pickPtr(); ok {
@@ -191,6 +237,7 @@ func (g *rgen) stmt() {
 	case 8: // address-of local through a callee (defined store down the stack)
 		if v, ok := g.pickAssignable(); ok && g.helpers > 0 {
 			g.pf("%ssetvia(&%s, %s);\n", ind, v, g.expr(1))
+			delete(g.uninit, v)
 		}
 	default: // accumulate into an int
 		if v, ok := g.pickAssignable(); ok {
@@ -213,14 +260,30 @@ func (g *rgen) block(n int) {
 }
 
 func (g *rgen) funcBody(params []string, stmts int) {
-	saveInts, savePtrs := g.ints, g.ptrs
+	saveInts, savePtrs, saveUninit := g.ints, g.ptrs, g.uninit
 	g.ints = append([]string(nil), params...)
 	g.ptrs = nil
+	g.uninit = make(map[string]bool)
 	for i := 0; i < stmts; i++ {
 		g.stmt()
 	}
+	// Force a reachable critical use of a still-uninitialized local: the
+	// function tail is on every executed path through the body, so the
+	// generated bug is not dead code. Without this, most uninitialized
+	// declarations were never read and non-clean programs rarely warned.
+	if len(g.uninit) > 0 && g.rng.Intn(2) == 0 {
+		var cands []string
+		for _, v := range g.ints {
+			if g.uninit[v] {
+				cands = append(cands, v)
+			}
+		}
+		if len(cands) > 0 {
+			g.pf("  print(%s);\n", cands[g.rng.Intn(len(cands))])
+		}
+	}
 	g.pf("  return %s;\n", g.expr(2))
-	g.ints, g.ptrs = saveInts, savePtrs
+	g.ints, g.ptrs, g.uninit = saveInts, savePtrs, saveUninit
 }
 
 func (g *rgen) program() string {

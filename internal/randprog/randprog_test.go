@@ -61,3 +61,71 @@ func TestGeneratesUndefinedUses(t *testing.T) {
 		t.Errorf("%d/100 seeds buggy; clean-program properties are near-vacuous", buggy)
 	}
 }
+
+// TestCleanLabelTrustworthy pins the implied ground-truth labeling: a
+// program labeled Clean — no uninitialized locals, no malloc'd blocks —
+// must run natively without traps and with an empty oracle. The converse
+// is deliberately not asserted (an uninitialized local may go unread),
+// so only the Clean direction may be relied upon by tests and by the
+// differential harness.
+func TestCleanLabelTrustworthy(t *testing.T) {
+	n := int64(2000)
+	if testing.Short() {
+		n = 300
+	}
+	clean := 0
+	for seed := int64(0); seed < n; seed++ {
+		src, info := randprog.GenerateInfo(seed, randprog.DefaultOptions)
+		if !info.Clean() {
+			continue
+		}
+		clean++
+		prog, err := compile.Source("rand.c", src)
+		if err != nil {
+			t.Fatalf("seed %d: clean program does not compile: %v\n%s", seed, err, src)
+		}
+		res, err := interp.Run(prog, "main", nil, interp.Options{MaxSteps: 2_000_000})
+		if err != nil {
+			t.Fatalf("seed %d: clean program trapped: %v\n%s", seed, err, src)
+		}
+		if len(res.OracleWarnings) != 0 {
+			t.Fatalf("seed %d: clean program warned: %v\n%s", seed, res.OracleWarnings[0], src)
+		}
+	}
+	if clean == 0 {
+		t.Fatal("no clean programs generated; the Clean property is vacuous")
+	}
+}
+
+// TestUninitUsesReachable checks that the generator's forced tail reads
+// make a healthy fraction of non-clean programs actually reach an
+// undefined use: without reachability the differential campaign would
+// mostly compare empty warning sets.
+func TestUninitUsesReachable(t *testing.T) {
+	nonClean, warned := 0, 0
+	for seed := int64(0); seed < 400; seed++ {
+		src, info := randprog.GenerateInfo(seed, randprog.DefaultOptions)
+		if info.Clean() {
+			continue
+		}
+		nonClean++
+		prog, err := compile.Source("rand.c", src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := interp.Run(prog, "main", nil, interp.Options{MaxSteps: 2_000_000})
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		if len(res.OracleWarnings) > 0 {
+			warned++
+		}
+	}
+	if nonClean == 0 {
+		t.Fatal("no non-clean programs generated")
+	}
+	if frac := float64(warned) / float64(nonClean); frac < 0.15 {
+		t.Errorf("only %d/%d (%.0f%%) non-clean programs reach an undefined use; generator bugs are mostly dead code",
+			warned, nonClean, frac*100)
+	}
+}

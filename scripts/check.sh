@@ -21,4 +21,7 @@ go test ./...
 echo "== extended fuzz (1000 seeds) =="
 USHER_FUZZ_SEEDS=1000 go test -run TestExtendedFuzz .
 
+echo "== differential campaign (1000 seeds) =="
+go run ./cmd/usher-difftest -seeds 1000 -repro-dir testdata/difftest
+
 echo "OK"

@@ -92,6 +92,39 @@ func TestVfgDumpCLI(t *testing.T) {
 	}
 }
 
+// TestUsherDifftestCLI runs a small differential campaign end-to-end
+// and checks the JSON report is bit-identical across worker counts.
+func TestUsherDifftestCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "cmd/usher-difftest")
+	dir := t.TempDir()
+
+	var blobs [][]byte
+	for _, parallel := range []string{"1", "4"} {
+		path := filepath.Join(dir, "report-p"+parallel+".json")
+		out, err := exec.Command(bin, "-seeds", "25", "-parallel", parallel, "-json", path).CombinedOutput()
+		if err != nil {
+			t.Fatalf("usher-difftest -parallel %s: %v\n%s", parallel, err, out)
+		}
+		if !strings.Contains(string(out), "0 divergent") {
+			t.Errorf("unexpected divergence:\n%s", out)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), `"schemaVersion": 1`) {
+			t.Errorf("report missing schemaVersion:\n%.200s", data)
+		}
+		blobs = append(blobs, data)
+	}
+	if string(blobs[0]) != string(blobs[1]) {
+		t.Errorf("JSON report differs between -parallel 1 and 4:\n%s\n----\n%s", blobs[0], blobs[1])
+	}
+}
+
 // TestExamplesRun executes the fast example programs end to end.
 func TestExamplesRun(t *testing.T) {
 	if testing.Short() {
