@@ -4,7 +4,12 @@
 // Usage:
 //
 //	usher-bench [-table1] [-fig10] [-fig11] [-opt-levels] [-ablations] [-all]
-//	            [-parallel N] [-json path]
+//	            [-parallel N] [-json path] [-legacy-solver]
+//
+// -legacy-solver routes every pointer analysis through the retired
+// map-based solver, which is kept as the pre-optimization baseline for
+// the bit-vector solver (see BENCH_solver_baseline.json); results are
+// identical, only the timings move.
 //
 // With no selection flags, -all is assumed. Work is spread over -parallel
 // workers (default: one per CPU) at two levels — across workload profiles
@@ -23,6 +28,7 @@ import (
 
 	"github.com/valueflow/usher/internal/bench"
 	"github.com/valueflow/usher/internal/passes"
+	"github.com/valueflow/usher/internal/pointer"
 )
 
 func main() {
@@ -34,7 +40,14 @@ func main() {
 	all := flag.Bool("all", false, "everything")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "max concurrent workers (1 = serial)")
 	jsonPath := flag.String("json", "", "write results as JSON to this path")
+	legacySolver := flag.Bool("legacy-solver", false, "use the retired map-based pointer solver (pre-optimization baseline)")
 	flag.Parse()
+
+	pointer.UseLegacySolver = *legacySolver
+	solverName := "bitvector"
+	if *legacySolver {
+		solverName = "legacy"
+	}
 
 	if !*table1 && !*fig10 && !*fig11 && !*optLevels && !*ablations {
 		*all = true
@@ -45,6 +58,7 @@ func main() {
 		NumCPU:        runtime.NumCPU(),
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		Parallel:      *parallel,
+		Solver:        solverName,
 	}
 	// fail writes the partial report before exiting, so a late-phase
 	// failure does not discard the completed phases: the JSON carries

@@ -32,6 +32,9 @@ type Report struct {
 	NumCPU        int    `json:"num_cpu"`
 	GOMAXPROCS    int    `json:"gomaxprocs"`
 	Parallel      int    `json:"parallel"`
+	// Solver names the pointer-solver implementation the run used
+	// ("bitvector" or "legacy", see usher-bench -legacy-solver).
+	Solver string `json:"solver,omitempty"`
 
 	Phases []PhaseTime `json:"phases"`
 

@@ -1,0 +1,197 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func members(s *Set) map[int]bool {
+	m := make(map[int]bool)
+	s.ForEach(func(i int) { m[i] = true })
+	return m
+}
+
+func TestAddHasCount(t *testing.T) {
+	s := New(10)
+	if s.Count() != 0 || !s.Empty() {
+		t.Fatal("new set not empty")
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 1000} {
+		if !s.Add(i) {
+			t.Errorf("Add(%d) reported already present", i)
+		}
+		if s.Add(i) {
+			t.Errorf("re-Add(%d) reported newly added", i)
+		}
+		if !s.Has(i) {
+			t.Errorf("Has(%d) = false after Add", i)
+		}
+	}
+	if s.Has(2) || s.Has(999) || s.Has(1001) {
+		t.Error("Has reports absent members")
+	}
+	if got := s.Count(); got != 6 {
+		t.Errorf("Count = %d, want 6", got)
+	}
+	if s.Empty() {
+		t.Error("Empty on non-empty set")
+	}
+}
+
+func TestNilReceiverReads(t *testing.T) {
+	var s *Set
+	if s.Has(3) || s.Count() != 0 || !s.Empty() {
+		t.Error("nil set must behave as empty")
+	}
+	s.ForEach(func(int) { t.Error("ForEach on nil set visited a member") })
+	if got := s.AppendTo(nil); len(got) != 0 {
+		t.Errorf("AppendTo on nil set = %v", got)
+	}
+	u := New(4)
+	if u.UnionWith(s) {
+		t.Error("UnionWith(nil) reported change")
+	}
+	if !u.Equal(s) || !s.Equal(u) {
+		t.Error("empty and nil sets must be Equal")
+	}
+}
+
+func TestUnionWith(t *testing.T) {
+	a, b := New(0), New(0)
+	a.Add(1)
+	a.Add(70)
+	b.Add(70)
+	b.Add(200)
+	if !a.UnionWith(b) {
+		t.Error("union adding 200 reported no change")
+	}
+	if a.UnionWith(b) {
+		t.Error("idempotent union reported change")
+	}
+	want := []int{1, 70, 200}
+	if got := a.AppendTo(nil); len(got) != len(want) || got[0] != 1 || got[1] != 70 || got[2] != 200 {
+		t.Errorf("members = %v, want %v", got, want)
+	}
+}
+
+func TestUnionDiffInto(t *testing.T) {
+	s, tt, diff := New(0), New(0), New(0)
+	s.Add(1)
+	s.Add(64)
+	tt.Add(64)
+	tt.Add(65)
+	tt.Add(130)
+	if !s.UnionDiffInto(tt, diff) {
+		t.Error("no change reported")
+	}
+	if got := diff.AppendTo(nil); len(got) != 2 || got[0] != 65 || got[1] != 130 {
+		t.Errorf("diff = %v, want [65 130]", got)
+	}
+	// Second push: everything already seen, diff must stay unchanged.
+	if s.UnionDiffInto(tt, diff) {
+		t.Error("warm push reported change")
+	}
+	if diff.Count() != 2 {
+		t.Errorf("diff grew on warm push: %v", diff.AppendTo(nil))
+	}
+}
+
+func TestEqualAcrossLengths(t *testing.T) {
+	a, b := New(0), New(0)
+	a.Add(3)
+	b.Add(3)
+	b.Add(500)
+	if a.Equal(b) {
+		t.Error("unequal sets reported Equal")
+	}
+	// Removing the high bit by rebuilding: a set with trailing zero words
+	// must equal its short form.
+	c := New(600)
+	c.Add(3)
+	c.Add(500)
+	c.words[500>>6] = 0 // manually clear: trailing zero words remain
+	if !a.Equal(c) || !c.Equal(a) {
+		t.Error("sets differing only in trailing zero words must be Equal")
+	}
+}
+
+func TestCopyFromAndClear(t *testing.T) {
+	a, b := New(0), New(0)
+	a.Add(9)
+	a.Add(400)
+	b.Add(77)
+	b.CopyFrom(a)
+	if !b.Equal(a) || b.Has(77) {
+		t.Errorf("CopyFrom: got %v", b.AppendTo(nil))
+	}
+	// Copy of a shorter set must clear the tail.
+	short := New(0)
+	short.Add(2)
+	b.CopyFrom(short)
+	if !b.Equal(short) || b.Has(400) {
+		t.Errorf("CopyFrom shorter: got %v", b.AppendTo(nil))
+	}
+	b.Clear()
+	if !b.Empty() || b.Has(2) {
+		t.Error("Clear left members behind")
+	}
+	b.CopyFrom(nil)
+	if !b.Empty() {
+		t.Error("CopyFrom(nil) must clear")
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	s := New(0)
+	ids := []int{512, 0, 63, 64, 1, 200}
+	for _, i := range ids {
+		s.Add(i)
+	}
+	got := s.AppendTo(nil)
+	want := []int{0, 1, 63, 64, 200, 512}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v (ascending)", got, want)
+		}
+	}
+}
+
+// TestRandomizedAgainstMap cross-checks the word-level operations against
+// a map-based model.
+func TestRandomizedAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		a, b := New(0), New(0)
+		ma, mb := map[int]bool{}, map[int]bool{}
+		for i := 0; i < 200; i++ {
+			x := rng.Intn(1 << uint(3+rng.Intn(8)))
+			if rng.Intn(2) == 0 {
+				a.Add(x)
+				ma[x] = true
+			} else {
+				b.Add(x)
+				mb[x] = true
+			}
+		}
+		diff := New(0)
+		a.UnionDiffInto(b, diff)
+		for x := range mb {
+			if !ma[x] && !diff.Has(x) {
+				t.Fatalf("trial %d: %d missing from diff", trial, x)
+			}
+			if ma[x] && diff.Has(x) {
+				t.Fatalf("trial %d: %d wrongly in diff", trial, x)
+			}
+			ma[x] = true
+		}
+		if got := len(members(a)); got != len(ma) {
+			t.Fatalf("trial %d: count %d, want %d", trial, got, len(ma))
+		}
+		if a.Count() != len(ma) {
+			t.Fatalf("trial %d: popcount %d, want %d", trial, a.Count(), len(ma))
+		}
+	}
+}

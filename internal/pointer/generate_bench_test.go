@@ -1,0 +1,52 @@
+package pointer
+
+// White-box benchmarks for the constraint-generation phase alone: the
+// two-level slice interning (regNodes/fieldNodes keyed by the IR's dense
+// ids) against the legacy struct-keyed map interning. The solve phase is
+// deliberately excluded — BenchmarkSolver* in solver_bench_test.go
+// covers it end to end.
+
+import (
+	"testing"
+
+	"github.com/valueflow/usher/internal/compile"
+	"github.com/valueflow/usher/internal/ir"
+	"github.com/valueflow/usher/internal/passes"
+	"github.com/valueflow/usher/internal/workload"
+)
+
+func generateBenchProg(b *testing.B) *ir.Program {
+	b.Helper()
+	p, ok := workload.LargeByName("solver-medium")
+	if !ok {
+		b.Fatal("no solver-medium profile")
+	}
+	prog, err := compile.Source(p.Name+".c", workload.GenerateLarge(p))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := passes.Apply(prog, passes.O0IM); err != nil {
+		b.Fatal(err)
+	}
+	return prog
+}
+
+func BenchmarkSolverGenerate(b *testing.B) {
+	prog := generateBenchProg(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := newSolver(prog)
+		s.generate()
+	}
+}
+
+func BenchmarkSolverGenerateLegacy(b *testing.B) {
+	prog := generateBenchProg(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := newLegacySolver(prog)
+		s.generate()
+	}
+}

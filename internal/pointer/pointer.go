@@ -40,9 +40,17 @@ func (l Loc) String() string {
 	return fmt.Sprintf("%s.f%d", l.Obj, l.Field)
 }
 
+// ptsSolver is the query surface both solver implementations (the
+// bit-vector production solver and the map-based legacy reference) expose
+// to Result. Both are strictly read-only after freezing.
+type ptsSolver interface {
+	operandNode(v ir.Value, create bool) (int, bool)
+	locsOf(n int) []Loc
+}
+
 // Result is the outcome of the analysis.
 type Result struct {
-	solver *solver
+	solver ptsSolver
 	// callees maps each call instruction to its possible targets (direct
 	// calls have exactly one).
 	callees map[*ir.Call][]*ir.Function
@@ -98,19 +106,50 @@ func (r *Result) CanonField(obj *ir.Object, field int) int {
 	return obj.FieldIndex(field)
 }
 
+// UseLegacySolver routes Analyze through the retired map-based solver
+// (legacy.go) instead of the bit-vector one. It exists for differential
+// testing and baseline benchmarking (usher-bench -legacy-solver) and must
+// be set before any analysis starts; it is not safe to flip concurrently
+// with running analyses.
+var UseLegacySolver bool
+
 // Analyze runs the analysis over the whole program.
 func Analyze(prog *ir.Program) *Result {
+	if UseLegacySolver {
+		return AnalyzeLegacy(prog)
+	}
 	s := newSolver(prog)
 	s.generate()
 	s.solve()
 	s.freeze()
+	return finishResult(prog, s, s.callees)
+}
+
+// AnalyzeLegacy runs the original map-based solver (see legacy.go). Its
+// results are the reference the production solver is diffed against; use
+// Analyze everywhere else.
+func AnalyzeLegacy(prog *ir.Program) *Result {
+	s := newLegacySolver(prog)
+	s.generate()
+	s.solve()
+	s.freeze()
+	return finishResult(prog, s, s.callees)
+}
+
+// finishResult performs the implementation-independent post-processing:
+// canonical callee ordering, the callers index, and recursion detection.
+// Canonicalizing callees here makes the two solver implementations
+// byte-identical downstream even though their worklist dynamics resolve
+// indirect calls in different orders.
+func finishResult(prog *ir.Program, impl ptsSolver, callees map[*ir.Call][]*ir.Function) *Result {
 	res := &Result{
-		solver:    s,
-		callees:   s.callees,
+		solver:    impl,
+		callees:   callees,
 		callers:   make(map[*ir.Function][]*ir.Call),
 		recursive: make(map[*ir.Function]bool),
 	}
-	for c, fns := range s.callees {
+	for c, fns := range callees {
+		sort.Slice(fns, func(i, j int) bool { return fns[i].Name < fns[j].Name })
 		for _, fn := range fns {
 			res.callers[fn] = append(res.callers[fn], c)
 		}
@@ -129,77 +168,109 @@ func Analyze(prog *ir.Program) *Result {
 }
 
 // findRecursion marks functions in call-graph SCCs of size > 1 or with
-// self-loops, using Tarjan's algorithm.
+// self-loops, using Tarjan's algorithm over dense function indices (the
+// state is flat slices, not per-function maps — this runs on every
+// analysis, for either solver).
 func (r *Result) findRecursion(prog *ir.Program) {
-	index := make(map[*ir.Function]int)
-	low := make(map[*ir.Function]int)
-	onStack := make(map[*ir.Function]bool)
-	var stack []*ir.Function
-	next := 0
-
-	succs := func(fn *ir.Function) []*ir.Function {
-		var out []*ir.Function
-		seen := make(map[*ir.Function]bool)
+	nf := len(prog.Funcs)
+	fnIdx := make(map[*ir.Function]int, nf)
+	for i, fn := range prog.Funcs {
+		fnIdx[fn] = i
+	}
+	// Per-function deduped callee lists (epoch-marked dedup, no maps).
+	succs := make([][]int32, nf)
+	mark := make([]int32, nf)
+	for i := range mark {
+		mark[i] = -1
+	}
+	for fi, fn := range prog.Funcs {
+		if !fn.HasBody {
+			continue
+		}
 		for _, b := range fn.Blocks {
 			for _, in := range b.Instrs {
-				if c, ok := in.(*ir.Call); ok {
-					for _, callee := range r.callees[c] {
-						if !seen[callee] {
-							seen[callee] = true
-							out = append(out, callee)
-						}
+				c, ok := in.(*ir.Call)
+				if !ok {
+					continue
+				}
+				for _, callee := range r.callees[c] {
+					if callee == fn {
+						r.recursive[fn] = true // direct self-loop
+					}
+					if ci := fnIdx[callee]; mark[ci] != int32(fi) {
+						mark[ci] = int32(fi)
+						succs[fi] = append(succs[fi], int32(ci))
 					}
 				}
 			}
 		}
-		return out
 	}
 
-	var strongconnect func(fn *ir.Function)
-	strongconnect = func(fn *ir.Function) {
-		index[fn] = next
-		low[fn] = next
-		next++
-		stack = append(stack, fn)
-		onStack[fn] = true
-		for _, s := range succs(fn) {
-			if _, seen := index[s]; !seen {
-				strongconnect(s)
-				if low[s] < low[fn] {
-					low[fn] = low[s]
-				}
-			} else if onStack[s] {
-				if index[s] < low[fn] {
-					low[fn] = index[s]
-				}
-			}
-			if s == fn {
-				r.recursive[fn] = true // direct self-loop
-			}
+	index := make([]int32, nf) // 0 = unvisited, else visit order + 1
+	low := make([]int32, nf)
+	onStack := make([]bool, nf)
+	var stack []int32
+	next := int32(0)
+
+	type frame struct {
+		v  int32
+		si int
+	}
+	var dfs []frame
+	for root := 0; root < nf; root++ {
+		if !prog.Funcs[root].HasBody || index[root] != 0 {
+			continue
 		}
-		if low[fn] == index[fn] {
-			var scc []*ir.Function
-			for {
-				top := stack[len(stack)-1]
-				stack = stack[:len(stack)-1]
-				onStack[top] = false
-				scc = append(scc, top)
-				if top == fn {
+		dfs = append(dfs[:0], frame{int32(root), 0})
+		for len(dfs) > 0 {
+			f := &dfs[len(dfs)-1]
+			v := int(f.v)
+			if f.si == 0 {
+				next++
+				index[v] = next
+				low[v] = next
+				stack = append(stack, int32(v))
+				onStack[v] = true
+			}
+			advanced := false
+			for f.si < len(succs[v]) {
+				w := int(succs[v][f.si])
+				f.si++
+				if index[w] == 0 {
+					dfs = append(dfs, frame{int32(w), 0})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			dfs = dfs[:len(dfs)-1]
+			if len(dfs) > 0 {
+				if p := int(dfs[len(dfs)-1].v); low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] != index[v] {
+				continue
+			}
+			popTo := len(stack)
+			for popTo > 0 {
+				popTo--
+				onStack[stack[popTo]] = false
+				if int(stack[popTo]) == v {
 					break
 				}
 			}
-			if len(scc) > 1 {
-				for _, f := range scc {
-					r.recursive[f] = true
+			if scc := stack[popTo:]; len(scc) > 1 {
+				for _, w := range scc {
+					r.recursive[prog.Funcs[w]] = true
 				}
 			}
-		}
-	}
-	for _, fn := range prog.Funcs {
-		if fn.HasBody {
-			if _, seen := index[fn]; !seen {
-				strongconnect(fn)
-			}
+			stack = stack[:popTo]
 		}
 	}
 }

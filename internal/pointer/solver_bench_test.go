@@ -79,3 +79,76 @@ func BenchmarkPointerQueries(b *testing.B) {
 		}
 	}
 }
+
+// benchLargeProg compiles a solver-scaling profile (see
+// internal/workload.LargeProfiles) under O0+IM.
+func benchLargeProg(b *testing.B, name string) *ir.Program {
+	b.Helper()
+	p, ok := workload.LargeByName(name)
+	if !ok {
+		b.Fatalf("no large profile %s", name)
+	}
+	src := workload.GenerateLarge(p)
+	prog, err := usher.Compile(p.Name+".c", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := passes.Apply(prog, passes.O0IM); err != nil {
+		b.Fatal(err)
+	}
+	return prog
+}
+
+// The BenchmarkSolver* family drives the solver-scaling acceptance
+// criterion: the bit-vector solver vs the retired map-based baseline on
+// the same programs (see EXPERIMENTS.md, "Solver scaling"). CI runs them
+// with -benchtime=1x as a smoke test; the recorded numbers in
+// BENCH_solver_baseline.json come from a full -benchtime run.
+
+func BenchmarkSolverLarge(b *testing.B) {
+	prog := benchLargeProg(b, "solver-large")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pointer.Analyze(prog)
+	}
+}
+
+func BenchmarkSolverLargeLegacy(b *testing.B) {
+	prog := benchLargeProg(b, "solver-large")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pointer.AnalyzeLegacy(prog)
+	}
+}
+
+func BenchmarkSolverMedium(b *testing.B) {
+	prog := benchLargeProg(b, "solver-medium")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pointer.Analyze(prog)
+	}
+}
+
+func BenchmarkSolverMediumLegacy(b *testing.B) {
+	prog := benchLargeProg(b, "solver-medium")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pointer.AnalyzeLegacy(prog)
+	}
+}
+
+func BenchmarkSolverSmall(b *testing.B) {
+	prog := benchLargeProg(b, "solver-small")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pointer.Analyze(prog)
+	}
+}
+
+func BenchmarkSolverSmallLegacy(b *testing.B) {
+	prog := benchLargeProg(b, "solver-small")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pointer.AnalyzeLegacy(prog)
+	}
+}

@@ -1,0 +1,204 @@
+package pointer_test
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/valueflow/usher/internal/ir"
+	"github.com/valueflow/usher/internal/pointer"
+)
+
+// objNames maps locations to bare object/function names (Loc.String
+// includes object ids, which the assertions here don't care about).
+func objNames(locs []pointer.Loc) []string {
+	var out []string
+	for _, l := range locs {
+		if l.Fn != nil {
+			out = append(out, l.Fn.Name)
+		} else {
+			out = append(out, l.Obj.Name)
+		}
+	}
+	return out
+}
+
+// The stress tests target the solver's cycle-elimination machinery:
+// self-loop copy edges, copy cycles built from mutual recursion (both
+// direct and through function pointers), and the interaction between
+// collapsed cycles and field-sensitive locations.
+
+// calleeNames returns the sorted callee names of every indirect call in
+// fn, keyed nothing — just flattened in instruction order.
+func calleeNames(res interface {
+	Callees(*ir.Call) []*ir.Function
+}, fn *ir.Function) [][]string {
+	var out [][]string
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			c, ok := in.(*ir.Call)
+			if !ok || c.Direct() != nil || c.Builtin != ir.NotBuiltin {
+				continue
+			}
+			var names []string
+			for _, f := range res.Callees(c) {
+				names = append(names, f.Name)
+			}
+			out = append(out, names)
+		}
+	}
+	return out
+}
+
+// TestSelfLoopCopyEdges: straight-line and loop-carried self-assignments
+// create copy edges from a node (or its merged representative) to
+// itself. The solver must neither diverge nor lose facts on them.
+func TestSelfLoopCopyEdges(t *testing.T) {
+	irp, res := analyze(t, `
+int g;
+int *self(int *p, int d) {
+  if (d == 0) { return p; }
+  return self(p, d - 1);
+}
+int main() {
+  int a;
+  int *p = &a;
+  p = p;
+  int i = 0;
+  while (i < 3) {
+    p = p;
+    i = i + 1;
+  }
+  int *q = self(&g, 2);
+  *p = 1;
+  *q = 2;
+  return *p + *q;
+}`)
+	main := irp.FuncByName("main")
+	var stores []*ir.Store
+	for _, b := range main.Blocks {
+		for _, in := range b.Instrs {
+			if st, ok := in.(*ir.Store); ok {
+				stores = append(stores, st)
+			}
+		}
+	}
+	if len(stores) < 2 {
+		t.Fatalf("want >= 2 stores in main, got %d:\n%s", len(stores), ir.PrintFunc(main))
+	}
+	// *p = 1 must see exactly {a}; *q = 2 exactly {g}: the self-loops (and
+	// the self-recursive parameter cycle in self) must not smear sets.
+	if got := objNames(res.PointsTo(stores[0].Addr)); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Errorf("pts(*p) = %v, want [a]", got)
+	}
+	if got := objNames(res.PointsTo(stores[1].Addr)); !reflect.DeepEqual(got, []string{"g"}) {
+		t.Errorf("pts(*q) = %v, want [g]", got)
+	}
+	if !res.Recursive(irp.FuncByName("self")) {
+		t.Errorf("self not marked recursive")
+	}
+}
+
+// TestMutuallyRecursiveFunctionPointers: two functions call each other
+// only through function-pointer globals, so the copy cycle between their
+// parameter and return nodes is discovered while the call graph is still
+// being resolved.
+func TestMutuallyRecursiveFunctionPointers(t *testing.T) {
+	irp, res := analyze(t, `
+int cell;
+int *(*g0)(int *, int);
+int *(*g1)(int *, int);
+int *f0(int *p, int d) {
+  if (d == 0) { return p; }
+  int *(*h)(int *, int) = g1;
+  return h(p, d - 1);
+}
+int *f1(int *p, int d) {
+  if (d == 0) { return p; }
+  int *(*h)(int *, int) = g0;
+  return h(p, d - 1);
+}
+int main() {
+  g0 = f0;
+  g1 = f1;
+  int *r = f0(&cell, 4);
+  return *r;
+}`)
+	f0, f1 := irp.FuncByName("f0"), irp.FuncByName("f1")
+	if got := calleeNames(res, f0); !reflect.DeepEqual(got, [][]string{{"f1"}}) {
+		t.Errorf("f0 indirect callees = %v, want [[f1]]", got)
+	}
+	if got := calleeNames(res, f1); !reflect.DeepEqual(got, [][]string{{"f0"}}) {
+		t.Errorf("f1 indirect callees = %v, want [[f0]]", got)
+	}
+	if !res.Recursive(f0) || !res.Recursive(f1) {
+		t.Errorf("f0/f1 recursive = %v/%v, want true/true", res.Recursive(f0), res.Recursive(f1))
+	}
+	main := irp.FuncByName("main")
+	var ret *ir.Register
+	for _, b := range main.Blocks {
+		for _, in := range b.Instrs {
+			if ld, ok := in.(*ir.Load); ok {
+				ret = ld.Addr.(*ir.Register)
+			}
+		}
+	}
+	if ret == nil {
+		t.Fatalf("no load of r in main:\n%s", ir.PrintFunc(main))
+	}
+	if got := objNames(res.PointsTo(ret)); !reflect.DeepEqual(got, []string{"cell"}) {
+		t.Errorf("pts(r) = %v, want [cell]", got)
+	}
+}
+
+// TestCycleCollapsePreservesFields: a copy cycle whose members carry
+// field addresses is collapsed into one representative, but the field
+// nodes themselves are collapse barriers — &s.a and &s.b must stay
+// distinct locations afterwards, and values read through them must not
+// cross-contaminate.
+func TestCycleCollapsePreservesFields(t *testing.T) {
+	irp, res := analyze(t, `
+struct S { int *a; int *b; };
+int x;
+int y;
+int *sel(struct S *s, int d);
+int *sel2(struct S *s, int d) { return sel(s, d - 1); }
+int *sel(struct S *s, int d) {
+  if (d == 0) { return s->a; }
+  return sel2(s, d);
+}
+int main() {
+  struct S s;
+  s.a = &x;
+  s.b = &y;
+  int *r = sel(&s, 3);
+  int *q = s.b;
+  int *p2 = r;
+  int i = 0;
+  while (i < 3) {
+    r = p2;
+    p2 = r;
+    i = i + 1;
+  }
+  return *r + *q;
+}`)
+	main := irp.FuncByName("main")
+	var loads []*ir.Load
+	for _, b := range main.Blocks {
+		for _, in := range b.Instrs {
+			if ld, ok := in.(*ir.Load); ok {
+				loads = append(loads, ld)
+			}
+		}
+	}
+	// Final loads are *r and *q (in source order after the s.b load).
+	if len(loads) < 2 {
+		t.Fatalf("want >= 2 loads in main, got %d:\n%s", len(loads), ir.PrintFunc(main))
+	}
+	rAddr, qAddr := loads[len(loads)-2].Addr, loads[len(loads)-1].Addr
+	if got := objNames(res.PointsTo(rAddr)); !reflect.DeepEqual(got, []string{"x"}) {
+		t.Errorf("pts(r) = %v, want [x] — cycle collapse leaked s.b into s.a", got)
+	}
+	if got := objNames(res.PointsTo(qAddr)); !reflect.DeepEqual(got, []string{"y"}) {
+		t.Errorf("pts(q) = %v, want [y] — cycle collapse leaked s.a into s.b", got)
+	}
+}

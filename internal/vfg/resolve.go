@@ -1,6 +1,7 @@
 package vfg
 
 import (
+	"github.com/valueflow/usher/internal/bitset"
 	"github.com/valueflow/usher/internal/ir"
 )
 
@@ -22,11 +23,12 @@ func (s State) String() string {
 }
 
 // Gamma maps VFG nodes to their definedness. The ⊥ set is a dense bit
-// set over node ids, one word per 64 nodes.
+// set over node ids, one word per 64 nodes (the shared internal/bitset
+// package, also the pointer solver's points-to representation).
 type Gamma struct {
 	g      *Graph
 	n      int // node count at resolution time
-	bottom bitset
+	bottom *bitset.Set
 	// eq is set when resolution ran over access-equivalence classes.
 	eq *Equivalence
 }
@@ -41,7 +43,7 @@ func (gm *Gamma) Of(n *Node) State {
 	if gm.eq != nil {
 		id = gm.eq.Rep(id)
 	}
-	if id >= gm.n || gm.bottom.has(id) {
+	if id >= gm.n || gm.bottom.Has(id) {
 		return Bottom
 	}
 	return Top
@@ -61,7 +63,7 @@ func (gm *Gamma) OfValue(v ir.Value) State {
 // BottomCount returns the number of ⊥ nodes.
 func (gm *Gamma) BottomCount() int {
 	if gm.eq == nil {
-		return gm.bottom.count()
+		return gm.bottom.Count()
 	}
 	// Under merging, ⊥ bits live on class representatives; count members.
 	n := 0
@@ -117,7 +119,7 @@ func ResolveCut(g *Graph, cut func(from, to *Node) bool) *Gamma {
 func ResolveWith(g *Graph, opts ResolveOptions) *Gamma {
 	cut := opts.Cut
 	nn := len(g.Nodes)
-	gm := &Gamma{g: g, n: nn, bottom: newBitset(nn)}
+	gm := &Gamma{g: g, n: nn, bottom: bitset.New(nn)}
 
 	// Access-equivalence merging: resolve per class representative.
 	// Edge cuts key on individual nodes, so merging is disabled under
@@ -155,33 +157,33 @@ func ResolveWith(g *Graph, opts ResolveOptions) *Gamma {
 		node *Node
 		ctx  int
 	}
-	// Visited sets: ctxUnknown subsumes every specific context.
-	visitedUnknown := newBitset(nn)
-	visitedCtx := make([]bitset, nn)
+	// Visited sets: ctxUnknown subsumes every specific context. Reads on
+	// nil per-node context sets are fine (a nil *bitset.Set is empty).
+	visitedUnknown := bitset.New(nn)
+	visitedCtx := make([]*bitset.Set, nn)
 	seen := func(n *Node, ctx int) bool {
-		if visitedUnknown.has(n.ID) {
+		if visitedUnknown.Has(n.ID) {
 			return true
 		}
 		if ctx == ctxUnknown {
 			return false
 		}
-		b := visitedCtx[n.ID]
-		return b != nil && b.has(ctx)
+		return visitedCtx[n.ID].Has(ctx)
 	}
 	mark := func(n *Node, ctx int) {
 		if ctx == ctxUnknown {
 			// Widen: unknown subsumes all specific contexts.
-			visitedUnknown.set(n.ID)
+			visitedUnknown.Add(n.ID)
 			visitedCtx[n.ID] = nil
 		} else {
 			b := visitedCtx[n.ID]
 			if b == nil {
-				b = newBitset(numCtx)
+				b = bitset.New(numCtx)
 				visitedCtx[n.ID] = b
 			}
-			b.set(ctx)
+			b.Add(ctx)
 		}
-		gm.bottom.set(n.ID)
+		gm.bottom.Add(n.ID)
 	}
 
 	var work []state

@@ -1,0 +1,57 @@
+package workload_test
+
+import (
+	"testing"
+
+	"github.com/valueflow/usher"
+	"github.com/valueflow/usher/internal/workload"
+)
+
+func TestLargeDeterministic(t *testing.T) {
+	for _, p := range workload.LargeProfiles {
+		a := workload.GenerateLarge(p)
+		b := workload.GenerateLarge(p)
+		if a != b {
+			t.Fatalf("%s: generation is not deterministic", p.Name)
+		}
+	}
+}
+
+func TestLargeByName(t *testing.T) {
+	p, ok := workload.LargeByName("solver-medium")
+	if !ok || p.Seed != 1002 {
+		t.Fatalf("LargeByName(solver-medium) = %+v, %v", p, ok)
+	}
+	if _, ok := workload.LargeByName("nonesuch"); ok {
+		t.Error("lookup of unknown large profile succeeded")
+	}
+}
+
+// TestLargeProfilesCompileAndRunClean compiles every solver-scaling
+// profile and runs the two smaller ones natively: the generated programs
+// initialize every allocation before use, so the ground-truth oracle must
+// stay silent. solver-large is compile-checked only — its job is solver
+// scaling, and a full native run is disproportionately slow for a test.
+func TestLargeProfilesCompileAndRunClean(t *testing.T) {
+	for _, p := range workload.LargeProfiles {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			src := workload.GenerateLarge(p)
+			prog, err := usher.Compile(p.Name+".c", src)
+			if err != nil {
+				t.Fatalf("compile: %v\n--- head of source ---\n%s", err, head(src, 40))
+			}
+			if p.Name == "solver-large" {
+				return
+			}
+			res, err := usher.RunNative(prog, usher.RunOptions{})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if len(res.OracleWarnings) != 0 {
+				t.Fatalf("clean profile has oracle warnings: %v", res.OracleWarnings)
+			}
+		})
+	}
+}
