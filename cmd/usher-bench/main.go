@@ -4,7 +4,7 @@
 // Usage:
 //
 //	usher-bench [-table1] [-fig10] [-fig11] [-opt-levels] [-ablations] [-all]
-//	            [-parallel N] [-json path] [-legacy-solver]
+//	            [-parallel N] [-json path] [-stats] [-legacy-solver]
 //
 // -legacy-solver routes every pointer analysis through the retired
 // map-based solver, which is kept as the pre-optimization baseline for
@@ -17,6 +17,10 @@
 // sessions sharing the config-invariant artifacts; every reported number
 // is identical to a -parallel 1 run. -json additionally writes the full
 // results, per-phase wall-clock and machine info to the given path.
+// -stats collects per-pipeline-pass observations (wall time, allocations,
+// work counters) aggregated over every analyzed program, prints them, and
+// adds them to the JSON report's "phases" section; the counters (not the
+// timings) are covered by the bit-identical-under--parallel guarantee.
 package main
 
 import (
@@ -29,6 +33,7 @@ import (
 	"github.com/valueflow/usher/internal/bench"
 	"github.com/valueflow/usher/internal/passes"
 	"github.com/valueflow/usher/internal/pointer"
+	"github.com/valueflow/usher/internal/stats"
 )
 
 func main() {
@@ -38,9 +43,8 @@ func main() {
 	optLevels := flag.Bool("opt-levels", false, "slowdowns under O1 and O2 (Section 4.6)")
 	ablations := flag.Bool("ablations", false, "design-choice ablation study")
 	all := flag.Bool("all", false, "everything")
-	parallel := flag.Int("parallel", runtime.NumCPU(), "max concurrent workers (1 = serial)")
-	jsonPath := flag.String("json", "", "write results as JSON to this path")
 	legacySolver := flag.Bool("legacy-solver", false, "use the retired map-based pointer solver (pre-optimization baseline)")
+	cf := bench.RegisterCommonFlags(flag.CommandLine)
 	flag.Parse()
 
 	pointer.UseLegacySolver = *legacySolver
@@ -48,6 +52,7 @@ func main() {
 	if *legacySolver {
 		solverName = "legacy"
 	}
+	sc := cf.Collector()
 
 	if !*table1 && !*fig10 && !*fig11 && !*optLevels && !*ablations {
 		*all = true
@@ -57,18 +62,19 @@ func main() {
 		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
 		NumCPU:        runtime.NumCPU(),
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
-		Parallel:      *parallel,
+		Parallel:      cf.Parallel,
 		Solver:        solverName,
 	}
 	// fail writes the partial report before exiting, so a late-phase
 	// failure does not discard the completed phases: the JSON carries
 	// everything finished so far plus an "error" field.
 	fail := func(err error) {
-		if *jsonPath != "" {
-			if werr := report.WriteFailure(*jsonPath, err); werr != nil {
+		if cf.JSONPath != "" {
+			report.Phases = sc.Snapshot()
+			if werr := report.WriteFailure(cf.JSONPath, err); werr != nil {
 				fmt.Fprintln(os.Stderr, "usher-bench: writing partial report:", werr)
 			} else {
-				fmt.Fprintf(os.Stderr, "usher-bench: wrote partial JSON results to %s\n", *jsonPath)
+				fmt.Fprintf(os.Stderr, "usher-bench: wrote partial JSON results to %s\n", cf.JSONPath)
 			}
 		}
 		fmt.Fprintln(os.Stderr, "usher-bench:", err)
@@ -78,7 +84,7 @@ func main() {
 	if *all || *table1 {
 		fmt.Println("=== Table 1: benchmark statistics under O0+IM ===")
 		start := time.Now()
-		rows, err := bench.Table1Parallel(*parallel)
+		rows, err := bench.Table1Observed(cf.Parallel, sc)
 		if err != nil {
 			fail(err)
 		}
@@ -90,7 +96,7 @@ func main() {
 	if *all || *fig10 {
 		fmt.Println("=== Figure 10: execution-time slowdowns (O0+IM) ===")
 		start := time.Now()
-		rows, err := bench.Fig10Parallel(passes.O0IM, *parallel)
+		rows, err := bench.Fig10ParallelObserved(passes.O0IM, cf.Parallel, sc)
 		if err != nil {
 			fail(err)
 		}
@@ -102,7 +108,7 @@ func main() {
 	if *all || *fig11 {
 		fmt.Println("=== Figure 11: static instrumentation counts ===")
 		start := time.Now()
-		rows, err := bench.Fig11Parallel(*parallel)
+		rows, err := bench.Fig11Observed(cf.Parallel, sc)
 		if err != nil {
 			fail(err)
 		}
@@ -114,7 +120,7 @@ func main() {
 	if *all || *ablations {
 		fmt.Println("=== Ablations: context sensitivity, semi-strong updates, heap cloning, node merging ===")
 		start := time.Now()
-		rows, err := bench.AblationsParallel(*parallel)
+		rows, err := bench.AblationsParallel(cf.Parallel)
 		if err != nil {
 			fail(err)
 		}
@@ -127,7 +133,7 @@ func main() {
 		for _, level := range []passes.Level{passes.O1, passes.O2} {
 			fmt.Printf("=== Section 4.6: slowdowns under %s ===\n", level)
 			start := time.Now()
-			rows, err := bench.Fig10Parallel(level, *parallel)
+			rows, err := bench.Fig10ParallelObserved(level, cf.Parallel, sc)
 			if err != nil {
 				fail(err)
 			}
@@ -138,10 +144,17 @@ func main() {
 		}
 	}
 
-	if *jsonPath != "" {
-		if err := report.WriteJSON(*jsonPath); err != nil {
+	if cf.Stats {
+		report.Phases = sc.Snapshot()
+		fmt.Println("=== Pipeline pass stats (aggregated over all analyzed programs) ===")
+		stats.Write(os.Stdout, report.Phases)
+		fmt.Println()
+	}
+
+	if cf.JSONPath != "" {
+		if err := report.WriteJSON(cf.JSONPath); err != nil {
 			fail(err)
 		}
-		fmt.Printf("wrote JSON results to %s\n", *jsonPath)
+		fmt.Printf("wrote JSON results to %s\n", cf.JSONPath)
 	}
 }

@@ -6,13 +6,16 @@
 //
 // Usage:
 //
-//	usher-difftest [-seeds N] [-from S] [-parallel P] [-json path]
+//	usher-difftest [-seeds N] [-from S] [-parallel P] [-json path] [-stats]
 //	               [-repro-dir dir] [-minimize=false]
 //
 // Seeds are swept on -parallel workers; the findings and the -json
 // report are bit-identical for any worker count. Each diverging seed is
 // delta-debugged down to a minimal reproducer (unless -minimize=false),
 // printed, and written to -repro-dir as seed<N>.c when the flag is set.
+// -stats aggregates per-pipeline-pass observations over the whole sweep,
+// prints them, and adds them to the report's "phases" section; the
+// counters (not the timings) keep the bit-identical guarantee.
 //
 // Exit status: 0 when every seed agrees, 1 when any seed diverges, 2 on
 // infrastructure failure.
@@ -23,18 +26,18 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
 
+	"github.com/valueflow/usher/internal/bench"
 	"github.com/valueflow/usher/internal/difftest"
+	"github.com/valueflow/usher/internal/stats"
 )
 
 func main() {
 	seeds := flag.Int64("seeds", 1000, "number of randprog seeds to check")
 	from := flag.Int64("from", 0, "first seed of the range")
-	parallel := flag.Int("parallel", runtime.NumCPU(), "max concurrent workers (1 = serial)")
-	jsonPath := flag.String("json", "", "write the campaign report as JSON to this path")
 	reproDir := flag.String("repro-dir", "", "write each minimized reproducer to this directory")
 	minimize := flag.Bool("minimize", true, "delta-debug diverging programs to minimal repros")
+	cf := bench.RegisterCommonFlags(flag.CommandLine)
 	flag.Parse()
 
 	fail := func(err error) {
@@ -45,8 +48,9 @@ func main() {
 	report, err := difftest.Campaign(difftest.CampaignOptions{
 		From:     *from,
 		Seeds:    *seeds,
-		Parallel: *parallel,
+		Parallel: cf.Parallel,
 		Minimize: *minimize,
+		Stats:    cf.Collector(),
 	})
 	if err != nil {
 		fail(err)
@@ -77,11 +81,16 @@ func main() {
 		}
 	}
 
-	if *jsonPath != "" {
-		if err := report.WriteJSON(*jsonPath); err != nil {
+	if cf.Stats {
+		fmt.Println("\n=== Pipeline pass stats (aggregated over all checked seeds) ===")
+		stats.Write(os.Stdout, report.Phases)
+	}
+
+	if cf.JSONPath != "" {
+		if err := report.WriteJSON(cf.JSONPath); err != nil {
 			fail(err)
 		}
-		fmt.Printf("wrote JSON report to %s\n", *jsonPath)
+		fmt.Printf("wrote JSON report to %s\n", cf.JSONPath)
 	}
 	if report.Divergent > 0 {
 		os.Exit(1)

@@ -12,6 +12,7 @@
 //	usherc -compare prog.c                # all five configurations side by side
 //	usherc -level O2 -dump-ir prog.c      # optimize and print the IR
 //	usherc -workload parser               # use a generated benchmark as input
+//	usherc -stats prog.c                  # per-pipeline-pass timings and counters
 package main
 
 import (
@@ -27,6 +28,8 @@ import (
 	"github.com/valueflow/usher/internal/interp"
 	"github.com/valueflow/usher/internal/ir"
 	"github.com/valueflow/usher/internal/passes"
+	"github.com/valueflow/usher/internal/pipeline"
+	"github.com/valueflow/usher/internal/stats"
 	"github.com/valueflow/usher/internal/workload"
 )
 
@@ -38,7 +41,17 @@ func main() {
 	dumpSrc := flag.Bool("dump-src", false, "print the (possibly generated) MiniC source and exit")
 	noRun := flag.Bool("no-run", false, "analyze only; print static statistics")
 	workloadName := flag.String("workload", "", "use a generated benchmark instead of a file")
+	showStats := flag.Bool("stats", false, "print per-pipeline-pass stats (wall time, allocs, work counters)")
 	flag.Parse()
+
+	var sc *stats.Collector
+	if *showStats {
+		sc = stats.New()
+		defer func() {
+			fmt.Println("=== pipeline pass stats ===")
+			stats.Write(os.Stdout, sc.Snapshot())
+		}()
+	}
 
 	src, file, err := inputSource(*workloadName, flag.Args())
 	if err != nil {
@@ -48,7 +61,7 @@ func main() {
 		fmt.Print(src)
 		return
 	}
-	prog, err := usher.Compile(file, src)
+	prog, err := pipeline.Compile(file, src, sc)
 	if err != nil {
 		fatal(err)
 	}
@@ -56,7 +69,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if err := passes.Apply(prog, level); err != nil {
+	if err := pipeline.ApplyLevel(prog, level, sc); err != nil {
 		fatal(err)
 	}
 	if *dumpIR {
@@ -64,14 +77,14 @@ func main() {
 		return
 	}
 	if *compare {
-		compareConfigs(prog)
+		compareConfigs(prog, sc)
 		return
 	}
 	cfg, err := parseConfig(*configName)
 	if err != nil {
 		fatal(err)
 	}
-	an, err := usher.Analyze(prog, cfg)
+	an, err := usher.NewSessionObserved(prog, sc).Analyze(cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -161,14 +174,14 @@ func reportRun(res *interp.Result, cfg usher.Config) {
 	}
 }
 
-func compareConfigs(prog *ir.Program) {
+func compareConfigs(prog *ir.Program, sc *stats.Collector) {
 	native, err := usher.RunNative(prog, usher.RunOptions{})
 	if err != nil {
 		fatal(err)
 	}
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "config\tstatic-props\tstatic-checks\tdyn-props\tdyn-checks\toverhead%\twarnings")
-	s := usher.NewSession(prog)
+	s := usher.NewSessionObserved(prog, sc)
 	for _, cfg := range usher.Configs {
 		an, err := s.Analyze(cfg)
 		if err != nil {

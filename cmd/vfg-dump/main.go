@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	vfg-dump [-ir] [-pts] [-memssa] [-vfg] [-dot] file.c
+//	vfg-dump [-ir] [-pts] [-memssa] [-vfg] [-dot] [-stats] file.c
 package main
 
 import (
@@ -20,7 +20,9 @@ import (
 	"github.com/valueflow/usher/internal/ir"
 	"github.com/valueflow/usher/internal/memssa"
 	"github.com/valueflow/usher/internal/passes"
+	"github.com/valueflow/usher/internal/pipeline"
 	"github.com/valueflow/usher/internal/pointer"
+	"github.com/valueflow/usher/internal/stats"
 	"github.com/valueflow/usher/internal/vfg"
 )
 
@@ -30,6 +32,7 @@ func main() {
 	showMem := flag.Bool("memssa", false, "print mu/chi annotations")
 	showVFG := flag.Bool("vfg", false, "print the VFG with definedness states")
 	dot := flag.Bool("dot", false, "emit the VFG as Graphviz DOT")
+	showStats := flag.Bool("stats", false, "print per-pipeline-pass stats (wall time, allocs, work counters)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: vfg-dump [flags] file.c")
@@ -38,20 +41,28 @@ func main() {
 	if !*showIR && !*showPts && !*showMem && !*showVFG && !*dot {
 		*showIR, *showVFG = true, true
 	}
+	var sc *stats.Collector
+	if *showStats {
+		sc = stats.New()
+		defer func() {
+			fmt.Println("=== pipeline pass stats ===")
+			stats.Write(os.Stdout, sc.Snapshot())
+		}()
+	}
 	data, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	prog, err := usher.Compile(flag.Arg(0), string(data))
+	prog, err := pipeline.Compile(flag.Arg(0), string(data), sc)
 	if err != nil {
 		fatal(err)
 	}
-	if err := passes.Apply(prog, passes.O0IM); err != nil {
+	if err := pipeline.ApplyLevel(prog, passes.O0IM, sc); err != nil {
 		fatal(err)
 	}
 	// Build the shared artifacts through a Session so an internal panic in
 	// any analysis stage surfaces as a rendered error, not a crash.
-	s := usher.NewSession(prog)
+	s := usher.NewSessionObserved(prog, sc)
 	pa, mem, err := s.Base()
 	if err != nil {
 		fatal(err)

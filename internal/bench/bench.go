@@ -27,6 +27,8 @@ import (
 	"github.com/valueflow/usher/internal/interp"
 	"github.com/valueflow/usher/internal/ir"
 	"github.com/valueflow/usher/internal/passes"
+	"github.com/valueflow/usher/internal/pipeline"
+	"github.com/valueflow/usher/internal/stats"
 	"github.com/valueflow/usher/internal/vfg"
 	"github.com/valueflow/usher/internal/workload"
 )
@@ -62,12 +64,18 @@ type Compiled struct {
 
 // Prepare generates, compiles and optimizes one profile.
 func Prepare(p workload.Profile, level passes.Level) (*Compiled, error) {
+	return PrepareObserved(p, level, nil)
+}
+
+// PrepareObserved is Prepare with per-pass observability: the frontend
+// and scalar passes are recorded into sc (nil records nothing).
+func PrepareObserved(p workload.Profile, level passes.Level, sc *stats.Collector) (*Compiled, error) {
 	src := workload.Generate(p)
-	prog, err := usher.Compile(p.Name+".c", src)
+	prog, err := pipeline.Compile(p.Name+".c", src, sc)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", p.Name, err)
 	}
-	if err := passes.Apply(prog, level); err != nil {
+	if err := pipeline.ApplyLevel(prog, level, sc); err != nil {
 		return nil, fmt.Errorf("%s: %w", p.Name, err)
 	}
 	return &Compiled{Profile: p, Source: src, Prog: prog, Level: level}, nil
@@ -113,10 +121,19 @@ func Table1() ([]Table1Row, error) { return Table1Parallel(DefaultParallelism())
 // serially so per-benchmark allocation and wall-clock attribution stay
 // clean. All reported numbers are identical for any parallelism.
 func Table1Parallel(parallel int) ([]Table1Row, error) {
+	return Table1Observed(parallel, nil)
+}
+
+// Table1Observed is Table1Parallel with per-pass observability into sc.
+// Compilation passes are recorded from the (parallel) preparation stage;
+// the analysis passes are recorded from the serial measurement stage. The
+// aggregated counter stats are identical for any parallelism; the timing
+// and allocation fields are measurements and are not.
+func Table1Observed(parallel int, sc *stats.Collector) ([]Table1Row, error) {
 	profiles := workload.Profiles
 	compiled := make([]*Compiled, len(profiles))
 	err := ForEach(parallel, len(profiles), func(i int) error {
-		c, err := Prepare(profiles[i], passes.O0IM)
+		c, err := PrepareObserved(profiles[i], passes.O0IM, sc)
 		if err != nil {
 			return err
 		}
@@ -128,7 +145,7 @@ func Table1Parallel(parallel int) ([]Table1Row, error) {
 	}
 	rows := make([]Table1Row, len(profiles))
 	for i, c := range compiled {
-		row, err := table1Row(c)
+		row, err := table1Row(c, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -137,7 +154,7 @@ func Table1Parallel(parallel int) ([]Table1Row, error) {
 	return rows, nil
 }
 
-func table1Row(c *Compiled) (Table1Row, error) {
+func table1Row(c *Compiled, sc *stats.Collector) (Table1Row, error) {
 	row := Table1Row{Name: c.Profile.Name}
 	row.KLOC = float64(strings.Count(c.Source, "\n")) / 1000
 
@@ -145,7 +162,7 @@ func table1Row(c *Compiled) (Table1Row, error) {
 	runtime.GC()
 	runtime.ReadMemStats(&m0)
 	start := time.Now()
-	an, err := usher.Analyze(c.Prog, usher.ConfigUsherFull)
+	an, err := usher.NewSessionObserved(c.Prog, sc).Analyze(usher.ConfigUsherFull)
 	if err != nil {
 		return row, fmt.Errorf("%s: %w", c.Profile.Name, err)
 	}
@@ -271,16 +288,27 @@ func Fig10Parallel(level passes.Level, parallel int) ([]OverheadRow, error) {
 	return Fig10Profiles(workload.Profiles, level, parallel)
 }
 
+// Fig10ParallelObserved is Fig10Parallel with per-pass observability
+// into sc.
+func Fig10ParallelObserved(level passes.Level, parallel int, sc *stats.Collector) ([]OverheadRow, error) {
+	return Fig10Observed(workload.Profiles, level, parallel, sc)
+}
+
 // Fig10Profiles measures the given profiles only (the full suite for the
 // paper's figure; subsets for tests).
 func Fig10Profiles(profiles []workload.Profile, level passes.Level, parallel int) ([]OverheadRow, error) {
+	return Fig10Observed(profiles, level, parallel, nil)
+}
+
+// Fig10Observed is Fig10Profiles with per-pass observability into sc.
+func Fig10Observed(profiles []workload.Profile, level passes.Level, parallel int, sc *stats.Collector) ([]OverheadRow, error) {
 	rows := make([]OverheadRow, len(profiles))
 	err := ForEach(parallel, len(profiles), func(i int) error {
-		c, err := Prepare(profiles[i], level)
+		c, err := PrepareObserved(profiles[i], level, sc)
 		if err != nil {
 			return err
 		}
-		row, err := overheadRow(c, parallel)
+		row, err := overheadRow(c, parallel, sc)
 		if err != nil {
 			return err
 		}
@@ -293,14 +321,14 @@ func Fig10Profiles(profiles []workload.Profile, level passes.Level, parallel int
 	return rows, nil
 }
 
-func overheadRow(c *Compiled, parallel int) (OverheadRow, error) {
+func overheadRow(c *Compiled, parallel int, sc *stats.Collector) (OverheadRow, error) {
 	row := OverheadRow{Name: c.Profile.Name}
 	native, err := usher.RunNative(c.Prog, usher.RunOptions{})
 	if err != nil {
 		return row, fmt.Errorf("%s native: %w", c.Profile.Name, err)
 	}
 	row.NativeSteps = native.Steps
-	session := usher.NewSession(c.Prog)
+	session := usher.NewSessionObserved(c.Prog, sc)
 	row.Runs = make([]ConfigRun, len(usher.Configs))
 	err = ForEach(parallel, len(usher.Configs), func(i int) error {
 		cfg := usher.Configs[i]
@@ -354,30 +382,35 @@ func Fig11() ([]StaticRow, error) { return Fig11Parallel(DefaultParallelism()) }
 // profiles and across configurations within a profile (per-profile
 // analysis sessions share the config-invariant artifacts).
 func Fig11Parallel(parallel int) ([]StaticRow, error) {
+	return Fig11Observed(parallel, nil)
+}
+
+// Fig11Observed is Fig11Parallel with per-pass observability into sc.
+func Fig11Observed(parallel int, sc *stats.Collector) ([]StaticRow, error) {
 	profiles := workload.Profiles
 	rows := make([]StaticRow, len(profiles))
 	err := ForEach(parallel, len(profiles), func(i int) error {
-		c, err := Prepare(profiles[i], passes.O0IM)
+		c, err := PrepareObserved(profiles[i], passes.O0IM, sc)
 		if err != nil {
 			return err
 		}
-		session := usher.NewSession(c.Prog)
-		stats := make([]instrument.Stats, len(usher.Configs))
+		session := usher.NewSessionObserved(c.Prog, sc)
+		sts := make([]instrument.Stats, len(usher.Configs))
 		err = ForEach(parallel, len(usher.Configs), func(j int) error {
 			an, err := session.Analyze(usher.Configs[j])
 			if err != nil {
 				return fmt.Errorf("%s %v: %w", profiles[i].Name, usher.Configs[j], err)
 			}
-			stats[j] = an.StaticStats()
+			sts[j] = an.StaticStats()
 			return nil
 		})
 		if err != nil {
 			return err
 		}
-		row := StaticRow{Name: profiles[i].Name, Base: stats[0]}
-		for _, st := range stats {
-			row.PropsPct = append(row.PropsPct, pct(st.Props, stats[0].Props))
-			row.ChecksPct = append(row.ChecksPct, pct(st.Checks, stats[0].Checks))
+		row := StaticRow{Name: profiles[i].Name, Base: sts[0]}
+		for _, st := range sts {
+			row.PropsPct = append(row.PropsPct, pct(st.Props, sts[0].Props))
+			row.ChecksPct = append(row.ChecksPct, pct(st.Checks, sts[0].Checks))
 		}
 		rows[i] = row
 		return nil

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+
+	"github.com/valueflow/usher/internal/stats"
+)
+
+// CommonFlags is the CLI plumbing shared by usher-bench and
+// usher-difftest: the worker bound, the JSON report path, and per-pass
+// observability. Centralizing it here keeps the two binaries' flag
+// semantics (and the report schema they write) from drifting apart.
+type CommonFlags struct {
+	// Parallel bounds the worker pool (see ForEach).
+	Parallel int
+	// JSONPath is the -json report destination ("" = no report).
+	JSONPath string
+	// Stats records whether -stats was requested.
+	Stats bool
+
+	sc *stats.Collector
+}
+
+// RegisterCommonFlags registers -parallel, -json and -stats on fs with
+// the shared defaults and help text.
+func RegisterCommonFlags(fs *flag.FlagSet) *CommonFlags {
+	cf := &CommonFlags{}
+	fs.IntVar(&cf.Parallel, "parallel", DefaultParallelism(),
+		"max concurrent workers (results are identical for any value)")
+	fs.StringVar(&cf.JSONPath, "json", "", "write a machine-readable report to this path")
+	fs.BoolVar(&cf.Stats, "stats", false,
+		"collect and print per-pass pipeline stats (wall time, allocs, work counters)")
+	return cf
+}
+
+// Collector returns the collector to thread through the run: a live one
+// when -stats was given, nil (record nothing) otherwise. The same
+// collector is returned on every call.
+func (cf *CommonFlags) Collector() *stats.Collector {
+	if !cf.Stats {
+		return nil
+	}
+	if cf.sc == nil {
+		cf.sc = stats.New()
+	}
+	return cf.sc
+}
+
+// WriteJSONFile writes v as indented JSON to path with a trailing
+// newline, the report format both drivers use.
+func WriteJSONFile(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}

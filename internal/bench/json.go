@@ -1,12 +1,13 @@
 package bench
 
 import (
-	"encoding/json"
-	"os"
 	"time"
+
+	"github.com/valueflow/usher/internal/stats"
 )
 
-// PhaseTime records the wall-clock duration of one driver phase.
+// PhaseTime records the wall-clock duration of one driver phase (table1,
+// fig10, ...), as opposed to the per-pass analysis phases in Phases.
 type PhaseTime struct {
 	Name    string  `json:"name"`
 	Seconds float64 `json:"seconds"`
@@ -18,14 +19,21 @@ type LevelRows struct {
 	Rows  []OverheadRow `json:"rows"`
 }
 
-// SchemaVersion identifies the JSON layout of Report, so downstream
-// tooling can evolve alongside it. Bump on any incompatible change.
-const SchemaVersion = 1
+// SchemaVersion identifies the JSON layout of the drivers' reports
+// (usher-bench and usher-difftest share it), so downstream tooling can
+// evolve alongside them. Bump on any incompatible change.
+//
+// v2: "phases" became the per-pass analysis stats (pass/phase/variant,
+// runs, wall_sec, alloc_bytes, counters — see internal/stats); the driver
+// phase timings moved to "driver_phases".
+const SchemaVersion = 2
 
 // Report is the machine-readable form of one usher-bench invocation,
 // written by the -json flag. It captures everything the text renderers
-// print plus the execution environment and per-phase wall-clock, so perf
-// trajectories can be tracked across commits and machines.
+// print plus the execution environment, per-driver-phase wall-clock, and
+// (with -stats) per-analysis-pass observations, so perf trajectories can
+// be tracked across commits and machines and attributed to pipeline
+// phases.
 type Report struct {
 	SchemaVersion int    `json:"schemaVersion"`
 	GeneratedAt   string `json:"generated_at"`
@@ -36,7 +44,12 @@ type Report struct {
 	// ("bitvector" or "legacy", see usher-bench -legacy-solver).
 	Solver string `json:"solver,omitempty"`
 
-	Phases []PhaseTime `json:"phases"`
+	// DriverPhases times the driver's coarse phases (table1, fig10, ...).
+	DriverPhases []PhaseTime `json:"driver_phases"`
+	// Phases is the per-pass analysis breakdown (present with -stats).
+	// Runs and counters are bit-identical for any -parallel value; the
+	// wall_sec/alloc_bytes measurements are not part of that contract.
+	Phases []stats.PassStats `json:"phases,omitempty"`
 
 	// Error is set when a phase failed: the report then holds the results
 	// of every phase completed before the failure.
@@ -48,9 +61,9 @@ type Report struct {
 	Ablations []AblationRow `json:"ablations,omitempty"`
 }
 
-// AddPhase appends a phase timing.
+// AddPhase appends a driver-phase timing.
 func (r *Report) AddPhase(name string, start time.Time) {
-	r.Phases = append(r.Phases, PhaseTime{Name: name, Seconds: time.Since(start).Seconds()})
+	r.DriverPhases = append(r.DriverPhases, PhaseTime{Name: name, Seconds: time.Since(start).Seconds()})
 }
 
 // WriteFailure records err on the report and writes the partial report
@@ -64,10 +77,5 @@ func (r *Report) WriteFailure(path string, err error) error {
 
 // WriteJSON writes the report, indented, to path.
 func (r *Report) WriteJSON(path string) error {
-	data, err := json.MarshalIndent(r, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	return os.WriteFile(path, data, 0o644)
+	return WriteJSONFile(path, r)
 }

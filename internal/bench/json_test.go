@@ -37,8 +37,8 @@ func TestWriteFailureKeepsCompletedPhases(t *testing.T) {
 	if len(got.Table1) != 1 || got.Table1[0].Name != "mcf" {
 		t.Errorf("Table1 = %+v, want the completed phase preserved", got.Table1)
 	}
-	if len(got.Phases) != 1 || got.Phases[0].Name != "table1" {
-		t.Errorf("Phases = %+v, want the completed phase timing preserved", got.Phases)
+	if len(got.DriverPhases) != 1 || got.DriverPhases[0].Name != "table1" {
+		t.Errorf("DriverPhases = %+v, want the completed phase timing preserved", got.DriverPhases)
 	}
 }
 

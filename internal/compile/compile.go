@@ -1,15 +1,14 @@
 // Package compile bundles the frontend pipeline: parse, type-check, lower
 // and establish SSA. It is the entry point used by the facade, the
-// benchmark harness and tests.
+// benchmark harness and tests. The staged implementation lives in
+// internal/pipeline (frontend.go), where each stage is a registered,
+// observable pass; this package remains the dependency-light entry point.
 package compile
 
 import (
 	"github.com/valueflow/usher/internal/diag"
 	"github.com/valueflow/usher/internal/ir"
-	"github.com/valueflow/usher/internal/lower"
-	"github.com/valueflow/usher/internal/parser"
-	"github.com/valueflow/usher/internal/ssa"
-	"github.com/valueflow/usher/internal/types"
+	"github.com/valueflow/usher/internal/pipeline"
 )
 
 // Source compiles MiniC source into SSA-form IR (the paper's O0+IM
@@ -20,34 +19,8 @@ import (
 // reported as positioned diagnostics (see package diag), and an
 // unexpected panic below — an internal invariant violation — is
 // converted into an internal-error diagnostic at this boundary.
-func Source(file, src string) (_ *ir.Program, err error) {
-	defer diag.Guard(diag.PhaseInternal, &err)
-	prog, err := parser.Parse(file, src)
-	if err != nil {
-		return nil, err
-	}
-	info, err := types.Check(prog)
-	if err != nil {
-		return nil, err
-	}
-	irp, err := lower.Lower(prog, info)
-	if err != nil {
-		return nil, err
-	}
-	ssa.Promote(irp)
-	for _, fn := range irp.Funcs {
-		ir.ComputeCFG(fn)
-	}
-	var diags diag.List
-	if err := ir.Verify(irp); err != nil {
-		diags.Merge(diag.PhaseVerify, err)
-	} else if err := ssa.VerifySSA(irp); err != nil {
-		diags.Merge(diag.PhaseVerify, err)
-	}
-	if err := diags.Err(); err != nil {
-		return nil, err
-	}
-	return irp, nil
+func Source(file, src string) (*ir.Program, error) {
+	return pipeline.Compile(file, src, nil)
 }
 
 // MustSource compiles known-good source, panicking on error. For tests

@@ -1,17 +1,17 @@
 package difftest
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 
 	"github.com/valueflow/usher/internal/bench"
 	"github.com/valueflow/usher/internal/randprog"
+	"github.com/valueflow/usher/internal/stats"
 )
 
-// SchemaVersion identifies the JSON layout of Report, so downstream
-// tooling can evolve alongside it. Bump on any incompatible change.
-const SchemaVersion = 1
+// SchemaVersion identifies the JSON layout of Report. The two drivers
+// (usher-bench and usher-difftest) share one schema version so their
+// reports evolve in lockstep.
+const SchemaVersion = bench.SchemaVersion
 
 // CampaignOptions configure a differential-testing sweep.
 type CampaignOptions struct {
@@ -24,6 +24,9 @@ type CampaignOptions struct {
 	Gen randprog.Options
 	// Minimize shrinks every diverging program to a minimal repro.
 	Minimize bool
+	// Stats optionally collects per-pass pipeline observations across the
+	// whole sweep; the snapshot lands in Report.Phases.
+	Stats *stats.Collector
 }
 
 // Finding is one diverging seed, with its minimized reproducer when
@@ -40,9 +43,12 @@ type Finding struct {
 	Minimized string `json:"minimized,omitempty"`
 }
 
-// Report is the machine-readable outcome of one campaign. Every field is
-// a pure function of the options, so the JSON rendering is bit-identical
-// for any Parallel value and carries no timing or host information.
+// Report is the machine-readable outcome of one campaign. Without
+// Phases, every field is a pure function of the options, so the JSON
+// rendering is bit-identical for any Parallel value and carries no timing
+// or host information. With -stats, Phases is present: its runs and
+// counters keep that guarantee, its wall_sec/alloc_bytes measurements do
+// not (see internal/stats).
 type Report struct {
 	SchemaVersion int              `json:"schemaVersion"`
 	Tool          string           `json:"tool"`
@@ -54,16 +60,13 @@ type Report struct {
 	Checked   int64     `json:"checked"`
 	Divergent int       `json:"divergent"`
 	Findings  []Finding `json:"findings,omitempty"`
+	// Phases is the per-pass analysis breakdown (present with -stats).
+	Phases []stats.PassStats `json:"phases,omitempty"`
 }
 
 // WriteJSON writes the report, indented, to path.
 func (r *Report) WriteJSON(path string) error {
-	data, err := json.MarshalIndent(r, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	return os.WriteFile(path, data, 0o644)
+	return bench.WriteJSONFile(path, r)
 }
 
 // Campaign sweeps the seed range through the differential oracle on
@@ -80,6 +83,7 @@ func Campaign(opts CampaignOptions) (*Report, error) {
 		gen = randprog.DefaultOptions
 	}
 	checker := New()
+	checker.Stats = opts.Stats
 	report := &Report{
 		SchemaVersion: SchemaVersion,
 		Tool:          "usher-difftest",
@@ -129,5 +133,6 @@ func Campaign(opts CampaignOptions) (*Report, error) {
 		}
 	}
 	report.Checked = opts.Seeds
+	report.Phases = opts.Stats.Snapshot()
 	return report, nil
 }

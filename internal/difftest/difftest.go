@@ -36,6 +36,8 @@ import (
 
 	"github.com/valueflow/usher"
 	"github.com/valueflow/usher/internal/interp"
+	"github.com/valueflow/usher/internal/pipeline"
+	"github.com/valueflow/usher/internal/stats"
 )
 
 // Kind classifies a divergence.
@@ -101,9 +103,11 @@ func (d *Divergence) SameBug(o *Divergence) bool {
 }
 
 // exactConfigs report every oracle site; elidingConfigs may suppress
-// dominated duplicates (Opt II / Opt III) but never the detection.
+// dominated duplicates (Opt II / Opt III) but never the detection. The
+// capability comes from usher's config table, the same source
+// Session.Analyze dispatches on.
 func eliding(cfg usher.Config) bool {
-	return cfg == usher.ConfigUsherFull || cfg == usher.ConfigUsherOptIII
+	return cfg.ElidesChecks()
 }
 
 // Checker runs one program under every configuration and compares the
@@ -114,6 +118,9 @@ type Checker struct {
 	// RunOpts configure every execution (the same options are applied to
 	// the native ground-truth run and each instrumented run).
 	RunOpts usher.RunOptions
+	// Stats optionally records per-pass pipeline observations for every
+	// checked program (nil records nothing).
+	Stats *stats.Collector
 }
 
 // New returns a Checker covering every configuration, the paper's five
@@ -125,7 +132,7 @@ func New() *Checker {
 // Check compiles and cross-executes src, returning the first divergence
 // found, or nil when every configuration agrees with the oracle.
 func (c *Checker) Check(src string) *Divergence {
-	prog, err := usher.Compile("difftest.c", src)
+	prog, err := pipeline.Compile("difftest.c", src, c.Stats)
 	if err != nil {
 		return &Divergence{Kind: KindCompile, Detail: err.Error()}
 	}
@@ -135,7 +142,7 @@ func (c *Checker) Check(src string) *Divergence {
 	}
 	oracle := native.OracleSites()
 
-	session := usher.NewSession(prog)
+	session := usher.NewSessionObserved(prog, c.Stats)
 	for _, cfg := range c.Configs {
 		an, err := session.Analyze(cfg)
 		if err != nil {

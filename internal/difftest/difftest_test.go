@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
 	"github.com/valueflow/usher"
 	"github.com/valueflow/usher/internal/randprog"
+	"github.com/valueflow/usher/internal/stats"
 )
 
 // TestCheckAgreesOnHandWritten pins the oracle on programs where the
@@ -225,5 +227,59 @@ func TestCommittedRepros(t *testing.T) {
 	}
 	if !ran {
 		t.Skip("testdata/difftest holds no .c repros")
+	}
+}
+
+// TestCampaignStatsDeterministic extends the bit-identical contract to
+// the -stats pass counters: two sweeps over the same seed range at
+// different worker counts must report identical scrubbed pass stats
+// (runs + counters; wall time and allocations are measurements and are
+// exempt, see internal/stats).
+func TestCampaignStatsDeterministic(t *testing.T) {
+	n := int64(30)
+	if testing.Short() {
+		n = 8
+	}
+	var snaps [][]stats.PassStats
+	for _, parallel := range []int{1, 8} {
+		sc := stats.New()
+		if _, err := Campaign(CampaignOptions{From: 200, Seeds: n, Parallel: parallel, Stats: sc}); err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, stats.Scrub(sc.Snapshot()))
+	}
+	if len(snaps[0]) == 0 {
+		t.Fatal("observed campaign recorded no pass stats")
+	}
+	if !reflect.DeepEqual(snaps[0], snaps[1]) {
+		t.Fatalf("pass stats differ between -parallel 1 and 8:\n%+v\n----\n%+v", snaps[0], snaps[1])
+	}
+}
+
+// TestCampaignStatsInReport: with a collector the report carries the
+// snapshot in Phases; without one the field stays empty (and omitted from
+// the JSON rendering, keeping stat-less reports byte-stable).
+func TestCampaignStatsInReport(t *testing.T) {
+	sc := stats.New()
+	rep, err := Campaign(CampaignOptions{Seeds: 2, Parallel: 1, Stats: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Phases) == 0 {
+		t.Error("observed campaign report has no phases section")
+	}
+	bare, err := Campaign(CampaignOptions{Seeds: 2, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Phases != nil {
+		t.Errorf("unobserved campaign report has phases: %+v", bare.Phases)
+	}
+	data, err := json.Marshal(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte(`"phases"`)) {
+		t.Error("unobserved report JSON contains a phases key")
 	}
 }

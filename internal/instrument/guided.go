@@ -53,11 +53,20 @@ type GuidedResult struct {
 // versions produced by allocations and strong-update stores get a single
 // strong shadow write; everything else propagates.
 func Guided(name string, g *vfg.Graph, gm *vfg.Gamma, opts GuidedOptions) *GuidedResult {
-	res := &GuidedResult{Gamma: gm}
+	redirected := 0
 	if opts.OptII {
-		res.Gamma, res.Redirected = vfgopt.RedundantCheckElim(g, gm)
+		gm, redirected = vfgopt.RedundantCheckElim(g, gm)
 	}
-	gm = res.Gamma
+	return Emit(name, g, gm, redirected, opts)
+}
+
+// Emit is the plan-emission pass proper: it instruments against an
+// already-resolved Γ. Opt II runs upstream (see internal/pipeline's optII
+// pass) and hands its re-resolved Γ plus redirect count here, so several
+// configurations can share one Opt II artifact; Guided wraps both steps
+// for callers outside the pipeline. opts.OptII is ignored.
+func Emit(name string, g *vfg.Graph, gm *vfg.Gamma, redirected int, opts GuidedOptions) *GuidedResult {
+	res := &GuidedResult{Gamma: gm, Redirected: redirected}
 
 	plan := &Plan{Name: name, Fns: make(map[*ir.Function]*FnPlan)}
 	res.Plan = plan

@@ -1,0 +1,126 @@
+package pipeline
+
+import (
+	"runtime"
+	"time"
+
+	"github.com/valueflow/usher/internal/ast"
+	"github.com/valueflow/usher/internal/diag"
+	"github.com/valueflow/usher/internal/ir"
+	"github.com/valueflow/usher/internal/lower"
+	"github.com/valueflow/usher/internal/parser"
+	"github.com/valueflow/usher/internal/passes"
+	"github.com/valueflow/usher/internal/ssa"
+	"github.com/valueflow/usher/internal/stats"
+	"github.com/valueflow/usher/internal/types"
+)
+
+// observe times one eagerly-run pass and records it into sc. The
+// frontend passes run in sequence (no artifact store — each consumes its
+// predecessor's output directly), but they report through the same
+// registry and collector as the analysis passes.
+func observe(sc *stats.Collector, pass, variant string, fn func() (map[string]int64, error)) error {
+	if !sc.Enabled() {
+		_, err := fn()
+		return err
+	}
+	p, rank := ByName(pass)
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	counters, err := fn()
+	wall := time.Since(start)
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	sc.Add(stats.Sample{
+		Rank: rank, Pass: p.Name, Phase: string(p.Phase), Variant: variant,
+		Wall: wall, AllocBytes: m1.TotalAlloc - m0.TotalAlloc,
+		Counters: counters,
+	})
+	return err
+}
+
+// Compile runs the frontend passes — parse, typecheck, lower, mem2reg,
+// verify — producing SSA-form IR (the paper's O0 baseline; apply further
+// levels with ApplyLevel). It is the implementation behind
+// compile.Source, with each stage observed into sc (nil records
+// nothing).
+//
+// Compile never panics on malformed input: every frontend problem is
+// reported as positioned diagnostics (see package diag), and an
+// unexpected panic below — an internal invariant violation — is
+// converted into an internal-error diagnostic at this boundary.
+func Compile(file, src string, sc *stats.Collector) (_ *ir.Program, err error) {
+	defer diag.Guard(diag.PhaseInternal, &err)
+
+	var astProg *ast.Program
+	if err := observe(sc, "parse", "", func() (map[string]int64, error) {
+		var perr error
+		astProg, perr = parser.Parse(file, src)
+		return nil, perr
+	}); err != nil {
+		return nil, err
+	}
+
+	var info *types.Info
+	if err := observe(sc, "typecheck", "", func() (map[string]int64, error) {
+		var terr error
+		info, terr = types.Check(astProg)
+		return nil, terr
+	}); err != nil {
+		return nil, err
+	}
+
+	var irp *ir.Program
+	if err := observe(sc, "lower", "", func() (map[string]int64, error) {
+		var lerr error
+		irp, lerr = lower.Lower(astProg, info)
+		if lerr != nil {
+			return nil, lerr
+		}
+		funcs, instrs := 0, 0
+		for _, fn := range irp.Funcs {
+			if !fn.HasBody {
+				continue
+			}
+			funcs++
+			for _, b := range fn.Blocks {
+				instrs += len(b.Instrs)
+			}
+		}
+		return map[string]int64{"funcs": int64(funcs), "instrs": int64(instrs)}, nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := observe(sc, "mem2reg", "", func() (map[string]int64, error) {
+		promoted := ssa.Promote(irp)
+		for _, fn := range irp.Funcs {
+			ir.ComputeCFG(fn)
+		}
+		return map[string]int64{"promoted": int64(promoted)}, nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := observe(sc, "verify", "", func() (map[string]int64, error) {
+		var diags diag.List
+		if verr := ir.Verify(irp); verr != nil {
+			diags.Merge(diag.PhaseVerify, verr)
+		} else if verr := ssa.VerifySSA(irp); verr != nil {
+			diags.Merge(diag.PhaseVerify, verr)
+		}
+		return nil, diags.Err()
+	}); err != nil {
+		return nil, err
+	}
+	return irp, nil
+}
+
+// ApplyLevel runs the scalar-optimization pipeline for the level, in
+// place, recorded as the "scalar" pass (variant: the level name).
+func ApplyLevel(prog *ir.Program, level passes.Level, sc *stats.Collector) error {
+	return observe(sc, "scalar", level.String(), func() (map[string]int64, error) {
+		return nil, passes.Apply(prog, level)
+	})
+}

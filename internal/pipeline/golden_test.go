@@ -1,0 +1,127 @@
+package pipeline
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestRegistryMatchesDocs is the code/documentation drift guard: the pass
+// table in docs/ANALYSIS.md §8 must list exactly the registered passes,
+// in registry order, with matching phase, needs, variants and counters.
+func TestRegistryMatchesDocs(t *testing.T) {
+	data, err := os.ReadFile("../../docs/ANALYSIS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parsePassTable(t, string(data))
+	if len(rows) != len(Registry) {
+		t.Fatalf("docs table has %d rows, registry has %d passes", len(rows), len(Registry))
+	}
+	for i, p := range Registry {
+		want := []string{
+			p.Name,
+			string(p.Phase),
+			listCell(p.Needs),
+			orDash(p.Variants),
+			listCell(p.Counters),
+		}
+		for j, col := range []string{"pass", "phase", "needs", "variants", "counters"} {
+			if rows[i][j] != want[j] {
+				t.Errorf("row %d (%s), column %q: docs say %q, registry says %q",
+					i, p.Name, col, rows[i][j], want[j])
+			}
+		}
+	}
+}
+
+// parsePassTable extracts the cells of the markdown table whose header
+// row is "| pass | phase | needs | variants | counters |".
+func parsePassTable(t *testing.T, doc string) [][]string {
+	t.Helper()
+	lines := strings.Split(doc, "\n")
+	var rows [][]string
+	inTable := false
+	for _, line := range lines {
+		line = strings.TrimSpace(line)
+		switch {
+		case line == "| pass | phase | needs | variants | counters |":
+			inTable = true
+		case inTable && strings.HasPrefix(line, "|---"):
+			// separator row
+		case inTable && strings.HasPrefix(line, "|"):
+			cells := strings.Split(strings.Trim(line, "|"), "|")
+			if len(cells) != 5 {
+				t.Fatalf("pass-table row has %d cells, want 5: %q", len(cells), line)
+			}
+			for i := range cells {
+				cells[i] = strings.TrimSpace(cells[i])
+			}
+			rows = append(rows, cells)
+		case inTable:
+			return rows // table ended
+		}
+	}
+	if !inTable {
+		t.Fatal("docs/ANALYSIS.md has no pass table (header row not found)")
+	}
+	return rows
+}
+
+func listCell(items []string) string {
+	if len(items) == 0 {
+		return "-"
+	}
+	return strings.Join(items, ", ")
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// TestRegistryWellFormed checks the registry's internal consistency:
+// unique names (also enforced at init), needs that reference only earlier
+// passes, and sorted counter lists (the docs render them sorted, and the
+// stats table prints them sorted).
+func TestRegistryWellFormed(t *testing.T) {
+	rank := make(map[string]int)
+	for i, p := range Registry {
+		if _, dup := rank[p.Name]; dup {
+			t.Fatalf("duplicate pass %q", p.Name)
+		}
+		rank[p.Name] = i
+		for _, need := range p.Needs {
+			j, ok := rank[need]
+			if !ok {
+				t.Errorf("pass %q needs %q, which is not registered earlier", p.Name, need)
+			} else if j >= i {
+				t.Errorf("pass %q needs %q, which is registered later", p.Name, need)
+			}
+		}
+		for k := 1; k < len(p.Counters); k++ {
+			if p.Counters[k-1] >= p.Counters[k] {
+				t.Errorf("pass %q counters not sorted/unique at %q", p.Name, p.Counters[k])
+			}
+		}
+	}
+	// ByName must agree with positions.
+	for i, p := range Registry {
+		got, gotRank := ByName(p.Name)
+		if got != p || gotRank != i {
+			t.Errorf("ByName(%q) = (%v, %d), want (%v, %d)", p.Name, got, gotRank, p, i)
+		}
+	}
+}
+
+// TestByNameUnknownPanics: an unknown pass name is a programming error.
+func TestByNameUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ByName on unknown pass did not panic")
+		}
+	}()
+	ByName("no-such-pass")
+}

@@ -9,11 +9,38 @@ package pointer
 import (
 	"testing"
 
-	"github.com/valueflow/usher/internal/compile"
 	"github.com/valueflow/usher/internal/ir"
+	"github.com/valueflow/usher/internal/lower"
+	"github.com/valueflow/usher/internal/parser"
 	"github.com/valueflow/usher/internal/passes"
+	"github.com/valueflow/usher/internal/ssa"
+	"github.com/valueflow/usher/internal/types"
 	"github.com/valueflow/usher/internal/workload"
 )
+
+// compileSource is a minimal frontend for these white-box benchmarks.
+// They live in package pointer (not pointer_test) for solver access, so
+// they cannot import internal/compile: its implementation lives in
+// internal/pipeline, which imports this package.
+func compileSource(file, src string) (*ir.Program, error) {
+	astProg, err := parser.Parse(file, src)
+	if err != nil {
+		return nil, err
+	}
+	info, err := types.Check(astProg)
+	if err != nil {
+		return nil, err
+	}
+	irp, err := lower.Lower(astProg, info)
+	if err != nil {
+		return nil, err
+	}
+	ssa.Promote(irp)
+	for _, fn := range irp.Funcs {
+		ir.ComputeCFG(fn)
+	}
+	return irp, nil
+}
 
 func generateBenchProg(b *testing.B) *ir.Program {
 	b.Helper()
@@ -21,7 +48,7 @@ func generateBenchProg(b *testing.B) *ir.Program {
 	if !ok {
 		b.Fatal("no solver-medium profile")
 	}
-	prog, err := compile.Source(p.Name+".c", workload.GenerateLarge(p))
+	prog, err := compileSource(p.Name+".c", workload.GenerateLarge(p))
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -48,9 +48,30 @@ type ptsSolver interface {
 	locsOf(n int) []Loc
 }
 
+// SolverStats summarizes the solved constraint system. All fields are
+// deterministic functions of the analyzed program (the solver's worklist
+// order is deterministic), so the pipeline reports them under the
+// bit-identical-for-any-parallelism contract.
+type SolverStats struct {
+	// Nodes counts constraint nodes, Locations abstract locations.
+	Nodes, Locations int
+	// Constraints counts complex constraints (loads, stores, field/index
+	// offsets, indirect call sites) attached to union-find roots; CopyEdges
+	// counts copy-edge insertions over the whole solve.
+	Constraints, CopyEdges int
+	// Visits counts worklist visits that processed a non-empty delta.
+	Visits int
+	// SCCsCollapsed counts multi-node copy cycles folded by online cycle
+	// elimination. The legacy solver reports only Nodes (it predates these
+	// counters).
+	SCCsCollapsed int
+}
+
 // Result is the outcome of the analysis.
 type Result struct {
 	solver ptsSolver
+	// Stats describes the constraint system the solver built and solved.
+	Stats SolverStats
 	// callees maps each call instruction to its possible targets (direct
 	// calls have exactly one).
 	callees map[*ir.Call][]*ir.Function
@@ -122,7 +143,9 @@ func Analyze(prog *ir.Program) *Result {
 	s.generate()
 	s.solve()
 	s.freeze()
-	return finishResult(prog, s, s.callees)
+	res := finishResult(prog, s, s.callees)
+	res.Stats = s.stats()
+	return res
 }
 
 // AnalyzeLegacy runs the original map-based solver (see legacy.go). Its
@@ -133,7 +156,9 @@ func AnalyzeLegacy(prog *ir.Program) *Result {
 	s.generate()
 	s.solve()
 	s.freeze()
-	return finishResult(prog, s, s.callees)
+	res := finishResult(prog, s, s.callees)
+	res.Stats = SolverStats{Nodes: len(s.nodes)}
+	return res
 }
 
 // finishResult performs the implementation-independent post-processing:

@@ -49,9 +49,9 @@ type fieldCons struct {
 
 // node holds the per-node constraint state.
 type node struct {
-	pts     bitset.Set // location ids
-	delta   bitset.Set // newly added location ids, pending propagation
-	succs []int32 // copy edges out (node ids, insertion order)
+	pts   bitset.Set // location ids
+	delta bitset.Set // newly added location ids, pending propagation
+	succs []int32    // copy edges out (node ids, insertion order)
 	// Successor dedup is hybrid: short lists are scanned linearly; once a
 	// node crosses succListMax edges, membership moves to a bit set
 	// (succBig). Merging a small node into a big one may leave a few list
@@ -110,6 +110,14 @@ type solver struct {
 	edgeEpoch   int
 	lcdEpoch    int
 	lcdTriggers int
+
+	// visits counts worklist visits with a non-empty delta; sccCollapsed
+	// counts multi-node SCCs folded by collapseCycles. Both feed
+	// SolverStats (pure functions of the input program: the worklist is
+	// deterministic, so they are covered by the drivers' bit-identical
+	// reporting contract).
+	visits       int
+	sccCollapsed int
 
 	// Scratch state reused across collapseCycles passes.
 	sccIndex   []int32
@@ -608,6 +616,7 @@ func (s *solver) solve() {
 			if nd.delta.Empty() {
 				continue
 			}
+			s.visits++
 			// Detach the delta; the node continues accumulating into a
 			// fresh (recycled) set while this one is processed.
 			delta := nd.delta
@@ -768,6 +777,7 @@ func (s *solver) collapseCycles() {
 			}
 			scc := stack[popTo:]
 			if len(scc) > 1 {
+				s.sccCollapsed++
 				rep := scc[0]
 				for _, w := range scc[1:] {
 					if w < rep {
@@ -793,6 +803,26 @@ func (s *solver) collapseCycles() {
 	}
 	s.sccStack = stack[:0]
 	s.sccDfs = dfs[:0]
+}
+
+// stats summarizes the solved constraint system. Call after freeze():
+// constraint lists are concatenated onto representatives by merge, so
+// summing over union-find roots counts each constraint exactly once.
+func (s *solver) stats() SolverStats {
+	ss := SolverStats{
+		Nodes:         len(s.nodes),
+		Locations:     len(s.locs),
+		CopyEdges:     s.edgeEpoch,
+		Visits:        s.visits,
+		SCCsCollapsed: s.sccCollapsed,
+	}
+	for i, nd := range s.nodes {
+		if int(s.parent[i]) != i {
+			continue
+		}
+		ss.Constraints += len(nd.loads) + len(nd.stores) + len(nd.fields) + len(nd.indexes) + len(nd.calls)
+	}
+	return ss
 }
 
 // locsOf returns the canonicalized, deduplicated, sorted locations of a

@@ -1,0 +1,185 @@
+// Package stats collects per-pass observability for the static analysis
+// pipeline: wall-clock time, allocation volume and pass-specific work
+// counters, aggregated across every program a driver analyzes.
+//
+// The split between measurements and counters is load-bearing for the
+// drivers' determinism contract (usher-bench and usher-difftest promise
+// bit-identical reports for any -parallel value):
+//
+//   - WallSec and AllocBytes are measurements. They vary run to run and
+//     across worker counts (allocation attribution is only clean with one
+//     worker), and are excluded from the bit-identical contract.
+//   - Runs and Counters are pure functions of the analyzed programs. Each
+//     pipeline pass runs exactly once per artifact store regardless of
+//     scheduling, and counter aggregation is commutative, so these fields
+//     are identical for any parallelism.
+//
+// A nil *Collector is valid everywhere and records nothing, so callers
+// thread one collector through unconditionally and only allocate it when
+// observability was requested (the -stats flag).
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"text/tabwriter"
+	"time"
+)
+
+// PassStats is the aggregate of every observed run of one pass variant.
+type PassStats struct {
+	// Pass and Phase identify the pipeline pass (see internal/pipeline's
+	// registry); Variant distinguishes keyed instances of the same pass
+	// (the VFG graph flavor, the instrumentation configuration, the
+	// scalar-optimization level).
+	Pass    string `json:"pass"`
+	Phase   string `json:"phase"`
+	Variant string `json:"variant,omitempty"`
+	// Runs counts pass executions. Deterministic for any -parallel value.
+	Runs int64 `json:"runs"`
+	// WallSec and AllocBytes are measurements (see the package comment);
+	// they are NOT covered by the bit-identical-under-parallel contract.
+	WallSec    float64 `json:"wall_sec"`
+	AllocBytes uint64  `json:"alloc_bytes"`
+	// Counters are the pass-specific work counters (constraints solved,
+	// SCCs collapsed, VFG nodes/edges, MFCs simplified, checks elided, ...),
+	// summed over runs. Deterministic for any -parallel value.
+	Counters map[string]int64 `json:"counters,omitempty"`
+
+	// rank orders snapshots by pipeline position (registration order).
+	rank int
+}
+
+// Sample is one observed pass execution.
+type Sample struct {
+	// Rank is the pass's position in the pipeline registry; snapshots are
+	// sorted by it so reports read in pipeline order.
+	Rank                 int
+	Pass, Phase, Variant string
+	Wall                 time.Duration
+	AllocBytes           uint64
+	Counters             map[string]int64
+}
+
+// Collector aggregates samples. It is safe for concurrent use, and a nil
+// collector silently discards everything.
+type Collector struct {
+	mu    sync.Mutex
+	byKey map[collectorKey]*PassStats
+}
+
+type collectorKey struct{ pass, variant string }
+
+// New returns an empty collector.
+func New() *Collector {
+	return &Collector{byKey: make(map[collectorKey]*PassStats)}
+}
+
+// Enabled reports whether the collector records samples (i.e. is non-nil).
+func (c *Collector) Enabled() bool { return c != nil }
+
+// Add folds one sample into the aggregate.
+func (c *Collector) Add(s Sample) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := collectorKey{s.Pass, s.Variant}
+	ps := c.byKey[k]
+	if ps == nil {
+		ps = &PassStats{Pass: s.Pass, Phase: s.Phase, Variant: s.Variant, rank: s.Rank}
+		c.byKey[k] = ps
+	}
+	ps.Runs++
+	ps.WallSec += s.Wall.Seconds()
+	ps.AllocBytes += s.AllocBytes
+	if len(s.Counters) > 0 {
+		if ps.Counters == nil {
+			ps.Counters = make(map[string]int64, len(s.Counters))
+		}
+		for name, v := range s.Counters {
+			ps.Counters[name] += v
+		}
+	}
+}
+
+// Snapshot returns the aggregated stats in pipeline order (rank, then
+// pass name, then variant). The returned slices and maps are copies; the
+// collector may keep aggregating afterwards.
+func (c *Collector) Snapshot() []PassStats {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]PassStats, 0, len(c.byKey))
+	for _, ps := range c.byKey {
+		cp := *ps
+		if ps.Counters != nil {
+			cp.Counters = make(map[string]int64, len(ps.Counters))
+			for name, v := range ps.Counters {
+				cp.Counters[name] = v
+			}
+		}
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.rank != b.rank {
+			return a.rank < b.rank
+		}
+		if a.Pass != b.Pass {
+			return a.Pass < b.Pass
+		}
+		return a.Variant < b.Variant
+	})
+	return out
+}
+
+// Scrub zeroes the measurement fields of a snapshot in place and returns
+// it, leaving only the deterministic fields (Runs, Counters). Tests use
+// it to state the bit-identical-under-parallel contract precisely.
+func Scrub(snap []PassStats) []PassStats {
+	for i := range snap {
+		snap[i].WallSec = 0
+		snap[i].AllocBytes = 0
+	}
+	return snap
+}
+
+// Write renders a snapshot as an aligned text table: one row per pass
+// variant with wall time, allocation volume and the counters.
+func Write(w io.Writer, snap []PassStats) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "pass\tphase\tvariant\truns\twall(ms)\talloc(MB)\tcounters")
+	for _, ps := range snap {
+		variant := ps.Variant
+		if variant == "" {
+			variant = "-"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%.2f\t%.2f\t%s\n",
+			ps.Pass, ps.Phase, variant, ps.Runs,
+			1000*ps.WallSec, float64(ps.AllocBytes)/(1<<20), formatCounters(ps.Counters))
+	}
+	tw.Flush()
+}
+
+func formatCounters(cs map[string]int64) string {
+	if len(cs) == 0 {
+		return "-"
+	}
+	names := make([]string, 0, len(cs))
+	for name := range cs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, name := range names {
+		parts[i] = fmt.Sprintf("%s=%d", name, cs[name])
+	}
+	return strings.Join(parts, " ")
+}

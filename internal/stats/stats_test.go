@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilCollector pins the nil-is-valid contract: every method on a nil
+// collector is a no-op, so callers can thread one through unconditionally.
+func TestNilCollector(t *testing.T) {
+	var c *Collector
+	if c.Enabled() {
+		t.Error("nil collector reports Enabled")
+	}
+	c.Add(Sample{Pass: "pointer"}) // must not panic
+	if snap := c.Snapshot(); snap != nil {
+		t.Errorf("nil collector snapshot = %v, want nil", snap)
+	}
+}
+
+func TestAddAggregates(t *testing.T) {
+	c := New()
+	c.Add(Sample{Rank: 6, Pass: "pointer", Phase: "pointer", Wall: 2 * time.Millisecond,
+		AllocBytes: 100, Counters: map[string]int64{"constraints": 3}})
+	c.Add(Sample{Rank: 6, Pass: "pointer", Phase: "pointer", Wall: 3 * time.Millisecond,
+		AllocBytes: 50, Counters: map[string]int64{"constraints": 4, "copy_edges": 1}})
+	snap := c.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("got %d entries, want 1", len(snap))
+	}
+	ps := snap[0]
+	if ps.Runs != 2 {
+		t.Errorf("Runs = %d, want 2", ps.Runs)
+	}
+	if ps.AllocBytes != 150 {
+		t.Errorf("AllocBytes = %d, want 150", ps.AllocBytes)
+	}
+	want := map[string]int64{"constraints": 7, "copy_edges": 1}
+	if !reflect.DeepEqual(ps.Counters, want) {
+		t.Errorf("Counters = %v, want %v", ps.Counters, want)
+	}
+}
+
+// TestSnapshotOrder checks pipeline ordering: rank first, then pass name,
+// then variant, so reports always read in registration order.
+func TestSnapshotOrder(t *testing.T) {
+	c := New()
+	c.Add(Sample{Rank: 11, Pass: "plan", Phase: "instrument", Variant: "Usher"})
+	c.Add(Sample{Rank: 8, Pass: "vfg", Phase: "vfg", Variant: "tl"})
+	c.Add(Sample{Rank: 11, Pass: "plan", Phase: "instrument", Variant: "MSan"})
+	c.Add(Sample{Rank: 8, Pass: "vfg", Phase: "vfg", Variant: "full"})
+	c.Add(Sample{Rank: 0, Pass: "parse", Phase: "frontend"})
+	var got []string
+	for _, ps := range c.Snapshot() {
+		got = append(got, ps.Pass+"/"+ps.Variant)
+	}
+	want := []string{"parse/", "vfg/full", "vfg/tl", "plan/MSan", "plan/Usher"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("snapshot order = %v, want %v", got, want)
+	}
+}
+
+// TestSnapshotIsCopy: mutating a snapshot's counter map must not leak back
+// into the collector.
+func TestSnapshotIsCopy(t *testing.T) {
+	c := New()
+	c.Add(Sample{Pass: "pointer", Counters: map[string]int64{"constraints": 1}})
+	snap := c.Snapshot()
+	snap[0].Counters["constraints"] = 999
+	if v := c.Snapshot()[0].Counters["constraints"]; v != 1 {
+		t.Errorf("collector counter mutated through snapshot: %d", v)
+	}
+}
+
+func TestScrub(t *testing.T) {
+	c := New()
+	c.Add(Sample{Pass: "pointer", Wall: time.Second, AllocBytes: 42,
+		Counters: map[string]int64{"constraints": 5}})
+	snap := Scrub(c.Snapshot())
+	ps := snap[0]
+	if ps.WallSec != 0 || ps.AllocBytes != 0 {
+		t.Errorf("Scrub left measurements: wall=%v alloc=%d", ps.WallSec, ps.AllocBytes)
+	}
+	if ps.Runs != 1 || ps.Counters["constraints"] != 5 {
+		t.Errorf("Scrub damaged deterministic fields: %+v", ps)
+	}
+}
+
+// TestConcurrentAdd exercises the collector from many goroutines (run
+// under -race in CI) and checks the commutative-aggregation contract.
+func TestConcurrentAdd(t *testing.T) {
+	c := New()
+	const goroutines, adds = 8, 100
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < adds; j++ {
+				c.Add(Sample{Pass: "pointer", Counters: map[string]int64{"constraints": 1}})
+			}
+		}()
+	}
+	wg.Wait()
+	ps := c.Snapshot()[0]
+	if ps.Runs != goroutines*adds {
+		t.Errorf("Runs = %d, want %d", ps.Runs, goroutines*adds)
+	}
+	if ps.Counters["constraints"] != goroutines*adds {
+		t.Errorf("counter = %d, want %d", ps.Counters["constraints"], goroutines*adds)
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	c := New()
+	c.Add(Sample{Rank: 6, Pass: "pointer", Phase: "pointer",
+		Counters: map[string]int64{"constraints": 7, "copy_edges": 2}})
+	c.Add(Sample{Rank: 0, Pass: "parse", Phase: "frontend"})
+	var sb strings.Builder
+	Write(&sb, c.Snapshot())
+	out := sb.String()
+	for _, want := range []string{"pass", "counters", "constraints=7 copy_edges=2", "parse"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	// Counter-less passes render "-" so columns stay aligned.
+	if !strings.Contains(out, "-") {
+		t.Errorf("table output missing '-' placeholder:\n%s", out)
+	}
+}

@@ -239,6 +239,11 @@ func (g *Graph) seal() {
 	g.sealed = true
 }
 
+// Sealed reports whether the graph has been made immutable (set by Build
+// before returning). The pipeline artifact store refuses to share an
+// unsealed graph: lookups on it would materialize nodes and race.
+func (g *Graph) Sealed() bool { return g.sealed }
+
 func (g *Graph) newNode(kind NodeKind, fn *ir.Function) *Node {
 	n := &Node{ID: len(g.Nodes), Kind: kind, Fn: fn}
 	g.Nodes = append(g.Nodes, n)

@@ -1,13 +1,12 @@
 package usher
 
 import (
-	"sync"
-
 	"github.com/valueflow/usher/internal/diag"
-	"github.com/valueflow/usher/internal/instrument"
 	"github.com/valueflow/usher/internal/ir"
 	"github.com/valueflow/usher/internal/memssa"
+	"github.com/valueflow/usher/internal/pipeline"
 	"github.com/valueflow/usher/internal/pointer"
+	"github.com/valueflow/usher/internal/stats"
 	"github.com/valueflow/usher/internal/vfg"
 )
 
@@ -16,124 +15,94 @@ import (
 // evaluates five or six per program — pays for the pointer analysis,
 // memory SSA, value-flow graph and definedness resolution exactly once.
 //
-// Artifact sharing is sound because every shared structure is immutable
-// after construction: the pointer Result freezes its union-find after
-// solving, the VFG is sealed (node lookups never materialize nodes), and
-// configuration-specific work (Opt I/II/III, plan emission) either reads
-// the shared graph or derives fresh data from it (Opt II re-resolves Γ
-// through an edge filter without touching the graph). A Session is safe
-// for concurrent Analyze calls from multiple goroutines.
-//
-// A panic inside any analysis stage — an internal invariant violation,
-// typically provoked by IR the frontend should have rejected — is
-// captured as an error rather than crashing the process. The error is
-// cached alongside the artifact: every later call for the same artifact
-// reports the same error.
+// Session is a thin facade over the pipeline artifact store
+// (internal/pipeline): every stage is a registered pass whose artifact is
+// computed exactly once per session, shared read-only, with errors (and
+// captured panics) cached alongside — every later call for the same
+// artifact reports the same error. A Session is safe for concurrent
+// Analyze calls from multiple goroutines; see internal/pipeline for the
+// immutability argument (frozen union-find, sealed graphs — the latter
+// enforced at the store boundary).
 //
 // Two VFG variants exist: the full graph (address-taken variables
 // modelled), shared by MSan, UsherTL+AT, UsherOptI, Usher and
 // Usher+OptIII, and the top-level-only graph used by UsherTL. Each is
 // built lazily on first demand.
 type Session struct {
-	Prog *ir.Program
-
-	baseOnce sync.Once
-	pa       *pointer.Result
-	mem      *memssa.Info
-	baseErr  error
-
-	fullOnce  sync.Once
-	fullG     *vfg.Graph
-	fullGamma *vfg.Gamma
-	fullErr   error
-
-	tlOnce  sync.Once
-	tlG     *vfg.Graph
-	tlGamma *vfg.Gamma
-	tlErr   error
+	Prog  *ir.Program
+	store *pipeline.Store
 }
 
 // NewSession prepares a shared-analysis session for prog. All artifacts
 // are computed lazily; a session that is never analyzed costs nothing.
 func NewSession(prog *ir.Program) *Session {
-	return &Session{Prog: prog}
+	return NewSessionObserved(prog, nil)
+}
+
+// NewSessionObserved is NewSession with per-pass observability: every
+// pipeline pass run is timed and counted into sc (nil records nothing,
+// making it identical to NewSession).
+func NewSessionObserved(prog *ir.Program, sc *stats.Collector) *Session {
+	return &Session{Prog: prog, store: pipeline.NewStore(prog, sc)}
 }
 
 // Base returns the configuration-invariant pointer analysis and memory
 // SSA, computing them on first use.
 func (s *Session) Base() (*pointer.Result, *memssa.Info, error) {
-	s.baseOnce.Do(func() {
-		defer diag.Guard(diag.PhaseAnalyze, &s.baseErr)
-		s.pa = pointer.Analyze(s.Prog)
-		s.mem = memssa.Build(s.Prog, s.pa)
-	})
-	if s.baseErr != nil {
-		return nil, nil, s.baseErr
+	pa, err := s.store.Pointer()
+	if err != nil {
+		return nil, nil, err
 	}
-	return s.pa, s.mem, nil
+	mem, err := s.store.MemSSA()
+	if err != nil {
+		return nil, nil, err
+	}
+	return pa, mem, nil
 }
 
 // Graph returns the shared value-flow graph and its resolved Γ for the
 // given variant (topLevelOnly selects the Usher_TL graph).
 func (s *Session) Graph(topLevelOnly bool) (*vfg.Graph, *vfg.Gamma, error) {
-	pa, mem, err := s.Base()
+	g, err := s.store.Graph(topLevelOnly)
 	if err != nil {
 		return nil, nil, err
 	}
-	if topLevelOnly {
-		s.tlOnce.Do(func() {
-			defer diag.Guard(diag.PhaseAnalyze, &s.tlErr)
-			s.tlG = vfg.Build(s.Prog, pa, mem, vfg.Options{TopLevelOnly: true})
-			s.tlGamma = vfg.Resolve(s.tlG)
-		})
-		if s.tlErr != nil {
-			return nil, nil, s.tlErr
-		}
-		return s.tlG, s.tlGamma, nil
+	gm, err := s.store.Gamma(topLevelOnly)
+	if err != nil {
+		return nil, nil, err
 	}
-	s.fullOnce.Do(func() {
-		defer diag.Guard(diag.PhaseAnalyze, &s.fullErr)
-		s.fullG = vfg.Build(s.Prog, pa, mem, vfg.Options{})
-		s.fullGamma = vfg.Resolve(s.fullG)
-	})
-	if s.fullErr != nil {
-		return nil, nil, s.fullErr
-	}
-	return s.fullG, s.fullGamma, nil
+	return g, gm, nil
 }
 
 // Analyze runs the static pipeline for one configuration, reusing every
 // config-invariant artifact the session has already computed. The result
-// is identical to a standalone Analyze call on the same program.
+// is identical to a standalone Analyze call on the same program. The
+// dispatch is driven by the config-capabilities table (see configTable in
+// usher.go); a Config outside the table is an error.
 func (s *Session) Analyze(cfg Config) (_ *Analysis, err error) {
 	defer diag.Guard(diag.PhaseAnalyze, &err)
+	spec, err := cfg.spec()
+	if err != nil {
+		return nil, err
+	}
 	a := &Analysis{Config: cfg, Prog: s.Prog}
 	a.Pointer, a.Mem, err = s.Base()
 	if err != nil {
 		return nil, err
 	}
-	a.Graph, a.Gamma, err = s.Graph(cfg == ConfigUsherTL)
+	a.Graph, a.Gamma, err = s.Graph(spec.plan.TopLevelOnly)
 	if err != nil {
 		return nil, err
 	}
-
-	if cfg == ConfigMSan {
-		a.Plan = instrument.Full(s.Prog)
-		return a, nil
+	pr, err := s.store.Plan(spec.plan)
+	if err != nil {
+		return nil, err
 	}
-
-	gopts := instrument.GuidedOptions{
-		OptI:       cfg >= ConfigUsherOptI,
-		OptII:      cfg >= ConfigUsherFull,
-		OptIII:     cfg >= ConfigUsherOptIII,
-		MemoryFull: cfg == ConfigUsherTL,
-	}
-	res := instrument.Guided(cfg.String(), a.Graph, a.Gamma, gopts)
-	a.Plan = res.Plan
-	a.Gamma = res.Gamma
-	a.MFCsSimplified = res.MFCsSimplified
-	a.Redirected = res.Redirected
-	a.ChecksElided = res.ChecksElided
+	a.Plan = pr.Plan
+	a.Gamma = pr.Gamma
+	a.MFCsSimplified = pr.MFCsSimplified
+	a.Redirected = pr.Redirected
+	a.ChecksElided = pr.ChecksElided
 	return a, nil
 }
 

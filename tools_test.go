@@ -1,11 +1,14 @@
 package usher_test
 
 import (
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/valueflow/usher/internal/bench"
 )
 
 // buildTool compiles one command into a temp dir and returns its path.
@@ -115,7 +118,7 @@ func TestUsherDifftestCLI(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !strings.Contains(string(data), `"schemaVersion": 1`) {
+		if !strings.Contains(string(data), fmt.Sprintf(`"schemaVersion": %d`, bench.SchemaVersion)) {
 			t.Errorf("report missing schemaVersion:\n%.200s", data)
 		}
 		blobs = append(blobs, data)

@@ -26,6 +26,7 @@ import (
 	"github.com/valueflow/usher/internal/interp"
 	"github.com/valueflow/usher/internal/ir"
 	"github.com/valueflow/usher/internal/memssa"
+	"github.com/valueflow/usher/internal/pipeline"
 	"github.com/valueflow/usher/internal/pointer"
 	"github.com/valueflow/usher/internal/vfg"
 )
@@ -55,29 +56,77 @@ const (
 	ConfigUsherOptIII
 )
 
+// configSpec is one row of the config-capabilities table: the
+// pipeline-level plan specification (graph flavor, optimizations, memory
+// treatment) plus whether the configuration extends the paper's set.
+type configSpec struct {
+	plan     pipeline.PlanSpec
+	extended bool
+}
+
+// configTable is the single source of truth for configuration dispatch.
+// Session.Analyze, Config.String, Configs/ExtendedConfigs and difftest's
+// per-config soundness contract (Config.ElidesChecks) all read this table;
+// there are deliberately no ordering comparisons (`cfg >= ...`) anywhere
+// else.
+var configTable = [...]configSpec{
+	ConfigMSan:      {plan: pipeline.PlanSpec{Name: "MSan", Full: true}},
+	ConfigUsherTL:   {plan: pipeline.PlanSpec{Name: "UsherTL", TopLevelOnly: true, MemoryFull: true}},
+	ConfigUsherTLAT: {plan: pipeline.PlanSpec{Name: "UsherTL+AT"}},
+	ConfigUsherOptI: {plan: pipeline.PlanSpec{Name: "UsherOptI", OptI: true}},
+	ConfigUsherFull: {plan: pipeline.PlanSpec{Name: "Usher", OptI: true, OptII: true}},
+	ConfigUsherOptIII: {
+		plan:     pipeline.PlanSpec{Name: "Usher+OptIII", OptI: true, OptII: true, OptIII: true},
+		extended: true,
+	},
+}
+
 // Configs lists the paper's five configurations in evaluation order.
-var Configs = []Config{ConfigMSan, ConfigUsherTL, ConfigUsherTLAT, ConfigUsherOptI, ConfigUsherFull}
+var Configs []Config
 
 // ExtendedConfigs additionally includes the Opt III extension.
-var ExtendedConfigs = append(append([]Config(nil), Configs...), ConfigUsherOptIII)
+var ExtendedConfigs []Config
+
+func init() {
+	for c := range configTable {
+		if !configTable[c].extended {
+			Configs = append(Configs, Config(c))
+		}
+		ExtendedConfigs = append(ExtendedConfigs, Config(c))
+	}
+}
+
+// spec returns the configuration's capability row, or an error for a
+// Config value outside the table.
+func (c Config) spec() (configSpec, error) {
+	if c < 0 || int(c) >= len(configTable) {
+		return configSpec{}, fmt.Errorf("usher: unknown configuration %s", c)
+	}
+	return configTable[c], nil
+}
 
 func (c Config) String() string {
-	switch c {
-	case ConfigMSan:
-		return "MSan"
-	case ConfigUsherTL:
-		return "UsherTL"
-	case ConfigUsherTLAT:
-		return "UsherTL+AT"
-	case ConfigUsherOptI:
-		return "UsherOptI"
-	case ConfigUsherFull:
-		return "Usher"
-	case ConfigUsherOptIII:
-		return "Usher+OptIII"
-	default:
-		return fmt.Sprintf("Config(%d)", int(c))
+	if c >= 0 && int(c) < len(configTable) {
+		return configTable[c].plan.Name
 	}
+	return fmt.Sprintf("Config(%d)", int(c))
+}
+
+// TopLevelOnly reports whether the configuration analyzes top-level
+// variables only (the Usher_TL graph).
+func (c Config) TopLevelOnly() bool {
+	s, err := c.spec()
+	return err == nil && s.plan.TopLevelOnly
+}
+
+// ElidesChecks reports whether the configuration may elide definedness
+// checks that an exact configuration would emit (Opt II redundant check
+// elimination or Opt III dominated-check elimination). Difftest's
+// soundness contract keys off this: eliding configurations may drop
+// dominated duplicate warnings but never all reports.
+func (c Config) ElidesChecks() bool {
+	s, err := c.spec()
+	return err == nil && (s.plan.OptII || s.plan.OptIII)
 }
 
 // Compile parses, type-checks and lowers MiniC source into SSA-form IR
