@@ -4,12 +4,20 @@
 // Usage:
 //
 //	usher-bench [-table1] [-fig10] [-fig11] [-opt-levels] [-ablations] [-all]
-//	            [-parallel N] [-json path] [-stats] [-legacy-solver]
+//	            [-solver-scale] [-snapshot-dir dir] [-parallel N]
+//	            [-solver-workers N] [-json path] [-stats] [-legacy-solver]
+//	            [-cpuprofile path] [-memprofile path]
 //
 // -legacy-solver routes every pointer analysis through the retired
 // map-based solver, which is kept as the pre-optimization baseline for
 // the bit-vector solver (see BENCH_solver_baseline.json); results are
-// identical, only the timings move.
+// identical, only the timings move. -solver-workers N routes them
+// through the parallel wave solver instead (0, the default, keeps the
+// classic sequential solver); every reported number is bit-identical
+// for any value. -solver-scale runs the million-constraint scaling
+// harness — wave-solver timings over the XL constraint profiles at
+// workers 1/2/4/8 plus snapshot warm-start measurements (see
+// BENCH_solver_scale.json) — and is not part of -all.
 //
 // With no selection flags, -all is assumed. Work is spread over -parallel
 // workers (default: one per CPU) at two levels — across workload profiles
@@ -42,19 +50,34 @@ func main() {
 	fig11 := flag.Bool("fig11", false, "static instrumentation counts (Figure 11)")
 	optLevels := flag.Bool("opt-levels", false, "slowdowns under O1 and O2 (Section 4.6)")
 	ablations := flag.Bool("ablations", false, "design-choice ablation study")
+	solverScale := flag.Bool("solver-scale", false,
+		"wave-solver scaling over the XL constraint profiles and snapshot warm starts (not part of -all)")
+	snapshotDir := flag.String("snapshot-dir", "",
+		"directory for -solver-scale warm-start snapshots (default: a temp dir, removed after)")
 	all := flag.Bool("all", false, "everything")
 	legacySolver := flag.Bool("legacy-solver", false, "use the retired map-based pointer solver (pre-optimization baseline)")
 	cf := bench.RegisterCommonFlags(flag.CommandLine)
 	flag.Parse()
 
 	pointer.UseLegacySolver = *legacySolver
+	cf.ApplySolver()
 	solverName := "bitvector"
 	if *legacySolver {
 		solverName = "legacy"
 	}
 	sc := cf.Collector()
+	stopProfiles, err := cf.Profile.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "usher-bench:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "usher-bench: profiles:", err)
+		}
+	}()
 
-	if !*table1 && !*fig10 && !*fig11 && !*optLevels && !*ablations {
+	if !*table1 && !*fig10 && !*fig11 && !*optLevels && !*ablations && !*solverScale {
 		*all = true
 	}
 	report := &bench.Report{
@@ -64,6 +87,7 @@ func main() {
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		Parallel:      cf.Parallel,
 		Solver:        solverName,
+		SolverWorkers: cf.SolverWorkers,
 	}
 	// fail writes the partial report before exiting, so a late-phase
 	// failure does not discard the completed phases: the JSON carries
@@ -142,6 +166,19 @@ func main() {
 			bench.WriteFig10(os.Stdout, level, rows)
 			fmt.Println()
 		}
+	}
+
+	if *solverScale {
+		fmt.Println("=== Solver scaling: wave-solver workers and snapshot warm starts ===")
+		start := time.Now()
+		res, err := bench.SolverScale(bench.SolverScaleWorkerCounts, *snapshotDir)
+		if err != nil {
+			fail(err)
+		}
+		report.AddPhase("solver-scale", start)
+		report.SolverScale = res
+		bench.WriteSolverScale(os.Stdout, res)
+		fmt.Println()
 	}
 
 	if cf.Stats {

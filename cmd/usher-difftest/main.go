@@ -7,7 +7,8 @@
 // Usage:
 //
 //	usher-difftest [-seeds N] [-from S] [-parallel P] [-json path] [-stats]
-//	               [-repro-dir dir] [-minimize=false]
+//	               [-repro-dir dir] [-minimize=false] [-solver-workers N]
+//	               [-cpuprofile path] [-memprofile path]
 //
 // Seeds are swept on -parallel workers; the findings and the -json
 // report are bit-identical for any worker count. Each diverging seed is
@@ -39,10 +40,23 @@ func main() {
 	minimize := flag.Bool("minimize", true, "delta-debug diverging programs to minimal repros")
 	cf := bench.RegisterCommonFlags(flag.CommandLine)
 	flag.Parse()
+	cf.ApplySolver()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "usher-difftest:", err)
 		os.Exit(2)
+	}
+
+	stopProfiles, err := cf.Profile.Start()
+	if err != nil {
+		fail(err)
+	}
+	// flushProfiles runs before every exit path (the divergence path
+	// leaves through os.Exit, which skips defers).
+	flushProfiles := func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "usher-difftest: profiles:", err)
+		}
 	}
 
 	report, err := difftest.Campaign(difftest.CampaignOptions{
@@ -92,6 +106,7 @@ func main() {
 		}
 		fmt.Printf("wrote JSON report to %s\n", cf.JSONPath)
 	}
+	flushProfiles()
 	if report.Divergent > 0 {
 		os.Exit(1)
 	}

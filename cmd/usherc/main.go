@@ -42,7 +42,18 @@ func main() {
 	noRun := flag.Bool("no-run", false, "analyze only; print static statistics")
 	workloadName := flag.String("workload", "", "use a generated benchmark instead of a file")
 	showStats := flag.Bool("stats", false, "print per-pipeline-pass stats (wall time, allocs, work counters)")
+	pf := bench.RegisterProfileFlags(flag.CommandLine)
 	flag.Parse()
+
+	stopProfiles, err := pf.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "usherc: profiles:", err)
+		}
+	}()
 
 	var sc *stats.Collector
 	if *showStats {

@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	vfg-dump [-ir] [-pts] [-memssa] [-vfg] [-dot] [-stats] file.c
+//	vfg-dump [-ir] [-pts] [-memssa] [-vfg] [-dot] [-stats]
+//	         [-cpuprofile path] [-memprofile path] file.c
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"strings"
 
 	"github.com/valueflow/usher"
+	"github.com/valueflow/usher/internal/bench"
 	"github.com/valueflow/usher/internal/diag"
 	"github.com/valueflow/usher/internal/ir"
 	"github.com/valueflow/usher/internal/memssa"
@@ -33,11 +35,21 @@ func main() {
 	showVFG := flag.Bool("vfg", false, "print the VFG with definedness states")
 	dot := flag.Bool("dot", false, "emit the VFG as Graphviz DOT")
 	showStats := flag.Bool("stats", false, "print per-pipeline-pass stats (wall time, allocs, work counters)")
+	pf := bench.RegisterProfileFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: vfg-dump [flags] file.c")
 		os.Exit(1)
 	}
+	stopProfiles, err := pf.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "vfg-dump: profiles:", err)
+		}
+	}()
 	if !*showIR && !*showPts && !*showMem && !*showVFG && !*dot {
 		*showIR, *showVFG = true, true
 	}

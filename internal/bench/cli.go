@@ -3,15 +3,20 @@ package bench
 import (
 	"encoding/json"
 	"flag"
+	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
+	"github.com/valueflow/usher/internal/pointer"
 	"github.com/valueflow/usher/internal/stats"
 )
 
 // CommonFlags is the CLI plumbing shared by usher-bench and
-// usher-difftest: the worker bound, the JSON report path, and per-pass
-// observability. Centralizing it here keeps the two binaries' flag
-// semantics (and the report schema they write) from drifting apart.
+// usher-difftest: the worker bound, the JSON report path, per-pass
+// observability, solver parallelism and profiling. Centralizing it here
+// keeps the binaries' flag semantics (and the report schema they write)
+// from drifting apart.
 type CommonFlags struct {
 	// Parallel bounds the worker pool (see ForEach).
 	Parallel int
@@ -19,20 +24,91 @@ type CommonFlags struct {
 	JSONPath string
 	// Stats records whether -stats was requested.
 	Stats bool
+	// SolverWorkers is the pointer-solver worker count (0 = the classic
+	// sequential solver; >= 1 selects the wave solver). Applied
+	// process-wide by ApplySolver.
+	SolverWorkers int
+	// Profile holds the -cpuprofile/-memprofile destinations.
+	Profile *ProfileFlags
 
 	sc *stats.Collector
 }
 
-// RegisterCommonFlags registers -parallel, -json and -stats on fs with
-// the shared defaults and help text.
+// RegisterCommonFlags registers -parallel, -json, -stats,
+// -solver-workers, -cpuprofile and -memprofile on fs with the shared
+// defaults and help text.
 func RegisterCommonFlags(fs *flag.FlagSet) *CommonFlags {
-	cf := &CommonFlags{}
+	cf := &CommonFlags{Profile: RegisterProfileFlags(fs)}
 	fs.IntVar(&cf.Parallel, "parallel", DefaultParallelism(),
 		"max concurrent workers (results are identical for any value)")
 	fs.StringVar(&cf.JSONPath, "json", "", "write a machine-readable report to this path")
 	fs.BoolVar(&cf.Stats, "stats", false,
 		"collect and print per-pass pipeline stats (wall time, allocs, work counters)")
+	fs.IntVar(&cf.SolverWorkers, "solver-workers", 0,
+		"pointer-solver worker count (0 = sequential; results are identical for any value)")
 	return cf
+}
+
+// ApplySolver installs the requested solver worker count process-wide.
+// Call it once, after flag parsing and before any analysis.
+func (cf *CommonFlags) ApplySolver() {
+	pointer.Workers = cf.SolverWorkers
+}
+
+// ProfileFlags is the -cpuprofile/-memprofile pair every driver binary
+// offers, so solver and pipeline hot spots can be attributed with the
+// standard pprof toolchain.
+type ProfileFlags struct {
+	CPUProfile string
+	MemProfile string
+}
+
+// RegisterProfileFlags registers -cpuprofile and -memprofile on fs.
+// Binaries that do not take the full CommonFlags set (usherc, vfg-dump)
+// call this directly.
+func RegisterProfileFlags(fs *flag.FlagSet) *ProfileFlags {
+	pf := &ProfileFlags{}
+	fs.StringVar(&pf.CPUProfile, "cpuprofile", "", "write a CPU profile to this path")
+	fs.StringVar(&pf.MemProfile, "memprofile", "", "write a heap profile to this path on exit")
+	return pf
+}
+
+// Start begins CPU profiling when -cpuprofile was given. The returned
+// stop function finishes the CPU profile and writes the -memprofile
+// heap snapshot; call it exactly once on every exit path that should
+// produce profiles (defer in main).
+func (pf *ProfileFlags) Start() (stop func() error, err error) {
+	var cpuFile *os.File
+	if pf.CPUProfile != "" {
+		cpuFile, err = os.Create(pf.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("bench: -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("bench: -cpuprofile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if pf.MemProfile != "" {
+			f, err := os.Create(pf.MemProfile)
+			if err != nil {
+				return fmt.Errorf("bench: -memprofile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("bench: -memprofile: %w", err)
+			}
+		}
+		return nil
+	}, nil
 }
 
 // Collector returns the collector to thread through the run: a live one

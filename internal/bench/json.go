@@ -43,6 +43,9 @@ type Report struct {
 	// Solver names the pointer-solver implementation the run used
 	// ("bitvector" or "legacy", see usher-bench -legacy-solver).
 	Solver string `json:"solver,omitempty"`
+	// SolverWorkers is the -solver-workers value (0 = sequential). All
+	// reported results are bit-identical for any value; only timings move.
+	SolverWorkers int `json:"solver_workers"`
 
 	// DriverPhases times the driver's coarse phases (table1, fig10, ...).
 	DriverPhases []PhaseTime `json:"driver_phases"`
@@ -59,6 +62,10 @@ type Report struct {
 	Fig10     []LevelRows   `json:"fig10,omitempty"`
 	Fig11     []StaticRow   `json:"fig11,omitempty"`
 	Ablations []AblationRow `json:"ablations,omitempty"`
+	// SolverScale is the -solver-scale section: wave-solver scaling over
+	// the XL profiles and snapshot warm-start timings (additive — older
+	// readers ignore it, so the schema version is unchanged).
+	SolverScale *SolverScaleResult `json:"solver_scale,omitempty"`
 }
 
 // AddPhase appends a driver-phase timing.

@@ -1,0 +1,309 @@
+package bench
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/valueflow/usher"
+	"github.com/valueflow/usher/internal/ir"
+	"github.com/valueflow/usher/internal/passes"
+	"github.com/valueflow/usher/internal/pointer"
+	"github.com/valueflow/usher/internal/snapshot"
+	"github.com/valueflow/usher/internal/workload"
+)
+
+// This file is the -solver-scale driver: the measurement harness behind
+// BENCH_solver_scale.json. It has two legs:
+//
+//   - Wave-solver scaling: every XL constraint-graph profile is solved
+//     at workers = 0 (classic sequential solver) and each requested
+//     wave-solver worker count, timing each solve and asserting that
+//     (a) every run's points-to/call-graph signature matches the
+//     sequential solve and (b) the wave solver's deterministic stats
+//     are bit-identical across worker counts. The test suite pins the
+//     same properties; the checks here guard the benchmark numbers
+//     themselves.
+//   - Snapshot warm starts: the solver-large MiniC workload runs the
+//     whole pipeline cold (compile excluded, analyze all configurations),
+//     persists a snapshot, then warm-starts a fresh session from it and
+//     re-analyzes, verifying the plans are fingerprint-identical. Cold
+//     vs warm wall time is the headline number; the snapshot's size and
+//     save/load costs are recorded alongside.
+//
+// Wall-clock numbers are measurements, not part of any determinism
+// contract; the identical-stats/identical-fingerprint booleans are.
+
+// SolverScaleWorkerCounts is the default wave-solver sweep.
+var SolverScaleWorkerCounts = []int{1, 2, 4, 8}
+
+// WorkerTiming is one solve's wall time at a worker count.
+type WorkerTiming struct {
+	// Workers is the solver worker count (0 = classic sequential).
+	Workers int     `json:"workers"`
+	Seconds float64 `json:"seconds"`
+	// Speedup is sequential-seconds / this-seconds (1.0 for the
+	// sequential row itself).
+	Speedup float64 `json:"speedup_vs_sequential"`
+}
+
+// ScaleRow is the wave-solver scaling result for one XL profile.
+type ScaleRow struct {
+	Profile string `json:"profile"`
+	// Constraints is complex constraints + copy-edge insertions: the
+	// total constraint count the profile presents to the solver.
+	Constraints int            `json:"constraints"`
+	Timings     []WorkerTiming `json:"timings"`
+	// StatsIdentical records that every wave-solver run reported
+	// bit-identical solver stats (visits, waves, SCCs, ...) regardless
+	// of worker count. The classic sequential solver (workers=0) is
+	// excluded: it schedules LCD differently, so its internal work
+	// counters may differ even though its results are identical.
+	StatsIdentical bool `json:"stats_identical"`
+	// SignatureIdentical records that every run — sequential included —
+	// produced the same points-to sets and call-graph edges. Both
+	// booleans must always be true.
+	SignatureIdentical bool `json:"signature_identical"`
+}
+
+// SnapshotRow is the warm-start result over the solver-large pipeline.
+type SnapshotRow struct {
+	Profile string `json:"profile"`
+	Configs int    `json:"configs"`
+	// ColdSeconds is the full cold analysis (pointer solve through plan
+	// emission, every configuration); WarmSeconds is load + import +
+	// analyze from the snapshot.
+	ColdSeconds float64 `json:"cold_seconds"`
+	SaveSeconds float64 `json:"save_seconds"`
+	LoadSeconds float64 `json:"load_seconds"`
+	WarmSeconds float64 `json:"warm_seconds"`
+	// SpeedupWarm is ColdSeconds / (LoadSeconds + WarmSeconds).
+	SpeedupWarm float64 `json:"speedup_warm"`
+	// SnapshotBytes is the on-disk snapshot size.
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+	// PlansIdentical records that every warm plan fingerprint matched
+	// its cold counterpart. Must always be true.
+	PlansIdentical bool `json:"plans_identical"`
+}
+
+// SolverScaleResult is the -solver-scale section of the JSON report.
+type SolverScaleResult struct {
+	WorkerCounts []int         `json:"worker_counts"`
+	XL           []ScaleRow    `json:"xl"`
+	Snapshot     []SnapshotRow `json:"snapshot"`
+}
+
+// SolverScale runs the scaling harness. snapshotDir is where warm-start
+// snapshots are written ("" = a temporary directory, removed after).
+func SolverScale(workerCounts []int, snapshotDir string) (*SolverScaleResult, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = SolverScaleWorkerCounts
+	}
+	res := &SolverScaleResult{WorkerCounts: workerCounts}
+	for _, p := range workload.XLProfiles {
+		row, err := scaleProfile(p, workerCounts)
+		if err != nil {
+			return nil, err
+		}
+		res.XL = append(res.XL, row)
+	}
+	if snapshotDir == "" {
+		dir, err := os.MkdirTemp("", "usher-snap-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		snapshotDir = dir
+	}
+	snapRow, err := snapshotProfile(snapshotDir)
+	if err != nil {
+		return nil, err
+	}
+	res.Snapshot = append(res.Snapshot, snapRow)
+	return res, nil
+}
+
+// scaleProfile times one XL profile's solve at every worker count. The
+// IR is rebuilt fresh for every run: solving mutates shared object
+// state (collapsing), and the builds are deterministic. The timing
+// excludes the signature hash, which exists only to pin result parity.
+func scaleProfile(p workload.XLProfile, workerCounts []int) (ScaleRow, error) {
+	solveAt := func(workers int) (time.Duration, pointer.SolverStats, [sha256.Size]byte) {
+		prog := workload.BuildXL(p)
+		start := time.Now()
+		r := pointer.AnalyzeWorkers(prog, workers)
+		wall := time.Since(start)
+		return wall, r.Stats, resultSignature(prog, r)
+	}
+	seqWall, seqStats, seqSig := solveAt(0)
+	row := ScaleRow{
+		Profile:            p.Name,
+		Constraints:        seqStats.Constraints + seqStats.CopyEdges,
+		StatsIdentical:     true,
+		SignatureIdentical: true,
+		Timings: []WorkerTiming{{
+			Workers: 0, Seconds: seqWall.Seconds(), Speedup: 1,
+		}},
+	}
+	var waveStats pointer.SolverStats
+	for i, w := range workerCounts {
+		wall, st, sig := solveAt(w)
+		if i == 0 {
+			waveStats = st
+		} else if st != waveStats {
+			row.StatsIdentical = false
+		}
+		if sig != seqSig {
+			row.SignatureIdentical = false
+		}
+		row.Timings = append(row.Timings, WorkerTiming{
+			Workers: w,
+			Seconds: wall.Seconds(),
+			Speedup: seqWall.Seconds() / wall.Seconds(),
+		})
+	}
+	if !row.StatsIdentical {
+		return row, fmt.Errorf("bench: %s: wave-solver stats diverge across worker counts", p.Name)
+	}
+	if !row.SignatureIdentical {
+		return row, fmt.Errorf("bench: %s: points-to results diverge from the sequential solve", p.Name)
+	}
+	return row, nil
+}
+
+// resultSignature hashes every register's points-to set and every
+// call's resolved callees: two solves agree exactly when their
+// signatures agree. Used to pin wave-solver/sequential result parity
+// on the benchmark runs themselves (the test suite pins it too).
+func resultSignature(prog *ir.Program, res *pointer.Result) [sha256.Size]byte {
+	h := sha256.New()
+	for _, fn := range prog.Funcs {
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				if r := in.Defines(); r != nil {
+					if locs := res.PointsTo(r); len(locs) > 0 {
+						fmt.Fprintf(h, "pts %s %s =", fn.Name, r)
+						for _, l := range locs {
+							fmt.Fprintf(h, " %s", l)
+						}
+						fmt.Fprintln(h)
+					}
+				}
+				if c, ok := in.(*ir.Call); ok {
+					if fns := res.Callees(c); len(fns) > 0 {
+						fmt.Fprintf(h, "call %s %d =", fn.Name, c.Label())
+						for _, f := range fns {
+							fmt.Fprintf(h, " %s", f.Name)
+						}
+						fmt.Fprintln(h)
+					}
+				}
+			}
+		}
+	}
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return sum
+}
+
+// snapshotProfile measures cold-vs-warm over the solver-large pipeline.
+func snapshotProfile(dir string) (SnapshotRow, error) {
+	p := workload.LargeProfiles[2] // solver-large
+	src := workload.GenerateLarge(p)
+	cfgs := usher.ExtendedConfigs
+	compile := func() (*usher.Session, error) {
+		prog, err := usher.Compile(p.Name+".c", src)
+		if err != nil {
+			return nil, err
+		}
+		if err := passes.Apply(prog, passes.O0IM); err != nil {
+			return nil, err
+		}
+		return usher.NewSession(prog), nil
+	}
+
+	row := SnapshotRow{Profile: p.Name, Configs: len(cfgs), PlansIdentical: true}
+
+	cold, err := compile()
+	if err != nil {
+		return row, err
+	}
+	start := time.Now()
+	coldAnalyses, err := cold.AnalyzeAll(cfgs)
+	if err != nil {
+		return row, err
+	}
+	row.ColdSeconds = time.Since(start).Seconds()
+
+	start = time.Now()
+	snap, err := cold.Snapshot()
+	if err != nil {
+		return row, err
+	}
+	path, err := snapshot.Save(dir, cold.Prog, snap)
+	if err != nil {
+		return row, err
+	}
+	row.SaveSeconds = time.Since(start).Seconds()
+	if fi, err := os.Stat(path); err == nil {
+		row.SnapshotBytes = fi.Size()
+	}
+
+	warm, err := compile()
+	if err != nil {
+		return row, err
+	}
+	start = time.Now()
+	loaded, err := snapshot.Load(dir, warm.Prog)
+	if err != nil {
+		return row, err
+	}
+	row.LoadSeconds = time.Since(start).Seconds()
+	start = time.Now()
+	if _, err := warm.WarmStart(loaded); err != nil {
+		return row, err
+	}
+	warmAnalyses, err := warm.AnalyzeAll(cfgs)
+	if err != nil {
+		return row, err
+	}
+	row.WarmSeconds = time.Since(start).Seconds()
+	for i := range cfgs {
+		if warmAnalyses[i].Plan.Fingerprint() != coldAnalyses[i].Plan.Fingerprint() {
+			row.PlansIdentical = false
+		}
+	}
+	if !row.PlansIdentical {
+		return row, fmt.Errorf("bench: %s: warm plans diverge from cold solve", p.Name)
+	}
+	row.SpeedupWarm = row.ColdSeconds / (row.LoadSeconds + row.WarmSeconds)
+	return row, nil
+}
+
+// WriteSolverScale renders the scaling results as text tables.
+func WriteSolverScale(w io.Writer, res *SolverScaleResult) {
+	if len(res.XL) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "wave-solver scaling (fresh solve per cell; workers=0 is the classic sequential solver):")
+	fmt.Fprintf(w, "  %-18s %12s", "profile", "constraints")
+	fmt.Fprintf(w, " %10s", "seq(s)")
+	for _, t := range res.XL[0].Timings[1:] {
+		fmt.Fprintf(w, " %12s", fmt.Sprintf("workers=%d", t.Workers))
+	}
+	fmt.Fprintln(w)
+	for _, row := range res.XL {
+		fmt.Fprintf(w, "  %-18s %12d %10.3f", row.Profile, row.Constraints, row.Timings[0].Seconds)
+		for _, t := range row.Timings[1:] {
+			fmt.Fprintf(w, " %6.3fs/%.2fx", t.Seconds, t.Speedup)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "snapshot warm starts (full pipeline, all configurations):")
+	for _, s := range res.Snapshot {
+		fmt.Fprintf(w, "  %-14s cold %.3fs  save %.3fs (%d bytes)  load %.3fs  warm %.3fs  speedup %.1fx  plans-identical=%v\n",
+			s.Profile, s.ColdSeconds, s.SaveSeconds, s.SnapshotBytes, s.LoadSeconds, s.WarmSeconds, s.SpeedupWarm, s.PlansIdentical)
+	}
+}

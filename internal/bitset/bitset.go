@@ -18,12 +18,35 @@ import "math/bits"
 // nil receivers (as the empty set) so callers can keep sparse []*Set
 // tables with nil holes.
 type Set struct {
-	words []uint64
+	words  []uint64
+	sealed bool
 }
 
 // New returns an empty set with capacity preallocated for ids in [0, n).
 func New(n int) *Set {
 	return &Set{words: make([]uint64, 0, (n+63)/64)}
+}
+
+// Seal freezes the set: any later mutation panics. Sealing is one-way
+// and exists to enforce the solved-state read-only contract — the pointer
+// solver seals every points-to set at freeze() time, so a Result shared
+// across concurrent readers (the usher.Session contract) cannot be
+// mutated by a buggy consumer without a loud, immediate failure. Sealing
+// a nil set is a no-op (nil is already immutably empty).
+func (s *Set) Seal() {
+	if s != nil {
+		s.sealed = true
+	}
+}
+
+// Sealed reports whether the set has been sealed against mutation.
+func (s *Set) Sealed() bool { return s != nil && s.sealed }
+
+// mustMutable panics if the set was sealed.
+func (s *Set) mustMutable() {
+	if s.sealed {
+		panic("bitset: mutation of sealed set")
+	}
 }
 
 // ensure grows s to hold at least w words.
@@ -51,6 +74,7 @@ func (s *Set) Has(i int) bool {
 
 // Add inserts i, reporting whether it was newly added.
 func (s *Set) Add(i int) bool {
+	s.mustMutable()
 	w, mask := i>>6, uint64(1)<<(uint(i)&63)
 	s.ensure(w + 1)
 	if s.words[w]&mask != 0 {
@@ -62,6 +86,7 @@ func (s *Set) Add(i int) bool {
 
 // Remove deletes i from the set.
 func (s *Set) Remove(i int) {
+	s.mustMutable()
 	if w := i >> 6; w < len(s.words) {
 		s.words[w] &^= 1 << (uint(i) & 63)
 	}
@@ -72,6 +97,7 @@ func (s *Set) UnionWith(t *Set) bool {
 	if t == nil || len(t.words) == 0 {
 		return false
 	}
+	s.mustMutable()
 	s.ensure(len(t.words))
 	changed := false
 	for w, tw := range t.words {
@@ -91,6 +117,8 @@ func (s *Set) UnionDiffInto(t, diff *Set) bool {
 	if t == nil || len(t.words) == 0 {
 		return false
 	}
+	s.mustMutable()
+	diff.mustMutable()
 	s.ensure(len(t.words))
 	changed := false
 	for w, tw := range t.words {
@@ -107,6 +135,7 @@ func (s *Set) UnionDiffInto(t, diff *Set) bool {
 
 // CopyFrom makes s an exact copy of t, reusing s's storage.
 func (s *Set) CopyFrom(t *Set) {
+	s.mustMutable()
 	if t == nil {
 		s.Clear()
 		return
@@ -120,6 +149,7 @@ func (s *Set) CopyFrom(t *Set) {
 
 // Clear empties the set, keeping its storage for reuse.
 func (s *Set) Clear() {
+	s.mustMutable()
 	for w := range s.words {
 		s.words[w] = 0
 	}

@@ -1,0 +1,156 @@
+package bitset
+
+import (
+	"sync"
+	"testing"
+)
+
+// mustPanic asserts that f panics (the sealed-mutation contract).
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s on a sealed set did not panic", what)
+		}
+	}()
+	f()
+}
+
+func TestSealBlocksMutation(t *testing.T) {
+	s := New(128)
+	for _, i := range []int{1, 64, 100} {
+		s.Add(i)
+	}
+	s.Seal()
+	if !s.Sealed() {
+		t.Fatal("Sealed() = false after Seal")
+	}
+	s.Seal() // idempotent
+	other := New(8)
+	other.Add(3)
+
+	mustPanic(t, "Add", func() { s.Add(7) })
+	mustPanic(t, "Remove", func() { s.Remove(1) })
+	mustPanic(t, "UnionWith", func() { s.UnionWith(other) })
+	mustPanic(t, "UnionDiffInto", func() { s.UnionDiffInto(other, &Set{}) })
+	mustPanic(t, "UnionDiffInto(diff)", func() { other.UnionDiffInto(other, s) })
+	mustPanic(t, "CopyFrom", func() { s.CopyFrom(other) })
+	mustPanic(t, "Clear", func() { s.Clear() })
+
+	// Reads stay available after sealing.
+	if !s.Has(64) || s.Count() != 3 || s.Empty() {
+		t.Error("sealed set reads changed")
+	}
+	var nilSet *Set
+	nilSet.Seal() // no-op, must not panic
+	if nilSet.Sealed() {
+		t.Error("nil set reports sealed")
+	}
+}
+
+// TestUnionDiffIntoEmptyDelta pins the no-write fast path: a union from
+// an empty (or nil) source performs no mutation, so it is legal even on
+// a sealed receiver. This is the warm-edge case the solver hits
+// constantly once propagation converges.
+func TestUnionDiffIntoEmptyDelta(t *testing.T) {
+	s := New(64)
+	s.Add(5)
+	s.Seal()
+	var diff Set
+	if s.UnionDiffInto(nil, &diff) {
+		t.Error("UnionDiffInto(nil) reported change")
+	}
+	if s.UnionDiffInto(New(0), &diff) {
+		t.Error("UnionDiffInto(empty) reported change")
+	}
+	if !diff.Empty() {
+		t.Error("diff gained members from empty source")
+	}
+	// Cleared-but-allocated source: words exist, all zero.
+	src := New(64)
+	src.Add(9)
+	src.Remove(9)
+	unsealed := New(64)
+	var d2 Set
+	if unsealed.UnionDiffInto(src, &d2) {
+		t.Error("UnionDiffInto(zeroed) reported change")
+	}
+	if !d2.Empty() {
+		t.Error("diff gained members from zeroed source")
+	}
+}
+
+// TestUnionDiffIntoAliasedReceivers pins aliasing behavior: s as its own
+// source is a no-op, and s as its own diff accumulator stays coherent
+// (every fresh bit must appear in both).
+func TestUnionDiffIntoAliasedReceivers(t *testing.T) {
+	s := New(128)
+	s.Add(1)
+	s.Add(70)
+	var diff Set
+	if s.UnionDiffInto(s, &diff) {
+		t.Error("self-union reported change")
+	}
+	if !diff.Empty() {
+		t.Error("self-union produced a diff")
+	}
+
+	// diff aliased to the destination: fresh members land in both.
+	dst := New(128)
+	dst.Add(2)
+	src := New(128)
+	src.Add(2)
+	src.Add(65)
+	if !dst.UnionDiffInto(src, dst) {
+		t.Error("aliased-diff union reported no change")
+	}
+	for _, i := range []int{2, 65} {
+		if !dst.Has(i) {
+			t.Errorf("dst missing %d after aliased-diff union", i)
+		}
+	}
+	if dst.Count() != 2 {
+		t.Errorf("dst count = %d, want 2", dst.Count())
+	}
+}
+
+// TestSealedConcurrentReadOnlySharing exercises the solver's sharing
+// pattern under the race detector: one sealed source set is read
+// concurrently by many goroutines, each unioning it into private
+// destinations. A data race here would mean the sealed read-only
+// contract is not actually race-free.
+func TestSealedConcurrentReadOnlySharing(t *testing.T) {
+	src := New(4096)
+	for i := 0; i < 4096; i += 3 {
+		src.Add(i)
+	}
+	src.Seal()
+	want := src.Count()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			dst := New(4096)
+			dst.Add(g) // private state differs per goroutine
+			var diff Set
+			if !dst.UnionDiffInto(src, &diff) {
+				t.Error("concurrent union reported no change")
+			}
+			if diff.Count() < want-1 {
+				t.Errorf("diff count = %d, want >= %d", diff.Count(), want-1)
+			}
+			// Interleave pure reads of the shared set.
+			n := 0
+			src.ForEach(func(int) { n++ })
+			if n != want || !src.Has(0) || src.Has(1) {
+				t.Error("concurrent read of sealed set inconsistent")
+			}
+			if dst.Equal(src) != (g%3 == 0) {
+				t.Errorf("goroutine %d: Equal against shared set wrong", g)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

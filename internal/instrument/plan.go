@@ -122,10 +122,32 @@ func (fp *FnPlan) Shadowed(r *ir.Register) bool {
 }
 
 func (fp *FnPlan) setShadowed(r *ir.Register) {
-	for len(fp.shadowRegs) <= r.ID {
+	fp.MarkShadowedID(r.ID)
+}
+
+// ShadowedRegIDs returns the ids of every register carrying a shadow
+// variable, in ascending order. Together with MarkShadowedID it is the
+// serialization surface of the shadow-register set (internal/snapshot);
+// Fingerprint renders the same list.
+func (fp *FnPlan) ShadowedRegIDs() []int {
+	var ids []int
+	for id, on := range fp.shadowRegs {
+		if on {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// MarkShadowedID marks the register with the given id as carrying a
+// shadow variable: the decode-side inverse of ShadowedRegIDs, used when
+// a plan is rebuilt from a snapshot. Plan producers go through the
+// register-typed setter.
+func (fp *FnPlan) MarkShadowedID(id int) {
+	for len(fp.shadowRegs) <= id {
 		fp.shadowRegs = append(fp.shadowRegs, false)
 	}
-	fp.shadowRegs[r.ID] = true
+	fp.shadowRegs[id] = true
 }
 
 func (fp *FnPlan) add(label int, it Item) {
@@ -202,13 +224,7 @@ func (p *Plan) Fingerprint() string {
 	for _, fp := range fns {
 		fmt.Fprintf(&sb, "func %s recv=%v setT=%v retSend=%v\n",
 			fp.Fn.Name, fp.ParamRecv, fp.ParamSetT, fp.RetSend)
-		var shadowed []int
-		for id, on := range fp.shadowRegs {
-			if on {
-				shadowed = append(shadowed, id)
-			}
-		}
-		fmt.Fprintf(&sb, "  shadowed=%v\n", shadowed)
+		fmt.Fprintf(&sb, "  shadowed=%v\n", fp.ShadowedRegIDs())
 		labels := make([]int, 0, len(fp.Items))
 		for l := range fp.Items {
 			labels = append(labels, l)

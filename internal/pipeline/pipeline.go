@@ -32,6 +32,7 @@ const (
 	PhaseFrontend   Phase = "frontend"
 	PhaseSSA        Phase = "ssa"
 	PhaseScalarOpt  Phase = "scalaropt"
+	PhaseSnapshot   Phase = "snapshot"
 	PhasePointer    Phase = "pointer"
 	PhaseMemSSA     Phase = "memssa"
 	PhaseVFG        Phase = "vfg"
@@ -78,9 +79,12 @@ var Registry = []*Pass{
 		Produces: "verified IR"},
 	{Name: "scalar", Phase: PhaseScalarOpt, Needs: []string{"verify"}, Variants: "level",
 		Produces: "*ir.Program (optimized)"},
+	{Name: "snapshot", Phase: PhaseSnapshot, Needs: []string{"scalar"},
+		Produces: "preloaded artifacts (pointer result, instrumentation plans)",
+		Counters: []string{"call_edges", "plans_loaded", "pts_regs"}},
 	{Name: "pointer", Phase: PhasePointer, Needs: []string{"scalar"},
 		Produces: "*pointer.Result (frozen)",
-		Counters: []string{"constraint_nodes", "constraints", "copy_edges", "locations", "sccs_collapsed", "solver_visits"}},
+		Counters: []string{"constraint_nodes", "constraints", "copy_edges", "locations", "sccs_collapsed", "solver_visits", "solver_waves"}},
 	{Name: "memssa", Phase: PhaseMemSSA, Needs: []string{"pointer"},
 		Produces: "*memssa.Info",
 		Counters: []string{"defs", "funcs"}},

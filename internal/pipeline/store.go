@@ -3,6 +3,7 @@ package pipeline
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -61,13 +62,24 @@ type Store struct {
 
 	mu      sync.Mutex
 	entries map[Key]*entry
+	// done marks keys whose entry has completed (pass ran or seed
+	// applied); preloaded marks the subset seeded via Preload rather than
+	// computed. Both are guarded by mu — completion is published here
+	// after once.Do returns, so readers never race the pass body.
+	done      map[Key]bool
+	preloaded map[Key]bool
 }
 
 // NewStore prepares an artifact store for prog, recording pass
 // observations into sc (nil records nothing). Artifacts are computed
 // lazily; a store that is never queried costs nothing.
 func NewStore(prog *ir.Program, sc *stats.Collector) *Store {
-	return &Store{prog: prog, sc: sc, entries: make(map[Key]*entry)}
+	return &Store{
+		prog: prog, sc: sc,
+		entries:   make(map[Key]*entry),
+		done:      make(map[Key]bool),
+		preloaded: make(map[Key]bool),
+	}
 }
 
 // Prog returns the program the store analyzes.
@@ -120,7 +132,115 @@ func (st *Store) run(pass, variant string, fn func() (any, map[string]int64, err
 		}
 		e.val = v
 	})
+	st.setDone(Key{pass, variant})
 	return e.val, e.err
+}
+
+func (st *Store) setDone(k Key) {
+	st.mu.Lock()
+	st.done[k] = true
+	st.mu.Unlock()
+}
+
+// Preload seeds the keyed artifact with an externally produced value —
+// the snapshot warm-start path — without running its pass. The seed is
+// dropped (returns false) when the artifact was already computed or
+// seeded: a pass that ran always wins over a snapshot.
+func (st *Store) Preload(pass, variant string, v any) bool {
+	ByName(pass) // unknown pass is a programming error, exactly like run
+	k := Key{pass, variant}
+	e := st.entryFor(k)
+	seeded := false
+	e.once.Do(func() {
+		e.val = v
+		seeded = true
+	})
+	if seeded {
+		st.mu.Lock()
+		st.done[k] = true
+		st.preloaded[k] = true
+		st.mu.Unlock()
+	}
+	return seeded
+}
+
+// preloadedVal returns the seeded artifact for k, if the key was
+// populated by Preload (not by a pass run).
+func (st *Store) preloadedVal(pass, variant string) (any, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	k := Key{pass, variant}
+	if !st.preloaded[k] {
+		return nil, false
+	}
+	return st.entries[k].val, true
+}
+
+// PreloadedPointer returns the snapshot-seeded pointer result, if any.
+func (st *Store) PreloadedPointer() (*pointer.Result, bool) {
+	v, ok := st.preloadedVal("pointer", "")
+	if !ok {
+		return nil, false
+	}
+	return v.(*pointer.Result), true
+}
+
+// PreloadedPlan returns the snapshot-seeded plan artifact for the named
+// configuration, if any.
+func (st *Store) PreloadedPlan(name string) (*PlanResult, bool) {
+	v, ok := st.preloadedVal("plan", name)
+	if !ok {
+		return nil, false
+	}
+	return v.(*PlanResult), true
+}
+
+// CachedPlan returns the named plan artifact if it has already been
+// materialized (computed or preloaded), without triggering any pass.
+func (st *Store) CachedPlan(name string) (*PlanResult, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	k := Key{"plan", name}
+	if !st.done[k] {
+		return nil, false
+	}
+	e := st.entries[k]
+	if e == nil || e.err != nil || e.val == nil {
+		return nil, false
+	}
+	return e.val.(*PlanResult), true
+}
+
+// PlanNames returns the names of every plan artifact the store holds
+// (computed or preloaded, errors excluded), sorted.
+func (st *Store) PlanNames() []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var names []string
+	for k := range st.done {
+		if k.Pass != "plan" {
+			continue
+		}
+		if e := st.entries[k]; e != nil && e.err == nil && e.val != nil {
+			names = append(names, k.Variant)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Observe records one externally timed sample for a registered pass.
+// The snapshot warm start uses it: the load happens outside the store's
+// own run path but should still appear in per-phase observability.
+func (st *Store) Observe(pass, variant string, wall time.Duration, counters map[string]int64) {
+	if !st.sc.Enabled() {
+		return
+	}
+	p, rank := ByName(pass)
+	st.sc.Add(stats.Sample{
+		Rank: rank, Pass: p.Name, Phase: string(p.Phase), Variant: variant,
+		Wall: wall, Counters: counters,
+	})
 }
 
 // Pointer returns the whole-program pointer analysis, solving on first
@@ -136,6 +256,7 @@ func (st *Store) Pointer() (*pointer.Result, error) {
 			"locations":        int64(ss.Locations),
 			"sccs_collapsed":   int64(ss.SCCsCollapsed),
 			"solver_visits":    int64(ss.Visits),
+			"solver_waves":     int64(ss.Waves),
 		}, nil
 	})
 	if err != nil {
@@ -295,6 +416,12 @@ type PlanResult struct {
 // Plan returns the instrumentation plan artifact for spec, computing it
 // (and every prerequisite) on first use.
 func (st *Store) Plan(spec PlanSpec) (*PlanResult, error) {
+	// A preloaded plan (snapshot warm start) answers immediately:
+	// resolving the graph inputs below would build the very artifacts
+	// the snapshot exists to skip.
+	if pr, ok := st.PreloadedPlan(spec.Name); ok {
+		return pr, nil
+	}
 	// Resolve the inputs outside the timed pass body.
 	g, err := st.Graph(spec.TopLevelOnly && !spec.Full)
 	if err != nil {

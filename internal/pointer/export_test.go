@@ -1,0 +1,90 @@
+package pointer_test
+
+import (
+	"testing"
+
+	"github.com/valueflow/usher"
+	"github.com/valueflow/usher/internal/passes"
+	"github.com/valueflow/usher/internal/pointer"
+	"github.com/valueflow/usher/internal/workload"
+)
+
+// TestExportImportRoundTrip pins the serialization boundary: an imported
+// Result must answer every query identically to the Result it was
+// exported from — points-to sets, call graph, recursion marks — which is
+// exactly what pointerSignature renders.
+func TestExportImportRoundTrip(t *testing.T) {
+	for _, p := range workload.LargeProfiles[:2] {
+		prog, err := usher.Compile(p.Name, workload.GenerateLarge(p))
+		if err != nil {
+			t.Fatalf("%s: compile: %v", p.Name, err)
+		}
+		if err := passes.Apply(prog, passes.O0IM); err != nil {
+			t.Fatalf("%s: passes: %v", p.Name, err)
+		}
+		cold := pointer.Analyze(prog)
+		want := pointerSignature(prog, cold)
+
+		ex, err := cold.Export(prog)
+		if err != nil {
+			t.Fatalf("%s: export: %v", p.Name, err)
+		}
+		warm, err := pointer.Import(prog, ex)
+		if err != nil {
+			t.Fatalf("%s: import: %v", p.Name, err)
+		}
+		if got := pointerSignature(prog, warm); got != want {
+			t.Errorf("%s: imported result diverges from cold solve:\n%s",
+				p.Name, diffLines(got, want))
+		}
+		if warm.Stats != cold.Stats {
+			t.Errorf("%s: imported stats %+v != cold %+v", p.Name, warm.Stats, cold.Stats)
+		}
+	}
+}
+
+// TestImportRejectsDamage pins the defensive validation: out-of-range
+// indices error out instead of panicking, so the snapshot layer can fall
+// back to a cold solve.
+func TestImportRejectsDamage(t *testing.T) {
+	p := workload.LargeProfiles[0]
+	prog, err := usher.Compile(p.Name, workload.GenerateLarge(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := passes.Apply(prog, passes.O0IM); err != nil {
+		t.Fatal(err)
+	}
+	cold := pointer.Analyze(prog)
+	base, err := cold.Export(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	damage := []func(*pointer.Export){
+		func(e *pointer.Export) { e.Collapsed = append(e.Collapsed, 1<<30) },
+		func(e *pointer.Export) { e.Regs = append(e.Regs, pointer.RegPts{Fn: len(prog.Funcs) + 5}) },
+		func(e *pointer.Export) {
+			e.Regs = append(e.Regs, pointer.RegPts{Fn: 0, Reg: 0, Locs: []int32{int32(len(e.Locs) + 7)}})
+		},
+		func(e *pointer.Export) { e.Calls = append(e.Calls, pointer.CallEdges{Site: 1 << 30}) },
+		func(e *pointer.Export) {
+			e.Calls = append(e.Calls, pointer.CallEdges{Site: 0, Callees: []int32{-2}})
+		},
+	}
+	for i, d := range damage {
+		ex := *base
+		// Shallow copy + append-only damage keeps the base export intact.
+		ex.Collapsed = append([]int(nil), base.Collapsed...)
+		ex.Regs = append([]pointer.RegPts(nil), base.Regs...)
+		ex.Calls = append([]pointer.CallEdges(nil), base.Calls...)
+		d(&ex)
+		if _, err := pointer.Import(prog, &ex); err == nil {
+			t.Errorf("damage %d: import accepted an invalid export", i)
+		}
+	}
+	// The legacy solver's state is not exportable.
+	legacy := pointer.AnalyzeLegacy(prog)
+	if _, err := legacy.Export(prog); err == nil {
+		t.Error("legacy result exported without error")
+	}
+}

@@ -1,0 +1,218 @@
+package pointer
+
+import (
+	"slices"
+	"sync"
+
+	"github.com/valueflow/usher/internal/bitset"
+	"github.com/valueflow/usher/internal/ir"
+)
+
+// This file is the wave-parallel variant of the production solver
+// (solver.go). It reuses the solver's constraint representation, cycle
+// elimination and statistics wholesale and replaces only the worklist
+// loop, trading the sequential round structure for a three-step wave:
+//
+//  1. Collect. Every queued node's pending delta is detached and frozen,
+//     exactly like a sequential round. The frozen (node, delta) pairs are
+//     the wave; nothing mutates them until the wave completes.
+//
+//  2. Parallel copy propagation. Copy edges — the overwhelming majority
+//     of the constraint graph, and the phase where word-level set unions
+//     dominate solve time — are propagated by a bounded goroutine pool
+//     using owner-computes sharding: successor node t is owned by worker
+//     t mod W, and only t's owner ever touches t's points-to set or
+//     delta, so no locks are needed. The union-find is frozen during
+//     this phase (findRO, no path compression) and the wave's deltas are
+//     read-only, so workers share them freely.
+//
+//  3. Sequential barrier. Complex constraints (loads, stores, field and
+//     index offsets, indirect calls) mutate graph structure — new edges,
+//     new field nodes, object collapses, call-graph growth — so they run
+//     single-threaded at the wave barrier, as does lazy cycle
+//     elimination (the same exact Tarjan collapse as the sequential
+//     solver).
+//
+// Determinism at any worker count is by construction, not by locking:
+//
+//   - Each owner scans the whole wave in wave order, so for any target
+//     node the deltas are applied in wave order regardless of W; the
+//     final points-to sets and deltas after phase 2 are W-independent.
+//   - A target enters the next frontier exactly once (on its first
+//     empty→non-empty delta transition), owners never share targets, and
+//     the merged frontier is sorted by node id before enqueueing — so the
+//     next wave's order is W-independent too.
+//   - Cycle-detection suspicions are pure event counts summed at the
+//     barrier (commutative), not order-sensitive comparisons. The
+//     sequential solver's pts-equality heuristic is deliberately not
+//     used here: it reads the propagating node's set, which another
+//     worker may be updating concurrently, and its outcome would depend
+//     on schedule. Extra suspicions only make the exact Tarjan pass run
+//     earlier; they never change its result.
+//
+// Together these make every solver counter (visits, waves, copy edges,
+// SCCs collapsed) and the final least fixpoint bit-identical for every
+// workers value ≥ 1, which is what lets -solver-workers fall under the
+// drivers' bit-identical reporting contract.
+
+// Workers selects the solver Analyze routes through: 0 (the default)
+// is the classic sequential worklist, any value ≥ 1 the wave-parallel
+// solver with that many goroutines. Like UseLegacySolver it must be set
+// before analyses start; it is not safe to flip concurrently with
+// running analyses.
+var Workers int
+
+// AnalyzeWorkers runs the analysis with an explicit solver selection:
+// workers ≤ 0 is the classic sequential worklist, workers ≥ 1 the
+// wave-parallel solver. All selections compute the same least fixpoint
+// and identical Result signatures; the wave solver's stats counters are
+// additionally identical for every workers value ≥ 1.
+func AnalyzeWorkers(prog *ir.Program, workers int) *Result {
+	s := newSolver(prog)
+	s.generate()
+	if workers >= 1 {
+		s.solveWaves(workers)
+	} else {
+		s.solve()
+	}
+	s.freeze()
+	res := finishResult(prog, s, s.callees)
+	res.Stats = s.stats()
+	return res
+}
+
+// waveLcdBatch is the cycle-collapse trigger threshold of the wave
+// solver. Wave suspicions are plain no-op-propagation counts (no
+// set-equality filter, see the file comment), which fire more often than
+// the sequential solver's, so the batch is larger to keep the amortized
+// Tarjan cost comparable.
+const waveLcdBatch = 1024
+
+// waveEntry is one frozen (node, delta) pair of the current wave.
+type waveEntry struct {
+	n     int32
+	delta bitset.Set
+}
+
+// solveWaves runs the worklist to a fixpoint in parallel waves.
+func (s *solver) solveWaves(workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		round    []int32
+		wave     []waveEntry
+		pool     []bitset.Set // recycled delta storage
+		frontier []int32
+		touched  = make([][]int32, workers)
+		susp     = make([]int, workers)
+	)
+	for len(s.work) > 0 {
+		// Collect: detach every queued node's delta, canonicalizing and
+		// deduplicating exactly like the sequential round loop.
+		round, s.work = s.work, round[:0]
+		wave = wave[:0]
+		for _, rawN := range round {
+			n := int(rawN)
+			s.onWork.Remove(n)
+			n = s.find(n)
+			nd := s.nodes[n]
+			if nd.delta.Empty() {
+				continue
+			}
+			s.visits++
+			delta := nd.delta
+			if len(pool) > 0 {
+				nd.delta = pool[len(pool)-1]
+				pool = pool[:len(pool)-1]
+			} else {
+				nd.delta = bitset.Set{}
+			}
+			wave = append(wave, waveEntry{n: int32(n), delta: delta})
+		}
+		if len(wave) == 0 {
+			continue
+		}
+		s.waves++
+
+		// Parallel copy propagation. The union-find is frozen (workers
+		// canonicalize with findRO) and wave deltas are read-only; each
+		// worker writes only the points-to sets and deltas of the nodes
+		// it owns.
+		if workers == 1 {
+			s.propagateShard(wave, 0, 1, &touched[0], &susp[0])
+		} else {
+			var wg sync.WaitGroup
+			for o := 0; o < workers; o++ {
+				wg.Add(1)
+				go func(o int) {
+					defer wg.Done()
+					s.propagateShard(wave, o, workers, &touched[o], &susp[o])
+				}(o)
+			}
+			wg.Wait()
+		}
+
+		// Merge the per-owner frontiers. Owners never share a target and
+		// record each at most once, so concatenation is duplicate-free;
+		// sorting by node id makes the next wave's order independent of
+		// the worker count.
+		frontier = frontier[:0]
+		for o := 0; o < workers; o++ {
+			frontier = append(frontier, touched[o]...)
+			s.lcdTriggers += susp[o]
+		}
+		slices.Sort(frontier)
+		for _, t := range frontier {
+			s.enqueue(int(t))
+		}
+
+		// Sequential barrier: complex constraints in wave order, then
+		// (possibly) a cycle-collapse pass — both mutate graph structure
+		// and the union-find, which phase 2's freeze relies on.
+		for i := range wave {
+			e := &wave[i]
+			s.applyComplex(s.nodes[e.n], &e.delta)
+			e.delta.Clear()
+			pool = append(pool, e.delta)
+		}
+		if s.edgeEpoch != s.lcdEpoch && s.lcdTriggers >= waveLcdBatch {
+			s.lcdTriggers = 0
+			s.lcdEpoch = s.edgeEpoch
+			s.collapseCycles()
+		}
+	}
+}
+
+// propagateShard is one worker's share of a wave's copy propagation: it
+// scans every wave entry's successors in wave order and applies the
+// frozen delta to the successors it owns (succ mod workers == owner).
+// Targets whose pending delta transitions empty→non-empty are recorded
+// in touched (each exactly once); propagations that change nothing are
+// counted in suspects, the wave solver's cycle suspicion heuristic.
+func (s *solver) propagateShard(wave []waveEntry, owner, workers int, touched *[]int32, suspects *int) {
+	tl := (*touched)[:0]
+	susp := 0
+	for i := range wave {
+		e := &wave[i]
+		n := int(e.n)
+		nd := s.nodes[n]
+		for _, rawS := range nd.succs {
+			succ := s.findRO(int(rawS))
+			if succ == n || succ%workers != owner {
+				continue
+			}
+			sn := s.nodes[succ]
+			wasEmpty := sn.delta.Empty()
+			if sn.pts.UnionDiffInto(&e.delta, &sn.delta) {
+				if wasEmpty {
+					tl = append(tl, int32(succ))
+				}
+			} else {
+				susp++
+			}
+		}
+	}
+	*touched = tl
+	*suspects = susp
+}

@@ -1,0 +1,206 @@
+package pointer_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/valueflow/usher"
+	"github.com/valueflow/usher/internal/passes"
+	"github.com/valueflow/usher/internal/pointer"
+	"github.com/valueflow/usher/internal/randprog"
+	"github.com/valueflow/usher/internal/workload"
+)
+
+// The wave-parallel solver's contract (parallel.go) is stronger than the
+// A/B harness's: not only must the points-to signatures match the
+// sequential solver on every program, but the solver's own stats
+// counters must be bit-identical at every worker count. These tests pin
+// both, over the checked-in corpus, the workload generators and a
+// randprog sweep; runs under -race additionally check the owner-computes
+// sharding for data races.
+
+// parallelWorkerCounts is the sweep used throughout: 1 (wave algorithm,
+// no concurrency), small counts, and more workers than this machine has
+// cores (sharding must not care).
+var parallelWorkerCounts = []int{1, 2, 3, 4, 8}
+
+// waveResultFor compiles src fresh and solves with the wave solver at
+// the given worker count (0 = classic sequential). Fresh compiles keep
+// runs comparable even though solving mutates shared IR state (object
+// collapsing), exactly like the A/B harness.
+func waveResultFor(t *testing.T, name, src string, workers int) (string, pointer.SolverStats) {
+	t.Helper()
+	prog, err := usher.Compile(name, src)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", name, err)
+	}
+	if err := passes.Apply(prog, passes.O0IM); err != nil {
+		t.Fatalf("%s: passes: %v", name, err)
+	}
+	res := pointer.AnalyzeWorkers(prog, workers)
+	return pointerSignature(prog, res), res.Stats
+}
+
+// checkParallel asserts that every worker count produces the sequential
+// solver's signature, and that all wave-solver runs (workers >= 1) agree
+// on every stats counter.
+func checkParallel(t *testing.T, name, src string) {
+	t.Helper()
+	seqSig, _ := waveResultFor(t, name, src, 0)
+	baseSig, baseStats := waveResultFor(t, name, src, 1)
+	if baseSig != seqSig {
+		t.Errorf("%s: wave solver (workers=1) diverges from sequential:\n%s",
+			name, diffLines(baseSig, seqSig))
+	}
+	for _, w := range parallelWorkerCounts[1:] {
+		sig, stats := waveResultFor(t, name, src, w)
+		if sig != seqSig {
+			t.Errorf("%s: workers=%d diverges from sequential:\n%s",
+				name, w, diffLines(sig, seqSig))
+		}
+		if stats != baseStats {
+			t.Errorf("%s: workers=%d stats diverge from workers=1:\n got %+v\nwant %+v",
+				name, w, stats, baseStats)
+		}
+	}
+}
+
+// TestParallelSolverCorpus sweeps the checked-in corpus and the workload
+// generators at every worker count. This is the CI -race smoke: the
+// owner-computes sharding must be free of data races at any W.
+func TestParallelSolverCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.c"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no corpus files: %v", err)
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkParallel(t, filepath.Base(f), string(src))
+	}
+	for _, p := range workload.Profiles {
+		checkParallel(t, p.Name, workload.Generate(p))
+	}
+	for _, p := range workload.LargeProfiles {
+		if p.Name == "solver-large" {
+			continue // covered (with everything else XL) by TestParallelSolverXL
+		}
+		checkParallel(t, p.Name, workload.GenerateLarge(p))
+	}
+}
+
+// TestParallelSolverXL pins the wave solver on the XL constraint-graph
+// profiles — the programs the parallel solve exists for. The full
+// solver-xl profile (1M+ constraints) runs only without -short.
+func TestParallelSolverXL(t *testing.T) {
+	src := workload.GenerateLarge(workload.LargeProfiles[2]) // solver-large
+	if !testing.Short() {
+		checkParallel(t, "solver-large", src)
+	}
+	for _, p := range workload.XLProfiles {
+		if testing.Short() && p.Name != "solver-xl-small" {
+			continue
+		}
+		seq := xlSignature(t, p, 0)
+		base, baseStats := xlSignatureStats(t, p, 1)
+		if base != seq {
+			t.Errorf("%s: wave solver (workers=1) diverges from sequential", p.Name)
+		}
+		for _, w := range parallelWorkerCounts[1:] {
+			sig, stats := xlSignatureStats(t, p, w)
+			if sig != seq {
+				t.Errorf("%s: workers=%d diverges from sequential", p.Name, w)
+			}
+			if stats != baseStats {
+				t.Errorf("%s: workers=%d stats diverge:\n got %+v\nwant %+v", p.Name, w, stats, baseStats)
+			}
+		}
+	}
+}
+
+func xlSignature(t *testing.T, p workload.XLProfile, workers int) string {
+	sig, _ := xlSignatureStats(t, p, workers)
+	return sig
+}
+
+// xlSignatureStats builds the XL profile's IR fresh and solves it.
+func xlSignatureStats(t *testing.T, p workload.XLProfile, workers int) (string, pointer.SolverStats) {
+	t.Helper()
+	prog := workload.BuildXL(p)
+	res := pointer.AnalyzeWorkers(prog, workers)
+	return pointerSignature(prog, res), res.Stats
+}
+
+// TestParallelSolverRandprog sweeps randprog seeds: signature parity on
+// every seed at workers=1 and workers=4, and end-to-end warning-site
+// parity (full pipeline, instrumented run) against the sequential
+// solver.
+func TestParallelSolverRandprog(t *testing.T) {
+	seeds := 200
+	if testing.Short() {
+		seeds = 40
+	}
+	opts := randprog.DefaultOptions
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		src := randprog.Generate(seed, opts)
+		name := fmt.Sprintf("randprog-%d", seed)
+		seqSig, _ := waveResultFor(t, name, src, 0)
+		oneSig, oneStats := waveResultFor(t, name, src, 1)
+		fourSig, fourStats := waveResultFor(t, name, src, 4)
+		if oneSig != seqSig {
+			t.Errorf("%s: workers=1 diverges:\n%s", name, diffLines(oneSig, seqSig))
+		}
+		if fourSig != seqSig {
+			t.Errorf("%s: workers=4 diverges:\n%s", name, diffLines(fourSig, seqSig))
+		}
+		if oneStats != fourStats {
+			t.Errorf("%s: stats diverge between workers=1 and 4:\n got %+v\nwant %+v",
+				name, fourStats, oneStats)
+		}
+		seqW := warningsForWorkers(t, name, src, 0)
+		parW := warningsForWorkers(t, name, src, 4)
+		if seqW != parW {
+			t.Errorf("%s: end-to-end warning divergence:\nsequential: %s\nworkers=4:  %s",
+				name, seqW, parW)
+		}
+	}
+}
+
+// warningsForWorkers is warningsFor with a solver worker count instead
+// of the legacy switch: full pipeline, instrumented run, canonical
+// warning sites.
+func warningsForWorkers(t *testing.T, name, src string, workers int) string {
+	t.Helper()
+	prev := pointer.Workers
+	pointer.Workers = workers
+	defer func() { pointer.Workers = prev }()
+
+	prog, err := usher.Compile(name, src)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", name, err)
+	}
+	if err := passes.Apply(prog, passes.O0IM); err != nil {
+		t.Fatalf("%s: passes: %v", name, err)
+	}
+	a, err := usher.Analyze(prog, usher.ConfigUsherFull)
+	if err != nil {
+		t.Fatalf("%s: analyze: %v", name, err)
+	}
+	res, err := a.Run(usher.RunOptions{})
+	if err != nil {
+		return "run-error: " + err.Error()
+	}
+	out := "shadow:"
+	for _, w := range res.ShadowWarnings {
+		out += " " + w.String()
+	}
+	out += " oracle:"
+	for _, w := range res.OracleWarnings {
+		out += " " + w.String()
+	}
+	return out
+}

@@ -59,8 +59,11 @@ type SolverStats struct {
 	// offsets, indirect call sites) attached to union-find roots; CopyEdges
 	// counts copy-edge insertions over the whole solve.
 	Constraints, CopyEdges int
-	// Visits counts worklist visits that processed a non-empty delta.
+	// Visits counts worklist visits that processed a non-empty delta;
+	// Waves counts worklist rounds (the wave-parallel solver's barrier
+	// count — identical at every worker count, see parallel.go).
 	Visits int
+	Waves  int
 	// SCCsCollapsed counts multi-node copy cycles folded by online cycle
 	// elimination. The legacy solver reports only Nodes (it predates these
 	// counters).
@@ -134,18 +137,14 @@ func (r *Result) CanonField(obj *ir.Object, field int) int {
 // with running analyses.
 var UseLegacySolver bool
 
-// Analyze runs the analysis over the whole program.
+// Analyze runs the analysis over the whole program, routing through the
+// solver selected by the package-level switches (UseLegacySolver, then
+// Workers; see AnalyzeWorkers).
 func Analyze(prog *ir.Program) *Result {
 	if UseLegacySolver {
 		return AnalyzeLegacy(prog)
 	}
-	s := newSolver(prog)
-	s.generate()
-	s.solve()
-	s.freeze()
-	res := finishResult(prog, s, s.callees)
-	res.Stats = s.stats()
-	return res
+	return AnalyzeWorkers(prog, Workers)
 }
 
 // AnalyzeLegacy runs the original map-based solver (see legacy.go). Its

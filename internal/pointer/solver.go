@@ -111,12 +111,15 @@ type solver struct {
 	lcdEpoch    int
 	lcdTriggers int
 
-	// visits counts worklist visits with a non-empty delta; sccCollapsed
-	// counts multi-node SCCs folded by collapseCycles. Both feed
-	// SolverStats (pure functions of the input program: the worklist is
-	// deterministic, so they are covered by the drivers' bit-identical
-	// reporting contract).
+	// visits counts worklist visits with a non-empty delta; waves counts
+	// worklist rounds (each round is one wave of the wave-parallel solver);
+	// sccCollapsed counts multi-node SCCs folded by collapseCycles. All
+	// feed SolverStats (pure functions of the input program: the worklist
+	// is deterministic — and the wave solver's schedule is worker-count
+	// independent, see parallel.go — so they are covered by the drivers'
+	// bit-identical reporting contract).
 	visits       int
+	waves        int
 	sccCollapsed int
 
 	// Scratch state reused across collapseCycles passes.
@@ -231,10 +234,16 @@ func (s *solver) findRO(n int) int {
 }
 
 // freeze flattens the union-find once solving is done, so subsequent
-// queries perform no writes.
+// queries perform no writes. Every points-to set is sealed: a frozen
+// Result is shared read-only across goroutines (the usher.Session
+// contract), and sealing turns any accidental post-freeze mutation into
+// an immediate panic instead of a data race.
 func (s *solver) freeze() {
 	for i := range s.parent {
 		s.parent[i] = int32(s.find(i))
+	}
+	for _, nd := range s.nodes {
+		nd.pts.Seal()
 	}
 }
 
@@ -608,6 +617,7 @@ func (s *solver) solve() {
 		// crosses long copy chains once per round instead of thrashing a
 		// LIFO stack.
 		round, s.work = s.work, round[:0]
+		s.waves++
 		for _, rawN := range round {
 			n := int(rawN)
 			s.onWork.Remove(n)
@@ -623,42 +633,7 @@ func (s *solver) solve() {
 			nd.delta = s.spare
 			s.spare = bitset.Set{}
 
-			// Pure copy nodes (the vast majority) have no complex
-			// constraints; their visit is just the propagation below.
-			if len(nd.loads)+len(nd.stores)+len(nd.fields)+len(nd.indexes)+len(nd.calls) > 0 {
-				delta.ForEach(func(lid int) {
-					c := s.find(int(s.locNode[lid]))
-					s.locNode[lid] = int32(c) // path-compress the loc table
-					ln := s.nodes[c]
-					if ln.locID < 0 {
-						return
-					}
-					loc := s.locs[ln.locID]
-					if loc.Fn != nil {
-						// Function address: resolve indirect calls through n.
-						for _, call := range nd.calls {
-							s.resolveCall(call, loc.Fn)
-						}
-						return
-					}
-					// Memory location: apply load/store/field/index
-					// constraints.
-					for _, dst := range nd.loads {
-						s.addEdge(c, int(dst))
-					}
-					for _, src := range nd.stores {
-						s.addEdge(int(src), c)
-					}
-					for _, fc := range nd.fields {
-						target := s.fieldNode(loc.Obj, loc.Field+fc.off)
-						s.addLoc(fc.dst, target)
-					}
-					for _, dst := range nd.indexes {
-						s.collapseObj(loc.Obj)
-						s.addLoc(int(dst), s.fieldNode(loc.Obj, 0))
-					}
-				})
-			}
+			s.applyComplex(nd, &delta)
 
 			// Propagate the delta along copy edges: one word-level
 			// union-with-difference per successor.
@@ -696,6 +671,50 @@ func (s *solver) solve() {
 			s.spare = delta
 		}
 	}
+}
+
+// applyComplex applies nd's complex constraints (loads, stores, field and
+// index offsets, indirect calls) to every location in delta. Pure copy
+// nodes (the vast majority) have no complex constraints and return
+// immediately. Shared by the sequential worklist (solve) and the
+// wave-parallel solver's sequential barrier phase (solveWaves): complex
+// constraints mutate graph structure — new edges, new field nodes, object
+// collapses, call resolution — so both solvers run them single-threaded.
+func (s *solver) applyComplex(nd *node, delta *bitset.Set) {
+	if len(nd.loads)+len(nd.stores)+len(nd.fields)+len(nd.indexes)+len(nd.calls) == 0 {
+		return
+	}
+	delta.ForEach(func(lid int) {
+		c := s.find(int(s.locNode[lid]))
+		s.locNode[lid] = int32(c) // path-compress the loc table
+		ln := s.nodes[c]
+		if ln.locID < 0 {
+			return
+		}
+		loc := s.locs[ln.locID]
+		if loc.Fn != nil {
+			// Function address: resolve indirect calls through n.
+			for _, call := range nd.calls {
+				s.resolveCall(call, loc.Fn)
+			}
+			return
+		}
+		// Memory location: apply load/store/field/index constraints.
+		for _, dst := range nd.loads {
+			s.addEdge(c, int(dst))
+		}
+		for _, src := range nd.stores {
+			s.addEdge(int(src), c)
+		}
+		for _, fc := range nd.fields {
+			target := s.fieldNode(loc.Obj, loc.Field+fc.off)
+			s.addLoc(fc.dst, target)
+		}
+		for _, dst := range nd.indexes {
+			s.collapseObj(loc.Obj)
+			s.addLoc(int(dst), s.fieldNode(loc.Obj, 0))
+		}
+	})
 }
 
 // collapseCycles runs an iterative Tarjan SCC pass over the canonical
@@ -814,6 +833,7 @@ func (s *solver) stats() SolverStats {
 		Locations:     len(s.locs),
 		CopyEdges:     s.edgeEpoch,
 		Visits:        s.visits,
+		Waves:         s.waves,
 		SCCsCollapsed: s.sccCollapsed,
 	}
 	for i, nd := range s.nodes {

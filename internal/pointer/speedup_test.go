@@ -1,0 +1,50 @@
+package pointer_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/valueflow/usher/internal/pointer"
+	"github.com/valueflow/usher/internal/workload"
+)
+
+// TestWaveSolverSpeedup pins the point of the wave solver: on the
+// million-constraint solver-xl profile, eight workers must solve at
+// least 2x faster than one. The measurement needs real parallel
+// hardware, so the test skips on machines with fewer than four CPUs
+// (where the wave solver can only interleave, not overlap) and under
+// -short. Result parity across worker counts is pinned separately by
+// TestParallelSolverCorpus and TestParallelSolverXL, which run
+// everywhere.
+func TestWaveSolverSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping solver-xl speedup measurement in -short mode")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 CPUs for a meaningful speedup measurement, have %d", runtime.NumCPU())
+	}
+	p := workload.XLProfiles[len(workload.XLProfiles)-1] // solver-xl
+	solveAt := func(workers int) time.Duration {
+		// Fresh IR per run: solving collapses objects in place, and the
+		// builds are deterministic.
+		prog := workload.BuildXL(p)
+		start := time.Now()
+		pointer.AnalyzeWorkers(prog, workers)
+		return time.Since(start)
+	}
+	solveAt(1) // warm-up: page in the workload builder and allocator
+	best := func(workers int) time.Duration {
+		d := solveAt(workers)
+		if r := solveAt(workers); r < d {
+			d = r
+		}
+		return d
+	}
+	one, eight := best(1), best(8)
+	speedup := float64(one) / float64(eight)
+	t.Logf("%s: workers=1 %v, workers=8 %v, speedup %.2fx", p.Name, one, eight, speedup)
+	if speedup < 2 {
+		t.Errorf("workers=8 speedup %.2fx, want >= 2x (workers=1 %v, workers=8 %v)", speedup, one, eight)
+	}
+}

@@ -1,0 +1,534 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/valueflow/usher/internal/instrument"
+	"github.com/valueflow/usher/internal/ir"
+	"github.com/valueflow/usher/internal/pointer"
+)
+
+// This file is the payload codec: varint-based encoders/decoders for
+// the PTRS and PLAN sections. Encoding references program entities by
+// dense index (functions by position in prog.Funcs, objects by ID,
+// registers by id within their function); decoding resolves every
+// index against the live program and fails with an error — never a
+// panic — on anything out of range, so a damaged payload that survives
+// the CRC still cannot produce a wild pointer.
+
+// enc is an append-only varint writer.
+type enc struct{ buf []byte }
+
+func (e *enc) u(v uint64)  { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *enc) i(v int64)   { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *enc) b(v bool)    { e.buf = append(e.buf, boolByte(v)) }
+func (e *enc) byte(v byte) { e.buf = append(e.buf, v) }
+func (e *enc) str(s string) {
+	e.u(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+func (e *enc) bools(bs []bool) {
+	e.u(uint64(len(bs)))
+	for _, v := range bs {
+		e.b(v)
+	}
+}
+
+func boolByte(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// dec is the bounds-checked mirror of enc: the first failure latches
+// err and every later read returns a zero value.
+type dec struct {
+	buf []byte
+	err error
+}
+
+func (d *dec) fail(msg string) {
+	if d.err == nil {
+		d.err = errors.New("snapshot: decode: " + msg)
+	}
+}
+
+func (d *dec) u() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *dec) i() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.fail("bad varint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+// n reads a count and sanity-bounds it against the remaining payload so
+// a damaged length cannot drive a huge allocation.
+func (d *dec) n() int {
+	v := d.u()
+	if d.err == nil && v > uint64(len(d.buf)) {
+		d.fail("count exceeds remaining payload")
+		return 0
+	}
+	return int(v)
+}
+
+func (d *dec) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) == 0 {
+		d.fail("unexpected end of payload")
+		return 0
+	}
+	v := d.buf[0]
+	d.buf = d.buf[1:]
+	return v
+}
+
+func (d *dec) b() bool { return d.byte() != 0 }
+
+func (d *dec) str() string {
+	n := d.n()
+	if d.err != nil || n > len(d.buf) {
+		d.fail("string exceeds payload")
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}
+
+func (d *dec) bools() []bool {
+	n := d.n()
+	if d.err != nil {
+		return nil
+	}
+	bs := make([]bool, n)
+	for i := range bs {
+		bs[i] = d.b()
+	}
+	return bs
+}
+
+func (d *dec) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.buf) != 0 {
+		return fmt.Errorf("snapshot: decode: %d trailing bytes in section", len(d.buf))
+	}
+	return nil
+}
+
+// encodeContext indexes the program for encoding.
+type encodeContext struct {
+	fnIdx map[*ir.Function]int
+}
+
+func newEncodeContext(prog *ir.Program) (*encodeContext, error) {
+	ctx := &encodeContext{fnIdx: make(map[*ir.Function]int, len(prog.Funcs))}
+	for i, fn := range prog.Funcs {
+		ctx.fnIdx[fn] = i
+	}
+	return ctx, nil
+}
+
+// decodeContext resolves indices back to program entities.
+type decodeContext struct {
+	prog    *ir.Program
+	objByID map[int]*ir.Object
+	regTabs map[*ir.Function]map[int]*ir.Register
+}
+
+func newDecodeContext(prog *ir.Program) (*decodeContext, error) {
+	ctx := &decodeContext{
+		prog:    prog,
+		objByID: make(map[int]*ir.Object),
+		regTabs: make(map[*ir.Function]map[int]*ir.Register),
+	}
+	for _, o := range prog.Objects() {
+		ctx.objByID[o.ID] = o
+	}
+	return ctx, nil
+}
+
+func (ctx *decodeContext) fn(idx int) (*ir.Function, error) {
+	if idx < 0 || idx >= len(ctx.prog.Funcs) {
+		return nil, fmt.Errorf("snapshot: decode: function index %d out of range", idx)
+	}
+	return ctx.prog.Funcs[idx], nil
+}
+
+func (ctx *decodeContext) obj(id int) (*ir.Object, error) {
+	o := ctx.objByID[id]
+	if o == nil {
+		return nil, fmt.Errorf("snapshot: decode: object #%d not in program", id)
+	}
+	return o, nil
+}
+
+// regs returns fn's register table (id → *Register), built once by
+// walking parameters, defining instructions, and operands. Every
+// register a plan can reference appears there: SSA guarantees each used
+// register is a parameter or has a defining instruction in fn.
+func (ctx *decodeContext) regs(fn *ir.Function) map[int]*ir.Register {
+	if t, ok := ctx.regTabs[fn]; ok {
+		return t
+	}
+	t := make(map[int]*ir.Register)
+	add := func(r *ir.Register) {
+		if r != nil {
+			t[r.ID] = r
+		}
+	}
+	for _, p := range fn.Params {
+		add(p)
+	}
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			add(in.Defines())
+			for _, op := range in.Operands() {
+				if r, ok := op.(*ir.Register); ok {
+					add(r)
+				}
+			}
+		}
+	}
+	ctx.regTabs[fn] = t
+	return t
+}
+
+// ---- PTRS section ----
+
+// Location tags inside the PTRS payload.
+const (
+	locObj = 0 // object location: object ID, field
+	locFn  = 1 // function location: function index
+)
+
+func encodePointer(ctx *encodeContext, ex *pointer.Export) ([]byte, error) {
+	e := &enc{}
+	ss := ex.Stats
+	for _, v := range []int{ss.Nodes, ss.Locations, ss.Constraints, ss.CopyEdges, ss.Visits, ss.Waves, ss.SCCsCollapsed} {
+		e.u(uint64(v))
+	}
+	e.u(uint64(len(ex.Collapsed)))
+	for _, id := range ex.Collapsed {
+		e.u(uint64(id))
+	}
+	e.u(uint64(len(ex.Locs)))
+	for _, l := range ex.Locs {
+		switch {
+		case l.Fn != nil:
+			fi, ok := ctx.fnIdx[l.Fn]
+			if !ok {
+				return nil, fmt.Errorf("snapshot: encode: location function %s not in program", l.Fn.Name)
+			}
+			e.byte(locFn)
+			e.u(uint64(fi))
+		case l.Obj != nil:
+			e.byte(locObj)
+			e.u(uint64(l.Obj.ID))
+			e.u(uint64(l.Field))
+		default:
+			return nil, errors.New("snapshot: encode: empty location")
+		}
+	}
+	e.u(uint64(len(ex.Regs)))
+	for _, rp := range ex.Regs {
+		e.u(uint64(rp.Fn))
+		e.u(uint64(rp.Reg))
+		e.u(uint64(len(rp.Locs)))
+		for _, li := range rp.Locs {
+			e.u(uint64(li))
+		}
+	}
+	e.u(uint64(len(ex.Calls)))
+	for _, ce := range ex.Calls {
+		e.u(uint64(ce.Site))
+		e.u(uint64(len(ce.Callees)))
+		for _, fi := range ce.Callees {
+			e.u(uint64(fi))
+		}
+	}
+	return e.buf, nil
+}
+
+func decodePointer(ctx *decodeContext, payload []byte) (*pointer.Export, error) {
+	d := &dec{buf: payload}
+	ex := &pointer.Export{}
+	ex.Stats.Nodes = int(d.u())
+	ex.Stats.Locations = int(d.u())
+	ex.Stats.Constraints = int(d.u())
+	ex.Stats.CopyEdges = int(d.u())
+	ex.Stats.Visits = int(d.u())
+	ex.Stats.Waves = int(d.u())
+	ex.Stats.SCCsCollapsed = int(d.u())
+	for i, n := 0, d.n(); i < n && d.err == nil; i++ {
+		ex.Collapsed = append(ex.Collapsed, int(d.u()))
+	}
+	for i, n := 0, d.n(); i < n && d.err == nil; i++ {
+		var l pointer.Loc
+		switch tag := d.byte(); tag {
+		case locFn:
+			fn, err := ctx.fn(int(d.u()))
+			if err != nil {
+				return nil, err
+			}
+			l.Fn = fn
+		case locObj:
+			obj, err := ctx.obj(int(d.u()))
+			if err != nil {
+				return nil, err
+			}
+			l.Obj = obj
+			l.Field = int(d.u())
+		default:
+			d.fail(fmt.Sprintf("unknown location tag %d", tag))
+		}
+		ex.Locs = append(ex.Locs, l)
+	}
+	for i, n := 0, d.n(); i < n && d.err == nil; i++ {
+		rp := pointer.RegPts{Fn: int(d.u()), Reg: int(d.u())}
+		for j, m := 0, d.n(); j < m && d.err == nil; j++ {
+			rp.Locs = append(rp.Locs, int32(d.u()))
+		}
+		ex.Regs = append(ex.Regs, rp)
+	}
+	for i, n := 0, d.n(); i < n && d.err == nil; i++ {
+		ce := pointer.CallEdges{Site: int(d.u())}
+		for j, m := 0, d.n(); j < m && d.err == nil; j++ {
+			ce.Callees = append(ce.Callees, int32(d.u()))
+		}
+		ex.Calls = append(ex.Calls, ce)
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return ex, nil
+}
+
+// ---- PLAN section ----
+
+// Value tags inside the PLAN payload.
+const (
+	valNil        = 0
+	valRegister   = 1 // register id (within the plan function)
+	valConst      = 2 // zigzag varint constant
+	valFuncValue  = 3 // function index
+	valGlobalAddr = 4 // object ID
+)
+
+func encodeValue(ctx *encodeContext, e *enc, v ir.Value) error {
+	switch v := v.(type) {
+	case nil:
+		e.byte(valNil)
+	case *ir.Register:
+		e.byte(valRegister)
+		e.u(uint64(v.ID))
+	case *ir.Const:
+		e.byte(valConst)
+		e.i(v.Val)
+	case *ir.FuncValue:
+		fi, ok := ctx.fnIdx[v.Fn]
+		if !ok {
+			return fmt.Errorf("snapshot: encode: function value %s not in program", v.Fn.Name)
+		}
+		e.byte(valFuncValue)
+		e.u(uint64(fi))
+	case *ir.GlobalAddr:
+		e.byte(valGlobalAddr)
+		e.u(uint64(v.Obj.ID))
+	default:
+		return fmt.Errorf("snapshot: encode: unsupported value type %T in plan", v)
+	}
+	return nil
+}
+
+func decodeValue(ctx *decodeContext, d *dec, regs map[int]*ir.Register) (ir.Value, error) {
+	switch tag := d.byte(); tag {
+	case valNil:
+		return nil, nil
+	case valRegister:
+		id := int(d.u())
+		if d.err != nil {
+			return nil, d.err
+		}
+		r := regs[id]
+		if r == nil {
+			return nil, fmt.Errorf("snapshot: decode: register id %d not in function", id)
+		}
+		return r, nil
+	case valConst:
+		return ir.IntConst(d.i()), nil
+	case valFuncValue:
+		fn, err := ctx.fn(int(d.u()))
+		if err != nil {
+			return nil, err
+		}
+		return &ir.FuncValue{Fn: fn}, nil
+	case valGlobalAddr:
+		obj, err := ctx.obj(int(d.u()))
+		if err != nil {
+			return nil, err
+		}
+		return &ir.GlobalAddr{Obj: obj}, nil
+	default:
+		if d.err != nil {
+			return nil, d.err
+		}
+		return nil, fmt.Errorf("snapshot: decode: unknown value tag %d", tag)
+	}
+}
+
+func encodePlan(ctx *encodeContext, pe PlanEntry) ([]byte, error) {
+	if pe.Plan == nil {
+		return nil, fmt.Errorf("snapshot: encode: plan %q is nil", pe.Name)
+	}
+	e := &enc{}
+	e.str(pe.Name)
+	e.str(pe.Plan.Name)
+	for _, v := range []int{pe.MFCsSimplified, pe.Redirected, pe.ChecksElided, pe.Demanded} {
+		e.u(uint64(v))
+	}
+	// Functions in prog.Funcs order for a deterministic encoding.
+	type fnPlan struct {
+		idx int
+		fp  *instrument.FnPlan
+	}
+	fns := make([]fnPlan, 0, len(pe.Plan.Fns))
+	for fn, fp := range pe.Plan.Fns {
+		fi, ok := ctx.fnIdx[fn]
+		if !ok {
+			return nil, fmt.Errorf("snapshot: encode: planned function %s not in program", fn.Name)
+		}
+		fns = append(fns, fnPlan{fi, fp})
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].idx < fns[j].idx })
+	e.u(uint64(len(fns)))
+	for _, f := range fns {
+		fp := f.fp
+		e.u(uint64(f.idx))
+		e.bools(fp.ParamRecv)
+		e.bools(fp.ParamSetT)
+		e.b(fp.RetSend)
+		ids := fp.ShadowedRegIDs()
+		e.u(uint64(len(ids)))
+		for _, id := range ids {
+			e.u(uint64(id))
+		}
+		labels := make([]int, 0, len(fp.Items))
+		for l := range fp.Items {
+			labels = append(labels, l)
+		}
+		sort.Ints(labels)
+		e.u(uint64(len(labels)))
+		for _, l := range labels {
+			items := fp.Items[l]
+			e.u(uint64(l))
+			e.u(uint64(len(items)))
+			for _, it := range items {
+				e.byte(byte(it.Kind))
+				if it.Dst == nil {
+					e.u(0)
+				} else {
+					e.u(uint64(it.Dst.ID) + 1)
+				}
+				if err := encodeValue(ctx, e, it.Val); err != nil {
+					return nil, err
+				}
+				e.u(uint64(len(it.Srcs)))
+				for _, s := range it.Srcs {
+					if err := encodeValue(ctx, e, s); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	return e.buf, nil
+}
+
+func decodePlan(ctx *decodeContext, payload []byte) (PlanEntry, error) {
+	d := &dec{buf: payload}
+	pe := PlanEntry{Name: d.str()}
+	plan := &instrument.Plan{Name: d.str(), Fns: make(map[*ir.Function]*instrument.FnPlan)}
+	pe.MFCsSimplified = int(d.u())
+	pe.Redirected = int(d.u())
+	pe.ChecksElided = int(d.u())
+	pe.Demanded = int(d.u())
+	for i, n := 0, d.n(); i < n && d.err == nil; i++ {
+		fn, err := ctx.fn(int(d.u()))
+		if err != nil {
+			return PlanEntry{}, err
+		}
+		fp := &instrument.FnPlan{Fn: fn, Items: make(map[int][]instrument.Item)}
+		fp.ParamRecv = d.bools()
+		fp.ParamSetT = d.bools()
+		fp.RetSend = d.b()
+		regs := ctx.regs(fn)
+		for j, m := 0, d.n(); j < m && d.err == nil; j++ {
+			fp.MarkShadowedID(int(d.u()))
+		}
+		for j, m := 0, d.n(); j < m && d.err == nil; j++ {
+			label := int(d.u())
+			for k, c := 0, d.n(); k < c && d.err == nil; k++ {
+				it := instrument.Item{Kind: instrument.ItemKind(d.byte())}
+				if it.Kind < instrument.PropCompute || it.Kind > instrument.CheckVal {
+					d.fail(fmt.Sprintf("unknown item kind %d", it.Kind))
+					break
+				}
+				if did := d.u(); did != 0 {
+					r := regs[int(did-1)]
+					if r == nil {
+						return PlanEntry{}, fmt.Errorf("snapshot: decode: item dst register %d not in %s", did-1, fn.Name)
+					}
+					it.Dst = r
+				}
+				val, err := decodeValue(ctx, d, regs)
+				if err != nil {
+					return PlanEntry{}, err
+				}
+				it.Val = val
+				for s, ns := 0, d.n(); s < ns && d.err == nil; s++ {
+					sv, err := decodeValue(ctx, d, regs)
+					if err != nil {
+						return PlanEntry{}, err
+					}
+					it.Srcs = append(it.Srcs, sv)
+				}
+				fp.Items[label] = append(fp.Items[label], it)
+			}
+		}
+		if d.err == nil {
+			plan.Fns[fn] = fp
+		}
+	}
+	if err := d.done(); err != nil {
+		return PlanEntry{}, err
+	}
+	pe.Plan = plan
+	return pe, nil
+}

@@ -1,0 +1,219 @@
+package snapshot_test
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/valueflow/usher"
+	"github.com/valueflow/usher/internal/ir"
+	"github.com/valueflow/usher/internal/passes"
+	"github.com/valueflow/usher/internal/pipeline"
+	"github.com/valueflow/usher/internal/pointer"
+	"github.com/valueflow/usher/internal/snapshot"
+	"github.com/valueflow/usher/internal/workload"
+)
+
+// compileFresh compiles src through the standard pass stack.
+func compileFresh(t *testing.T, name, src string) *ir.Program {
+	t.Helper()
+	prog, err := usher.Compile(name, src)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", name, err)
+	}
+	if err := passes.Apply(prog, passes.O0IM); err != nil {
+		t.Fatalf("%s: passes: %v", name, err)
+	}
+	return prog
+}
+
+// snapSpecs are the configurations the round-trip stores plans for: the
+// full-instrumentation extreme and a guided, optimized one.
+var snapSpecs = []pipeline.PlanSpec{
+	{Name: "MSan", Full: true},
+	{Name: "Usher", OptI: true, OptII: true},
+}
+
+// buildSnapshot solves prog and assembles the snapshot a warm start
+// would persist: the pointer export plus both configurations' plans.
+func buildSnapshot(t *testing.T, prog *ir.Program) *snapshot.Snapshot {
+	t.Helper()
+	st := pipeline.NewStore(prog, nil)
+	pa, err := st.Pointer()
+	if err != nil {
+		t.Fatalf("pointer: %v", err)
+	}
+	ex, err := pa.Export(prog)
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	snap := &snapshot.Snapshot{Pointer: ex}
+	for _, spec := range snapSpecs {
+		pr, err := st.Plan(spec)
+		if err != nil {
+			t.Fatalf("plan %s: %v", spec.Name, err)
+		}
+		snap.Plans = append(snap.Plans, snapshot.PlanEntry{
+			Name:           spec.Name,
+			Plan:           pr.Plan,
+			MFCsSimplified: pr.MFCsSimplified,
+			Redirected:     pr.Redirected,
+			ChecksElided:   pr.ChecksElided,
+			Demanded:       pr.Demanded,
+		})
+	}
+	return snap
+}
+
+// corpusSources returns a few checked-in example programs plus a
+// generated workload, as (name, source) pairs.
+func corpusSources(t *testing.T) map[string]string {
+	t.Helper()
+	srcs := make(map[string]string)
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.c"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no corpus files: %v", err)
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs[filepath.Base(f)] = string(data)
+	}
+	srcs["solver-small"] = workload.GenerateLarge(workload.LargeProfiles[0])
+	return srcs
+}
+
+// TestSnapshotRoundTrip pins the whole serialization boundary: a
+// snapshot written from one compile and read back against a FRESH
+// compile of the same source must decode to structurally identical
+// artifacts. Byte-for-byte re-encoding equality is the strongest form
+// of that claim (every index is position-based and compiles are
+// deterministic); plan fingerprints and an Import over the fresh
+// program additionally pin the semantic surface downstream passes see.
+func TestSnapshotRoundTrip(t *testing.T) {
+	for name, src := range corpusSources(t) {
+		progA := compileFresh(t, name, src)
+		snapA := buildSnapshot(t, progA)
+		var fileA bytes.Buffer
+		if err := snapshot.Write(&fileA, progA, snapA); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+
+		progB := compileFresh(t, name, src)
+		snapB, err := snapshot.Read(bytes.NewReader(fileA.Bytes()), progB)
+		if err != nil {
+			t.Fatalf("%s: read: %v", name, err)
+		}
+		var fileB bytes.Buffer
+		if err := snapshot.Write(&fileB, progB, snapB); err != nil {
+			t.Fatalf("%s: re-write: %v", name, err)
+		}
+		if !bytes.Equal(fileA.Bytes(), fileB.Bytes()) {
+			t.Errorf("%s: decoded snapshot re-encodes differently (%d vs %d bytes)",
+				name, fileA.Len(), fileB.Len())
+		}
+		for i, peA := range snapA.Plans {
+			peB := snapB.Plans[i]
+			if peA.Name != peB.Name {
+				t.Fatalf("%s: plan %d name %q != %q", name, i, peB.Name, peA.Name)
+			}
+			if got, want := peB.Plan.Fingerprint(), peA.Plan.Fingerprint(); got != want {
+				t.Errorf("%s: plan %s fingerprint diverges after round trip", name, peA.Name)
+			}
+			if peB.MFCsSimplified != peA.MFCsSimplified || peB.Redirected != peA.Redirected ||
+				peB.ChecksElided != peA.ChecksElided || peB.Demanded != peA.Demanded {
+				t.Errorf("%s: plan %s stats diverge: %+v vs %+v", name, peA.Name, peB, peA)
+			}
+		}
+		if _, err := pointer.Import(progB, snapB.Pointer); err != nil {
+			t.Errorf("%s: imported pointer export rejected: %v", name, err)
+		}
+		if snapB.Pointer.Stats != snapA.Pointer.Stats {
+			t.Errorf("%s: solver stats diverge: %+v vs %+v",
+				name, snapB.Pointer.Stats, snapA.Pointer.Stats)
+		}
+	}
+}
+
+// TestSnapshotSaveLoad pins the keyed file layer: Save under a dir,
+// Load finds it by fingerprint; a different program misses with
+// fs.ErrNotExist (distinct hash, distinct path).
+func TestSnapshotSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	src := workload.Generate(workload.Profiles[0])
+	prog := compileFresh(t, "save-load", src)
+	snap := buildSnapshot(t, prog)
+
+	path, err := snapshot.Save(dir, prog, snap)
+	if err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if want := snapshot.Path(dir, prog); path != want {
+		t.Errorf("save path %q != keyed path %q", path, want)
+	}
+	if _, err := snapshot.Load(dir, prog); err != nil {
+		t.Errorf("load after save: %v", err)
+	}
+
+	other := compileFresh(t, "other", workload.Generate(workload.Profiles[1]))
+	if _, err := snapshot.Load(dir, other); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("load of unsnapshotted program: got %v, want fs.ErrNotExist", err)
+	}
+}
+
+// TestSnapshotStale pins the fingerprint gate: a well-formed snapshot
+// of program A read against program B is ErrStale, nothing else.
+func TestSnapshotStale(t *testing.T) {
+	progA := compileFresh(t, "a", workload.Generate(workload.Profiles[0]))
+	var buf bytes.Buffer
+	if err := snapshot.Write(&buf, progA, buildSnapshot(t, progA)); err != nil {
+		t.Fatal(err)
+	}
+	progB := compileFresh(t, "b", workload.Generate(workload.Profiles[1]))
+	if _, err := snapshot.Read(bytes.NewReader(buf.Bytes()), progB); !errors.Is(err, snapshot.ErrStale) {
+		t.Errorf("stale read: got %v, want ErrStale", err)
+	}
+}
+
+// TestSnapshotCorrupt pins the damage discipline: every mutilation of
+// the file surfaces as a non-stale error — never a panic, never a
+// silently wrong snapshot.
+func TestSnapshotCorrupt(t *testing.T) {
+	prog := compileFresh(t, "corrupt", workload.Generate(workload.Profiles[0]))
+	var buf bytes.Buffer
+	if err := snapshot.Write(&buf, prog, buildSnapshot(t, prog)); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	mutations := map[string]func([]byte) []byte{
+		"bad magic": func(b []byte) []byte { b[0] ^= 0xff; return b },
+		"bad version": func(b []byte) []byte {
+			b[8] = 0xee
+			return b
+		},
+		"payload bit flip": func(b []byte) []byte {
+			b[len(b)/2] ^= 0x10
+			return b
+		},
+		"truncated section": func(b []byte) []byte { return b[:len(b)-3] },
+		"truncated header":  func(b []byte) []byte { return b[:20] },
+		"unknown trailing section": func(b []byte) []byte {
+			return append(b, 'J', 'U', 'N', 'K', 0, 0, 0, 0, 0, 0, 0, 0)
+		},
+	}
+	for name, mut := range mutations {
+		b := mut(append([]byte(nil), good...))
+		_, err := snapshot.Read(bytes.NewReader(b), prog)
+		if err == nil {
+			t.Errorf("%s: corrupted snapshot accepted", name)
+		} else if errors.Is(err, snapshot.ErrStale) && name != "payload bit flip" {
+			t.Errorf("%s: corruption misreported as stale: %v", name, err)
+		}
+	}
+}

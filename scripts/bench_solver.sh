@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Regenerate the pointer-solver benchmark records checked into the repo:
+#
+#   BENCH_solver_baseline.json — legacy map-based solver vs the
+#     bit-vector solver (microbench + full usher-bench sweeps). The
+#     checked-in file is hand-assembled from the three command outputs
+#     below; rerun them and splice the numbers (see the file's
+#     "regenerate" section).
+#   BENCH_solver_scale.json — wave-solver scaling over the XL
+#     constraint profiles (workers 1/2/4/8 vs the sequential solver)
+#     plus snapshot warm-start timings. Written directly by usher-bench.
+#
+# Timings move with the machine; the stats_identical /
+# signature_identical / plans_identical booleans and every non-timing
+# number must not. Meaningful wave-solver speedups need >= 4 CPUs —
+# on smaller machines the sweep still runs and the parity checks still
+# bite, but speedup_vs_sequential hovers near 1.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== solver microbenchmarks (baseline: bitvector vs legacy) =="
+go test -run='^$' -bench=BenchmarkSolver -benchtime=10x ./internal/pointer/
+
+echo "== full-sweep baseline: legacy solver =="
+go run ./cmd/usher-bench -all -legacy-solver -json /tmp/bench_solver_pre.json
+echo "wrote /tmp/bench_solver_pre.json (splice into BENCH_solver_baseline.json)"
+
+echo "== full-sweep baseline: bit-vector solver =="
+go run ./cmd/usher-bench -all -json /tmp/bench_solver_post.json
+echo "wrote /tmp/bench_solver_post.json (splice into BENCH_solver_baseline.json)"
+
+echo "== wave-solver scaling + snapshot warm starts =="
+go run ./cmd/usher-bench -solver-scale -json BENCH_solver_scale.json
+
+echo "OK"
