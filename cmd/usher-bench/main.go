@@ -58,6 +58,10 @@ func main() {
 	legacySolver := flag.Bool("legacy-solver", false, "use the retired map-based pointer solver (pre-optimization baseline)")
 	cf := bench.RegisterCommonFlags(flag.CommandLine)
 	flag.Parse()
+	if err := cf.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "usher-bench:", err)
+		os.Exit(2)
+	}
 
 	pointer.UseLegacySolver = *legacySolver
 	cf.ApplySolver()

@@ -40,12 +40,15 @@ func main() {
 	minimize := flag.Bool("minimize", true, "delta-debug diverging programs to minimal repros")
 	cf := bench.RegisterCommonFlags(flag.CommandLine)
 	flag.Parse()
-	cf.ApplySolver()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "usher-difftest:", err)
 		os.Exit(2)
 	}
+	if err := cf.Validate(); err != nil {
+		fail(err)
+	}
+	cf.ApplySolver()
 
 	stopProfiles, err := cf.Profile.Start()
 	if err != nil {

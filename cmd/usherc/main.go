@@ -43,7 +43,12 @@ func main() {
 	workloadName := flag.String("workload", "", "use a generated benchmark instead of a file")
 	showStats := flag.Bool("stats", false, "print per-pipeline-pass stats (wall time, allocs, work counters)")
 	pf := bench.RegisterProfileFlags(flag.CommandLine)
+	sf := bench.RegisterSolverFlag(flag.CommandLine)
 	flag.Parse()
+	if err := sf.Validate(); err != nil {
+		fatal(err)
+	}
+	sf.Apply()
 
 	stopProfiles, err := pf.Start()
 	if err != nil {

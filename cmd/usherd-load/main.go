@@ -1,0 +1,102 @@
+// Command usherd-load is the load generator for the usherd analysis
+// daemon. It drives /analyze with the workload/randprog corpus assigned
+// round-robin — so steady state is cache-hit dominated — and reports
+// sustained requests/sec plus p50/p90/p99 latency, optionally as a JSON
+// report (the committed BENCH_usherd.json).
+//
+// With -addr it targets a running daemon; without, it starts an
+// in-process server on a loopback listener, which makes the benchmark
+// self-contained:
+//
+//	usherd-load -n 500 -parallel 8 -json BENCH_usherd.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/valueflow/usher/internal/bench"
+	"github.com/valueflow/usher/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "", "daemon base URL (e.g. http://localhost:8080); empty starts an in-process server")
+	n := flag.Int("n", 200, "total number of requests")
+	cacheMB := flag.Int64("cache-mb", 2048, "in-process server cache budget in MiB")
+	configs := flag.String("configs", "usher", "comma-separated configurations per request")
+	level := flag.String("level", "O0+IM", "optimization level per request")
+	run := flag.Bool("run", false, "execute each program dynamically as well")
+	randSeeds := flag.Int("rand-seeds", 5, "random programs added to the 15 workload profiles")
+	cf := bench.RegisterCommonFlags(flag.CommandLine)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "usherd-load:", err)
+		os.Exit(2)
+	}
+	if err := cf.Validate(); err != nil {
+		fail(err)
+	}
+	if *n < 1 {
+		fail(fmt.Errorf("-n must be at least 1 request, got %d", *n))
+	}
+	cf.ApplySolver()
+
+	base := *addr
+	if base == "" {
+		// Self-contained mode: loopback listener, same process. The
+		// client path still goes through real HTTP, so the measured
+		// latency includes serialization and the network stack.
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fail(err)
+		}
+		srv := service.New(service.Options{
+			CacheBytes: *cacheMB << 20,
+			Workers:    cf.Parallel,
+		})
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go httpSrv.Serve(ln)
+		defer httpSrv.Close()
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "usherd-load: in-process server on %s (cache %d MiB)\n", base, *cacheMB)
+	}
+
+	client := &http.Client{Timeout: 5 * time.Minute}
+	rep, err := service.RunLoad(client, base, service.LoadOptions{
+		Requests:    *n,
+		Concurrency: cf.Parallel,
+		Configs:     strings.Split(*configs, ","),
+		Level:       *level,
+		Run:         *run,
+		RandSeeds:   *randSeeds,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("%d requests over %d distinct programs, %d clients: %.1f req/sec\n",
+		rep.Requests, rep.DistinctPrograms, rep.Concurrency, rep.RequestsPerSec)
+	fmt.Printf("latency ms: p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",
+		rep.Latency.P50, rep.Latency.P90, rep.Latency.P99, rep.Latency.Max)
+	fmt.Printf("cache hits %d/%d, request errors %d\n", rep.CacheHits, rep.Requests, rep.Errors)
+	if rep.Server != nil {
+		fmt.Printf("server: %d entries, %d/%d MiB resident, %d evictions, heap %d MiB\n",
+			rep.Server.Cache.Entries, rep.Server.Cache.Bytes>>20,
+			rep.Server.Cache.BudgetBytes>>20, rep.Server.Cache.Evictions,
+			rep.Server.HeapBytes>>20)
+	}
+	if cf.JSONPath != "" {
+		if err := bench.WriteJSONFile(cf.JSONPath, rep); err != nil {
+			fail(err)
+		}
+	}
+	if rep.Errors > 0 {
+		os.Exit(1)
+	}
+}

@@ -49,11 +49,52 @@ func RegisterCommonFlags(fs *flag.FlagSet) *CommonFlags {
 	return cf
 }
 
+// Validate rejects flag values the pools would silently misinterpret:
+// ForEach treats parallel <= 1 as "sequential", so a mistyped
+// "-parallel -4" or "-parallel 0" would not fail, it would quietly
+// serialize a benchmark run. Call after flag parsing, before any work;
+// every binary sharing these flags applies the same rule.
+func (cf *CommonFlags) Validate() error {
+	if cf.Parallel < 1 {
+		return fmt.Errorf("-parallel must be at least 1 worker, got %d", cf.Parallel)
+	}
+	return validateSolverWorkers(cf.SolverWorkers)
+}
+
 // ApplySolver installs the requested solver worker count process-wide.
-// Call it once, after flag parsing and before any analysis.
+// Call it once, after Validate and before any analysis.
 func (cf *CommonFlags) ApplySolver() {
 	pointer.Workers = cf.SolverWorkers
 }
+
+func validateSolverWorkers(n int) error {
+	if n < 0 {
+		return fmt.Errorf("-solver-workers must be 0 (sequential solver) or a positive worker count, got %d", n)
+	}
+	return nil
+}
+
+// SolverFlag is the -solver-workers registration for binaries that do
+// not take the full CommonFlags set (usherc, vfg-dump, usherd): the
+// same flag name, default, help text and validation rule as
+// RegisterCommonFlags, without the pool/report plumbing.
+type SolverFlag struct {
+	Workers int
+}
+
+// RegisterSolverFlag registers -solver-workers on fs.
+func RegisterSolverFlag(fs *flag.FlagSet) *SolverFlag {
+	sf := &SolverFlag{}
+	fs.IntVar(&sf.Workers, "solver-workers", 0,
+		"pointer-solver worker count (0 = sequential; results are identical for any value)")
+	return sf
+}
+
+// Validate rejects a negative worker count with the shared diagnostic.
+func (sf *SolverFlag) Validate() error { return validateSolverWorkers(sf.Workers) }
+
+// Apply installs the worker count process-wide (see CommonFlags.ApplySolver).
+func (sf *SolverFlag) Apply() { pointer.Workers = sf.Workers }
 
 // ProfileFlags is the -cpuprofile/-memprofile pair every driver binary
 // offers, so solver and pipeline hot spots can be attributed with the

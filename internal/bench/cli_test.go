@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestCommonFlagsValidate pins the shared validation rule all driver
+// binaries apply after flag parsing: the pools treat out-of-range values
+// leniently (ForEach serializes on parallel <= 1), so the CLI must
+// reject them loudly instead of silently degrading a run.
+func TestCommonFlagsValidate(t *testing.T) {
+	cases := []struct {
+		args    []string
+		wantErr string
+	}{
+		{nil, ""},
+		{[]string{"-parallel", "1"}, ""},
+		{[]string{"-parallel", "8", "-solver-workers", "4"}, ""},
+		{[]string{"-solver-workers", "0"}, ""},
+		{[]string{"-parallel", "0"}, "-parallel"},
+		{[]string{"-parallel", "-3"}, "-parallel"},
+		{[]string{"-solver-workers", "-1"}, "-solver-workers"},
+	}
+	for _, tc := range cases {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		cf := RegisterCommonFlags(fs)
+		if err := fs.Parse(tc.args); err != nil {
+			t.Fatalf("%v: parse: %v", tc.args, err)
+		}
+		err := cf.Validate()
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%v: unexpected error %v", tc.args, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%v: accepted, want an error naming %s", tc.args, tc.wantErr)
+		} else if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%v: error %q does not name the flag %s", tc.args, err, tc.wantErr)
+		}
+	}
+}
+
+// TestSolverFlagMatchesCommon keeps the standalone -solver-workers
+// registration (usherc, vfg-dump, usherd) in lockstep with the
+// CommonFlags one: same default, same validation outcome.
+func TestSolverFlagMatchesCommon(t *testing.T) {
+	for _, workers := range []int{-2, -1, 0, 1, 8} {
+		sf := &SolverFlag{Workers: workers}
+		cf := &CommonFlags{Parallel: 1, SolverWorkers: workers}
+		sfErr, cfErr := sf.Validate(), cf.Validate()
+		if (sfErr == nil) != (cfErr == nil) {
+			t.Errorf("workers=%d: SolverFlag err %v, CommonFlags err %v", workers, sfErr, cfErr)
+		}
+	}
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	sf := RegisterSolverFlag(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if sf.Workers != 0 {
+		t.Errorf("default solver workers = %d, want 0 (sequential)", sf.Workers)
+	}
+}

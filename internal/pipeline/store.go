@@ -32,7 +32,11 @@ type Key struct {
 
 // entry is one memoized artifact slot. The error is cached exactly like
 // the value: every later request for the same key observes the identical
-// error (the cached-error contract usher.Session documents).
+// error (the cached-error contract usher.Session documents) — until the
+// owner calls EvictErrors, which discards failed slots so the pass can
+// be retried. Long-lived stores (the usherd daemon) need that escape
+// hatch: without it one transient failure poisons the key for the
+// process lifetime.
 type entry struct {
 	once sync.Once
 	val  any
@@ -132,14 +136,47 @@ func (st *Store) run(pass, variant string, fn func() (any, map[string]int64, err
 		}
 		e.val = v
 	})
-	st.setDone(Key{pass, variant})
+	st.setDone(Key{pass, variant}, e)
 	return e.val, e.err
 }
 
-func (st *Store) setDone(k Key) {
+// setDone publishes e's completion, but only while e is still the live
+// slot for k: a request that raced an EvictErrors call must not mark
+// the replacement slot done before its pass has run.
+func (st *Store) setDone(k Key, e *entry) {
 	st.mu.Lock()
-	st.done[k] = true
+	if st.entries[k] == e {
+		st.done[k] = true
+	}
 	st.mu.Unlock()
+}
+
+// EvictErrors discards every completed entry whose pass failed, so the
+// next request for each evicted key re-runs the pass instead of
+// replaying the cached error. Requests already in flight on an evicted
+// slot still observe its error (they resolved the slot before the
+// eviction); entries still computing are left alone. Returns the number
+// of slots evicted.
+//
+// Within one slot's lifetime the cached-error contract is unchanged —
+// every request observes the identical error value. EvictErrors bounds
+// that lifetime, which is what a long-lived process needs after a
+// transient failure (a canceled pass, a resource limit) so the content
+// hash is not poisoned forever.
+func (st *Store) EvictErrors() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := 0
+	for k, e := range st.entries {
+		if !st.done[k] || e.err == nil {
+			continue
+		}
+		delete(st.entries, k)
+		delete(st.done, k)
+		delete(st.preloaded, k)
+		n++
+	}
+	return n
 }
 
 // Preload seeds the keyed artifact with an externally produced value —
@@ -162,6 +199,45 @@ func (st *Store) Preload(pass, variant string, v any) bool {
 		st.mu.Unlock()
 	}
 	return seeded
+}
+
+// PreloadFunc seeds the keyed artifact by running fn inside the slot's
+// once-guard, which serializes the seed against a concurrent pass run
+// for the same key: exactly one of them executes, and the loser observes
+// the winner's result. Preload cannot give that guarantee a seed that
+// must mutate shared state (pointer.Import collapses IR objects while
+// reconstructing the solved points-to relation) — racing the real pass
+// body would corrupt the program both are reading.
+//
+// When the slot is already claimed (computed, computing, or seeded), fn
+// never runs and PreloadFunc returns (false, nil): a pass that ran wins
+// over a snapshot. When fn itself fails, the slot is evicted immediately
+// (the EvictErrors semantics: racing requests observe the error once,
+// the next request re-runs the real pass) and the error is returned.
+func (st *Store) PreloadFunc(pass, variant string, fn func() (any, error)) (bool, error) {
+	ByName(pass) // unknown pass is a programming error, exactly like run
+	k := Key{pass, variant}
+	e := st.entryFor(k)
+	seeded := false
+	e.once.Do(func() {
+		defer diag.Guard(diag.PhaseAnalyze, &e.err)
+		seeded = true
+		e.val, e.err = fn()
+	})
+	if !seeded {
+		return false, nil
+	}
+	st.mu.Lock()
+	if e.err != nil {
+		if st.entries[k] == e {
+			delete(st.entries, k)
+		}
+	} else {
+		st.done[k] = true
+		st.preloaded[k] = true
+	}
+	st.mu.Unlock()
+	return e.err == nil, e.err
 }
 
 // preloadedVal returns the seeded artifact for k, if the key was

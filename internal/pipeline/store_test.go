@@ -202,6 +202,176 @@ func TestStoreCachedPanic(t *testing.T) {
 	}
 }
 
+// TestStoreEvictErrorsRetries pins the retry path a long-lived process
+// depends on: a cached failure is replayed until EvictErrors discards
+// it, after which the same key re-runs its pass and can succeed.
+func TestStoreEvictErrorsRetries(t *testing.T) {
+	st := compileTestProg(t, nil)
+	transient := errors.New("transient failure")
+	calls := 0
+	flaky := func() (any, map[string]int64, error) {
+		calls++
+		if calls == 1 {
+			return nil, nil, transient
+		}
+		return "recovered", nil, nil
+	}
+	if _, err := st.run("plan", "flaky", flaky); err != transient {
+		t.Fatalf("first run error = %v, want the transient failure", err)
+	}
+	// Before eviction the failure is memoized: the body must not re-run.
+	if _, err := st.run("plan", "flaky", flaky); err != transient || calls != 1 {
+		t.Fatalf("cached error not replayed (err=%v, calls=%d)", err, calls)
+	}
+	if n := st.EvictErrors(); n != 1 {
+		t.Fatalf("EvictErrors evicted %d slots, want 1", n)
+	}
+	v, err := st.run("plan", "flaky", flaky)
+	if err != nil || v != "recovered" || calls != 2 {
+		t.Fatalf("retry after eviction: v=%v err=%v calls=%d, want recovered/nil/2", v, err, calls)
+	}
+	// A second eviction finds nothing: success is never evicted, and the
+	// recovered value stays memoized.
+	if n := st.EvictErrors(); n != 0 {
+		t.Fatalf("EvictErrors evicted %d slots after success, want 0", n)
+	}
+	if v, err := st.run("plan", "flaky", flaky); err != nil || v != "recovered" || calls != 2 {
+		t.Fatalf("recovered value not memoized (v=%v err=%v calls=%d)", v, err, calls)
+	}
+}
+
+// TestStoreEvictErrorsSparesSuccess drives real artifacts to completion,
+// caches one failure beside them, and checks eviction is surgical.
+func TestStoreEvictErrorsSparesSuccess(t *testing.T) {
+	st := compileTestProg(t, nil)
+	pa1, err := st.Pointer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.run("plan", "doomed", func() (any, map[string]int64, error) {
+		return nil, nil, errors.New("doomed")
+	}); err == nil {
+		t.Fatal("doomed pass did not fail")
+	}
+	if n := st.EvictErrors(); n != 1 {
+		t.Fatalf("EvictErrors evicted %d slots, want 1", n)
+	}
+	pa2, err := st.Pointer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa1 != pa2 {
+		t.Error("eviction discarded a successful artifact (pointer result recomputed)")
+	}
+}
+
+// TestStoreEvictErrorsConcurrent hammers a failing key with concurrent
+// requests and evictions (run under -race in CI): every request must
+// observe either a cached error or a successful retry, and the store
+// must stay consistent throughout.
+func TestStoreEvictErrorsConcurrent(t *testing.T) {
+	st := compileTestProg(t, nil)
+	var mu sync.Mutex
+	fails := 3
+	flaky := func() (any, map[string]int64, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if fails > 0 {
+			fails--
+			return nil, nil, errors.New("transient failure")
+		}
+		return "ok", nil, nil
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				v, err := st.run("plan", "flaky", flaky)
+				if err != nil {
+					st.EvictErrors()
+					continue
+				}
+				if v != "ok" {
+					t.Errorf("successful run returned %v, want ok", v)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if v, err := st.run("plan", "flaky", flaky); err != nil || v != "ok" {
+		t.Fatalf("final state: v=%v err=%v, want ok/nil", v, err)
+	}
+}
+
+// TestStorePreloadFuncClaims pins the seed-by-function contract: the
+// seeding body runs inside the slot's once (so at most once), the seeded
+// value answers later pass demands, and a second seed attempt is a no-op.
+func TestStorePreloadFuncClaims(t *testing.T) {
+	st := compileTestProg(t, nil)
+	calls := 0
+	seed := func() (any, error) { calls++; return "seeded", nil }
+	ok, err := st.PreloadFunc("plan", "warm", seed)
+	if !ok || err != nil || calls != 1 {
+		t.Fatalf("first seed: ok=%v err=%v calls=%d, want true/nil/1", ok, err, calls)
+	}
+	if ok, err := st.PreloadFunc("plan", "warm", seed); ok || err != nil || calls != 1 {
+		t.Fatalf("second seed: ok=%v err=%v calls=%d, want false/nil/1", ok, err, calls)
+	}
+	// A pass demand for the seeded key must consume the seed, not run.
+	v, err := st.run("plan", "warm", func() (any, map[string]int64, error) {
+		t.Error("pass body ran despite the seed")
+		return nil, nil, nil
+	})
+	if err != nil || v != "seeded" {
+		t.Fatalf("run after seed: v=%v err=%v, want seeded/nil", v, err)
+	}
+	if _, ok := st.preloadedVal("plan", "warm"); !ok {
+		t.Error("seeded slot not marked preloaded")
+	}
+}
+
+// TestStorePreloadFuncLosesToRun pins precedence: a pass that ran wins,
+// and the seeding body is never executed on a claimed slot.
+func TestStorePreloadFuncLosesToRun(t *testing.T) {
+	st := compileTestProg(t, nil)
+	if _, err := st.run("plan", "claimed", func() (any, map[string]int64, error) {
+		return "computed", nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := st.PreloadFunc("plan", "claimed", func() (any, error) {
+		t.Error("seed body ran on a computed slot")
+		return nil, nil
+	})
+	if ok || err != nil {
+		t.Fatalf("seed on computed slot: ok=%v err=%v, want false/nil", ok, err)
+	}
+	if _, preloaded := st.preloadedVal("plan", "claimed"); preloaded {
+		t.Error("computed slot reported as preloaded")
+	}
+}
+
+// TestStorePreloadFuncErrorEvicts pins the failure path: a failed seed
+// reports its error, does not poison the slot, and the next demand runs
+// the real pass.
+func TestStorePreloadFuncErrorEvicts(t *testing.T) {
+	st := compileTestProg(t, nil)
+	broken := errors.New("damaged snapshot")
+	ok, err := st.PreloadFunc("plan", "warm", func() (any, error) { return nil, broken })
+	if ok || err != broken {
+		t.Fatalf("failed seed: ok=%v err=%v, want false and the seed's error", ok, err)
+	}
+	v, err := st.run("plan", "warm", func() (any, map[string]int64, error) {
+		return "cold", nil, nil
+	})
+	if err != nil || v != "cold" {
+		t.Fatalf("pass after failed seed: v=%v err=%v, want cold/nil (slot evicted)", v, err)
+	}
+}
+
 // TestStoreCounterDeterminism compiles and analyzes the same program in
 // two independent observed stores — one queried serially, one hammered
 // concurrently — and requires the scrubbed snapshots (runs + counters,

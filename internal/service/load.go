@@ -1,0 +1,204 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"github.com/valueflow/usher/internal/bench"
+	"github.com/valueflow/usher/internal/randprog"
+	"github.com/valueflow/usher/internal/workload"
+)
+
+// LoadProgram is one corpus member the load generator submits.
+type LoadProgram struct {
+	Name   string
+	Source string
+}
+
+// Corpus assembles the load-generator corpus: the 15 Table 1 workload
+// profiles plus randSeeds random programs. The mix exercises both sides
+// of the cache — a bounded set of distinct keys submitted repeatedly.
+func Corpus(randSeeds int) []LoadProgram {
+	var out []LoadProgram
+	for _, p := range workload.Profiles {
+		out = append(out, LoadProgram{Name: p.Name + ".c", Source: workload.Generate(p)})
+	}
+	for i := 0; i < randSeeds; i++ {
+		seed := int64(1000 + i)
+		out = append(out, LoadProgram{
+			Name:   fmt.Sprintf("rand%03d.c", seed),
+			Source: randprog.Generate(seed, randprog.DefaultOptions),
+		})
+	}
+	return out
+}
+
+// LoadOptions configures RunLoad.
+type LoadOptions struct {
+	// Requests is the total request count (default 200).
+	Requests int
+	// Concurrency is the number of in-flight clients, driven through
+	// bench.ForEach's pool (default bench.DefaultParallelism).
+	Concurrency int
+	// Configs and Level are forwarded in every request body.
+	Configs []string
+	Level   string
+	// Run executes each program dynamically as well (default false: the
+	// load benchmark measures the analysis service, not the interpreter).
+	Run bool
+	// RandSeeds extends the corpus past the 15 workload profiles.
+	RandSeeds int
+}
+
+// LatencyStats summarizes per-request latency in milliseconds.
+type LatencyStats struct {
+	P50  float64 `json:"p50_ms"`
+	P90  float64 `json:"p90_ms"`
+	P99  float64 `json:"p99_ms"`
+	Max  float64 `json:"max_ms"`
+	Mean float64 `json:"mean_ms"`
+}
+
+// LoadReport is the load generator's result, committed as
+// BENCH_usherd.json by cmd/usherd-load.
+type LoadReport struct {
+	SchemaVersion    int          `json:"schema_version"`
+	Requests         int          `json:"requests"`
+	Concurrency      int          `json:"concurrency"`
+	DistinctPrograms int          `json:"distinct_programs"`
+	Run              bool         `json:"run"`
+	Errors           int          `json:"errors"`
+	CacheHits        int          `json:"cache_hits"`
+	DurationSec      float64      `json:"duration_sec"`
+	RequestsPerSec   float64      `json:"requests_per_sec"`
+	Latency          LatencyStats `json:"latency"`
+	// Server is the daemon's /stats view after the run (cache residency,
+	// evictions, heap bytes), tying throughput to the memory bound.
+	Server *ServerStats `json:"server,omitempty"`
+}
+
+// RunLoad drives baseURL's /analyze endpoint with the corpus assigned
+// round-robin — every program is submitted Requests/len(corpus) times,
+// so steady state is cache-hit dominated — and reports throughput and
+// latency percentiles. Individual request failures are counted, not
+// fatal; a transport-level failure aborts the run.
+func RunLoad(client *http.Client, baseURL string, opts LoadOptions) (*LoadReport, error) {
+	if opts.Requests <= 0 {
+		opts.Requests = 200
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = bench.DefaultParallelism()
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+	corpus := Corpus(opts.RandSeeds)
+
+	bodies := make([][]byte, len(corpus))
+	run := opts.Run
+	for i, p := range corpus {
+		b, err := json.Marshal(AnalyzeRequest{
+			File: p.Name, Source: p.Source,
+			Configs: opts.Configs, Level: opts.Level, Run: &run,
+		})
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+
+	latencies := make([]float64, opts.Requests)
+	hits := make([]bool, opts.Requests)
+	failures := make([]bool, opts.Requests)
+	start := time.Now()
+	err := bench.ForEach(opts.Concurrency, opts.Requests, func(i int) error {
+		t0 := time.Now()
+		resp, err := client.Post(baseURL+"/analyze", "application/json",
+			bytes.NewReader(bodies[i%len(bodies)]))
+		if err != nil {
+			return fmt.Errorf("request %d: %w", i, err)
+		}
+		var ar AnalyzeResponse
+		decErr := json.NewDecoder(resp.Body).Decode(&ar)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		latencies[i] = float64(time.Since(t0).Microseconds()) / 1000
+		if resp.StatusCode != http.StatusOK || decErr != nil {
+			failures[i] = true
+			return nil
+		}
+		hits[i] = ar.CacheHit
+		return nil
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &LoadReport{
+		SchemaVersion:    SchemaVersion,
+		Requests:         opts.Requests,
+		Concurrency:      opts.Concurrency,
+		DistinctPrograms: len(corpus),
+		Run:              opts.Run,
+		DurationSec:      elapsed.Seconds(),
+		RequestsPerSec:   float64(opts.Requests) / elapsed.Seconds(),
+		Latency:          summarize(latencies),
+	}
+	for i := range hits {
+		if hits[i] {
+			rep.CacheHits++
+		}
+		if failures[i] {
+			rep.Errors++
+		}
+	}
+
+	if stats, err := fetchStats(client, baseURL); err == nil {
+		rep.Server = stats
+	}
+	return rep, nil
+}
+
+func fetchStats(client *http.Client, baseURL string) (*ServerStats, error) {
+	resp, err := client.Get(baseURL + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var st ServerStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	// The aggregated per-pass phases are bulky and vary with eviction
+	// timing; the committed benchmark keeps the scalar counters only.
+	st.Phases = nil
+	return &st, nil
+}
+
+func summarize(ms []float64) LatencyStats {
+	if len(ms) == 0 {
+		return LatencyStats{}
+	}
+	sorted := append([]float64(nil), ms...)
+	sort.Float64s(sorted)
+	pct := func(p float64) float64 {
+		return sorted[int(p*float64(len(sorted)-1)+0.5)]
+	}
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	return LatencyStats{
+		P50:  pct(0.50),
+		P90:  pct(0.90),
+		P99:  pct(0.99),
+		Max:  sorted[len(sorted)-1],
+		Mean: sum / float64(len(sorted)),
+	}
+}

@@ -1,0 +1,688 @@
+// Package service implements usherd's long-running analysis server: an
+// HTTP/JSON front end over the usher pipeline that amortizes static
+// value-flow analysis across requests, the way the paper amortizes it
+// across dynamic runs.
+//
+// # Request lifecycle
+//
+// POST /analyze carries MiniC source. The server keys the compiled
+// program — and the pipeline.Store behind its usher.Session — by the
+// SHA-256 of (optimization level, source), so a repeated or re-submitted
+// identical source reuses every analysis artifact the earlier requests
+// materialized: the second identical request runs zero pipeline passes
+// (visible in the response's empty "phases" list and the /stats cache
+// counters). Distinct sources occupy a byte-budgeted LRU
+// (internal/cache) whose entry sizes are the pipeline's observed
+// allocation volume — an upper bound on what the artifacts retain — so
+// resident memory stays bounded under sustained traffic; least recently
+// used programs are evicted whole.
+//
+// Per-request limits: the request body is capped (MaxBodyBytes), the
+// whole request races a deadline (Timeout; the analysis itself is not
+// preempted — a timed-out request's work completes and is cached for
+// the next caller), and at most Workers requests analyze concurrently
+// (the same bound discipline as bench.ForEach's pool; excess requests
+// queue until the deadline).
+//
+// Failure discipline: compile errors are the client's fault (422) and
+// are never cached — each submission of a broken source re-compiles.
+// Analysis errors are the server's fault (500); the session's cached
+// failure is evicted immediately (Session.EvictErrors) so a transient
+// fault cannot poison the content-hash key for the daemon's lifetime.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/valueflow/usher"
+	"github.com/valueflow/usher/internal/bench"
+	"github.com/valueflow/usher/internal/cache"
+	"github.com/valueflow/usher/internal/interp"
+	"github.com/valueflow/usher/internal/ir"
+	"github.com/valueflow/usher/internal/passes"
+	"github.com/valueflow/usher/internal/pipeline"
+	"github.com/valueflow/usher/internal/stats"
+)
+
+// SchemaVersion versions the /analyze, /stats and load-report JSON.
+const SchemaVersion = 1
+
+// Options configures a Server. The zero value is completed by New with
+// the documented defaults.
+type Options struct {
+	// CacheBytes is the LRU budget for resident analysis artifacts
+	// (default 256 MiB). Zero disables caching entirely.
+	CacheBytes int64
+	// MaxBodyBytes caps the /analyze request body (default 1 MiB).
+	MaxBodyBytes int64
+	// Timeout is the per-request deadline covering queueing, compile,
+	// analysis and the dynamic run (default 30s).
+	Timeout time.Duration
+	// Workers bounds concurrently analyzing requests (default: NumCPU,
+	// matching bench.DefaultParallelism).
+	Workers int
+	// MaxSteps bounds each dynamic run (default 50M instructions).
+	MaxSteps int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheBytes == 0 {
+		o.CacheBytes = 256 << 20
+	}
+	if o.CacheBytes < 0 {
+		o.CacheBytes = 0
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+	if o.Workers <= 0 {
+		o.Workers = bench.DefaultParallelism()
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 50_000_000
+	}
+	return o
+}
+
+// Server is the analysis daemon's state: the artifact cache plus the
+// request counters /stats reports. Create with New, serve via Handler.
+type Server struct {
+	opts  Options
+	start time.Time
+	lru   *cache.LRU[*progEntry]
+	sem   chan struct{}
+
+	mu       sync.Mutex
+	inflight map[string]*progEntry
+
+	requests      atomic.Int64
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
+	compileErrors atomic.Int64
+	analyzeErrors atomic.Int64
+	timeouts      atomic.Int64
+	runsExecuted  atomic.Int64
+	errorsEvicted atomic.Int64
+}
+
+// progEntry is one cached program: the compiled IR, its analysis
+// session, and the per-entry stats collector whose snapshot deltas
+// yield each request's "passes run" list.
+type progEntry struct {
+	key    string
+	srcLen int64
+
+	once sync.Once
+	file string
+	src  string
+	lvl  passes.Level
+
+	prog *ir.Program
+	sess *usher.Session
+	sc   *stats.Collector
+	err  error
+}
+
+func (e *progEntry) build() {
+	prog, err := pipeline.Compile(e.file, e.src, e.sc)
+	if err != nil {
+		e.err = err
+		return
+	}
+	if err := pipeline.ApplyLevel(prog, e.lvl, e.sc); err != nil {
+		e.err = err
+		return
+	}
+	e.prog = prog
+	e.sess = usher.NewSessionObserved(prog, e.sc)
+	// The source is not retained past the build; only its length feeds
+	// the size estimate.
+	e.src = ""
+}
+
+// size is the entry's accounted cache footprint: the source length plus
+// every observed pass's allocation volume. Total allocation over-counts
+// what the artifacts retain (solver scratch is freed), which errs on
+// the safe side of the memory bound.
+func (e *progEntry) size() int64 {
+	var total int64 = e.srcLen
+	for _, ps := range e.sc.Snapshot() {
+		total += int64(ps.AllocBytes)
+	}
+	return total
+}
+
+// New prepares a server (no listener; pair Handler with http.Server).
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	return &Server{
+		opts:     opts,
+		start:    time.Now(),
+		lru:      cache.New[*progEntry](opts.CacheBytes),
+		sem:      make(chan struct{}, opts.Workers),
+		inflight: make(map[string]*progEntry),
+	}
+}
+
+// Handler returns the daemon's routes: POST /analyze, GET /stats,
+// GET /healthz, and the standard pprof tree under /debug/pprof/.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/analyze", s.handleAnalyze)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ---- /analyze ----
+
+// AnalyzeRequest is the /analyze request body.
+type AnalyzeRequest struct {
+	// File is the display name used in diagnostics (default "request.c").
+	File string `json:"file,omitempty"`
+	// Source is the MiniC program (required).
+	Source string `json:"source"`
+	// Configs names the instrumentation configurations to analyze under
+	// (plan names like "Usher", or the usherc aliases msan/tl/tlat/opti/
+	// usher/optiii; default ["Usher"]).
+	Configs []string `json:"configs,omitempty"`
+	// Level is the optimization level: O0, O0+IM (default), O1 or O2.
+	Level string `json:"level,omitempty"`
+	// Run selects whether to execute the program under each plan and
+	// report dynamic warnings (default true).
+	Run *bool `json:"run,omitempty"`
+}
+
+// Warning is one reported use of an undefined value.
+type Warning struct {
+	Fn    string `json:"fn"`
+	Label int    `json:"label"`
+	Pos   string `json:"pos"`
+	What  string `json:"what"`
+}
+
+// RunResult is the dynamic half of one configuration's answer.
+type RunResult struct {
+	Exit         int64     `json:"exit"`
+	Steps        int64     `json:"steps"`
+	ShadowProps  int64     `json:"shadow_props"`
+	ShadowChecks int64     `json:"shadow_checks"`
+	Warnings     []Warning `json:"warnings"`
+	// Error reports a trapped execution (division by zero, step budget,
+	// ...): a property of the submitted program, not a server failure.
+	Error string `json:"error,omitempty"`
+}
+
+// ConfigResult is one configuration's static plan statistics plus the
+// optional dynamic run.
+type ConfigResult struct {
+	Config         string     `json:"config"`
+	StaticProps    int        `json:"static_props"`
+	StaticChecks   int        `json:"static_checks"`
+	MFCsSimplified int        `json:"mfcs_simplified,omitempty"`
+	Redirected     int        `json:"redirected,omitempty"`
+	ChecksElided   int        `json:"checks_elided,omitempty"`
+	Run            *RunResult `json:"run,omitempty"`
+}
+
+// AnalyzeResponse is the /analyze response body.
+type AnalyzeResponse struct {
+	SchemaVersion int `json:"schema_version"`
+	// Key is the content hash (hex SHA-256 of level + source) the
+	// program's artifacts are cached under.
+	Key string `json:"key"`
+	// CacheHit reports whether the program's session already existed
+	// (resident or being built by a concurrent request).
+	CacheHit bool           `json:"cache_hit"`
+	Configs  []ConfigResult `json:"configs"`
+	// Phases lists the pipeline passes that ran during THIS request
+	// (empty on a full cache hit) with their wall time and counters.
+	Phases    []stats.PassStats `json:"phases"`
+	ElapsedMS float64           `json:"elapsed_ms"`
+}
+
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func fail(status int, format string, args ...any) *httpError {
+	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// Key returns the cache key for a source at a level: the full hex
+// SHA-256 of the level name and the source text.
+func Key(level passes.Level, source string) string {
+	h := sha256.New()
+	h.Write([]byte(level.String()))
+	h.Write([]byte{0})
+	h.Write([]byte(source))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	s.requests.Add(1)
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	var req AnalyzeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+
+	start := time.Now()
+	deadline := time.NewTimer(s.opts.Timeout)
+	defer deadline.Stop()
+	done := make(chan struct{})
+	var resp *AnalyzeResponse
+	var herr *httpError
+	go func() {
+		defer close(done)
+		resp, herr = s.analyze(&req, deadline.C)
+	}()
+	select {
+	case <-done:
+	case <-deadline.C:
+		// The worker is not preempted: its result is cached for the next
+		// request; only this response gives up.
+		s.timeouts.Add(1)
+		writeError(w, http.StatusGatewayTimeout,
+			"request exceeded the %s deadline", s.opts.Timeout)
+		return
+	}
+	if herr != nil {
+		writeError(w, herr.status, "%s", herr.msg)
+		return
+	}
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// analyze is the worker half of handleAnalyze: validate, acquire a
+// worker slot, resolve the cached session, analyze and optionally run.
+func (s *Server) analyze(req *AnalyzeRequest, deadline <-chan time.Time) (*AnalyzeResponse, *httpError) {
+	if strings.TrimSpace(req.Source) == "" {
+		return nil, fail(http.StatusBadRequest, `"source" is required`)
+	}
+	file := req.File
+	if file == "" {
+		file = "request.c"
+	}
+	levelName := req.Level
+	if levelName == "" {
+		levelName = "O0+IM"
+	}
+	level, err := ParseLevel(levelName)
+	if err != nil {
+		return nil, fail(http.StatusBadRequest, "%v", err)
+	}
+	cfgNames := req.Configs
+	if len(cfgNames) == 0 {
+		cfgNames = []string{"usher"}
+	}
+	cfgs := make([]usher.Config, len(cfgNames))
+	for i, name := range cfgNames {
+		if cfgs[i], err = ParseConfig(name); err != nil {
+			return nil, fail(http.StatusBadRequest, "%v", err)
+		}
+	}
+	run := req.Run == nil || *req.Run
+
+	// Worker slot: the bounded pool. Queueing counts against the
+	// request's own deadline rather than blocking without bound.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-deadline:
+		return nil, fail(http.StatusServiceUnavailable,
+			"no worker became available within the %s deadline", s.opts.Timeout)
+	}
+
+	key := Key(level, req.Source)
+	e, hit := s.lookup(key, file, req.Source, level)
+	if hit {
+		s.cacheHits.Add(1)
+	} else {
+		s.cacheMisses.Add(1)
+	}
+	e.once.Do(e.build)
+	if e.err != nil {
+		// Compile errors are never cached: drop the entry so a corrected
+		// resubmission (or even the same source) starts clean.
+		s.abandon(e)
+		s.compileErrors.Add(1)
+		return nil, fail(http.StatusUnprocessableEntity, "compile: %v", e.err)
+	}
+
+	before := e.sc.Snapshot()
+	resp := &AnalyzeResponse{SchemaVersion: SchemaVersion, Key: key, CacheHit: hit}
+	for i, cfg := range cfgs {
+		an, err := e.sess.Analyze(cfg)
+		if err != nil {
+			// Evict the cached failure immediately: the next request must
+			// retry the pass, not replay a possibly transient fault.
+			s.errorsEvicted.Add(int64(e.sess.EvictErrors()))
+			s.analyzeErrors.Add(1)
+			s.finish(e)
+			return nil, fail(http.StatusInternalServerError,
+				"analyze %s: %v", cfgNames[i], err)
+		}
+		st := an.StaticStats()
+		cr := ConfigResult{
+			Config:         cfg.String(),
+			StaticProps:    st.Props,
+			StaticChecks:   st.Checks,
+			MFCsSimplified: an.MFCsSimplified,
+			Redirected:     an.Redirected,
+			ChecksElided:   an.ChecksElided,
+		}
+		if run {
+			cr.Run = s.runPlan(an)
+		}
+		resp.Configs = append(resp.Configs, cr)
+	}
+	resp.Phases = statsDelta(before, e.sc.Snapshot())
+	s.finish(e)
+	return resp, nil
+}
+
+// runPlan executes the program under the analysis' instrumentation and
+// converts the result. A trap is reported in-band: the submitted
+// program misbehaving is an answer, not a server failure.
+func (s *Server) runPlan(an *usher.Analysis) *RunResult {
+	s.runsExecuted.Add(1)
+	res, err := an.Run(usher.RunOptions{MaxSteps: s.opts.MaxSteps})
+	rr := &RunResult{}
+	if err != nil {
+		rr.Error = err.Error()
+	}
+	if res != nil {
+		rr.Exit = res.Exit.Int
+		rr.Steps = res.Steps
+		rr.ShadowProps = res.ShadowProps
+		rr.ShadowChecks = res.ShadowChecks
+		rr.Warnings = convertWarnings(res.ShadowWarnings)
+	}
+	return rr
+}
+
+func convertWarnings(ws []interp.Warning) []Warning {
+	out := make([]Warning, len(ws))
+	for i, w := range ws {
+		out[i] = Warning{Fn: w.Fn, Label: w.Label, Pos: w.Pos.String(), What: w.What}
+	}
+	return out
+}
+
+// lookup resolves the cache entry for key, creating and claiming it on
+// a miss. The second return is true when the entry already existed —
+// resident in the LRU or still being built by a concurrent request.
+func (s *Server) lookup(key, file, src string, lvl passes.Level) (*progEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.lru.Get(key); ok {
+		return e, true
+	}
+	if e, ok := s.inflight[key]; ok {
+		return e, true
+	}
+	e := &progEntry{
+		key: key, srcLen: int64(len(src)),
+		file: file, src: src, lvl: lvl,
+		sc: stats.New(),
+	}
+	s.inflight[key] = e
+	return e, false
+}
+
+// finish publishes a successfully built entry: admitted to (or
+// refreshed in) the LRU at its current accounted size, and cleared from
+// the in-flight set.
+func (s *Server) finish(e *progEntry) {
+	size := e.size()
+	s.mu.Lock()
+	delete(s.inflight, e.key)
+	s.mu.Unlock()
+	s.lru.Put(e.key, e, size)
+}
+
+// abandon drops an entry that must not be cached (compile failure).
+func (s *Server) abandon(e *progEntry) {
+	s.mu.Lock()
+	delete(s.inflight, e.key)
+	s.mu.Unlock()
+	s.lru.Remove(e.key)
+}
+
+// ---- /stats ----
+
+// ServerStats is the /stats response body.
+type ServerStats struct {
+	SchemaVersion int     `json:"schema_version"`
+	UptimeSec     float64 `json:"uptime_sec"`
+	NumCPU        int     `json:"num_cpu"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	Workers       int     `json:"workers"`
+
+	Requests      int64 `json:"requests"`
+	CacheHits     int64 `json:"cache_hits"`
+	CacheMisses   int64 `json:"cache_misses"`
+	CompileErrors int64 `json:"compile_errors"`
+	AnalyzeErrors int64 `json:"analyze_errors"`
+	Timeouts      int64 `json:"timeouts"`
+	RunsExecuted  int64 `json:"runs_executed"`
+	// ErrorsEvicted counts cached pass failures discarded for retry
+	// (Session.EvictErrors) after analysis errors.
+	ErrorsEvicted int64 `json:"errors_evicted"`
+
+	Cache cache.Stats `json:"cache"`
+	// HeapBytes is the Go runtime's live-heap estimate, for judging the
+	// LRU budget against actual residency.
+	HeapBytes uint64 `json:"heap_bytes"`
+	// Phases aggregates the pipeline passes of every RESIDENT cache
+	// entry (evicted programs leave the aggregate with their artifacts).
+	Phases []stats.PassStats `json:"phases,omitempty"`
+}
+
+// Stats assembles the daemon's point-in-time statistics.
+func (s *Server) Stats() ServerStats {
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	st := ServerStats{
+		SchemaVersion: SchemaVersion,
+		UptimeSec:     time.Since(s.start).Seconds(),
+		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Workers:       s.opts.Workers,
+		Requests:      s.requests.Load(),
+		CacheHits:     s.cacheHits.Load(),
+		CacheMisses:   s.cacheMisses.Load(),
+		CompileErrors: s.compileErrors.Load(),
+		AnalyzeErrors: s.analyzeErrors.Load(),
+		Timeouts:      s.timeouts.Load(),
+		RunsExecuted:  s.runsExecuted.Load(),
+		ErrorsEvicted: s.errorsEvicted.Load(),
+		Cache:         s.lru.Stats(),
+		HeapBytes:     mem.HeapAlloc,
+	}
+	var snaps [][]stats.PassStats
+	s.lru.Range(func(_ string, e *progEntry) {
+		snaps = append(snaps, e.sc.Snapshot())
+	})
+	st.Phases = mergeSnapshots(snaps)
+	return st
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// ---- helpers ----
+
+// ParseConfig resolves a configuration name: either a plan name
+// ("Usher", "UsherTL+AT", ...) or the usherc aliases.
+func ParseConfig(name string) (usher.Config, error) {
+	switch strings.ToLower(name) {
+	case "msan", "full":
+		return usher.ConfigMSan, nil
+	case "tl":
+		return usher.ConfigUsherTL, nil
+	case "tlat", "tl+at":
+		return usher.ConfigUsherTLAT, nil
+	case "opti":
+		return usher.ConfigUsherOptI, nil
+	case "usher":
+		return usher.ConfigUsherFull, nil
+	case "optiii", "opt3", "usher3":
+		return usher.ConfigUsherOptIII, nil
+	}
+	for _, c := range usher.ExtendedConfigs {
+		if strings.EqualFold(c.String(), name) {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown config %q (want a plan name like Usher, or msan/tl/tlat/opti/usher/optiii)", name)
+}
+
+// ParseLevel resolves an optimization-level name.
+func ParseLevel(name string) (passes.Level, error) {
+	switch strings.ToUpper(name) {
+	case "O0":
+		return passes.O0, nil
+	case "O0+IM", "O0IM":
+		return passes.O0IM, nil
+	case "O1":
+		return passes.O1, nil
+	case "O2":
+		return passes.O2, nil
+	}
+	return 0, fmt.Errorf("unknown level %q (want O0, O0+IM, O1 or O2)", name)
+}
+
+// statsDelta returns the passes whose run count grew between two
+// snapshots of one collector: the work THIS request caused. Wall time,
+// allocation and counters are differenced alongside.
+func statsDelta(before, after []stats.PassStats) []stats.PassStats {
+	type k struct{ pass, variant string }
+	prev := make(map[k]stats.PassStats, len(before))
+	for _, ps := range before {
+		prev[k{ps.Pass, ps.Variant}] = ps
+	}
+	delta := []stats.PassStats{}
+	for _, ps := range after {
+		b := prev[k{ps.Pass, ps.Variant}]
+		if ps.Runs <= b.Runs {
+			continue
+		}
+		d := ps
+		d.Runs -= b.Runs
+		d.WallSec -= b.WallSec
+		d.AllocBytes -= b.AllocBytes
+		if len(b.Counters) > 0 {
+			d.Counters = make(map[string]int64, len(ps.Counters))
+			for name, v := range ps.Counters {
+				if dv := v - b.Counters[name]; dv != 0 {
+					d.Counters[name] = dv
+				}
+			}
+		}
+		delta = append(delta, d)
+	}
+	return delta
+}
+
+// mergeSnapshots folds several collectors' snapshots into one list,
+// summing by (pass, variant) and keeping the pipeline order of the
+// first snapshot that mentions each pass.
+func mergeSnapshots(snaps [][]stats.PassStats) []stats.PassStats {
+	type k struct{ pass, variant string }
+	idx := make(map[k]int)
+	var out []stats.PassStats
+	for _, snap := range snaps {
+		for _, ps := range snap {
+			key := k{ps.Pass, ps.Variant}
+			i, ok := idx[key]
+			if !ok {
+				idx[key] = len(out)
+				cp := ps
+				if ps.Counters != nil {
+					cp.Counters = make(map[string]int64, len(ps.Counters))
+					for name, v := range ps.Counters {
+						cp.Counters[name] = v
+					}
+				}
+				out = append(out, cp)
+				continue
+			}
+			out[i].Runs += ps.Runs
+			out[i].WallSec += ps.WallSec
+			out[i].AllocBytes += ps.AllocBytes
+			for name, v := range ps.Counters {
+				if out[i].Counters == nil {
+					out[i].Counters = make(map[string]int64)
+				}
+				out[i].Counters[name] += v
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Pass != out[j].Pass {
+			return out[i].Pass < out[j].Pass
+		}
+		return out[i].Variant < out[j].Variant
+	})
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]any{
+		"error":  fmt.Sprintf(format, args...),
+		"status": status,
+	})
+}

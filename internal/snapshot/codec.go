@@ -312,6 +312,19 @@ func decodePointer(ctx *decodeContext, payload []byte) (*pointer.Export, error) 
 	}
 	for i, n := 0, d.n(); i < n && d.err == nil; i++ {
 		rp := pointer.RegPts{Fn: int(d.u()), Reg: int(d.u())}
+		// Resolve the function and register here, not just in
+		// pointer.Import: Import sizes per-function tables by the raw
+		// register id, so an unvalidated id from a hostile payload would
+		// drive an enormous allocation before Import could reject it.
+		if d.err == nil {
+			fn, err := ctx.fn(rp.Fn)
+			if err != nil {
+				return nil, err
+			}
+			if ctx.regs(fn)[rp.Reg] == nil {
+				return nil, fmt.Errorf("snapshot: decode: points-to register id %d not in %s", rp.Reg, fn.Name)
+			}
+		}
 		for j, m := 0, d.n(); j < m && d.err == nil; j++ {
 			rp.Locs = append(rp.Locs, int32(d.u()))
 		}
@@ -490,7 +503,16 @@ func decodePlan(ctx *decodeContext, payload []byte) (PlanEntry, error) {
 		fp.RetSend = d.b()
 		regs := ctx.regs(fn)
 		for j, m := 0, d.n(); j < m && d.err == nil; j++ {
-			fp.MarkShadowedID(int(d.u()))
+			// MarkShadowedID grows a dense []bool up to the id, so the id
+			// must resolve to a live register before it sizes anything.
+			id := int(d.u())
+			if d.err != nil {
+				break
+			}
+			if regs[id] == nil {
+				return PlanEntry{}, fmt.Errorf("snapshot: decode: shadowed register id %d not in %s", id, fn.Name)
+			}
+			fp.MarkShadowedID(id)
 		}
 		for j, m := 0, d.n(); j < m && d.err == nil; j++ {
 			label := int(d.u())

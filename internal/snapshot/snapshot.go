@@ -271,7 +271,10 @@ func readSection(data []byte) (tag string, payload, rest []byte, err error) {
 	tag = string(data[:4])
 	n := binary.LittleEndian.Uint32(data[4:8])
 	data = data[8:]
-	if uint32(len(data)) < n+4 {
+	// Compare in uint64: a hostile length near MaxUint32 would overflow
+	// n+4 in uint32 arithmetic, pass the truncation check, and panic
+	// slicing below instead of returning the corruption error.
+	if uint64(len(data)) < uint64(n)+4 {
 		return "", nil, nil, fmt.Errorf("snapshot: section %q truncated", tag)
 	}
 	payload = data[:n]

@@ -142,14 +142,23 @@ func (s *Session) MustAnalyze(cfg Config) *Analysis {
 // fingerprint and refuse stale files — and a damaged snapshot surfaces
 // here as an import error, letting callers fall back to a cold solve.
 // Returns the number of artifacts seeded.
+//
+// WarmStart is safe to race with Analyze on the same session: the
+// pointer import mutates the IR (object collapsing), so it runs inside
+// the store's pointer slot — either the import claims the slot first
+// and every concurrent Analyze consumes the imported result, or a cold
+// solve got there first and the import is skipped entirely. Both orders
+// produce plans with identical fingerprints.
 func (s *Session) WarmStart(snap *snapshot.Snapshot) (int, error) {
 	start := time.Now()
-	pa, err := pointer.Import(s.Prog, snap.Pointer)
+	n := 0
+	seeded, err := s.store.PreloadFunc("pointer", "", func() (any, error) {
+		return pointer.Import(s.Prog, snap.Pointer)
+	})
 	if err != nil {
 		return 0, err
 	}
-	n := 0
-	if s.store.Preload("pointer", "", pa) {
+	if seeded {
 		n++
 	}
 	plans := 0
@@ -205,6 +214,14 @@ func (s *Session) Snapshot() (*snapshot.Snapshot, error) {
 	}
 	return snap, nil
 }
+
+// EvictErrors discards every cached pass failure in the session's
+// artifact store so the next Analyze retries those passes. Successful
+// artifacts are untouched. Long-lived holders (the usherd daemon) call
+// it after serving an error: the cached-error contract still holds for
+// concurrent requests to one failure, but a transient fault no longer
+// poisons the session forever. Returns the number of evicted failures.
+func (s *Session) EvictErrors() int { return s.store.EvictErrors() }
 
 // AnalyzeAll analyzes every configuration in cfgs, reusing the shared
 // artifacts, and returns the results in the same order. The first

@@ -1,0 +1,141 @@
+package usher_test
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/valueflow/usher"
+)
+
+// warmRaceSrc is built so its snapshot carries every kind of warm-start
+// payload: several instrumentation-relevant helpers, a heap buffer, a
+// conditionally defined value, and — crucially — a variable-indexed
+// struct access, which makes the pointer solver collapse the struct to
+// field-insensitive. The collapse is recorded in the snapshot and
+// REPLAYED BY MUTATING THE IR during WarmStart's import, which is the
+// hazard this file's race test exists to pin down.
+const warmRaceSrc = `
+struct Pair { int lo; int hi; int sum; };
+
+int fill(struct Pair *p, int n) {
+  int *f = &p->lo;
+  for (int i = 0; i < 3; i++) { f[i] = n + i; }
+  return p->sum;
+}
+
+int pick(int *buf, int n, int mode) {
+  int acc;
+  if (mode > 0) { acc = 0; }
+  for (int i = 0; i < n; i++) { acc += buf[i]; }
+  return acc;
+}
+
+int main() {
+  struct Pair pairs[4];
+  int total = 0;
+  for (int i = 0; i < 4; i++) { total += fill(&pairs[i], i); }
+  int *heap = malloc(8);
+  for (int i = 0; i < 8; i++) { heap[i] = i * 3; }
+  total += pick(heap, 8, 1);
+  free(heap);
+  print(total);
+  return 0;
+}
+`
+
+// TestConcurrentWarmStartAnalyze races Session.WarmStart against
+// Session.Analyze on ONE session (run under -race in CI) and pins that
+// no interleaving can produce a plan whose fingerprint diverges from
+// the cold baseline. The interesting hazard is the pointer import: it
+// MUTATES the IR while reconstructing the solved points-to relation
+// (replaying object collapses), so it must be serialized with a
+// concurrent cold solve inside the store's pointer slot — whichever
+// claims the slot first wins outright, and every analysis downstream
+// consumes one consistent pointer result either way.
+func TestConcurrentWarmStartAnalyze(t *testing.T) {
+	cfgs := usher.ExtendedConfigs
+
+	// Cold baseline: solve once, record every fingerprint, snapshot.
+	compileRace := func() *usher.Session {
+		prog, err := usher.Compile("warmrace.c", warmRaceSrc)
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		return usher.NewSession(prog)
+	}
+	cold := compileRace()
+	coldAnalyses, err := cold.AnalyzeAll(cfgs)
+	if err != nil {
+		t.Fatalf("cold analyze: %v", err)
+	}
+	coldFPs := make(map[usher.Config]string, len(cfgs))
+	for i, cfg := range cfgs {
+		coldFPs[cfg] = coldAnalyses[i].Plan.Fingerprint()
+	}
+	snap, err := cold.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	// Precondition for the test to have teeth: the import must actually
+	// mutate the IR, i.e. the snapshot must replay at least one collapse.
+	if len(snap.Pointer.Collapsed) == 0 {
+		t.Fatal("warmRaceSrc produced no collapsed objects; the import no longer mutates and this race test is inert")
+	}
+
+	// Several rounds vary the interleaving: each round is a fresh session
+	// with two warm starters racing one analyzer per configuration.
+	const rounds = 6
+	for round := 0; round < rounds; round++ {
+		sess := compileRace()
+		var wg sync.WaitGroup
+
+		warmErrs := make([]error, 2)
+		for w := range warmErrs {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				_, warmErrs[w] = sess.WarmStart(snap)
+			}(w)
+		}
+		fps := make([]string, len(cfgs))
+		analyzeErrs := make([]error, len(cfgs))
+		for i, cfg := range cfgs {
+			wg.Add(1)
+			go func(i int, cfg usher.Config) {
+				defer wg.Done()
+				a, err := sess.Analyze(cfg)
+				if err != nil {
+					analyzeErrs[i] = err
+					return
+				}
+				fps[i] = a.Plan.Fingerprint()
+			}(i, cfg)
+		}
+		wg.Wait()
+
+		for w, err := range warmErrs {
+			if err != nil {
+				t.Fatalf("round %d: warm starter %d: %v", round, w, err)
+			}
+		}
+		for i, cfg := range cfgs {
+			if analyzeErrs[i] != nil {
+				t.Fatalf("round %d: analyze %s: %v", round, cfg, analyzeErrs[i])
+			}
+			if fps[i] != coldFPs[cfg] {
+				t.Errorf("round %d: %s fingerprint diverged from the cold baseline", round, cfg)
+			}
+		}
+		// The raced session must still be fully usable: a quiet re-analyze
+		// of every configuration reproduces the same fingerprints.
+		for _, cfg := range cfgs {
+			a, err := sess.Analyze(cfg)
+			if err != nil {
+				t.Fatalf("round %d: re-analyze %s: %v", round, cfg, err)
+			}
+			if a.Plan.Fingerprint() != coldFPs[cfg] {
+				t.Errorf("round %d: %s re-analyze fingerprint diverged", round, cfg)
+			}
+		}
+	}
+}
