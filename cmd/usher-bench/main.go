@@ -4,7 +4,8 @@
 // Usage:
 //
 //	usher-bench [-table1] [-fig10] [-fig11] [-opt-levels] [-ablations] [-all]
-//	            [-solver-scale] [-snapshot-dir dir] [-parallel N]
+//	            [-solver-scale] [-snapshot-dir dir] [-incremental]
+//	            [-incremental-iters N] [-parallel N]
 //	            [-solver-workers N] [-json path] [-stats] [-legacy-solver]
 //	            [-cpuprofile path] [-memprofile path]
 //
@@ -54,6 +55,9 @@ func main() {
 		"wave-solver scaling over the XL constraint profiles and snapshot warm starts (not part of -all)")
 	snapshotDir := flag.String("snapshot-dir", "",
 		"directory for -solver-scale warm-start snapshots (default: a temp dir, removed after)")
+	incremental := flag.Bool("incremental", false,
+		"multi-file module builds: cold vs. warm vs. 1-line edit (not part of -all)")
+	incrementalIters := flag.Int("incremental-iters", 3, "timing repetitions per -incremental measurement (best is reported)")
 	all := flag.Bool("all", false, "everything")
 	legacySolver := flag.Bool("legacy-solver", false, "use the retired map-based pointer solver (pre-optimization baseline)")
 	cf := bench.RegisterCommonFlags(flag.CommandLine)
@@ -81,7 +85,7 @@ func main() {
 		}
 	}()
 
-	if !*table1 && !*fig10 && !*fig11 && !*optLevels && !*ablations && !*solverScale {
+	if !*table1 && !*fig10 && !*fig11 && !*optLevels && !*ablations && !*solverScale && !*incremental {
 		*all = true
 	}
 	report := &bench.Report{
@@ -182,6 +186,19 @@ func main() {
 		report.AddPhase("solver-scale", start)
 		report.SolverScale = res
 		bench.WriteSolverScale(os.Stdout, res)
+		fmt.Println()
+	}
+
+	if *incremental {
+		fmt.Println("=== Incremental: multi-file module builds, cold vs. warm vs. 1-line edit ===")
+		start := time.Now()
+		res, err := bench.Incremental(cf.Parallel, *incrementalIters)
+		if err != nil {
+			fail(err)
+		}
+		report.AddPhase("incremental", start)
+		report.Incremental = res
+		bench.WriteIncremental(os.Stdout, res)
 		fmt.Println()
 	}
 

@@ -3,7 +3,13 @@
 //
 // Usage:
 //
-//	usherc [flags] file.c
+//	usherc [flags] file.c [more.c ...]
+//
+// With more than one file, each file is a module named after its base
+// name (extension stripped) and may reference the others with
+// `#include "name"`; the set is compiled per-module in dependency
+// order and linked into one program before analysis (see
+// internal/module).
 //
 // Examples:
 //
@@ -11,6 +17,7 @@
 //	usherc -config msan prog.c            # full instrumentation instead
 //	usherc -compare prog.c                # all five configurations side by side
 //	usherc -level O2 -dump-ir prog.c      # optimize and print the IR
+//	usherc main.c lib.c util.c            # multi-file module build
 //	usherc -workload parser               # use a generated benchmark as input
 //	usherc -stats prog.c                  # per-pipeline-pass timings and counters
 package main
@@ -19,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"text/tabwriter"
 
@@ -27,6 +35,7 @@ import (
 	"github.com/valueflow/usher/internal/diag"
 	"github.com/valueflow/usher/internal/interp"
 	"github.com/valueflow/usher/internal/ir"
+	"github.com/valueflow/usher/internal/module"
 	"github.com/valueflow/usher/internal/passes"
 	"github.com/valueflow/usher/internal/pipeline"
 	"github.com/valueflow/usher/internal/stats"
@@ -69,17 +78,40 @@ func main() {
 		}()
 	}
 
-	src, file, err := inputSource(*workloadName, flag.Args())
-	if err != nil {
-		fatal(err)
-	}
-	if *dumpSrc {
-		fmt.Print(src)
-		return
-	}
-	prog, err := pipeline.Compile(file, src, sc)
-	if err != nil {
-		fatal(err)
+	var prog *ir.Program
+	if *workloadName == "" && len(flag.Args()) > 1 {
+		// Multi-file module build: every argument is a module named
+		// after its base name, resolved via #include "name".
+		files, err := readModuleFiles(flag.Args())
+		if err != nil {
+			fatal(err)
+		}
+		if *dumpSrc {
+			flat, err := module.Flatten(files)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(flat)
+			return
+		}
+		res, err := module.Build(files, module.Options{Stats: sc, Parallel: bench.DefaultParallelism()})
+		if err != nil {
+			fatal(err)
+		}
+		prog = res.Prog
+	} else {
+		src, file, err := inputSource(*workloadName, flag.Args())
+		if err != nil {
+			fatal(err)
+		}
+		if *dumpSrc {
+			fmt.Print(src)
+			return
+		}
+		prog, err = pipeline.Compile(file, src, sc)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	level, err := parseLevel(*levelName)
 	if err != nil {
@@ -121,6 +153,25 @@ func main() {
 	reportRun(res, cfg)
 }
 
+// readModuleFiles loads each path as one module whose name is the base
+// name with the extension stripped ("src/lib_a.c" -> "lib_a"), the name
+// other modules use in #include directives.
+func readModuleFiles(paths []string) ([]module.File, error) {
+	files := make([]module.File, len(paths))
+	for i, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		base := filepath.Base(p)
+		files[i] = module.File{
+			Name:   strings.TrimSuffix(base, filepath.Ext(base)),
+			Source: string(data),
+		}
+	}
+	return files, nil
+}
+
 func inputSource(workloadName string, args []string) (src, file string, err error) {
 	if workloadName != "" {
 		p, ok := workload.ByName(workloadName)
@@ -130,7 +181,7 @@ func inputSource(workloadName string, args []string) (src, file string, err erro
 		return workload.Generate(p), p.Name + ".c", nil
 	}
 	if len(args) != 1 {
-		return "", "", fmt.Errorf("usage: usherc [flags] file.c (or -workload name)")
+		return "", "", fmt.Errorf("usage: usherc [flags] file.c [more.c ...] (or -workload name)")
 	}
 	data, err := os.ReadFile(args[0])
 	if err != nil {

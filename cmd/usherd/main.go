@@ -4,6 +4,12 @@
 // the pointer analysis, memory SSA, value-flow graph and instrumentation
 // plans computed by earlier requests (see internal/service).
 //
+// Requests may submit either one "source" string or a multi-file
+// "files" list of {name, source} modules linked by #include "name"
+// directives; multi-file submissions additionally share a per-module
+// unit cache (-module-cache-mb) keyed by transitive content hash, so a
+// 1-line edit recompiles only the edited module and its dependents.
+//
 // Endpoints:
 //
 //	POST /analyze       analyze (and by default run) a MiniC program
@@ -39,6 +45,7 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	cacheMB := flag.Int64("cache-mb", 256, "artifact cache budget in MiB (0 disables caching)")
+	moduleCacheMB := flag.Int64("module-cache-mb", 64, "per-module unit cache budget in MiB for multi-file requests (0 disables)")
 	maxBodyKB := flag.Int64("max-body-kb", 1024, "maximum /analyze request body in KiB")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline (queueing + analysis + run)")
 	maxSteps := flag.Int64("max-steps", 50_000_000, "dynamic-run instruction budget per request")
@@ -55,6 +62,9 @@ func main() {
 	if *cacheMB < 0 {
 		fail(fmt.Errorf("-cache-mb must be non-negative, got %d", *cacheMB))
 	}
+	if *moduleCacheMB < 0 {
+		fail(fmt.Errorf("-module-cache-mb must be non-negative, got %d", *moduleCacheMB))
+	}
 	cf.ApplySolver()
 
 	stopProfiles, err := cf.Profile.Start()
@@ -62,12 +72,21 @@ func main() {
 		fail(err)
 	}
 
+	// In service.Options zero means "use the default" and negative means
+	// "disabled"; the flags promise that 0 disables, so translate.
+	disableZero := func(mb int64, shift uint) int64 {
+		if mb == 0 {
+			return -1
+		}
+		return mb << shift
+	}
 	srv := service.New(service.Options{
-		CacheBytes:   *cacheMB << 20,
-		MaxBodyBytes: *maxBodyKB << 10,
-		Timeout:      *timeout,
-		Workers:      cf.Parallel,
-		MaxSteps:     *maxSteps,
+		CacheBytes:       disableZero(*cacheMB, 20),
+		ModuleCacheBytes: disableZero(*moduleCacheMB, 20),
+		MaxBodyBytes:     *maxBodyKB << 10,
+		Timeout:          *timeout,
+		Workers:          cf.Parallel,
+		MaxSteps:         *maxSteps,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -160,3 +160,95 @@ func TestCompileReportsAllErrorsInOrder(t *testing.T) {
 		}
 	}
 }
+
+// TestDiagPositionsLineEndingsAndColumns pins the position model across
+// line-terminator and column edge cases: CRLF pairs and lone CR both
+// terminate exactly one line, tabs count one column, and columns count
+// runes, not bytes. Before the model was fixed, a lone CR never advanced
+// the line counter and multi-byte characters inflated every column to
+// their byte width.
+func TestDiagPositionsLineEndingsAndColumns(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want string
+		line int
+		col  int
+	}{
+		{
+			name: "CRLF terminates one line",
+			src:  "int main(void) {\r\n  3 = 4;\r\n  return 0;\r\n}\r\n",
+			want: "cannot assign to this expression",
+			line: 2, col: 3,
+		},
+		{
+			name: "lone CR terminates a line",
+			src:  "int main(void) {\r  3 = 4;\r  return 0;\r}\r",
+			want: "cannot assign to this expression",
+			line: 2, col: 3,
+		},
+		{
+			name: "mixed terminators",
+			src:  "int main(void) {\r\n  int x = 0;\r  3 = 4;\n  return x;\n}",
+			want: "cannot assign to this expression",
+			line: 3, col: 3,
+		},
+		{
+			name: "tab counts one column",
+			src:  "int main(void) {\n\t\t3 = 4;\n\treturn 0;\n}",
+			want: "cannot assign to this expression",
+			line: 2, col: 3,
+		},
+		{
+			name: "columns count runes not bytes",
+			src:  "int main(void) { /* héllo wörld */ 3 = 4; return 0; }",
+			want: "cannot assign to this expression",
+			line: 1, col: 36,
+		},
+		{
+			name: "line comment ends at lone CR",
+			src:  "int main(void) { // comment\r  3 = 4;\r  return 0;\r}",
+			want: "cannot assign to this expression",
+			line: 2, col: 3,
+		},
+		{
+			name: "unterminated string literal stops at CRLF",
+			src:  "#include \"broken\r\nint main(void) { return 0; }\r\n",
+			want: "unterminated string literal",
+			line: 1, col: 10,
+		},
+		{
+			name: "unknown directive",
+			src:  "#define X 1\nint main(void) { return 0; }\n",
+			want: "unknown directive #define",
+			line: 1, col: 1,
+		},
+		{
+			name: "unresolved include in single-file compile",
+			src:  "#include \"dep\"\nint main(void) { return 0; }\n",
+			want: `unresolved #include "dep"`,
+			line: 1, col: 1,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := usher.Compile("t.c", tt.src)
+			if err == nil {
+				t.Fatal("Compile succeeded, want an error")
+			}
+			var hit *diag.Diagnostic
+			for _, d := range diag.All(err) {
+				if strings.Contains(d.Msg, tt.want) {
+					hit = d
+					break
+				}
+			}
+			if hit == nil {
+				t.Fatalf("no diagnostic contains %q; got:\n%v", tt.want, err)
+			}
+			if hit.Pos.Line != tt.line || hit.Pos.Col != tt.col {
+				t.Errorf("pos = %d:%d, want %d:%d", hit.Pos.Line, hit.Pos.Col, tt.line, tt.col)
+			}
+		})
+	}
+}

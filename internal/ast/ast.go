@@ -32,6 +32,17 @@ type Decl interface {
 	declNode()
 }
 
+// Include is a `#include "name"` directive naming another module of a
+// multi-file program. The frontend does not resolve it — package module
+// builds the dependency graph from these nodes and compiles each module
+// against its dependencies' exported declarations. An Include that
+// survives to the type checker (single-file compilation) is an error.
+type Include struct {
+	HashPos token.Pos // position of the '#'
+	Path    string    // module name between the quotes
+	PathPos token.Pos // position of the string literal
+}
+
 // StructDecl declares a struct type.
 type StructDecl struct {
 	NamePos token.Pos
@@ -72,10 +83,12 @@ type FuncDecl struct {
 	Body    *Block
 }
 
+func (d *Include) Pos() token.Pos    { return d.HashPos }
 func (d *StructDecl) Pos() token.Pos { return d.NamePos }
 func (d *VarDecl) Pos() token.Pos    { return d.NamePos }
 func (d *FuncDecl) Pos() token.Pos   { return d.NamePos }
 
+func (*Include) declNode()    {}
 func (*StructDecl) declNode() {}
 func (*VarDecl) declNode()    {}
 func (*FuncDecl) declNode()   {}

@@ -33,6 +33,8 @@ func (p *printer) pad() { p.b.WriteString(strings.Repeat("  ", p.indent)) }
 
 func (p *printer) decl(d Decl) {
 	switch d := d.(type) {
+	case *Include:
+		p.pf("#include %q\n", d.Path)
 	case *StructDecl:
 		p.pf("struct %s {\n", d.Name)
 		p.indent++

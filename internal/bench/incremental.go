@@ -1,0 +1,239 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/valueflow/usher"
+	"github.com/valueflow/usher/internal/ir"
+	"github.com/valueflow/usher/internal/module"
+	"github.com/valueflow/usher/internal/workload"
+)
+
+// IncrementalRow is one project's cold/warm/edit measurement: the
+// multi-file frontend cost when everything compiles, when everything is
+// warm, and after the canonical 1-line lib edit — against the flattened
+// single-file frontend, which pays the whole program on every change.
+type IncrementalRow struct {
+	Project string `json:"project"`
+	Modules int    `json:"modules"`
+	Batches int    `json:"batches"`
+
+	// Build times cover the module frontend + link (or, for Flat, the
+	// single-file parse → verify pipeline); Analyze times cover
+	// ApplyLevel plus the shared pointer/VFG/Γ phases under the full
+	// Usher config. Milliseconds, best of Iterations runs.
+	ColdBuildMS   float64 `json:"cold_build_ms"`
+	ColdAnalyzeMS float64 `json:"cold_analyze_ms"`
+	WarmBuildMS   float64 `json:"warm_build_ms"`
+	EditBuildMS   float64 `json:"edit_build_ms"`
+	EditAnalyzeMS float64 `json:"edit_analyze_ms"`
+	FlatBuildMS   float64 `json:"flat_build_ms"`
+
+	// EditCompiled/EditReused split the post-edit build: the edited lib
+	// and its dependents compile, everything else resolves warm.
+	EditCompiled int `json:"edit_compiled"`
+	EditReused   int `json:"edit_reused"`
+
+	// BuildSpeedupVsCold is ColdBuild/EditBuild: the frontend win of
+	// recompiling 3 modules instead of all of them.
+	BuildSpeedupVsCold float64 `json:"build_speedup_vs_cold"`
+}
+
+// IncrementalResult is the -incremental section of the report
+// (committed as BENCH_incremental.json).
+type IncrementalResult struct {
+	Parallel   int              `json:"parallel"`
+	Iterations int              `json:"iterations"`
+	Rows       []IncrementalRow `json:"rows"`
+}
+
+// incrementalProjects are the measured shapes: the committed 50-module
+// default and a wider 135-module variant.
+var incrementalProjects = []workload.ModuleProject{
+	workload.DefaultModuleProject,
+	{Name: "modproj-wide", Libs: 120, LibsPerAgg: 10, BugEvery: 13},
+}
+
+// Incremental measures cold vs. warm vs. post-edit multi-file builds
+// over the synthetic module projects. Each timing is the best of iters
+// runs; every run's correctness is cross-checked against the flattened
+// single-file program's analysis (static props/checks under the full
+// Usher config must match).
+func Incremental(parallel, iters int) (*IncrementalResult, error) {
+	if iters <= 0 {
+		iters = 3
+	}
+	res := &IncrementalResult{Parallel: parallel, Iterations: iters}
+	for _, p := range incrementalProjects {
+		row, err := incrementalProject(p, parallel, iters)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func toFiles(mf []workload.ModuleFile) []module.File {
+	out := make([]module.File, len(mf))
+	for i, f := range mf {
+		out[i] = module.File{Name: f.Name, Source: f.Source}
+	}
+	return out
+}
+
+// best runs f iters times and returns the fastest wall clock in ms.
+func best(iters int, f func() error) (float64, error) {
+	bestMS := 0.0
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		if err := f(); err != nil {
+			return 0, err
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		if i == 0 || ms < bestMS {
+			bestMS = ms
+		}
+	}
+	return bestMS, nil
+}
+
+func analyzeStatic(res *module.Result) (props, checks int, err error) {
+	sess := usher.NewSession(res.Prog)
+	an, err := sess.Analyze(usher.ConfigUsherFull)
+	if err != nil {
+		return 0, 0, err
+	}
+	st := an.StaticStats()
+	return st.Props, st.Checks, nil
+}
+
+func incrementalProject(p workload.ModuleProject, parallel, iters int) (IncrementalRow, error) {
+	files := toFiles(p.GenerateModules())
+	editedMF, ok := workload.Edit(p.GenerateModules(), "lib_07", 2)
+	if !ok {
+		return IncrementalRow{}, fmt.Errorf("%s: edit site lib_07 not found", p.Name)
+	}
+	edited := toFiles(editedMF)
+
+	g, err := module.NewGraph(files)
+	if err != nil {
+		return IncrementalRow{}, err
+	}
+	row := IncrementalRow{
+		Project: fmt.Sprintf("%s-%d", p.Name, p.NumModules()),
+		Modules: len(g.Modules),
+		Batches: len(g.Batches()),
+	}
+
+	// Cold: fresh cache each iteration.
+	var coldRes *module.Result
+	row.ColdBuildMS, err = best(iters, func() error {
+		coldRes, err = module.Build(files, module.Options{Cache: module.NewCache(256 << 20), Parallel: parallel})
+		return err
+	})
+	if err != nil {
+		return row, err
+	}
+	row.ColdAnalyzeMS, err = best(iters, func() error {
+		_, _, aerr := analyzeStatic(coldRes)
+		return aerr
+	})
+	if err != nil {
+		return row, err
+	}
+
+	// Warm: identical rebuild against a primed cache; every module must
+	// resolve from a warm unit.
+	warmCache := module.NewCache(256 << 20)
+	if _, err := module.Build(files, module.Options{Cache: warmCache, Parallel: parallel}); err != nil {
+		return row, err
+	}
+	row.WarmBuildMS, err = best(iters, func() error {
+		res, berr := module.Build(files, module.Options{Cache: warmCache, Parallel: parallel})
+		if berr == nil && res.Reused != len(files) {
+			berr = fmt.Errorf("warm build reused %d of %d modules", res.Reused, len(files))
+		}
+		return berr
+	})
+	if err != nil {
+		return row, err
+	}
+
+	// Post-edit: each iteration primes a fresh cache with the base set
+	// (untimed), then times the edited build, so every measured build
+	// really recompiles the edited lib and its dependents.
+	var editRes *module.Result
+	for i := 0; i < iters; i++ {
+		c := module.NewCache(256 << 20)
+		if _, err := module.Build(files, module.Options{Cache: c, Parallel: parallel}); err != nil {
+			return row, err
+		}
+		start := time.Now()
+		editRes, err = module.Build(edited, module.Options{Cache: c, Parallel: parallel})
+		if err != nil {
+			return row, err
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		if i == 0 || ms < row.EditBuildMS {
+			row.EditBuildMS = ms
+		}
+		row.EditCompiled, row.EditReused = editRes.Compiled, editRes.Reused
+	}
+	row.EditAnalyzeMS, err = best(iters, func() error {
+		_, _, aerr := analyzeStatic(editRes)
+		return aerr
+	})
+	if err != nil {
+		return row, err
+	}
+
+	// Flattened single-file baseline over the same edited sources.
+	flat, err := module.Flatten(edited)
+	if err != nil {
+		return row, err
+	}
+	var flatProg *ir.Program
+	row.FlatBuildMS, err = best(iters, func() error {
+		flatProg, err = usher.Compile("flat.c", flat)
+		return err
+	})
+	if err != nil {
+		return row, err
+	}
+
+	// Correctness cross-check: the incremental build answers like the
+	// flattened program.
+	mp, mc, err := analyzeStatic(editRes)
+	if err != nil {
+		return row, err
+	}
+	fsess := usher.NewSession(flatProg)
+	fan, err := fsess.Analyze(usher.ConfigUsherFull)
+	if err != nil {
+		return row, err
+	}
+	fst := fan.StaticStats()
+	if mp != fst.Props || mc != fst.Checks {
+		return row, fmt.Errorf("%s: incremental answers diverge from flattened (props %d/%d, checks %d/%d)",
+			row.Project, mp, fst.Props, mc, fst.Checks)
+	}
+
+	if row.EditBuildMS > 0 {
+		row.BuildSpeedupVsCold = row.ColdBuildMS / row.EditBuildMS
+	}
+	return row, nil
+}
+
+// WriteIncremental renders the -incremental section as text.
+func WriteIncremental(w io.Writer, res *IncrementalResult) {
+	fmt.Fprintf(w, "%-16s %8s %8s %10s %10s %10s %10s %12s %10s\n",
+		"project", "modules", "batches", "cold(ms)", "warm(ms)", "edit(ms)", "flat(ms)", "edit-reuse", "speedup")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%-16s %8d %8d %10.2f %10.2f %10.2f %10.2f %6d/%-5d %9.1fx\n",
+			r.Project, r.Modules, r.Batches, r.ColdBuildMS, r.WarmBuildMS, r.EditBuildMS, r.FlatBuildMS,
+			r.EditReused, r.Modules, r.BuildSpeedupVsCold)
+	}
+}

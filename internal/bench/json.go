@@ -66,6 +66,9 @@ type Report struct {
 	// the XL profiles and snapshot warm-start timings (additive — older
 	// readers ignore it, so the schema version is unchanged).
 	SolverScale *SolverScaleResult `json:"solver_scale,omitempty"`
+	// Incremental is the -incremental section: multi-file module builds,
+	// cold vs. warm vs. after a 1-line edit (also additive).
+	Incremental *IncrementalResult `json:"incremental,omitempty"`
 }
 
 // AddPhase appends a driver-phase timing.

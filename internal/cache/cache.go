@@ -68,9 +68,11 @@ func New[V any](budget int64) *LRU[V] {
 	}
 }
 
-// SetOnEvict installs a callback invoked (outside the cache lock never —
-// it runs under the lock, so it must not call back into the cache) for
-// every evicted or displaced entry. Call before the cache is shared.
+// SetOnEvict installs a callback invoked for every entry that leaves
+// the cache involuntarily: budget evictions, same-key replacements (the
+// displaced old value), and stale entries dropped by a rejected
+// oversize replacement. It runs under the cache lock, so it must not
+// call back into the cache. Call before the cache is shared.
 func (c *LRU[V]) SetOnEvict(fn func(key string, value V)) { c.onEvict = fn }
 
 // Get returns the entry for key, marking it most recently used.
@@ -109,7 +111,7 @@ func (c *LRU[V]) Put(key string, value V, size int64) bool {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if size > c.budget {
+	if size > c.budget || c.budget == 0 {
 		c.rejected++
 		// A stale smaller entry under the same key must not survive a
 		// replacement that was rejected for size.
@@ -120,9 +122,16 @@ func (c *LRU[V]) Put(key string, value V, size int64) bool {
 	}
 	if el, ok := c.items[key]; ok {
 		it := el.Value.(*lruItem[V])
+		old := it.value
+		// Replacement: the budget reflects the new size alone, not the
+		// sum, and the displaced value gets the eviction callback so
+		// resource-holding values are not silently leaked.
 		c.bytes += size - it.size
 		it.value, it.size = value, size
 		c.ll.MoveToFront(el)
+		if c.onEvict != nil {
+			c.onEvict(key, old)
+		}
 	} else {
 		el := c.ll.PushFront(&lruItem[V]{key: key, value: value, size: size})
 		c.items[key] = el

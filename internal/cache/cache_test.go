@@ -75,11 +75,15 @@ func TestLRUZeroBudget(t *testing.T) {
 	if c.Put("a", 1, 1) {
 		t.Fatal("zero-budget cache admitted an entry")
 	}
-	if c.Put("b", 2, 0) != true {
-		// A zero-sized entry technically fits a zero budget; either
-		// behavior is defensible, but the implementation admits it and
-		// this pins that choice.
-		t.Fatal("zero-sized entry rejected by zero-budget cache")
+	if c.Put("b", 2, 0) {
+		// A zero-sized entry technically fits a zero budget, but the
+		// package contract says a zero budget disables caching
+		// entirely; admitting size-0 entries would grow the map without
+		// bound. This pins the documented behavior.
+		t.Fatal("zero-budget cache admitted a zero-sized entry")
+	}
+	if got := c.Stats().Rejected; got != 2 {
+		t.Fatalf("rejected = %d, want 2", got)
 	}
 }
 

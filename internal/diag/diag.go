@@ -29,9 +29,11 @@ type Phase string
 const (
 	PhaseLex      Phase = "lex"
 	PhaseParse    Phase = "parse"
+	PhaseModule   Phase = "module"
 	PhaseType     Phase = "typecheck"
 	PhaseLower    Phase = "lower"
 	PhaseVerify   Phase = "verify"
+	PhaseLink     Phase = "link"
 	PhaseAnalyze  Phase = "analyze"
 	PhaseInterp   Phase = "interp"
 	PhaseInternal Phase = "internal"

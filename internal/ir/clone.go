@@ -1,0 +1,195 @@
+package ir
+
+import (
+	"fmt"
+
+	"github.com/valueflow/usher/internal/token"
+)
+
+// This file provides deep cloning of functions and objects between
+// programs. The module linker (package module) compiles each module into
+// its own immutable per-module Program, cached by content hash; linking
+// clones every module's contribution into one fresh whole-program
+// Program so later passes (pointer analysis collapses objects, mem2reg
+// already ran per module) can never mutate a cached artifact.
+
+// CloneGlobal copies a global object into p with a fresh program-local
+// ID. Analysis-time state (Site, Fn, CloneOf) does not exist on globals
+// and is not copied.
+func CloneGlobal(p *Program, o *Object) *Object {
+	n := &Object{
+		Name:     o.Name,
+		Size:     o.Size,
+		Kind:     o.Kind,
+		ZeroInit: o.ZeroInit,
+		InitVal:  o.InitVal,
+		Pinned:   o.Pinned,
+
+		fieldSensitive: o.fieldSensitive,
+		collapsed:      o.collapsed,
+	}
+	n.ID = p.nextObjID
+	p.nextObjID++
+	return n
+}
+
+// CloneBody deep-copies the body of src into dst, an empty function
+// shell already registered with the destination program. Register IDs,
+// block IDs and instruction labels are preserved, so per-function
+// artifacts keyed by (function name, label) — warning sites, plan
+// entries — are identical between the clone and the original.
+//
+// Cross-function references are resolved by name: every function
+// mentioned by src (callees, function-pointer constants) must already
+// have a shell in dst's program, and globalOf must map each source
+// global object to its canonical object in the destination program.
+// CloneBody panics if either lookup fails — callers (the linker) create
+// all shells and globals up front.
+func CloneBody(dst, src *Function, globalOf func(*Object) *Object) {
+	c := &cloner{
+		dst:      dst,
+		regs:     make(map[*Register]*Register),
+		blocks:   make(map[*Block]*Block),
+		globalOf: globalOf,
+	}
+	for _, p := range src.Params {
+		dst.Params = append(dst.Params, c.reg(p))
+	}
+	for _, sb := range src.Blocks {
+		nb := &Block{ID: sb.ID, Name: sb.Name, Fn: dst}
+		dst.Blocks = append(dst.Blocks, nb)
+		c.blocks[sb] = nb
+	}
+	for _, sb := range src.Blocks {
+		nb := c.blocks[sb]
+		for _, in := range sb.Instrs {
+			nb.Instrs = append(nb.Instrs, c.instr(in))
+		}
+	}
+	dst.Pos = src.Pos
+	dst.HasBody = src.HasBody
+	dst.nextReg = src.nextReg
+	dst.nextBlock = src.nextBlock
+	dst.nextInstr = src.nextInstr
+	ComputeCFG(dst)
+}
+
+type cloner struct {
+	dst      *Function
+	regs     map[*Register]*Register
+	blocks   map[*Block]*Block
+	globalOf func(*Object) *Object
+}
+
+// reg returns the clone of r, creating it on first use (operands may
+// reference registers whose defining instruction clones later, e.g.
+// loop phis).
+func (c *cloner) reg(r *Register) *Register {
+	if r == nil {
+		return nil
+	}
+	n, ok := c.regs[r]
+	if !ok {
+		n = &Register{ID: r.ID, Name: r.Name, Fn: c.dst}
+		c.regs[r] = n
+	}
+	return n
+}
+
+func (c *cloner) val(v Value) Value {
+	switch v := v.(type) {
+	case nil:
+		return nil
+	case *Register:
+		return c.reg(v)
+	case *Const:
+		return v // immutable, shared
+	case *FuncValue:
+		fn := c.dst.Prog.FuncByName(v.Fn.Name)
+		if fn == nil {
+			panic(fmt.Sprintf("ir: clone of %s references function %s with no shell in the destination program", c.dst.Name, v.Fn.Name))
+		}
+		return &FuncValue{Fn: fn}
+	case *GlobalAddr:
+		obj := c.globalOf(v.Obj)
+		if obj == nil {
+			panic(fmt.Sprintf("ir: clone of %s references global %s with no canonical object in the destination program", c.dst.Name, v.Obj.Name))
+		}
+		return &GlobalAddr{Obj: obj}
+	}
+	panic(fmt.Sprintf("ir: clone: unknown value %T", v))
+}
+
+func (c *cloner) vals(vs []Value) []Value {
+	if vs == nil {
+		return nil
+	}
+	out := make([]Value, len(vs))
+	for i, v := range vs {
+		out[i] = c.val(v)
+	}
+	return out
+}
+
+// cloneAllocObject copies a stack/heap object owned by an allocation
+// site. Site is rebound by NewAlloc; CloneOf/CloneSite are
+// pointer-analysis artifacts that do not exist at clone time.
+func (c *cloner) cloneAllocObject(o *Object) *Object {
+	p := c.dst.Prog
+	n := &Object{
+		Name:     o.Name,
+		Size:     o.Size,
+		Kind:     o.Kind,
+		ZeroInit: o.ZeroInit,
+		InitVal:  o.InitVal,
+		Pinned:   o.Pinned,
+		Fn:       c.dst,
+
+		fieldSensitive: o.fieldSensitive,
+		collapsed:      o.collapsed,
+	}
+	n.ID = p.nextObjID
+	p.nextObjID++
+	return n
+}
+
+func (c *cloner) instr(in Instr) Instr {
+	var out Instr
+	switch in := in.(type) {
+	case *Alloc:
+		a := NewAlloc(c.reg(in.Dst), c.cloneAllocObject(in.Obj))
+		a.DynSize = c.val(in.DynSize)
+		out = a
+	case *BinOp:
+		out = NewBinOp(c.reg(in.Dst), in.Op, c.val(in.X), c.val(in.Y))
+	case *Copy:
+		out = NewCopy(c.reg(in.Dst), c.val(in.Src))
+	case *Load:
+		out = NewLoad(c.reg(in.Dst), c.val(in.Addr))
+	case *Store:
+		out = NewStore(c.val(in.Addr), c.val(in.Val))
+	case *FieldAddr:
+		out = NewFieldAddr(c.reg(in.Dst), c.val(in.Base), in.Off)
+	case *IndexAddr:
+		out = NewIndexAddr(c.reg(in.Dst), c.val(in.Base), c.val(in.Idx))
+	case *Call:
+		out = NewCall(c.reg(in.Dst), c.val(in.Callee), c.vals(in.Args), in.Builtin)
+	case *Ret:
+		out = NewRet(c.val(in.Val))
+	case *Jump:
+		out = NewJump(c.blocks[in.Target])
+	case *Branch:
+		out = NewBranch(c.val(in.Cond), c.blocks[in.Then], c.blocks[in.Else])
+	case *Phi:
+		preds := make([]*Block, len(in.Preds))
+		for i, b := range in.Preds {
+			preds[i] = c.blocks[b]
+		}
+		out = NewPhi(c.reg(in.Dst), c.vals(in.Vals), preds)
+	default:
+		panic(fmt.Sprintf("ir: clone: unknown instruction %T", in))
+	}
+	Adopt(out, c.blocks[in.Parent()], in.Label())
+	out.(interface{ SetPos(token.Pos) }).SetPos(in.Pos())
+	return out
+}

@@ -1,8 +1,15 @@
 // Package lexer tokenizes MiniC source text.
+//
+// Position model: columns count characters (runes), not bytes, and tabs
+// count as one character each, matching how editors report the cursor
+// column. "\n", "\r\n" and a lone "\r" all terminate a line; the "\n" of
+// a CRLF pair does not start a line of its own, so files saved with
+// Windows line endings get the same positions as their Unix twins.
 package lexer
 
 import (
 	"fmt"
+	"unicode/utf8"
 
 	"github.com/valueflow/usher/internal/diag"
 	"github.com/valueflow/usher/internal/token"
@@ -52,10 +59,25 @@ func (l *Lexer) peek2() byte {
 func (l *Lexer) advance() byte {
 	c := l.src[l.off]
 	l.off++
-	if c == '\n' {
+	switch {
+	case c == '\n':
 		l.line++
 		l.col = 1
-	} else {
+	case c == '\r':
+		// "\r\n" is one line terminator: swallow the '\n' here so the
+		// pair advances the line exactly once and the '\r' never lands
+		// in a column count. A lone '\r' terminates a line by itself.
+		l.line++
+		l.col = 1
+		if l.off < len(l.src) && l.src[l.off] == '\n' {
+			l.off++
+		}
+	case c&0xC0 == 0x80:
+		// UTF-8 continuation byte: still inside the character whose
+		// leading byte already advanced the column. Columns count
+		// characters, not bytes, so editors and diagnostics agree on
+		// sources with non-ASCII comments.
+	default:
 		l.col++
 	}
 	return c
@@ -68,7 +90,7 @@ func (l *Lexer) skipSpaceAndComments() {
 		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
 			l.advance()
 		case c == '/' && l.peek2() == '/':
-			for l.off < len(l.src) && l.peek() != '\n' {
+			for l.off < len(l.src) && l.peek() != '\n' && l.peek() != '\r' {
 				l.advance()
 			}
 		case c == '/' && l.peek2() == '*':
@@ -132,6 +154,36 @@ func (l *Lexer) Next() token.Token {
 			l.advance()
 		}
 		return mk(token.NUMBER, l.src[start:l.off])
+	case c == '#':
+		start := l.off
+		for l.off < len(l.src) && isIdentCont(l.peek()) {
+			l.advance()
+		}
+		name := l.src[start:l.off]
+		if name == "include" {
+			return mk(token.INCLUDE, "#include")
+		}
+		l.errorf(pos, "unknown directive #%s (only #include is supported)", name)
+		return mk(token.ILLEGAL, "#"+name)
+	case c == '"':
+		// Include-path string literal. MiniC has no string values, so the
+		// grammar is deliberately small: no escape sequences, and the
+		// literal must close before the end of the line.
+		start := l.off
+		for l.off < len(l.src) {
+			switch l.peek() {
+			case '"':
+				text := l.src[start:l.off]
+				l.advance()
+				return mk(token.STRING, text)
+			case '\n', '\r':
+				l.errorf(pos, "unterminated string literal")
+				return mk(token.ILLEGAL, l.src[start-1:l.off])
+			}
+			l.advance()
+		}
+		l.errorf(pos, "unterminated string literal")
+		return mk(token.ILLEGAL, l.src[start-1:l.off])
 	case isIdentStart(c):
 		start := l.off - 1
 		for l.off < len(l.src) && isIdentCont(l.peek()) {
@@ -209,6 +261,17 @@ func (l *Lexer) Next() token.Token {
 			return mk(token.SHR, ">>")
 		}
 		return two('=', token.GEQ, token.GT)
+	}
+	if c >= utf8.RuneSelf {
+		// Consume the whole rune so one illegal character yields one
+		// diagnostic at one column, not a diagnostic per byte.
+		start := l.off - 1
+		r, size := utf8.DecodeRuneInString(l.src[start:])
+		for i := 1; i < size; i++ {
+			l.advance()
+		}
+		l.errorf(pos, "illegal character %q", r)
+		return mk(token.ILLEGAL, l.src[start:l.off])
 	}
 	l.errorf(pos, "illegal character %q", c)
 	return mk(token.ILLEGAL, string(c))

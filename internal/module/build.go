@@ -1,0 +1,287 @@
+package module
+
+import (
+	"sync"
+
+	"github.com/valueflow/usher/internal/ast"
+	"github.com/valueflow/usher/internal/cache"
+	"github.com/valueflow/usher/internal/diag"
+	"github.com/valueflow/usher/internal/ir"
+	"github.com/valueflow/usher/internal/pipeline"
+	"github.com/valueflow/usher/internal/pool"
+	"github.com/valueflow/usher/internal/stats"
+	"github.com/valueflow/usher/internal/token"
+)
+
+// FuncSig records one of a module's own top-level function declarations,
+// for link-time conflict checks and deterministic shell ordering.
+type FuncSig struct {
+	Name    string
+	Arity   int
+	Defined bool // has a body in this module
+	Pos     token.Pos
+}
+
+// GlobalSig records one of a module's own top-level globals.
+type GlobalSig struct {
+	Name string
+	Pos  token.Pos
+}
+
+// Unit is one compiled module: the immutable artifact cached across
+// builds under the module's transitive content hash. Prog is the
+// module's own SSA program — its functions compiled against bodiless
+// dependency shells — and is never mutated after compilation; linking
+// clones out of it (see ir.CloneBody).
+type Unit struct {
+	Name string
+	Hash string
+	// Exports are the declarations dependents compile against: struct
+	// declarations, global declarations, and function prototypes
+	// (bodies stripped). The nodes are shared read-only across every
+	// dependent's type check.
+	Exports []ast.Decl
+	// Prog is the per-module SSA IR (O0, mem2reg'd, verified).
+	Prog *ir.Program
+	// OwnGlobals and OwnFuncs list the module's own top-level
+	// declarations in source order; DefinedFuncs the subset of function
+	// names the module defines. Link order is derived from these.
+	OwnGlobals   []GlobalSig
+	OwnFuncs     []FuncSig
+	DefinedFuncs []string
+	// SizeEstimate is the deterministic byte-size estimate used for
+	// cache accounting.
+	SizeEstimate int64
+}
+
+// Cache retains compiled Units across builds, keyed by transitive
+// content hash and bounded by a byte budget. Concurrent requests for
+// the same hash are single-flighted: one builds, the rest wait for its
+// result. Publication into the LRU happens before the in-flight marker
+// is dropped, so there is no window where a racing caller misses both.
+type Cache struct {
+	lru *cache.LRU[*Unit]
+
+	mu       sync.Mutex
+	inflight map[string]*unitFlight
+}
+
+type unitFlight struct {
+	done chan struct{}
+	unit *Unit
+	err  error
+}
+
+// NewCache returns a unit cache bounded to budget bytes (of
+// SizeEstimate accounting).
+func NewCache(budget int64) *Cache {
+	return &Cache{
+		lru:      cache.New[*Unit](budget),
+		inflight: make(map[string]*unitFlight),
+	}
+}
+
+// Stats returns the underlying LRU counters.
+func (c *Cache) Stats() cache.Stats { return c.lru.Stats() }
+
+// getOrBuild returns the cached unit for hash, or runs build exactly
+// once per concurrent group of callers. reused is true when the caller
+// did not run build itself (cache hit or coalesced onto another
+// caller's build). Build errors are returned to every waiter and never
+// cached — the next build retries.
+func (c *Cache) getOrBuild(hash string, build func() (*Unit, error)) (unit *Unit, reused bool, err error) {
+	c.mu.Lock()
+	if u, ok := c.lru.Get(hash); ok {
+		c.mu.Unlock()
+		return u, true, nil
+	}
+	if f, ok := c.inflight[hash]; ok {
+		c.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, false, f.err
+		}
+		return f.unit, true, nil
+	}
+	f := &unitFlight{done: make(chan struct{})}
+	c.inflight[hash] = f
+	c.mu.Unlock()
+
+	f.unit, f.err = build()
+
+	c.mu.Lock()
+	if f.err == nil {
+		c.lru.Put(hash, f.unit, f.unit.SizeEstimate)
+	}
+	delete(c.inflight, hash)
+	c.mu.Unlock()
+	close(f.done)
+	return f.unit, false, f.err
+}
+
+// Options configures a Build.
+type Options struct {
+	// Cache retains units across builds; nil compiles every module.
+	Cache *Cache
+	// Stats receives per-pass observations (variant = module name for
+	// the frontend passes, "" for link). Nil records nothing.
+	Stats *stats.Collector
+	// Parallel bounds per-batch compile concurrency (values < 2 are
+	// sequential, matching pool.ForEach).
+	Parallel int
+}
+
+// Result is a completed multi-file build.
+type Result struct {
+	// Prog is the linked whole program, ready for ApplyLevel and the
+	// shared analysis pipeline.
+	Prog  *ir.Program
+	Graph *Graph
+	// Units in link order.
+	Units []*Unit
+	// Reused counts modules resolved from warm artifacts (cache hits or
+	// coalesced builds); Compiled counts modules whose frontend ran.
+	Reused, Compiled int
+}
+
+// Build compiles a module set into one linked program: dependency
+// graph, per-module frontend in parallel topological batches (warm
+// units from opts.Cache skip their frontend entirely), then link. The
+// result is deterministic for any Parallel value.
+func Build(files []File, opts Options) (_ *Result, err error) {
+	defer diag.Guard(diag.PhaseInternal, &err)
+	g, err := NewGraph(files)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Graph: g}
+	units := make(map[string]*Unit, len(g.Modules))
+	for _, batch := range g.Batches() {
+		outs := make([]*Unit, len(batch))
+		hits := make([]bool, len(batch))
+		batch := batch
+		ferr := pool.ForEach(opts.Parallel, len(batch), func(i int) error {
+			m := batch[i]
+			build := func() (*Unit, error) { return compileModule(g, m, units, opts.Stats) }
+			if opts.Cache == nil {
+				u, uerr := build()
+				outs[i] = u
+				return uerr
+			}
+			u, reused, uerr := opts.Cache.getOrBuild(m.Hash, build)
+			outs[i], hits[i] = u, reused
+			return uerr
+		})
+		if ferr != nil {
+			return nil, ferr
+		}
+		for i, u := range outs {
+			units[u.Name] = u
+			if hits[i] {
+				res.Reused++
+			} else {
+				res.Compiled++
+			}
+		}
+	}
+	for _, m := range g.Modules {
+		res.Units = append(res.Units, units[m.Name])
+	}
+	err = pipeline.ObservePass(opts.Stats, "link", "", func() (map[string]int64, error) {
+		prog, counters, lerr := link(res.Units)
+		if lerr != nil {
+			return nil, lerr
+		}
+		counters["modules"] = int64(len(res.Units))
+		counters["reused"] = int64(res.Reused)
+		res.Prog = prog
+		return counters, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// compileModule runs the per-module frontend: parse the module's own
+// source, splice its transitive dependencies' exports ahead of its own
+// declarations, then typecheck → lower → mem2reg → verify the unit.
+// Every pass is observed under the module's name as the variant.
+func compileModule(g *Graph, m *Module, units map[string]*Unit, sc *stats.Collector) (*Unit, error) {
+	astProg, err := pipeline.ParseSource(m.Name, m.Source, m.Name, sc)
+	if err != nil {
+		return nil, err
+	}
+	closure := g.Closure(m)
+	var decls []ast.Decl
+	for _, dep := range closure {
+		decls = append(decls, units[dep.Name].Exports...)
+	}
+	u := &Unit{Name: m.Name, Hash: m.Hash}
+	for _, d := range astProg.Decls {
+		switch d := d.(type) {
+		case *ast.Include:
+			continue
+		case *ast.VarDecl:
+			u.OwnGlobals = append(u.OwnGlobals, GlobalSig{Name: d.Name, Pos: d.Pos()})
+		case *ast.FuncDecl:
+			u.OwnFuncs = append(u.OwnFuncs, FuncSig{
+				Name: d.Name, Arity: len(d.Params), Defined: d.Body != nil, Pos: d.Pos(),
+			})
+			if d.Body != nil {
+				u.DefinedFuncs = append(u.DefinedFuncs, d.Name)
+			}
+		}
+		decls = append(decls, d)
+	}
+	unitAST := &ast.Program{File: m.Name, Decls: decls}
+	prog, err := pipeline.CompileUnit(unitAST, m.Name, sc)
+	if err != nil {
+		return nil, err
+	}
+	u.Prog = prog
+	u.Exports = exportsOf(astProg)
+	u.SizeEstimate = sizeEstimate(m.Source, prog)
+	return u, nil
+}
+
+// exportsOf builds the interface a module presents to its dependents:
+// structs and globals as-is, functions stripped to prototypes. The
+// prototype nodes are created once here and shared read-only by every
+// dependent unit (types.Check does not mutate the AST).
+func exportsOf(astProg *ast.Program) []ast.Decl {
+	var out []ast.Decl
+	seenProto := make(map[string]bool)
+	for _, d := range astProg.Decls {
+		switch d := d.(type) {
+		case *ast.StructDecl:
+			out = append(out, d)
+		case *ast.VarDecl:
+			out = append(out, d)
+		case *ast.FuncDecl:
+			// A module with both a prototype and a definition exports
+			// one prototype.
+			if seenProto[d.Name] {
+				continue
+			}
+			seenProto[d.Name] = true
+			out = append(out, &ast.FuncDecl{
+				NamePos: d.NamePos, Ret: d.Ret, Name: d.Name, Params: d.Params,
+			})
+		}
+	}
+	return out
+}
+
+// sizeEstimate is the deterministic cache-accounting size of a unit:
+// source bytes plus a per-instruction charge for the retained IR and
+// AST. Deterministic sizing keeps eviction behavior reproducible.
+func sizeEstimate(src string, prog *ir.Program) int64 {
+	instrs := 0
+	for _, fn := range prog.Funcs {
+		for _, b := range fn.Blocks {
+			instrs += len(b.Instrs)
+		}
+	}
+	return int64(len(src)) + int64(instrs)*256 + 4096
+}

@@ -1,0 +1,125 @@
+package module
+
+import (
+	"github.com/valueflow/usher/internal/diag"
+	"github.com/valueflow/usher/internal/ir"
+	"github.com/valueflow/usher/internal/ssa"
+)
+
+// link merges compiled units (in link order) into one fresh whole
+// program. Cached unit programs are immutable, so everything is
+// deep-cloned (ir.CloneBody / ir.CloneGlobal); per-function labels and
+// register IDs are preserved, and globals and allocation sites are
+// renumbered in the same order single-file lowering of the flattened
+// source would produce — multi-file and single-file analysis of
+// equivalent programs agree on warning sites.
+//
+// Link-time errors are positioned diagnostics: duplicate global or
+// function definitions across modules, conflicting arities, and a name
+// used as a global by one module and a function by another.
+func link(units []*Unit) (*ir.Program, map[string]int64, error) {
+	var diags diag.List
+
+	// Conflict checks over every module's own declarations.
+	globalOwner := make(map[string]*Unit)
+	funcArity := make(map[string]int)
+	funcDefiner := make(map[string]string)
+	for _, u := range units {
+		for _, gs := range u.OwnGlobals {
+			if prev, ok := globalOwner[gs.Name]; ok {
+				diags.Addf(diag.PhaseLink, gs.Pos, "global %s redefined in module %q (first defined in module %q)", gs.Name, u.Name, prev.Name)
+				continue
+			}
+			globalOwner[gs.Name] = u
+		}
+		for _, fs := range u.OwnFuncs {
+			if arity, ok := funcArity[fs.Name]; ok && arity != fs.Arity {
+				diags.Addf(diag.PhaseLink, fs.Pos, "function %s declared with %d parameter(s) in module %q but %d elsewhere", fs.Name, fs.Arity, u.Name, arity)
+				continue
+			}
+			funcArity[fs.Name] = fs.Arity
+			if fs.Defined {
+				if prev, ok := funcDefiner[fs.Name]; ok {
+					diags.Addf(diag.PhaseLink, fs.Pos, "function %s defined in module %q and module %q", fs.Name, prev, u.Name)
+					continue
+				}
+				funcDefiner[fs.Name] = u.Name
+			}
+		}
+	}
+	for name := range funcArity {
+		owner, ok := globalOwner[name]
+		if !ok {
+			continue
+		}
+		for _, gs := range owner.OwnGlobals {
+			if gs.Name == name {
+				diags.Addf(diag.PhaseLink, gs.Pos, "%s is a global in module %q and a function elsewhere", name, owner.Name)
+				break
+			}
+		}
+	}
+	if err := diags.Err(); err != nil {
+		return nil, nil, err
+	}
+
+	dst := ir.NewProgram()
+
+	// Phase 1: canonical globals, in link order — the declaration order
+	// of the flattened program, so object IDs match single-file builds.
+	canonGlobals := make(map[string]*ir.Object, len(globalOwner))
+	for _, u := range units {
+		byName := make(map[string]*ir.Object, len(u.Prog.Globals))
+		for _, o := range u.Prog.Globals {
+			byName[o.Name] = o
+		}
+		for _, gs := range u.OwnGlobals {
+			src := byName[gs.Name]
+			obj := ir.CloneGlobal(dst, src)
+			dst.Globals = append(dst.Globals, obj)
+			canonGlobals[gs.Name] = obj
+		}
+	}
+
+	// Phase 2: function shells, in first-declaration order.
+	for _, u := range units {
+		for _, fs := range u.OwnFuncs {
+			if dst.FuncByName(fs.Name) != nil {
+				continue
+			}
+			dst.AddFunc(&ir.Function{Name: fs.Name, Pos: fs.Pos})
+		}
+	}
+
+	// Phase 3: clone bodies, in definition order. Allocation-site
+	// objects are numbered during cloning, mirroring single-file
+	// lowering order.
+	globalOf := func(o *ir.Object) *ir.Object { return canonGlobals[o.Name] }
+	for _, u := range units {
+		for _, name := range u.DefinedFuncs {
+			ir.CloneBody(dst.FuncByName(name), u.Prog.FuncByName(name), globalOf)
+		}
+	}
+
+	if err := ir.Verify(dst); err != nil {
+		diags.Merge(diag.PhaseLink, err)
+		return nil, nil, diags.Err()
+	}
+	if err := ssa.VerifySSA(dst); err != nil {
+		diags.Merge(diag.PhaseLink, err)
+		return nil, nil, diags.Err()
+	}
+
+	instrs := 0
+	for _, fn := range dst.Funcs {
+		for _, b := range fn.Blocks {
+			instrs += len(b.Instrs)
+		}
+	}
+	counters := map[string]int64{
+		"funcs":   int64(len(dst.Funcs)),
+		"globals": int64(len(dst.Globals)),
+		"instrs":  int64(instrs),
+	}
+	return dst, counters, nil
+}

@@ -1,0 +1,157 @@
+package module
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGraphBasics(t *testing.T) {
+	files := []File{
+		{Name: "main", Source: "#include \"b\"\n#include \"a\"\n#include \"b\"\nint main() { return f() + g(); }\n"},
+		{Name: "a", Source: "int f() { return 1; }\n"},
+		{Name: "b", Source: "#include \"a\"\nint g() { return f(); }\n"},
+	}
+	g, err := NewGraph(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := g.ByName("main")
+	// Deps are sorted and deduplicated.
+	if len(m.Deps) != 2 || m.Deps[0] != "a" || m.Deps[1] != "b" {
+		t.Fatalf("main deps = %v, want [a b]", m.Deps)
+	}
+	// Link order is topological with name tie-breaks: a, b, main.
+	var order []string
+	for _, mod := range g.Modules {
+		order = append(order, mod.Name)
+	}
+	if strings.Join(order, ",") != "a,b,main" {
+		t.Fatalf("link order = %v", order)
+	}
+	if g.ByName("a").Batch != 0 || g.ByName("b").Batch != 1 || m.Batch != 2 {
+		t.Fatalf("batches = %d/%d/%d, want 0/1/2",
+			g.ByName("a").Batch, g.ByName("b").Batch, m.Batch)
+	}
+	batches := g.Batches()
+	if len(batches) != 3 {
+		t.Fatalf("batch count = %d, want 3", len(batches))
+	}
+	// Closure is in link order and excludes the module itself.
+	cl := g.Closure(m)
+	if len(cl) != 2 || cl[0].Name != "a" || cl[1].Name != "b" {
+		t.Fatalf("closure(main) = %v", cl)
+	}
+}
+
+func TestGraphHashPropagation(t *testing.T) {
+	base := []File{
+		{Name: "a", Source: "int f() { return 1; }\n"},
+		{Name: "b", Source: "#include \"a\"\nint g() { return f(); }\n"},
+		{Name: "c", Source: "int h() { return 3; }\n"},
+	}
+	g0, err := NewGraph(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same inputs, same hashes: the hash is a pure function of content.
+	g1, _ := NewGraph(base)
+	for _, m := range g0.Modules {
+		if g1.ByName(m.Name).Hash != m.Hash {
+			t.Fatalf("hash of %s not stable", m.Name)
+		}
+	}
+	if g0.SetHash() != g1.SetHash() {
+		t.Fatal("set hash not stable")
+	}
+	// Editing a changes a and its dependent b, but not the unrelated c.
+	edited := append([]File(nil), base...)
+	edited[0].Source += "// touched\n"
+	g2, err := NewGraph(edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.ByName("a").Hash == g0.ByName("a").Hash {
+		t.Error("edited module kept its hash")
+	}
+	if g2.ByName("b").Hash == g0.ByName("b").Hash {
+		t.Error("dependent of the edited module kept its hash")
+	}
+	if g2.ByName("c").Hash != g0.ByName("c").Hash {
+		t.Error("unrelated module changed hash")
+	}
+	if g2.SetHash() == g0.SetHash() {
+		t.Error("set hash unchanged by an edit")
+	}
+}
+
+func TestGraphErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		files []File
+		want  string
+	}{
+		{"empty name", []File{{Name: "", Source: "int f();"}}, "empty name"},
+		{"duplicate", []File{{Name: "a", Source: ""}, {Name: "a", Source: ""}}, `duplicate module "a"`},
+		{"self include", []File{{Name: "a", Source: "#include \"a\"\n"}}, `includes itself`},
+		{"unknown include", []File{{Name: "a", Source: "#include \"ghost\"\n"}}, `unknown module "ghost"`},
+		{"cycle", []File{
+			{Name: "a", Source: "#include \"b\"\nint f();\n"},
+			{Name: "b", Source: "#include \"a\"\nint g();\n"},
+		}, "include cycle"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewGraph(tc.files)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestGraphCyclePosition pins that a cycle diagnostic points at an
+// include directive inside the cycle, with file/line/column.
+func TestGraphCyclePosition(t *testing.T) {
+	files := []File{
+		{Name: "x", Source: "// header\n#include \"y\"\n"},
+		{Name: "y", Source: "#include \"x\"\n"},
+	}
+	_, err := NewGraph(files)
+	if err == nil {
+		t.Fatal("cycle not detected")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "x:2:") && !strings.Contains(msg, "y:1:") {
+		t.Fatalf("cycle diagnostic carries no include position: %v", msg)
+	}
+	if !strings.Contains(msg, `"x" -> "y" -> "x"`) && !strings.Contains(msg, `"y" -> "x" -> "y"`) {
+		t.Fatalf("cycle diagnostic does not name the cycle: %v", msg)
+	}
+}
+
+func TestFlattenStripsIncludes(t *testing.T) {
+	files := []File{
+		{Name: "b", Source: "#include \"a\"\r\nint g() { return f(); }\r\n"},
+		{Name: "a", Source: "int f() { return 1; }\n"},
+	}
+	flat, err := Flatten(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(flat, "#include") {
+		t.Fatalf("flattened source still has includes:\n%s", flat)
+	}
+	// Link order: a before its dependent b; non-include lines survive
+	// byte-for-byte (including the CRLF terminator).
+	ia := strings.Index(flat, "int f()")
+	ib := strings.Index(flat, "int g()")
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("flatten order wrong:\n%s", flat)
+	}
+	if !strings.Contains(flat, "int g() { return f(); }\r\n") {
+		t.Fatalf("non-include line not preserved byte-for-byte:\n%s", flat)
+	}
+	if _, err := Flatten([]File{{Name: "a", Source: "#include \"a\"\n"}}); err == nil {
+		t.Fatal("Flatten accepted an invalid graph")
+	}
+}

@@ -151,6 +151,20 @@ func (p *Parser) parseProgram() {
 }
 
 func (p *Parser) parseTopDecl() ast.Decl {
+	if p.at(token.INCLUDE) {
+		hash := p.advance()
+		if !p.at(token.STRING) {
+			p.errorf(`expected "name" after #include, found %s`, p.cur())
+			p.sync()
+			return nil
+		}
+		path := p.advance()
+		if path.Text == "" {
+			p.errorfAt(path.Pos, "#include path must not be empty")
+			return nil
+		}
+		return &ast.Include{HashPos: hash.Pos, Path: path.Text, PathPos: path.Pos}
+	}
 	if p.at(token.KwStruct) && p.peek().Kind == token.IDENT {
 		// Either a struct definition or a declaration with struct base type.
 		if p.toks[min(p.pos+2, len(p.toks)-1)].Kind == token.LBRACE {

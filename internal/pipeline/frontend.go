@@ -15,11 +15,14 @@ import (
 	"github.com/valueflow/usher/internal/types"
 )
 
-// observe times one eagerly-run pass and records it into sc. The
+// ObservePass times one eagerly-run pass and records it into sc. The
 // frontend passes run in sequence (no artifact store — each consumes its
 // predecessor's output directly), but they report through the same
-// registry and collector as the analysis passes.
-func observe(sc *stats.Collector, pass, variant string, fn func() (map[string]int64, error)) error {
+// registry and collector as the analysis passes. Multi-file builds
+// (package module) run the frontend once per module with the module
+// name as the variant, so `-stats` shows exactly which modules an
+// incremental build recompiled.
+func ObservePass(sc *stats.Collector, pass, variant string, fn func() (map[string]int64, error)) error {
 	if !sc.Enabled() {
 		_, err := fn()
 		return err
@@ -40,30 +43,28 @@ func observe(sc *stats.Collector, pass, variant string, fn func() (map[string]in
 	return err
 }
 
-// Compile runs the frontend passes — parse, typecheck, lower, mem2reg,
-// verify — producing SSA-form IR (the paper's O0 baseline; apply further
-// levels with ApplyLevel). It is the implementation behind
-// compile.Source, with each stage observed into sc (nil records
-// nothing).
-//
-// Compile never panics on malformed input: every frontend problem is
-// reported as positioned diagnostics (see package diag), and an
-// unexpected panic below — an internal invariant violation — is
-// converted into an internal-error diagnostic at this boundary.
-func Compile(file, src string, sc *stats.Collector) (_ *ir.Program, err error) {
-	defer diag.Guard(diag.PhaseInternal, &err)
-
+// ParseSource runs the parse pass over one source file, observed into sc
+// under the given variant (the module name for multi-file builds, ""
+// for single-file compilation).
+func ParseSource(file, src, variant string, sc *stats.Collector) (*ast.Program, error) {
 	var astProg *ast.Program
-	if err := observe(sc, "parse", "", func() (map[string]int64, error) {
+	err := ObservePass(sc, "parse", variant, func() (map[string]int64, error) {
 		var perr error
 		astProg, perr = parser.Parse(file, src)
 		return nil, perr
-	}); err != nil {
+	})
+	if err != nil {
 		return nil, err
 	}
+	return astProg, nil
+}
 
+// CompileUnit runs typecheck, lower, mem2reg and verify over one parsed
+// translation unit, producing SSA-form IR at the O0 baseline. The
+// variant tags each recorded pass (module name for multi-file builds).
+func CompileUnit(astProg *ast.Program, variant string, sc *stats.Collector) (*ir.Program, error) {
 	var info *types.Info
-	if err := observe(sc, "typecheck", "", func() (map[string]int64, error) {
+	if err := ObservePass(sc, "typecheck", variant, func() (map[string]int64, error) {
 		var terr error
 		info, terr = types.Check(astProg)
 		return nil, terr
@@ -72,7 +73,7 @@ func Compile(file, src string, sc *stats.Collector) (_ *ir.Program, err error) {
 	}
 
 	var irp *ir.Program
-	if err := observe(sc, "lower", "", func() (map[string]int64, error) {
+	if err := ObservePass(sc, "lower", variant, func() (map[string]int64, error) {
 		var lerr error
 		irp, lerr = lower.Lower(astProg, info)
 		if lerr != nil {
@@ -93,7 +94,7 @@ func Compile(file, src string, sc *stats.Collector) (_ *ir.Program, err error) {
 		return nil, err
 	}
 
-	if err := observe(sc, "mem2reg", "", func() (map[string]int64, error) {
+	if err := ObservePass(sc, "mem2reg", variant, func() (map[string]int64, error) {
 		promoted := ssa.Promote(irp)
 		for _, fn := range irp.Funcs {
 			ir.ComputeCFG(fn)
@@ -103,7 +104,7 @@ func Compile(file, src string, sc *stats.Collector) (_ *ir.Program, err error) {
 		return nil, err
 	}
 
-	if err := observe(sc, "verify", "", func() (map[string]int64, error) {
+	if err := ObservePass(sc, "verify", variant, func() (map[string]int64, error) {
 		var diags diag.List
 		if verr := ir.Verify(irp); verr != nil {
 			diags.Merge(diag.PhaseVerify, verr)
@@ -117,10 +118,30 @@ func Compile(file, src string, sc *stats.Collector) (_ *ir.Program, err error) {
 	return irp, nil
 }
 
+// Compile runs the frontend passes — parse, typecheck, lower, mem2reg,
+// verify — producing SSA-form IR (the paper's O0 baseline; apply further
+// levels with ApplyLevel). It is the implementation behind
+// compile.Source, with each stage observed into sc (nil records
+// nothing).
+//
+// Compile never panics on malformed input: every frontend problem is
+// reported as positioned diagnostics (see package diag), and an
+// unexpected panic below — an internal invariant violation — is
+// converted into an internal-error diagnostic at this boundary.
+func Compile(file, src string, sc *stats.Collector) (_ *ir.Program, err error) {
+	defer diag.Guard(diag.PhaseInternal, &err)
+
+	astProg, err := ParseSource(file, src, "", sc)
+	if err != nil {
+		return nil, err
+	}
+	return CompileUnit(astProg, "", sc)
+}
+
 // ApplyLevel runs the scalar-optimization pipeline for the level, in
 // place, recorded as the "scalar" pass (variant: the level name).
 func ApplyLevel(prog *ir.Program, level passes.Level, sc *stats.Collector) error {
-	return observe(sc, "scalar", level.String(), func() (map[string]int64, error) {
+	return ObservePass(sc, "scalar", level.String(), func() (map[string]int64, error) {
 		return nil, passes.Apply(prog, level)
 	})
 }

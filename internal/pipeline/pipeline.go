@@ -31,6 +31,7 @@ type Phase string
 const (
 	PhaseFrontend   Phase = "frontend"
 	PhaseSSA        Phase = "ssa"
+	PhaseLink       Phase = "link"
 	PhaseScalarOpt  Phase = "scalaropt"
 	PhaseSnapshot   Phase = "snapshot"
 	PhasePointer    Phase = "pointer"
@@ -53,8 +54,10 @@ type Pass struct {
 	// typed accessors are the compile-time contract).
 	Produces string
 	// Variants names the artifact-key dimension: "" for config-invariant
-	// singletons, "graph" for the full/tl VFG flavors, "config" for
-	// per-configuration artifacts, "level" for scalar optimization levels.
+	// singletons, "module" for per-module frontend runs (single-file
+	// compilation uses the empty variant), "graph" for the full/tl VFG
+	// flavors, "config" for per-configuration artifacts, "level" for
+	// scalar optimization levels.
 	Variants string
 	// Counters lists the deterministic work counters the pass reports
 	// (golden-tested against docs/ANALYSIS.md).
@@ -65,18 +68,21 @@ type Pass struct {
 // stats snapshots sort by registry position, and the docs/ANALYSIS.md
 // pass table must list the same passes in the same order.
 var Registry = []*Pass{
-	{Name: "parse", Phase: PhaseFrontend,
+	{Name: "parse", Phase: PhaseFrontend, Variants: "module",
 		Produces: "*ast.Program"},
-	{Name: "typecheck", Phase: PhaseFrontend, Needs: []string{"parse"},
+	{Name: "typecheck", Phase: PhaseFrontend, Needs: []string{"parse"}, Variants: "module",
 		Produces: "*types.Info"},
-	{Name: "lower", Phase: PhaseFrontend, Needs: []string{"typecheck"},
+	{Name: "lower", Phase: PhaseFrontend, Needs: []string{"typecheck"}, Variants: "module",
 		Produces: "*ir.Program",
 		Counters: []string{"funcs", "instrs"}},
-	{Name: "mem2reg", Phase: PhaseSSA, Needs: []string{"lower"},
+	{Name: "mem2reg", Phase: PhaseSSA, Needs: []string{"lower"}, Variants: "module",
 		Produces: "*ir.Program (SSA)",
 		Counters: []string{"promoted"}},
-	{Name: "verify", Phase: PhaseSSA, Needs: []string{"mem2reg"},
+	{Name: "verify", Phase: PhaseSSA, Needs: []string{"mem2reg"}, Variants: "module",
 		Produces: "verified IR"},
+	{Name: "link", Phase: PhaseLink, Needs: []string{"verify"},
+		Produces: "*ir.Program (linked whole program)",
+		Counters: []string{"funcs", "globals", "instrs", "modules", "reused"}},
 	{Name: "scalar", Phase: PhaseScalarOpt, Needs: []string{"verify"}, Variants: "level",
 		Produces: "*ir.Program (optimized)"},
 	{Name: "snapshot", Phase: PhaseSnapshot, Needs: []string{"scalar"},

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"time"
@@ -181,23 +182,45 @@ func fetchStats(client *http.Client, baseURL string) (*ServerStats, error) {
 	return &st, nil
 }
 
+// Quantile returns the nearest-rank p-quantile of an ascending-sorted
+// sample: the smallest element with at least a p fraction of the
+// samples at or below it (index ceil(p*n)-1, clamped into [0, n-1]).
+// NaN for an empty sample.
+//
+// The clamped nearest-rank definition replaces the earlier
+// round-half-up interpolation index int(p*(n-1)+0.5), which
+// over-indexed small samples — the median of 2 read the larger sample,
+// and p-values near 1 could round past the intended rank — and carried
+// no range guard for p outside [0, 1].
+func Quantile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	i := int(math.Ceil(p*float64(n))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return sorted[i]
+}
+
 func summarize(ms []float64) LatencyStats {
 	if len(ms) == 0 {
 		return LatencyStats{}
 	}
 	sorted := append([]float64(nil), ms...)
 	sort.Float64s(sorted)
-	pct := func(p float64) float64 {
-		return sorted[int(p*float64(len(sorted)-1)+0.5)]
-	}
 	var sum float64
 	for _, v := range sorted {
 		sum += v
 	}
 	return LatencyStats{
-		P50:  pct(0.50),
-		P90:  pct(0.90),
-		P99:  pct(0.99),
+		P50:  Quantile(sorted, 0.50),
+		P90:  Quantile(sorted, 0.90),
+		P99:  Quantile(sorted, 0.99),
 		Max:  sorted[len(sorted)-1],
 		Mean: sum / float64(len(sorted)),
 	}

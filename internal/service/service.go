@@ -5,17 +5,33 @@
 //
 // # Request lifecycle
 //
-// POST /analyze carries MiniC source. The server keys the compiled
-// program — and the pipeline.Store behind its usher.Session — by the
-// SHA-256 of (optimization level, source), so a repeated or re-submitted
-// identical source reuses every analysis artifact the earlier requests
+// POST /analyze carries MiniC source — either one file ("source") or a
+// multi-file module set ("files"). The server keys the compiled program
+// — and the pipeline.Store behind its usher.Session — by the SHA-256 of
+// (optimization level, source) for single files and by (level,
+// module.Graph.SetHash) for module sets, so a repeated or re-submitted
+// identical program reuses every analysis artifact the earlier requests
 // materialized: the second identical request runs zero pipeline passes
 // (visible in the response's empty "phases" list and the /stats cache
-// counters). Distinct sources occupy a byte-budgeted LRU
+// counters). Distinct programs occupy a byte-budgeted LRU
 // (internal/cache) whose entry sizes are the pipeline's observed
 // allocation volume — an upper bound on what the artifacts retain — so
 // resident memory stays bounded under sustained traffic; least recently
 // used programs are evicted whole.
+//
+// Module sets additionally share a per-module unit cache
+// (module.Cache, budget ModuleCacheBytes) keyed by transitive content
+// hash: a request that edits one module of a previously analyzed set
+// gets a new program key — a program-cache miss — but its build re-runs
+// the frontend only for the edited module and its dependents; every
+// other module resolves from a warm unit. The response's "modules"
+// summary reports the split.
+//
+// Concurrent identical submissions are single-flighted: the first
+// request claims the key and builds; the rest coalesce onto the same
+// entry (counted in /stats "coalesced") and wait for its build. An
+// entry is published to the LRU before its in-flight claim is dropped,
+// so there is no window where a racing request misses both and rebuilds.
 //
 // Per-request limits: the request body is capped (MaxBodyBytes), the
 // whole request races a deadline (Timeout; the analysis itself is not
@@ -51,6 +67,7 @@ import (
 	"github.com/valueflow/usher/internal/cache"
 	"github.com/valueflow/usher/internal/interp"
 	"github.com/valueflow/usher/internal/ir"
+	"github.com/valueflow/usher/internal/module"
 	"github.com/valueflow/usher/internal/passes"
 	"github.com/valueflow/usher/internal/pipeline"
 	"github.com/valueflow/usher/internal/stats"
@@ -65,6 +82,11 @@ type Options struct {
 	// CacheBytes is the LRU budget for resident analysis artifacts
 	// (default 256 MiB). Zero disables caching entirely.
 	CacheBytes int64
+	// ModuleCacheBytes is the budget for the per-module compile-unit
+	// cache shared by multi-file requests (default 64 MiB). Negative
+	// disables module reuse; every multi-file build compiles from
+	// scratch.
+	ModuleCacheBytes int64
 	// MaxBodyBytes caps the /analyze request body (default 1 MiB).
 	MaxBodyBytes int64
 	// Timeout is the per-request deadline covering queueing, compile,
@@ -84,6 +106,12 @@ func (o Options) withDefaults() Options {
 	if o.CacheBytes < 0 {
 		o.CacheBytes = 0
 	}
+	if o.ModuleCacheBytes == 0 {
+		o.ModuleCacheBytes = 64 << 20
+	}
+	if o.ModuleCacheBytes < 0 {
+		o.ModuleCacheBytes = 0
+	}
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 1 << 20
 	}
@@ -102,16 +130,18 @@ func (o Options) withDefaults() Options {
 // Server is the analysis daemon's state: the artifact cache plus the
 // request counters /stats reports. Create with New, serve via Handler.
 type Server struct {
-	opts  Options
-	start time.Time
-	lru   *cache.LRU[*progEntry]
-	sem   chan struct{}
+	opts    Options
+	start   time.Time
+	lru     *cache.LRU[*progEntry]
+	modules *module.Cache
+	sem     chan struct{}
 
 	mu       sync.Mutex
 	inflight map[string]*progEntry
 
 	requests      atomic.Int64
 	cacheHits     atomic.Int64
+	coalesced     atomic.Int64
 	cacheMisses   atomic.Int64
 	compileErrors atomic.Int64
 	analyzeErrors atomic.Int64
@@ -127,22 +157,41 @@ type progEntry struct {
 	key    string
 	srcLen int64
 
-	once sync.Once
-	file string
-	src  string
-	lvl  passes.Level
+	once  sync.Once
+	file  string
+	src   string
+	files []module.File // multi-file set; nil for single-source requests
+	lvl   passes.Level
+	mc    *module.Cache
+	par   int
 
 	prog *ir.Program
 	sess *usher.Session
 	sc   *stats.Collector
+	mods *ModuleSummary
 	err  error
 }
 
 func (e *progEntry) build() {
-	prog, err := pipeline.Compile(e.file, e.src, e.sc)
-	if err != nil {
-		e.err = err
-		return
+	var prog *ir.Program
+	if e.files != nil {
+		res, err := module.Build(e.files, module.Options{
+			Cache: e.mc, Stats: e.sc, Parallel: e.par,
+		})
+		if err != nil {
+			e.err = err
+			return
+		}
+		prog = res.Prog
+		e.mods = &ModuleSummary{
+			Count: len(res.Units), Reused: res.Reused, Compiled: res.Compiled,
+		}
+	} else {
+		var err error
+		if prog, err = pipeline.Compile(e.file, e.src, e.sc); err != nil {
+			e.err = err
+			return
+		}
 	}
 	if err := pipeline.ApplyLevel(prog, e.lvl, e.sc); err != nil {
 		e.err = err
@@ -150,9 +199,10 @@ func (e *progEntry) build() {
 	}
 	e.prog = prog
 	e.sess = usher.NewSessionObserved(prog, e.sc)
-	// The source is not retained past the build; only its length feeds
-	// the size estimate.
+	// The sources are not retained past the build; only their length
+	// feeds the size estimate.
 	e.src = ""
+	e.files = nil
 }
 
 // size is the entry's accounted cache footprint: the source length plus
@@ -174,6 +224,7 @@ func New(opts Options) *Server {
 		opts:     opts,
 		start:    time.Now(),
 		lru:      cache.New[*progEntry](opts.CacheBytes),
+		modules:  module.NewCache(opts.ModuleCacheBytes),
 		sem:      make(chan struct{}, opts.Workers),
 		inflight: make(map[string]*progEntry),
 	}
@@ -199,12 +250,28 @@ func (s *Server) Handler() http.Handler {
 
 // ---- /analyze ----
 
-// AnalyzeRequest is the /analyze request body.
+// FileEntry is one module of a multi-file submission.
+type FileEntry struct {
+	// Name is the module name: the position file name and the key other
+	// modules' `#include "name"` directives resolve against.
+	Name string `json:"name"`
+	// Source is the module's MiniC source.
+	Source string `json:"source"`
+}
+
+// AnalyzeRequest is the /analyze request body. Exactly one of Source
+// (a single translation unit) or Files (a multi-file module set linked
+// via `#include "name"` directives) must be set.
 type AnalyzeRequest struct {
 	// File is the display name used in diagnostics (default "request.c").
+	// Single-file form only.
 	File string `json:"file,omitempty"`
-	// Source is the MiniC program (required).
-	Source string `json:"source"`
+	// Source is the MiniC program (single-file form).
+	Source string `json:"source,omitempty"`
+	// Files is the module set (multi-file form). The program is keyed by
+	// (level, set content hash); per-module compile units are reused
+	// across requests from the daemon's module cache.
+	Files []FileEntry `json:"files,omitempty"`
 	// Configs names the instrumentation configurations to analyze under
 	// (plan names like "Usher", or the usherc aliases msan/tl/tlat/opti/
 	// usher/optiii; default ["Usher"]).
@@ -248,16 +315,32 @@ type ConfigResult struct {
 	Run            *RunResult `json:"run,omitempty"`
 }
 
+// ModuleSummary reports how a multi-file build split between warm
+// units and fresh compiles.
+type ModuleSummary struct {
+	// Count is the number of modules in the set.
+	Count int `json:"count"`
+	// Reused counts modules resolved from warm compile units (module
+	// cache hits or coalesced builds); Compiled counts modules whose
+	// frontend passes ran. The split reflects the build that created
+	// this program entry, not necessarily this request.
+	Reused   int `json:"reused"`
+	Compiled int `json:"compiled"`
+}
+
 // AnalyzeResponse is the /analyze response body.
 type AnalyzeResponse struct {
 	SchemaVersion int `json:"schema_version"`
-	// Key is the content hash (hex SHA-256 of level + source) the
-	// program's artifacts are cached under.
+	// Key is the content hash the program's artifacts are cached under:
+	// hex SHA-256 of level + source (single-file) or of level + the
+	// module set's SetHash (multi-file).
 	Key string `json:"key"`
 	// CacheHit reports whether the program's session already existed
 	// (resident or being built by a concurrent request).
-	CacheHit bool           `json:"cache_hit"`
-	Configs  []ConfigResult `json:"configs"`
+	CacheHit bool `json:"cache_hit"`
+	// Modules summarizes a multi-file build (absent for single files).
+	Modules *ModuleSummary `json:"modules,omitempty"`
+	Configs []ConfigResult `json:"configs"`
 	// Phases lists the pipeline passes that ran during THIS request
 	// (empty on a full cache hit) with their wall time and counters.
 	Phases    []stats.PassStats `json:"phases"`
@@ -275,13 +358,26 @@ func fail(status int, format string, args ...any) *httpError {
 	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
 }
 
-// Key returns the cache key for a source at a level: the full hex
-// SHA-256 of the level name and the source text.
+// Key returns the cache key for a single source at a level: the full
+// hex SHA-256 of the level name and the source text.
 func Key(level passes.Level, source string) string {
 	h := sha256.New()
 	h.Write([]byte(level.String()))
 	h.Write([]byte{0})
 	h.Write([]byte(source))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// KeySet returns the cache key for a module set at a level. The set
+// hash already covers every module's name, source and dependency
+// hashes; the domain separator keeps single-file and multi-file keys
+// disjoint even for colliding strings.
+func KeySet(level passes.Level, setHash string) string {
+	h := sha256.New()
+	h.Write([]byte(level.String()))
+	h.Write([]byte{0})
+	h.Write([]byte("module-set\x00"))
+	h.Write([]byte(setHash))
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -335,8 +431,12 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 // analyze is the worker half of handleAnalyze: validate, acquire a
 // worker slot, resolve the cached session, analyze and optionally run.
 func (s *Server) analyze(req *AnalyzeRequest, deadline <-chan time.Time) (*AnalyzeResponse, *httpError) {
-	if strings.TrimSpace(req.Source) == "" {
-		return nil, fail(http.StatusBadRequest, `"source" is required`)
+	multi := len(req.Files) > 0
+	if multi && strings.TrimSpace(req.Source) != "" {
+		return nil, fail(http.StatusBadRequest, `"source" and "files" are mutually exclusive`)
+	}
+	if !multi && strings.TrimSpace(req.Source) == "" {
+		return nil, fail(http.StatusBadRequest, `"source" or "files" is required`)
 	}
 	file := req.File
 	if file == "" {
@@ -372,8 +472,30 @@ func (s *Server) analyze(req *AnalyzeRequest, deadline <-chan time.Time) (*Analy
 			"no worker became available within the %s deadline", s.opts.Timeout)
 	}
 
-	key := Key(level, req.Source)
-	e, hit := s.lookup(key, file, req.Source, level)
+	var key string
+	var files []module.File
+	if multi {
+		files = make([]module.File, len(req.Files))
+		var srcLen int64
+		for i, f := range req.Files {
+			files[i] = module.File{Name: f.Name, Source: f.Source}
+			srcLen += int64(len(f.Source))
+		}
+		if srcLen == 0 {
+			return nil, fail(http.StatusBadRequest, `"files" must carry source`)
+		}
+		// The dependency graph is validated (and the set hash computed)
+		// before the cache lookup; a broken graph is the client's fault.
+		g, gerr := module.NewGraph(files)
+		if gerr != nil {
+			s.compileErrors.Add(1)
+			return nil, fail(http.StatusUnprocessableEntity, "modules: %v", gerr)
+		}
+		key = KeySet(level, g.SetHash())
+	} else {
+		key = Key(level, req.Source)
+	}
+	e, hit := s.lookup(key, file, req.Source, files, level)
 	if hit {
 		s.cacheHits.Add(1)
 	} else {
@@ -389,7 +511,7 @@ func (s *Server) analyze(req *AnalyzeRequest, deadline <-chan time.Time) (*Analy
 	}
 
 	before := e.sc.Snapshot()
-	resp := &AnalyzeResponse{SchemaVersion: SchemaVersion, Key: key, CacheHit: hit}
+	resp := &AnalyzeResponse{SchemaVersion: SchemaVersion, Key: key, CacheHit: hit, Modules: e.mods}
 	for i, cfg := range cfgs {
 		an, err := e.sess.Analyze(cfg)
 		if err != nil {
@@ -450,19 +572,26 @@ func convertWarnings(ws []interp.Warning) []Warning {
 
 // lookup resolves the cache entry for key, creating and claiming it on
 // a miss. The second return is true when the entry already existed —
-// resident in the LRU or still being built by a concurrent request.
-func (s *Server) lookup(key, file, src string, lvl passes.Level) (*progEntry, bool) {
+// resident in the LRU or still being built by a concurrent request
+// (the latter also counts as coalesced in /stats).
+func (s *Server) lookup(key, file, src string, files []module.File, lvl passes.Level) (*progEntry, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if e, ok := s.lru.Get(key); ok {
 		return e, true
 	}
 	if e, ok := s.inflight[key]; ok {
+		s.coalesced.Add(1)
 		return e, true
 	}
+	srcLen := int64(len(src))
+	for _, f := range files {
+		srcLen += int64(len(f.Source))
+	}
 	e := &progEntry{
-		key: key, srcLen: int64(len(src)),
-		file: file, src: src, lvl: lvl,
+		key: key, srcLen: srcLen,
+		file: file, src: src, files: files, lvl: lvl,
+		mc: s.modules, par: s.opts.Workers,
 		sc: stats.New(),
 	}
 	s.inflight[key] = e
@@ -471,21 +600,24 @@ func (s *Server) lookup(key, file, src string, lvl passes.Level) (*progEntry, bo
 
 // finish publishes a successfully built entry: admitted to (or
 // refreshed in) the LRU at its current accounted size, and cleared from
-// the in-flight set.
+// the in-flight set. The Put happens before the in-flight claim is
+// dropped — both under s.mu, the same order lookup takes the locks — so
+// a racing identical request always finds the entry in one of the two
+// maps and never rebuilds.
 func (s *Server) finish(e *progEntry) {
 	size := e.size()
 	s.mu.Lock()
+	s.lru.Put(e.key, e, size)
 	delete(s.inflight, e.key)
 	s.mu.Unlock()
-	s.lru.Put(e.key, e, size)
 }
 
 // abandon drops an entry that must not be cached (compile failure).
 func (s *Server) abandon(e *progEntry) {
 	s.mu.Lock()
+	s.lru.Remove(e.key)
 	delete(s.inflight, e.key)
 	s.mu.Unlock()
-	s.lru.Remove(e.key)
 }
 
 // ---- /stats ----
@@ -498,8 +630,12 @@ type ServerStats struct {
 	GOMAXPROCS    int     `json:"gomaxprocs"`
 	Workers       int     `json:"workers"`
 
-	Requests      int64 `json:"requests"`
-	CacheHits     int64 `json:"cache_hits"`
+	Requests  int64 `json:"requests"`
+	CacheHits int64 `json:"cache_hits"`
+	// Coalesced counts the subset of cache hits that attached to a
+	// concurrent identical request's in-flight build instead of a
+	// resident entry.
+	Coalesced     int64 `json:"coalesced"`
 	CacheMisses   int64 `json:"cache_misses"`
 	CompileErrors int64 `json:"compile_errors"`
 	AnalyzeErrors int64 `json:"analyze_errors"`
@@ -510,6 +646,9 @@ type ServerStats struct {
 	ErrorsEvicted int64 `json:"errors_evicted"`
 
 	Cache cache.Stats `json:"cache"`
+	// ModuleCache is the per-module compile-unit cache serving
+	// multi-file requests.
+	ModuleCache cache.Stats `json:"module_cache"`
 	// HeapBytes is the Go runtime's live-heap estimate, for judging the
 	// LRU budget against actual residency.
 	HeapBytes uint64 `json:"heap_bytes"`
@@ -530,6 +669,7 @@ func (s *Server) Stats() ServerStats {
 		Workers:       s.opts.Workers,
 		Requests:      s.requests.Load(),
 		CacheHits:     s.cacheHits.Load(),
+		Coalesced:     s.coalesced.Load(),
 		CacheMisses:   s.cacheMisses.Load(),
 		CompileErrors: s.compileErrors.Load(),
 		AnalyzeErrors: s.analyzeErrors.Load(),
@@ -537,6 +677,7 @@ func (s *Server) Stats() ServerStats {
 		RunsExecuted:  s.runsExecuted.Load(),
 		ErrorsEvicted: s.errorsEvicted.Load(),
 		Cache:         s.lru.Stats(),
+		ModuleCache:   s.modules.Stats(),
 		HeapBytes:     mem.HeapAlloc,
 	}
 	var snaps [][]stats.PassStats

@@ -20,6 +20,7 @@ const (
 
 	IDENT  // main
 	NUMBER // 12345
+	STRING // "lib.c" (include paths only; MiniC has no string values)
 
 	// Punctuation and operators.
 	LPAREN   // (
@@ -57,6 +58,7 @@ const (
 	MINUSMINUS
 	PLUSASSIGN  // +=
 	MINUSASSIGN // -=
+	INCLUDE     // #include
 
 	keywordStart
 	KwInt
@@ -75,6 +77,7 @@ const (
 
 var kindNames = map[Kind]string{
 	ILLEGAL: "ILLEGAL", EOF: "EOF", IDENT: "IDENT", NUMBER: "NUMBER",
+	STRING: "STRING", INCLUDE: "#include",
 	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}",
 	LBRACKET: "[", RBRACKET: "]", COMMA: ",", SEMI: ";",
 	ASSIGN: "=", PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/",
@@ -134,7 +137,7 @@ type Token struct {
 // String formats the token for diagnostics.
 func (t Token) String() string {
 	switch t.Kind {
-	case IDENT, NUMBER:
+	case IDENT, NUMBER, STRING:
 		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
 	default:
 		return t.Kind.String()

@@ -106,6 +106,14 @@ func check(prog *ast.Program) (*Info, error) {
 	}}
 	c.push() // file scope
 
+	// Includes are resolved by package module before type checking; one
+	// reaching this point means the caller compiled a module in
+	// single-file mode.
+	for _, d := range prog.Decls {
+		if inc, ok := d.(*ast.Include); ok {
+			c.errorf(inc.Pos(), "unresolved #include %q (compile as a multi-file module set)", inc.Path)
+		}
+	}
 	// Pass 1: struct declarations (in order; forward references to later
 	// structs are allowed only through pointers, checked by resolve).
 	for _, d := range prog.Decls {

@@ -1,0 +1,126 @@
+package workload_test
+
+import (
+	"testing"
+
+	"github.com/valueflow/usher"
+	"github.com/valueflow/usher/internal/module"
+	"github.com/valueflow/usher/internal/workload"
+)
+
+func toModuleFiles(mf []workload.ModuleFile) []module.File {
+	out := make([]module.File, len(mf))
+	for i, f := range mf {
+		out[i] = module.File{Name: f.Name, Source: f.Source}
+	}
+	return out
+}
+
+func TestModuleProjectShape(t *testing.T) {
+	p := workload.DefaultModuleProject
+	files := p.GenerateModules()
+	if len(files) != p.NumModules() || len(files) != 50 {
+		t.Fatalf("modules = %d (NumModules %d), want 50", len(files), p.NumModules())
+	}
+	again := p.GenerateModules()
+	for i := range files {
+		if files[i] != again[i] {
+			t.Fatalf("generation is not deterministic at %s", files[i].Name)
+		}
+	}
+	g, err := module.NewGraph(toModuleFiles(files))
+	if err != nil {
+		t.Fatalf("graph: %v", err)
+	}
+	// The layering pins the batch structure: core, util, the libs, the
+	// aggregators, main — five topological levels.
+	batches := g.Batches()
+	if len(batches) != 5 {
+		t.Fatalf("batches = %d, want 5", len(batches))
+	}
+	want := []int{1, 1, 40, 7, 1}
+	for i, b := range batches {
+		if len(b) != want[i] {
+			t.Errorf("batch %d has %d modules, want %d", i, len(b), want[i])
+		}
+	}
+}
+
+// TestModuleProjectRuns builds the 50-module project, runs it under the
+// full Usher plan, and checks the planted bugs surface: libs 13, 26 and
+// 39 (1-based) leave a heap field uninitialized on an executed path.
+func TestModuleProjectRuns(t *testing.T) {
+	files := workload.DefaultModuleProject.GenerateModules()
+	res, err := module.Build(toModuleFiles(files), module.Options{})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	sess := usher.NewSession(res.Prog)
+	an, err := sess.Analyze(usher.ConfigUsherFull)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	run, err := an.Run(usher.RunOptions{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(run.ShadowWarnings) != 3 {
+		t.Fatalf("dynamic warnings = %d, want 3 (the planted bugs)", len(run.ShadowWarnings))
+	}
+}
+
+func TestModuleProjectEdit(t *testing.T) {
+	p := workload.DefaultModuleProject
+	files := p.GenerateModules()
+	edited, ok := workload.Edit(files, "lib_07", 2)
+	if !ok {
+		t.Fatal("Edit(lib_07) did not find the tweak line")
+	}
+	changed := 0
+	for i := range files {
+		if files[i].Source != edited[i].Source {
+			changed++
+			if files[i].Name != "lib_07" {
+				t.Errorf("Edit touched %s", files[i].Name)
+			}
+		}
+	}
+	if changed != 1 {
+		t.Fatalf("Edit changed %d modules, want 1", changed)
+	}
+	if _, ok := workload.Edit(files, "core", 2); ok {
+		t.Error("Edit claimed success on a module without a tweak line")
+	}
+	if _, ok := workload.Edit(files, "nonesuch", 2); ok {
+		t.Error("Edit claimed success on an unknown module")
+	}
+
+	// The transitive hashes must shift for exactly the edited lib, its
+	// aggregator and main.
+	g0, err := module.NewGraph(toModuleFiles(files))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := module.NewGraph(toModuleFiles(edited))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirty []string
+	for _, m := range g1.Modules {
+		if g0.ByName(m.Name).Hash != m.Hash {
+			dirty = append(dirty, m.Name)
+		}
+	}
+	want := map[string]bool{"lib_07": true, "agg_1": true, "main": true}
+	if len(dirty) != len(want) {
+		t.Fatalf("dirty modules = %v, want lib_07, agg_1, main", dirty)
+	}
+	for _, name := range dirty {
+		if !want[name] {
+			t.Errorf("unexpected dirty module %s", name)
+		}
+	}
+	if g0.SetHash() == g1.SetHash() {
+		t.Error("set hash unchanged by the edit")
+	}
+}
