@@ -4,10 +4,10 @@
 // Usage:
 //
 //	usher-bench [-table1] [-fig10] [-fig11] [-opt-levels] [-ablations] [-all]
-//	            [-solver-scale] [-snapshot-dir dir] [-incremental]
-//	            [-incremental-iters N] [-parallel N]
-//	            [-solver-workers N] [-json path] [-stats] [-legacy-solver]
-//	            [-cpuprofile path] [-memprofile path]
+//	            [-solver-scale] [-resolve-scale] [-snapshot-dir dir]
+//	            [-incremental] [-incremental-iters N] [-parallel N]
+//	            [-solver-workers N] [-gamma-summaries] [-json path] [-stats]
+//	            [-legacy-solver] [-cpuprofile path] [-memprofile path]
 //
 // -legacy-solver routes every pointer analysis through the retired
 // map-based solver, which is kept as the pre-optimization baseline for
@@ -18,7 +18,13 @@
 // for any value. -solver-scale runs the million-constraint scaling
 // harness — wave-solver timings over the XL constraint profiles at
 // workers 1/2/4/8 plus snapshot warm-start measurements (see
-// BENCH_solver_scale.json) — and is not part of -all.
+// BENCH_solver_scale.json) — and is not part of -all. -resolve-scale
+// runs the Γ-resolution scaling harness — the Opt IV summary-based
+// resolver against the dense baseline over the resolve-stress XL
+// profiles and the module projects (see BENCH_resolve.json) — and is
+// likewise not part of -all. -gamma-summaries routes every Γ
+// resolution in the selected phases through the summary resolver;
+// results are bit-identical, only timings move.
 //
 // With no selection flags, -all is assumed. Work is spread over -parallel
 // workers (default: one per CPU) at two levels — across workload profiles
@@ -53,6 +59,8 @@ func main() {
 	ablations := flag.Bool("ablations", false, "design-choice ablation study")
 	solverScale := flag.Bool("solver-scale", false,
 		"wave-solver scaling over the XL constraint profiles and snapshot warm starts (not part of -all)")
+	resolveScale := flag.Bool("resolve-scale", false,
+		"summary-based Γ resolution (Opt IV) vs the dense resolver over the resolve-stress profiles (not part of -all)")
 	snapshotDir := flag.String("snapshot-dir", "",
 		"directory for -solver-scale warm-start snapshots (default: a temp dir, removed after)")
 	incremental := flag.Bool("incremental", false,
@@ -85,17 +93,18 @@ func main() {
 		}
 	}()
 
-	if !*table1 && !*fig10 && !*fig11 && !*optLevels && !*ablations && !*solverScale && !*incremental {
+	if !*table1 && !*fig10 && !*fig11 && !*optLevels && !*ablations && !*solverScale && !*resolveScale && !*incremental {
 		*all = true
 	}
 	report := &bench.Report{
-		SchemaVersion: bench.SchemaVersion,
-		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
-		NumCPU:        runtime.NumCPU(),
-		GOMAXPROCS:    runtime.GOMAXPROCS(0),
-		Parallel:      cf.Parallel,
-		Solver:        solverName,
-		SolverWorkers: cf.SolverWorkers,
+		SchemaVersion:  bench.SchemaVersion,
+		GeneratedAt:    time.Now().UTC().Format(time.RFC3339),
+		NumCPU:         runtime.NumCPU(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Parallel:       cf.Parallel,
+		Solver:         solverName,
+		SolverWorkers:  cf.SolverWorkers,
+		GammaSummaries: cf.GammaSummaries,
 	}
 	// fail writes the partial report before exiting, so a late-phase
 	// failure does not discard the completed phases: the JSON carries
@@ -186,6 +195,19 @@ func main() {
 		report.AddPhase("solver-scale", start)
 		report.SolverScale = res
 		bench.WriteSolverScale(os.Stdout, res)
+		fmt.Println()
+	}
+
+	if *resolveScale {
+		fmt.Println("=== Resolve scaling: summary-based Γ resolution (Opt IV) vs the dense resolver ===")
+		start := time.Now()
+		res, err := bench.ResolveScale(bench.ResolveScaleWorkerCounts)
+		if err != nil {
+			fail(err)
+		}
+		report.AddPhase("resolve-scale", start)
+		report.Resolve = res
+		bench.WriteResolveScale(os.Stdout, res)
 		fmt.Println()
 	}
 

@@ -1,0 +1,189 @@
+package usher_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/valueflow/usher"
+	"github.com/valueflow/usher/internal/passes"
+	"github.com/valueflow/usher/internal/randprog"
+	"github.com/valueflow/usher/internal/vfgsum"
+	"github.com/valueflow/usher/internal/workload"
+)
+
+// The Opt IV A/B harness: every test here analyzes the same source
+// twice — once with the dense Γ resolver (the default) and once with
+// summary-based resolution (vfgsum.Enabled) — and demands identical
+// plans, definedness counts and optimization statistics for every
+// extended configuration. The summary resolver is an acceleration, not
+// an approximation; these tests are the contract that pins it.
+//
+// vfgsum.Enabled is process-global, so none of these tests run in
+// parallel; each restores the flag before returning.
+
+// gammaABCheck analyzes name twice, dense then summary-resolved, and
+// compares the abResult essence under every extended configuration.
+func gammaABCheck(t *testing.T, name, src string, level passes.Level) {
+	t.Helper()
+	denseProg := abCompile(t, name, src, level)
+	sumProg := abCompile(t, name, src, level)
+	defer func(old bool) { vfgsum.Enabled = old }(vfgsum.Enabled)
+
+	vfgsum.Enabled = false
+	dense := usher.NewSession(denseProg)
+	want := make(map[usher.Config]abResult, len(usher.ExtendedConfigs))
+	for _, cfg := range usher.ExtendedConfigs {
+		a, err := dense.Analyze(cfg)
+		if err != nil {
+			t.Fatalf("%s/%s: dense analyze: %v", name, cfg, err)
+		}
+		want[cfg] = summarize(a)
+	}
+
+	vfgsum.Enabled = true
+	sum := usher.NewSession(sumProg)
+	for _, cfg := range usher.ExtendedConfigs {
+		a, err := sum.Analyze(cfg)
+		if err != nil {
+			t.Fatalf("%s/%s: summary analyze: %v", name, cfg, err)
+		}
+		if got := summarize(a); got != want[cfg] {
+			t.Errorf("%s/%s: summary resolution diverges from dense:\ndense:   %+v\nsummary: %+v", name, cfg, want[cfg], got)
+		}
+	}
+}
+
+// TestGammaSummariesABCorpus covers the hand-written example corpus,
+// including the dynamic warning sites: identical plans must yield
+// identical interpreter warnings.
+func TestGammaSummariesABCorpus(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.c")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no corpus: %v", err)
+	}
+	defer func(old bool) { vfgsum.Enabled = old }(vfgsum.Enabled)
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src := readFile(t, file)
+			gammaABCheck(t, file, src, passes.O0IM)
+
+			// Dynamic A/B: run both flows' plans and compare warning sites.
+			vfgsum.Enabled = false
+			dense := usher.NewSession(abCompile(t, file, src, passes.O0IM))
+			denseWarnings := make(map[usher.Config]any, len(usher.ExtendedConfigs))
+			for _, cfg := range usher.ExtendedConfigs {
+				res, err := dense.MustAnalyze(cfg).Run(usher.RunOptions{})
+				if err != nil {
+					t.Fatalf("%s: dense run: %v", cfg, err)
+				}
+				denseWarnings[cfg] = res.ShadowWarnings
+			}
+			vfgsum.Enabled = true
+			sum := usher.NewSession(abCompile(t, file, src, passes.O0IM))
+			for _, cfg := range usher.ExtendedConfigs {
+				res, err := sum.MustAnalyze(cfg).Run(usher.RunOptions{})
+				if err != nil {
+					t.Fatalf("%s: summary run: %v", cfg, err)
+				}
+				if !reflect.DeepEqual(denseWarnings[cfg], res.ShadowWarnings) {
+					t.Errorf("%s: warning sites diverge:\ndense:   %v\nsummary: %v", cfg, denseWarnings[cfg], res.ShadowWarnings)
+				}
+			}
+		})
+	}
+}
+
+// TestGammaSummariesABWorkloads covers the synthetic SPEC2000 stand-in
+// profiles under O0+IM.
+func TestGammaSummariesABWorkloads(t *testing.T) {
+	profiles := workload.Profiles
+	if testing.Short() {
+		profiles = profiles[:3]
+	}
+	for _, p := range profiles {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			gammaABCheck(t, p.Name+".c", workload.Generate(p), passes.O0IM)
+		})
+	}
+}
+
+// TestGammaSummariesABRandom sweeps generated programs through both
+// resolvers.
+func TestGammaSummariesABRandom(t *testing.T) {
+	seeds := 500
+	if testing.Short() {
+		seeds = 50
+	}
+	for seed := 0; seed < seeds; seed++ {
+		src := randprog.Generate(int64(seed), randprog.DefaultOptions)
+		name := fmt.Sprintf("seed%d.c", seed)
+		if _, err := usher.Compile(name, src); err != nil {
+			continue // generator can emit ill-typed programs; not this test's concern
+		}
+		gammaABCheck(t, name, src, passes.O0IM)
+	}
+}
+
+// TestGammaSummariesWorkerDeterminism pins the parallel-resolution
+// contract end to end: with summary resolution enabled, prewarming all
+// resolution artifacts at any worker count — and building the
+// condensation itself at any worker count — yields bit-identical Γs
+// and plans.
+func TestGammaSummariesWorkerDeterminism(t *testing.T) {
+	p, ok := workload.ByName("equake")
+	if !ok {
+		t.Fatal("no workload equake")
+	}
+	src := workload.Generate(p)
+	defer func(e bool, w int) { vfgsum.Enabled, vfgsum.Workers = e, w }(vfgsum.Enabled, vfgsum.Workers)
+	vfgsum.Enabled = true
+
+	type essence struct {
+		bottomFull string
+		bottomTL   string
+		results    map[usher.Config]abResult
+	}
+	at := func(workers int) essence {
+		vfgsum.Workers = workers
+		sess := usher.NewSession(abCompile(t, p.Name+".c", src, passes.O0IM))
+		if err := sess.PrewarmResolve(workers); err != nil {
+			t.Fatalf("workers=%d: prewarm: %v", workers, err)
+		}
+		es := essence{results: make(map[usher.Config]abResult)}
+		for _, tl := range []bool{false, true} {
+			_, gm, err := sess.Graph(tl)
+			if err != nil {
+				t.Fatalf("workers=%d: graph: %v", workers, err)
+			}
+			s := fmt.Sprintf("%v", gm.BottomBits().Words())
+			if tl {
+				es.bottomTL = s
+			} else {
+				es.bottomFull = s
+			}
+		}
+		for _, cfg := range usher.ExtendedConfigs {
+			a, err := sess.Analyze(cfg)
+			if err != nil {
+				t.Fatalf("workers=%d/%s: %v", workers, cfg, err)
+			}
+			es.results[cfg] = summarize(a)
+		}
+		return es
+	}
+
+	base := at(1)
+	for _, w := range []int{2, 4, 8} {
+		got := at(w)
+		if got.bottomFull != base.bottomFull || got.bottomTL != base.bottomTL {
+			t.Errorf("workers=%d: Γ bit vectors diverge from workers=1", w)
+		}
+		if !reflect.DeepEqual(got.results, base.results) {
+			t.Errorf("workers=%d: analysis results diverge from workers=1", w)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"github.com/valueflow/usher/internal/pointer"
 	"github.com/valueflow/usher/internal/stats"
+	"github.com/valueflow/usher/internal/vfgsum"
 )
 
 // CommonFlags is the CLI plumbing shared by usher-bench and
@@ -28,6 +29,10 @@ type CommonFlags struct {
 	// sequential solver; >= 1 selects the wave solver). Applied
 	// process-wide by ApplySolver.
 	SolverWorkers int
+	// GammaSummaries routes Γ resolution through the Opt IV summary
+	// resolver (internal/vfgsum); results are bit-identical to the
+	// default dense resolver. Applied process-wide by ApplySolver.
+	GammaSummaries bool
 	// Profile holds the -cpuprofile/-memprofile destinations.
 	Profile *ProfileFlags
 
@@ -46,6 +51,8 @@ func RegisterCommonFlags(fs *flag.FlagSet) *CommonFlags {
 		"collect and print per-pass pipeline stats (wall time, allocs, work counters)")
 	fs.IntVar(&cf.SolverWorkers, "solver-workers", 0,
 		"pointer-solver worker count (0 = sequential; results are identical for any value)")
+	fs.BoolVar(&cf.GammaSummaries, "gamma-summaries", false,
+		"resolve Γ through per-function definedness summaries (Opt IV; results are identical)")
 	return cf
 }
 
@@ -61,10 +68,12 @@ func (cf *CommonFlags) Validate() error {
 	return validateSolverWorkers(cf.SolverWorkers)
 }
 
-// ApplySolver installs the requested solver worker count process-wide.
-// Call it once, after Validate and before any analysis.
+// ApplySolver installs the requested solver selections process-wide —
+// the pointer-solver worker count and the Γ resolution strategy. Call it
+// once, after Validate and before any analysis.
 func (cf *CommonFlags) ApplySolver() {
 	pointer.Workers = cf.SolverWorkers
+	vfgsum.Enabled = cf.GammaSummaries
 }
 
 func validateSolverWorkers(n int) error {
@@ -74,27 +83,33 @@ func validateSolverWorkers(n int) error {
 	return nil
 }
 
-// SolverFlag is the -solver-workers registration for binaries that do
-// not take the full CommonFlags set (usherc, vfg-dump, usherd): the
-// same flag name, default, help text and validation rule as
+// SolverFlag is the -solver-workers/-gamma-summaries registration for
+// binaries that do not take the full CommonFlags set (usherc, vfg-dump):
+// the same flag names, defaults, help text and validation rules as
 // RegisterCommonFlags, without the pool/report plumbing.
 type SolverFlag struct {
-	Workers int
+	Workers        int
+	GammaSummaries bool
 }
 
-// RegisterSolverFlag registers -solver-workers on fs.
+// RegisterSolverFlag registers -solver-workers and -gamma-summaries on fs.
 func RegisterSolverFlag(fs *flag.FlagSet) *SolverFlag {
 	sf := &SolverFlag{}
 	fs.IntVar(&sf.Workers, "solver-workers", 0,
 		"pointer-solver worker count (0 = sequential; results are identical for any value)")
+	fs.BoolVar(&sf.GammaSummaries, "gamma-summaries", false,
+		"resolve Γ through per-function definedness summaries (Opt IV; results are identical)")
 	return sf
 }
 
 // Validate rejects a negative worker count with the shared diagnostic.
 func (sf *SolverFlag) Validate() error { return validateSolverWorkers(sf.Workers) }
 
-// Apply installs the worker count process-wide (see CommonFlags.ApplySolver).
-func (sf *SolverFlag) Apply() { pointer.Workers = sf.Workers }
+// Apply installs the selections process-wide (see CommonFlags.ApplySolver).
+func (sf *SolverFlag) Apply() {
+	pointer.Workers = sf.Workers
+	vfgsum.Enabled = sf.GammaSummaries
+}
 
 // ProfileFlags is the -cpuprofile/-memprofile pair every driver binary
 // offers, so solver and pipeline hot spots can be attributed with the

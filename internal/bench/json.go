@@ -26,7 +26,11 @@ type LevelRows struct {
 // v2: "phases" became the per-pass analysis stats (pass/phase/variant,
 // runs, wall_sec, alloc_bytes, counters — see internal/stats); the driver
 // phase timings moved to "driver_phases".
-const SchemaVersion = 2
+//
+// v3: added the "resolve" section (-resolve-scale: summary-based Γ
+// resolution vs the dense baseline) and the top-level "gamma_summaries"
+// field recording whether the run resolved through Opt IV summaries.
+const SchemaVersion = 3
 
 // Report is the machine-readable form of one usher-bench invocation,
 // written by the -json flag. It captures everything the text renderers
@@ -46,6 +50,10 @@ type Report struct {
 	// SolverWorkers is the -solver-workers value (0 = sequential). All
 	// reported results are bit-identical for any value; only timings move.
 	SolverWorkers int `json:"solver_workers"`
+	// GammaSummaries is the -gamma-summaries value: whether Γ resolution
+	// ran through the Opt IV summary resolver. Results are bit-identical
+	// either way; only timings move.
+	GammaSummaries bool `json:"gamma_summaries"`
 
 	// DriverPhases times the driver's coarse phases (table1, fig10, ...).
 	DriverPhases []PhaseTime `json:"driver_phases"`
@@ -69,6 +77,10 @@ type Report struct {
 	// Incremental is the -incremental section: multi-file module builds,
 	// cold vs. warm vs. after a 1-line edit (also additive).
 	Incremental *IncrementalResult `json:"incremental,omitempty"`
+	// Resolve is the -resolve-scale section: summary-based Γ resolution
+	// against the dense baseline over the resolve-stress XL profiles and
+	// module projects.
+	Resolve *ResolveScaleResult `json:"resolve,omitempty"`
 }
 
 // AddPhase appends a driver-phase timing.

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/valueflow/usher/internal/ir"
+	"github.com/valueflow/usher/internal/workload"
+)
+
+// TestResolveScaleRowParity runs the -resolve-scale harness's row
+// driver over the small resolve-stress profile: the summary legs must
+// be bit-identical to the dense baseline (resolveScaleRow hard-errors
+// otherwise), and the condensed graph must be a real contraction.
+func TestResolveScaleRowParity(t *testing.T) {
+	p, ok := workload.XLByName("resolve-xl-small")
+	if !ok {
+		t.Fatal("no resolve-xl-small profile")
+	}
+	row, err := resolveScaleRow(p.Name, "xl", []int{1, 2}, func() (*ir.Program, error) {
+		return workload.BuildXL(p), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.Identical {
+		t.Fatal("summary legs diverge from dense resolution")
+	}
+	if row.Nodes == 0 || row.Supernodes == 0 || row.Supernodes >= row.Nodes {
+		t.Errorf("condensation is vacuous: %d supernodes over %d nodes", row.Supernodes, row.Nodes)
+	}
+	if len(row.Timings) != 3 {
+		t.Errorf("got %d timings, want dense + 2 summary legs", len(row.Timings))
+	}
+}
+
+// TestResolveProfilesIsolated pins that the resolve-stress generator is
+// fully gated: solver profiles carry none of the undef-dispatch IR, so
+// their generated programs are unchanged by the Undef* fields.
+func TestResolveProfilesIsolated(t *testing.T) {
+	solver, ok := workload.XLByName("solver-xl-small")
+	if !ok {
+		t.Fatal("no solver-xl-small profile")
+	}
+	if txt := ir.Print(workload.BuildXL(solver)); strings.Contains(txt, "usite_") || strings.Contains(txt, "utarget_") {
+		t.Error("solver profile contains resolve-stress functions")
+	}
+	res, ok := workload.XLByName("resolve-xl-small")
+	if !ok {
+		t.Fatal("no resolve-xl-small profile")
+	}
+	txt := ir.Print(workload.BuildXL(res))
+	for _, want := range []string{"usite_0", "utarget_0", "ucell_0"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("resolve profile is missing %q", want)
+		}
+	}
+}

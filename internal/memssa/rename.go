@@ -1,6 +1,8 @@
 package memssa
 
 import (
+	"sort"
+
 	"github.com/valueflow/usher/internal/cfg"
 	"github.com/valueflow/usher/internal/ir"
 )
@@ -154,6 +156,11 @@ func (info *Info) buildFunc(fn *ir.Function) {
 		for b := range defBlocks {
 			work = append(work, b)
 		}
+		// The worklist is seeded from map iteration; sort it so phi
+		// creation order — and with it version numbering and every
+		// downstream artifact keyed by def order (VFG node ids, snapshot
+		// Γ bit vectors) — is identical on every run.
+		sort.Slice(work, func(x, y int) bool { return work[x].ID < work[y].ID })
 		placed := make(map[*ir.Block]bool)
 		for len(work) > 0 {
 			b := work[len(work)-1]

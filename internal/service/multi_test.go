@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"github.com/valueflow/usher/internal/stats"
 )
 
 // multiFiles is a small module set with one executed undefined-value
@@ -88,6 +90,49 @@ func TestAnalyzeMultiFile(t *testing.T) {
 	st := s.Stats()
 	if st.ModuleCache.Hits == 0 {
 		t.Errorf("module cache recorded no hits: %+v", st.ModuleCache)
+	}
+}
+
+// TestMultiFileStatsIncludeResolve pins the per-pass observability of
+// module ("files") sessions: the resolution passes — resolve over the
+// demanded graph variants and the Opt II re-resolution — must appear
+// both in the request's own phase delta and in the /stats resident
+// aggregate, exactly as they do for single-source sessions. The CI
+// usherd smoke greps the same pass names out of a live /stats response.
+func TestMultiFileStatsIncludeResolve(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	run := false
+	resp, ar := postAnalyze(t, ts.URL, AnalyzeRequest{Files: multiFiles(), Run: &run})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	check := func(where string, phases []stats.PassStats) {
+		t.Helper()
+		seen := map[string]bool{}
+		for _, ps := range phases {
+			if ps.Runs > 0 {
+				seen[ps.Pass] = true
+			}
+		}
+		for _, pass := range []string{"resolve", "optII", "plan"} {
+			if !seen[pass] {
+				t.Errorf("%s omits the %s pass for a files session", where, pass)
+			}
+		}
+	}
+	check("request phase delta", ar.Phases)
+	st := s.Stats()
+	check("/stats aggregate", st.Phases)
+	// The aggregate must still carry the module compile passes, proving
+	// the resolve counters above come from the same files entry.
+	var sawModuleCompile bool
+	for _, ps := range st.Phases {
+		if ps.Pass == "parse" && ps.Variant == "base" {
+			sawModuleCompile = true
+		}
+	}
+	if !sawModuleCompile {
+		t.Error("/stats aggregate lost the per-module compile passes")
 	}
 }
 

@@ -1,0 +1,85 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/valueflow/usher/internal/bitset"
+)
+
+// This file is the VSUM section codec. A VSUM section stores one graph
+// variant's resolved Γ as its ⊥ bit vector over VFG node ids: the node
+// count the resolution ran against followed by the raw bitset words.
+// Graph construction is deterministic, so node numbering is reproducible
+// for an identical program (the fingerprint pins that), and a warm start
+// can rebuild the Γ without running resolution; the node count is
+// re-checked against the rebuilt graph before the seed is used.
+
+// Gamma graph-variant labels, mirroring the pipeline store's keys.
+const (
+	GammaFull = "full"
+	GammaTL   = "tl"
+)
+
+// GammaEntry is one graph variant's resolved Γ.
+type GammaEntry struct {
+	Variant string
+	Nodes   int
+	Bottom  *bitset.Set
+}
+
+// GammaByVariant returns the stored Γ entry for a graph variant.
+func (s *Snapshot) GammaByVariant(variant string) (GammaEntry, bool) {
+	for _, ge := range s.Gammas {
+		if ge.Variant == variant {
+			return ge, true
+		}
+	}
+	return GammaEntry{}, false
+}
+
+func encodeGamma(ge GammaEntry) ([]byte, error) {
+	if ge.Variant != GammaFull && ge.Variant != GammaTL {
+		return nil, fmt.Errorf("snapshot: unknown gamma variant %q", ge.Variant)
+	}
+	e := &enc{}
+	e.str(ge.Variant)
+	e.u(uint64(ge.Nodes))
+	words := ge.Bottom.Words()
+	e.u(uint64(len(words)))
+	for _, w := range words {
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, w)
+	}
+	return e.buf, nil
+}
+
+func decodeGamma(payload []byte) (GammaEntry, error) {
+	d := &dec{buf: payload}
+	var ge GammaEntry
+	ge.Variant = d.str()
+	if d.err == nil && ge.Variant != GammaFull && ge.Variant != GammaTL {
+		return GammaEntry{}, fmt.Errorf("snapshot: unknown gamma variant %q", ge.Variant)
+	}
+	nodes := d.u()
+	if d.err == nil && nodes > 1<<48 {
+		d.fail("gamma node count out of range")
+	}
+	nw := d.u()
+	// The word vector is sized to the highest ⊥ id, so it never exceeds
+	// one word per 64 nodes; both bounds keep a damaged length from
+	// driving a huge allocation.
+	if d.err == nil && (nw > uint64(len(d.buf))/8 || nw > (nodes+63)/64) {
+		d.fail("gamma word count out of range")
+	}
+	if d.err != nil {
+		return GammaEntry{}, d.err
+	}
+	ge.Nodes = int(nodes)
+	words := make([]uint64, nw)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(d.buf[8*i:])
+	}
+	d.buf = d.buf[8*nw:]
+	ge.Bottom = bitset.FromWords(words)
+	return ge, nil
+}

@@ -1,0 +1,104 @@
+package vfg_test
+
+import (
+	"testing"
+
+	"github.com/valueflow/usher/internal/compile"
+	"github.com/valueflow/usher/internal/memssa"
+	"github.com/valueflow/usher/internal/pointer"
+	"github.com/valueflow/usher/internal/randprog"
+	"github.com/valueflow/usher/internal/vfg"
+	"github.com/valueflow/usher/internal/vfgsum"
+	"github.com/valueflow/usher/internal/workload"
+)
+
+// randomCut returns a deterministic pseudo-random edge predicate: the
+// salt picks a different ~1/k slice of the edge space per iteration, so
+// the property sweep covers cuts of seed edges (from RootF), intra
+// edges, and interprocedural edges alike.
+func randomCut(salt, k int) func(from, to *vfg.Node) bool {
+	return func(from, to *vfg.Node) bool {
+		return (from.ID*2654435761+to.ID*40503+salt)%k == 0
+	}
+}
+
+// checkCutEquivalence pins three facts about one (graph, cut) pair:
+//
+//  1. ResolveCut is exactly ResolveWith with the same Cut option (the
+//     convenience wrapper adds nothing);
+//  2. the Opt IV summary-based vfgsum.ResolveCut produces the identical
+//     Γ (cuts force a cut-aware condensation — a cached cut-free
+//     summary cannot serve them — and that rebuild must not change the
+//     result);
+//  3. cutting edges is monotone: an edge cut only removes ⊥ flows, so
+//     the cut ⊥ set is a subset of the uncut one.
+func checkCutEquivalence(t *testing.T, tag string, g *vfg.Graph, cut func(from, to *vfg.Node) bool) {
+	t.Helper()
+	uncut := vfg.Resolve(g)
+	viaCut := vfg.ResolveCut(g, cut)
+	viaWith := vfg.ResolveWith(g, vfg.ResolveOptions{Cut: cut})
+	viaSum := vfgsum.ResolveCut(g, cut)
+	for _, n := range g.Nodes {
+		if viaCut.Of(n) != viaWith.Of(n) {
+			t.Fatalf("%s: node %v: ResolveCut %v, ResolveWith{Cut} %v",
+				tag, n, viaCut.Of(n), viaWith.Of(n))
+		}
+		if viaCut.Of(n) != viaSum.Of(n) {
+			t.Fatalf("%s: node %v: dense cut %v, summary cut %v",
+				tag, n, viaCut.Of(n), viaSum.Of(n))
+		}
+		if viaCut.Of(n) == vfg.Bottom && uncut.Of(n) == vfg.Top {
+			t.Fatalf("%s: node %v: ⊥ under the cut but ⊤ without it (cut added a flow)",
+				tag, n)
+		}
+	}
+}
+
+// TestResolveCutEquivalenceWorkloads sweeps pseudo-random cut
+// predicates over workload graphs.
+func TestResolveCutEquivalenceWorkloads(t *testing.T) {
+	for _, name := range []string{"gzip", "equake", "ammp"} {
+		p, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("no workload %s", name)
+		}
+		g := buildGraph(t, workload.Generate(p))
+		for salt := 0; salt < 4; salt++ {
+			for _, k := range []int{2, 5, 13} {
+				checkCutEquivalence(t, name, g, randomCut(salt, k))
+			}
+		}
+		// Degenerate cuts: nothing cut (must equal the plain resolution)
+		// and everything cut (⊥ must be empty — even seed edges are cut).
+		none := vfg.ResolveCut(g, func(from, to *vfg.Node) bool { return false })
+		plain := vfg.Resolve(g)
+		for _, n := range g.Nodes {
+			if none.Of(n) != plain.Of(n) {
+				t.Fatalf("%s: node %v: empty cut diverges from plain resolution", name, n)
+			}
+		}
+		all := vfg.ResolveCut(g, func(from, to *vfg.Node) bool { return true })
+		if all.BottomCount() != 0 {
+			t.Errorf("%s: cutting every edge left %d ⊥ nodes", name, all.BottomCount())
+		}
+	}
+}
+
+// TestResolveCutEquivalenceRandom extends the sweep to the fuzzer
+// corpus.
+func TestResolveCutEquivalenceRandom(t *testing.T) {
+	seeds := int64(60)
+	if testing.Short() {
+		seeds = 15
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		src := randprog.Generate(seed, randprog.DefaultOptions)
+		irp := compile.MustSource("rand.c", src)
+		pa := pointer.Analyze(irp)
+		mem := memssa.Build(irp, pa)
+		g := vfg.Build(irp, pa, mem, vfg.Options{})
+		for _, k := range []int{2, 7} {
+			checkCutEquivalence(t, src, g, randomCut(int(seed), k))
+		}
+	}
+}

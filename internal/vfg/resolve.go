@@ -60,6 +60,29 @@ func (gm *Gamma) OfValue(v ir.Value) State {
 	return Top
 }
 
+// NewGammaFromBits reconstructs a Γ from a previously exported ⊥ bit
+// vector over g's node ids (see BottomBits). The caller asserts that the
+// bits were resolved against a graph with identical node numbering — the
+// snapshot warm-start path guarantees it by keying on the program
+// fingerprint and re-checking the node count.
+func NewGammaFromBits(g *Graph, bottom *bitset.Set) *Gamma {
+	return &Gamma{g: g, n: len(g.Nodes), bottom: bottom}
+}
+
+// BottomBits exposes the ⊥ set as a dense bit vector over node ids, or
+// nil when the resolution ran over merged equivalence classes (the bits
+// then live on class representatives and are not meaningful per node).
+// The returned set must be treated as read-only.
+func (gm *Gamma) BottomBits() *bitset.Set {
+	if gm.eq != nil {
+		return nil
+	}
+	return gm.bottom
+}
+
+// NodeCount returns the node count the resolution ran against.
+func (gm *Gamma) NodeCount() int { return gm.n }
+
 // BottomCount returns the number of ⊥ nodes.
 func (gm *Gamma) BottomCount() int {
 	if gm.eq == nil {
@@ -135,22 +158,7 @@ func ResolveWith(g *Graph, opts ResolveOptions) *Gamma {
 	}
 
 	// Context ids: 0 = unknown, otherwise the graph's dense call-site id.
-	// Sealed graphs carry the table precomputed; unsealed ones (hand-built
-	// in tests) get a local assignment in the same deterministic order.
-	siteIDs, numSites := g.siteIDs, g.numSites
-	if siteIDs == nil {
-		siteIDs = make(map[*ir.Call]int)
-		for _, n := range g.Nodes {
-			for _, e := range n.Deps {
-				if e.Site != nil {
-					if _, ok := siteIDs[e.Site]; !ok {
-						numSites++
-						siteIDs[e.Site] = numSites
-					}
-				}
-			}
-		}
-	}
+	siteIDs, numSites := g.Sites()
 	numCtx := numSites + 1
 
 	type state struct {

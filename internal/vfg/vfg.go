@@ -22,6 +22,7 @@ package vfg
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/valueflow/usher/internal/cfg"
 	"github.com/valueflow/usher/internal/ir"
@@ -244,6 +245,31 @@ func (g *Graph) seal() {
 // unsealed graph: lookups on it would materialize nodes and race.
 func (g *Graph) Sealed() bool { return g.sealed }
 
+// Sites returns the graph's dense call-site numbering: a map from call
+// site to context id (1..numSites; 0 is the unknown context) plus the
+// site count. Sealed graphs carry the table precomputed at build time;
+// unsealed ones (hand-built in tests) get a fresh assignment in the same
+// deterministic dependence-edge order, so resolution — dense or
+// summary-based — always agrees on context ids.
+func (g *Graph) Sites() (map[*ir.Call]int, int) {
+	if g.siteIDs != nil {
+		return g.siteIDs, g.numSites
+	}
+	siteIDs := make(map[*ir.Call]int)
+	numSites := 0
+	for _, n := range g.Nodes {
+		for _, e := range n.Deps {
+			if e.Site != nil {
+				if _, ok := siteIDs[e.Site]; !ok {
+					numSites++
+					siteIDs[e.Site] = numSites
+				}
+			}
+		}
+	}
+	return siteIDs, numSites
+}
+
 func (g *Graph) newNode(kind NodeKind, fn *ir.Function) *Node {
 	n := &Node{ID: len(g.Nodes), Kind: kind, Fn: fn}
 	g.Nodes = append(g.Nodes, n)
@@ -369,9 +395,12 @@ func (g *Graph) buildFunc(fn *ir.Function) {
 	if g.Opts.TopLevelOnly || fi == nil {
 		return
 	}
-	// Memory phis.
-	for _, phis := range fi.Phis {
-		for _, d := range phis {
+	// Memory phis. fi.Phis is keyed by block; iterate the function's
+	// block list rather than the map so node creation order — and with
+	// it the graph's node numbering, which snapshot Γ bit vectors index
+	// — is identical on every run.
+	for _, b := range fn.Blocks {
+		for _, d := range fi.Phis[b] {
 			nd := g.MemNode(d)
 			for _, arg := range d.PhiArgs {
 				g.addDep(nd, g.memDefNode(arg))
@@ -554,16 +583,24 @@ func (g *Graph) buildCall(fi *memssa.FuncInfo, in *ir.Call) {
 			}
 		}
 		// Virtual output parameters: the caller's post-call versions
-		// depend on the callee's versions at each return.
+		// depend on the callee's versions at each return. RetVersions is
+		// keyed by ret label; iterate the labels sorted so node creation
+		// and edge order (and with them the graph's node numbering) are
+		// identical on every run.
 		outSet := make(map[memssa.MemVar]bool, len(cfi.OutVars))
 		for _, v := range cfi.OutVars {
 			outSet[v] = true
 		}
+		retLabels := make([]int, 0, len(cfi.RetVersions))
+		for l := range cfi.RetVersions {
+			retLabels = append(retLabels, l)
+		}
+		sort.Ints(retLabels)
 		for _, chi := range fi.Chis[in.Label()] {
 			n := g.MemNode(chi)
 			if outSet[chi.Var] {
-				for _, vers := range cfi.RetVersions {
-					if d, ok := vers[chi.Var]; ok {
+				for _, l := range retLabels {
+					if d, ok := cfi.RetVersions[l][chi.Var]; ok {
 						g.addDepE(n, g.memDefNode(d), EdgeRet, in)
 					}
 				}

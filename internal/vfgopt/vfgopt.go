@@ -101,6 +101,17 @@ func (m *MFC) Simplified() bool { return m.Interior > 1 || (m.Interior == 1 && l
 // using the returned Γ, so that all shadow values remain initialized
 // (line 9 of Algorithm 1).
 func RedundantCheckElim(g *vfg.Graph, gm *vfg.Gamma) (*vfg.Gamma, int) {
+	return RedundantCheckElimWith(g, gm, func(cut func(from, to *vfg.Node) bool) *vfg.Gamma {
+		return vfg.ResolveCut(g, cut)
+	})
+}
+
+// RedundantCheckElimWith is RedundantCheckElim with an injected
+// re-resolver: the pipeline passes the summary-based resolver (Opt IV)
+// when it is enabled, the dense vfg.ResolveCut otherwise. Both produce
+// bit-identical Γ under the same cut set.
+func RedundantCheckElimWith(g *vfg.Graph, gm *vfg.Gamma,
+	resolve func(cut func(from, to *vfg.Node) bool) *vfg.Gamma) (*vfg.Gamma, int) {
 	type edge struct{ from, to int }
 	cuts := make(map[edge]bool)
 	redirected := make(map[int]bool)
@@ -170,7 +181,7 @@ func RedundantCheckElim(g *vfg.Graph, gm *vfg.Gamma) (*vfg.Gamma, int) {
 	if len(cuts) == 0 {
 		return gm, 0
 	}
-	newGamma := vfg.ResolveCut(g, func(from, to *vfg.Node) bool {
+	newGamma := resolve(func(from, to *vfg.Node) bool {
 		return cuts[edge{from.ID, to.ID}]
 	})
 	return newGamma, len(redirected)

@@ -49,6 +49,27 @@ type XLProfile struct {
 	// Cells is the number of address-seeded int globals; points-to sets
 	// grow toward this bound.
 	Cells int
+
+	// The Undef* fields parameterize the resolve-stress undef-dispatch
+	// structure used by the Γ-resolution scaling profiles
+	// (ResolveProfiles). They are zero in the solver profiles, and a
+	// zero UndefSites disables the structure entirely, so the solver
+	// profiles' generated IR is byte-identical to what it was before
+	// these fields existed.
+	//
+	// The structure is built to separate dense Γ resolution from the
+	// summary-based resolver (internal/vfgsum): UndefSites site
+	// functions each load an uninitialized stack cell — the ⊥ seed —
+	// and pass the result to every one of UndefTargets worker functions
+	// through direct calls; each worker body is a chain of UndefBodyLen
+	// binops folding the parameter into itself, ending in a ret of the
+	// chain tail. Dense resolution re-walks each worker body once per
+	// calling context (sites × targets × body states); the condensed
+	// graph collapses each body into one supernode, expanded exactly
+	// once, leaving only the cheap per-context return checks.
+	UndefSites   int
+	UndefTargets int
+	UndefBodyLen int
 }
 
 // XLProfiles is the solver-scaling XL suite. solver-xl is the
@@ -60,11 +81,24 @@ var XLProfiles = []XLProfile{
 	{Name: "solver-xl", FPTargets: 1000, FPSites: 520, ChainGroups: 50, ChainDepth: 100, Rings: 100, RingLen: 50, Cells: 256},
 }
 
-// XLByName returns the named XL profile.
+// ResolveProfiles is the Γ-resolution scaling suite: mostly-empty
+// solver structure (the pointer phase is not what is being measured)
+// with a large undef-dispatch fan-out whose dense resolution cost is
+// sites × targets × body length. resolve-xl is the acceptance profile;
+// the small sibling keeps tests and -short runs fast.
+var ResolveProfiles = []XLProfile{
+	{Name: "resolve-xl-small", Cells: 16, UndefSites: 40, UndefTargets: 24, UndefBodyLen: 60},
+	{Name: "resolve-xl", Cells: 32, UndefSites: 150, UndefTargets: 80, UndefBodyLen: 300},
+}
+
+// XLByName returns the named XL profile, searching the solver and
+// resolve suites.
 func XLByName(name string) (XLProfile, bool) {
-	for _, p := range XLProfiles {
-		if p.Name == name {
-			return p, true
+	for _, ps := range [][]XLProfile{XLProfiles, ResolveProfiles} {
+		for _, p := range ps {
+			if p.Name == name {
+				return p, true
+			}
 		}
 	}
 	return XLProfile{}, false
@@ -79,7 +113,8 @@ func BuildXL(p XLProfile) *ir.Program {
 	dispatchers := g.dispatchers(fptab)
 	chains := g.chains()
 	rings := g.rings()
-	g.root(dispatchers, chains, rings)
+	usites := g.undefDispatch()
+	g.root(dispatchers, chains, rings, usites)
 	return g.prog
 }
 
@@ -243,9 +278,55 @@ func (g *xlGen) rings() []*ir.Function {
 	return heads
 }
 
+// undefDispatch emits the resolve-stress structure (see the Undef*
+// field docs): UndefTargets binop-chain workers and UndefSites site
+// functions that load an uninitialized stack cell and hand the ⊥ value
+// to every worker. Returns the site functions for the root to call;
+// nil (and no IR at all) when the profile does not request it.
+func (g *xlGen) undefDispatch() []*ir.Function {
+	if g.p.UndefSites == 0 {
+		return nil
+	}
+	targets := make([]*ir.Function, g.p.UndefTargets)
+	for t := range targets {
+		fn, b, param := g.newFunc(fmt.Sprintf("utarget_%d", t))
+		cur := ir.Value(param)
+		for k := 0; k < g.p.UndefBodyLen; k++ {
+			r := fn.NewReg(fmt.Sprintf("b%d", k))
+			b.Append(ir.NewBinOp(r, ir.OpAdd, cur, cur))
+			cur = r
+		}
+		b.Append(ir.NewRet(cur))
+		ir.ComputeCFG(fn)
+		targets[t] = fn
+	}
+	sites := make([]*ir.Function, g.p.UndefSites)
+	for s := range sites {
+		fn, b, _ := g.newFunc(fmt.Sprintf("usite_%d", s))
+		// The ⊥ seed: an uninitialized (non-ZeroInit) stack cell read
+		// before any store. In the full graph the load's mu reaches the
+		// alloc's undefined initial version; in the top-level-only graph
+		// every load is unknown. Both variants seed ⊥ here.
+		obj := g.prog.NewObject(fmt.Sprintf("ucell_%d", s), 1, ir.ObjStack)
+		obj.Fn = fn
+		addr := fn.NewReg("ua")
+		b.Append(ir.NewAlloc(addr, obj))
+		x := fn.NewReg("ux")
+		b.Append(ir.NewLoad(x, addr))
+		for _, t := range targets {
+			r := fn.NewReg("ur")
+			b.Append(ir.NewCall(r, &ir.FuncValue{Fn: t}, []ir.Value{x}, ir.NotBuiltin))
+		}
+		b.Append(ir.NewRet(nil))
+		ir.ComputeCFG(fn)
+		sites[s] = fn
+	}
+	return sites
+}
+
 // root wires everything reachable from one entry function, feeding each
 // structure a spread of distinct cell addresses.
-func (g *xlGen) root(dispatchers, chains, rings []*ir.Function) {
+func (g *xlGen) root(dispatchers, chains, rings, usites []*ir.Function) {
 	fn := &ir.Function{Name: "main", HasBody: true}
 	g.prog.AddFunc(fn)
 	b := fn.NewBlock("entry")
@@ -260,6 +341,7 @@ func (g *xlGen) root(dispatchers, chains, rings []*ir.Function) {
 	feed(dispatchers, 1)
 	feed(chains, 3)
 	feed(rings, 7)
+	feed(usites, 11)
 	b.Append(ir.NewRet(nil))
 	ir.ComputeCFG(fn)
 }

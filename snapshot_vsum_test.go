@@ -1,0 +1,149 @@
+package usher_test
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/valueflow/usher"
+	"github.com/valueflow/usher/internal/snapshot"
+	"github.com/valueflow/usher/internal/stats"
+	"github.com/valueflow/usher/internal/workload"
+)
+
+// These tests pin the VSUM (resolved Γ) snapshot sections end to end.
+// Unlike the plan-centric warm-start tests, the snapshots here carry NO
+// plans, so the warm session MUST consume the seeded Γ bit vectors to
+// answer an analysis — any mismatch between the snapshot's node
+// numbering and the rebuilt graph's would surface as a diverging plan.
+// (That exact failure mode existed once: phi placement order was seeded
+// from map iteration, so VFG node ids varied across compiles of
+// identical source. The determinism fixes in memssa/vfg are load-bearing
+// for this file.)
+//
+// Every warm leg decodes the snapshot against its own program
+// (snapshot.Read), exactly like the production Save/Load flow: the
+// codec is what rebinds the exported points-to locations to the reading
+// program's objects. Handing a different program's in-memory Snapshot
+// straight to WarmStart would alias objects across programs and is not
+// a supported flow.
+
+// vsumSnapshot runs cold resolution only (no plans), snapshots, and
+// returns the cold session plus the encoded snapshot bytes.
+func vsumSnapshot(t *testing.T, name, src string) (*usher.Session, []byte) {
+	t.Helper()
+	cold := usher.NewSession(compileWarm(t, name, src))
+	if err := cold.PrewarmResolve(1); err != nil {
+		t.Fatalf("cold resolve: %v", err)
+	}
+	snap, err := cold.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if len(snap.Plans) != 0 {
+		t.Fatalf("snapshot unexpectedly carries %d plans", len(snap.Plans))
+	}
+	if len(snap.Gammas) != 2 {
+		t.Fatalf("snapshot carries %d Γ entries, want 2 (full + tl)", len(snap.Gammas))
+	}
+	var buf bytes.Buffer
+	if err := snapshot.Write(&buf, cold.Prog, snap); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	return cold, buf.Bytes()
+}
+
+// TestSnapshotGammaSeedsDrivePlans pins that a Γ-only snapshot lets a
+// warm session skip both resolve passes while producing plans identical
+// to the cold solve for every configuration.
+func TestSnapshotGammaSeedsDrivePlans(t *testing.T) {
+	p, ok := workload.ByName("equake")
+	if !ok {
+		t.Fatal("no workload equake")
+	}
+	src := workload.Generate(p)
+	cfgs := usher.ExtendedConfigs
+
+	cold, raw := vsumSnapshot(t, p.Name, src)
+	coldFPs := make(map[usher.Config]string, len(cfgs))
+	for _, cfg := range cfgs {
+		a, err := cold.Analyze(cfg)
+		if err != nil {
+			t.Fatalf("cold analyze %s: %v", cfg, err)
+		}
+		coldFPs[cfg] = a.Plan.Fingerprint()
+	}
+
+	warmProg := compileWarm(t, p.Name, src)
+	snap, err := snapshot.Read(bytes.NewReader(raw), warmProg)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	warmSC := stats.New()
+	warm := usher.NewSessionObserved(warmProg, warmSC)
+	if _, err := warm.WarmStart(snap); err != nil {
+		t.Fatalf("warm start: %v", err)
+	}
+	for _, cfg := range cfgs {
+		a, err := warm.Analyze(cfg)
+		if err != nil {
+			t.Fatalf("warm analyze %s: %v", cfg, err)
+		}
+		if got := a.Plan.Fingerprint(); got != coldFPs[cfg] {
+			t.Errorf("%s: warm plan built from the seeded Γ diverges from the cold solve", cfg)
+		}
+	}
+	// The seed must have answered the resolve pass for both variants:
+	// plan passes ran (no plans in the snapshot), resolve did not.
+	runs := passRuns(warmSC)
+	if runs["resolve"] != 0 {
+		t.Errorf("warm session ran the resolve pass %d times, want 0 (Γ seeded)", runs["resolve"])
+	}
+	if runs["plan"] == 0 {
+		t.Error("warm session ran no plan pass — the test exercised nothing")
+	}
+}
+
+// TestSnapshotGammaSeedMismatchIgnored pins the defensive re-check: a
+// seeded Γ whose node count does not match the rebuilt graph is
+// silently discarded and the session falls back to resolving, still
+// producing the cold plans.
+func TestSnapshotGammaSeedMismatchIgnored(t *testing.T) {
+	p, ok := workload.ByName("art")
+	if !ok {
+		t.Fatal("no workload art")
+	}
+	src := workload.Generate(p)
+
+	cold, raw := vsumSnapshot(t, p.Name, src)
+	a, err := cold.Analyze(usher.ConfigUsherFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldFP := a.Plan.Fingerprint()
+
+	warmProg := compileWarm(t, p.Name, src)
+	snap, err := snapshot.Read(bytes.NewReader(raw), warmProg)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	// Damage every seed's node count. WarmStart stages them as-is; the
+	// store's re-check against the rebuilt graph must reject them.
+	for i := range snap.Gammas {
+		snap.Gammas[i].Nodes++
+	}
+	warmSC := stats.New()
+	warm := usher.NewSessionObserved(warmProg, warmSC)
+	if _, err := warm.WarmStart(snap); err != nil {
+		t.Fatalf("warm start: %v", err)
+	}
+	wa, err := warm.Analyze(usher.ConfigUsherFull)
+	if err != nil {
+		t.Fatalf("warm analyze: %v", err)
+	}
+	if wa.Plan.Fingerprint() != coldFP {
+		t.Error("plan diverges after rejecting mismatched Γ seeds")
+	}
+	if runs := passRuns(warmSC); runs["resolve"] == 0 {
+		t.Error("mismatched seeds were not rejected: resolve pass never ran")
+	}
+}

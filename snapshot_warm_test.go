@@ -96,8 +96,8 @@ func TestSnapshotWarmStartSkipsPasses(t *testing.T) {
 	if err != nil {
 		t.Fatalf("warm start: %v", err)
 	}
-	if want := 1 + len(cfgs); seeded != want {
-		t.Errorf("seeded %d artifacts, want %d (pointer + %d plans)", seeded, want, len(cfgs))
+	if want := 1 + len(cfgs) + 2; seeded != want {
+		t.Errorf("seeded %d artifacts, want %d (pointer + %d plans + 2 Γs)", seeded, want, len(cfgs))
 	}
 	for _, cfg := range cfgs {
 		a, err := warm.Analyze(cfg)
@@ -124,6 +124,9 @@ func TestSnapshotWarmStartSkipsPasses(t *testing.T) {
 		if ps.Pass == "snapshot" {
 			if got, want := ps.Counters["plans_loaded"], int64(len(cfgs)); got != want {
 				t.Errorf("snapshot sample counts %d plans loaded, want %d", got, want)
+			}
+			if got, want := ps.Counters["gammas_loaded"], int64(2); got != want {
+				t.Errorf("snapshot sample counts %d Γs loaded, want %d", got, want)
 			}
 		}
 	}
