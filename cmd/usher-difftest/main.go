@@ -7,13 +7,21 @@
 // Usage:
 //
 //	usher-difftest [-seeds N] [-from S] [-parallel P] [-json path] [-stats]
+//	               [-mutate] [-mutants-per-seed N]
 //	               [-repro-dir dir] [-minimize=false] [-solver-workers N]
-//	               [-cpuprofile path] [-memprofile path]
+//	               [-gamma-summaries] [-cpuprofile path] [-memprofile path]
 //
 // Seeds are swept on -parallel workers; the findings and the -json
-// report are bit-identical for any worker count. Each diverging seed is
-// delta-debugged down to a minimal reproducer (unless -minimize=false),
-// printed, and written to -repro-dir as seed<N>.c when the flag is set.
+// report are bit-identical for any worker count. With -mutate, the
+// sweep becomes the sanitizer-vs-sanitizer campaign: each generated
+// program is perturbed by up to -mutants-per-seed semantic mutations
+// (drop-memset, shrink-copy-length, reorder-struct-assign,
+// route-through-varargs) and every mutant is replayed under every
+// configuration against the mutant's own interpreter ground truth.
+// Each diverging program is delta-debugged down to a minimal
+// reproducer (unless -minimize=false), printed, and written to
+// -repro-dir as seed<N>.c (seed<N>m<I>.c for mutants) when the flag is
+// set.
 // -stats aggregates per-pipeline-pass observations over the whole sweep,
 // prints them, and adds them to the report's "phases" section; the
 // counters (not the timings) keep the bit-identical guarantee.
@@ -38,6 +46,10 @@ func main() {
 	from := flag.Int64("from", 0, "first seed of the range")
 	reproDir := flag.String("repro-dir", "", "write each minimized reproducer to this directory")
 	minimize := flag.Bool("minimize", true, "delta-debug diverging programs to minimal repros")
+	mutate := flag.Bool("mutate", false,
+		"sanitizer-vs-sanitizer mode: replay semantic mutants of every seed instead of the seeds themselves")
+	mutantsPerSeed := flag.Int("mutants-per-seed", 8,
+		"with -mutate, max mutants replayed per seed (0 = every applicable mutation)")
 	cf := bench.RegisterCommonFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -62,21 +74,39 @@ func main() {
 		}
 	}
 
-	report, err := difftest.Campaign(difftest.CampaignOptions{
+	copts := difftest.CampaignOptions{
 		From:     *from,
 		Seeds:    *seeds,
 		Parallel: cf.Parallel,
 		Minimize: *minimize,
 		Stats:    cf.Collector(),
-	})
+	}
+	var report *difftest.Report
+	if *mutate {
+		report, err = difftest.MutationCampaign(difftest.MutationCampaignOptions{
+			CampaignOptions: copts,
+			MutantsPerSeed:  *mutantsPerSeed,
+		})
+	} else {
+		report, err = difftest.Campaign(copts)
+	}
 	if err != nil {
 		fail(err)
 	}
 
-	fmt.Printf("usher-difftest: %d seed(s) [%d, %d) under %d configuration(s): %d divergent\n",
-		report.Checked, *from, *from+*seeds, len(report.Configs), report.Divergent)
-	for _, f := range report.Findings {
-		fmt.Printf("\nseed %d: %v\n", f.Seed, f.Divergence)
+	if *mutate {
+		fmt.Printf("usher-difftest: %d mutant(s) of %d seed(s) [%d, %d) under %d configuration(s): %d divergent\n",
+			report.Mutants, report.Checked, *from, *from+*seeds, len(report.Configs), report.Divergent)
+	} else {
+		fmt.Printf("usher-difftest: %d seed(s) [%d, %d) under %d configuration(s): %d divergent\n",
+			report.Checked, *from, *from+*seeds, len(report.Configs), report.Divergent)
+	}
+	for i, f := range report.Findings {
+		if f.Mutation != "" {
+			fmt.Printf("\nseed %d (mutation %s): %v\n", f.Seed, f.Mutation, f.Divergence)
+		} else {
+			fmt.Printf("\nseed %d: %v\n", f.Seed, f.Divergence)
+		}
 		src, stmts := f.Source, f.Stmts
 		if f.Minimized != "" {
 			fmt.Printf("minimized %d -> %d statement(s):\n", f.Stmts, f.MinStmts)
@@ -89,8 +119,14 @@ func main() {
 			if err := os.MkdirAll(*reproDir, 0o755); err != nil {
 				fail(err)
 			}
-			path := filepath.Join(*reproDir, fmt.Sprintf("seed%d.c", f.Seed))
+			name := fmt.Sprintf("seed%d.c", f.Seed)
 			header := fmt.Sprintf("// usher-difftest reproducer: seed %d, %v\n", f.Seed, f.Divergence)
+			if f.Mutation != "" {
+				name = fmt.Sprintf("seed%dm%d.c", f.Seed, i)
+				header = fmt.Sprintf("// usher-difftest reproducer: seed %d, mutation %s, %v\n",
+					f.Seed, f.Mutation, f.Divergence)
+			}
+			path := filepath.Join(*reproDir, name)
 			if err := os.WriteFile(path, []byte(header+src), 0o644); err != nil {
 				fail(err)
 			}

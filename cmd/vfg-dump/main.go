@@ -120,19 +120,24 @@ func dumpPts(prog *ir.Program, pa *pointer.Result) {
 		}
 		for _, b := range fn.Blocks {
 			for _, in := range b.Instrs {
-				var addr ir.Value
+				var addrs []ir.Value
 				switch in := in.(type) {
 				case *ir.Load:
-					addr = in.Addr
+					addrs = []ir.Value{in.Addr}
 				case *ir.Store:
-					addr = in.Addr
+					addrs = []ir.Value{in.Addr}
+				case *ir.MemSet:
+					addrs = []ir.Value{in.To}
+				case *ir.MemCopy:
+					addrs = []ir.Value{in.To, in.From}
 				default:
 					continue
 				}
-				locs := pa.PointsTo(addr)
 				var names []string
-				for _, l := range locs {
-					names = append(names, l.String())
+				for _, addr := range addrs {
+					for _, l := range pa.PointsTo(addr) {
+						names = append(names, l.String())
+					}
 				}
 				fmt.Printf("%s l%d %-40s -> {%s}\n", fn.Name, in.Label(), in, strings.Join(names, ", "))
 			}

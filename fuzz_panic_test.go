@@ -56,6 +56,15 @@ func FuzzCompile(f *testing.F) {
 		"int main(void) { return frobnicate(1); }",
 		"int main(void) { print(1, 2); return 0; }",
 		"int main(void) { int x = 1 $ 2; return x; }",
+		// Widened constructs: strings, structs by value, varargs, intrinsics.
+		`char g[8] = "hello"; int main(void) { char c[4] = "abc"; print(c[0] + g[1]); return 0; }`,
+		`int main(void) { char c[2] = "way too long for the array"; return c[0]; }`,
+		`struct S { int a; int b; }; struct S mk(int a) { struct S s; s.a = a; return s; } int main(void) { struct S t = mk(1); struct S u = t; print(u.b); return 0; }`,
+		`int vs(int n, ...) { int t = 0; for (int i = 0; i < n; i++) { t += va_arg(i); } return t; } int main(void) { print(vs(1)); return vs(2, 1, 2); }`,
+		`int main(void) { return va_arg(0); }`,
+		`int main(void) { char b[8]; memset(b, 65, 8); char d[8]; memcpy(d, b, 0 - 1); return d[0]; }`,
+		`int main(void) { int *p = malloc(8); memmove(p, p, 8); memset(p); return 0; }`,
+		`char s[4] = 7; int main(void) { return s[0]; }`,
 	}
 	for _, s := range seeds {
 		f.Add(s)

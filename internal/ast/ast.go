@@ -74,13 +74,15 @@ type Param struct {
 	Pos  token.Pos
 }
 
-// FuncDecl declares a function. Body is nil for a prototype.
+// FuncDecl declares a function. Body is nil for a prototype. Variadic
+// marks a trailing `...` in the parameter list.
 type FuncDecl struct {
-	NamePos token.Pos
-	Ret     TypeExpr
-	Name    string
-	Params  []Param
-	Body    *Block
+	NamePos  token.Pos
+	Ret      TypeExpr
+	Name     string
+	Params   []Param
+	Variadic bool
+	Body     *Block
 }
 
 func (d *Include) Pos() token.Pos    { return d.HashPos }
@@ -101,6 +103,11 @@ type TypeExpr interface {
 
 // IntTypeExpr is the `int` type.
 type IntTypeExpr struct{ P token.Pos }
+
+// CharTypeExpr is the `char` type. In the abstract-cell model a char is
+// a one-cell integer, so it checks as an alias of int; the node is kept
+// distinct so printing round-trips.
+type CharTypeExpr struct{ P token.Pos }
 
 // VoidTypeExpr is the `void` type (function returns only).
 type VoidTypeExpr struct{ P token.Pos }
@@ -124,14 +131,17 @@ type ArrayTypeExpr struct {
 	Len  int64
 }
 
-// FuncTypeExpr is a function type, used for function pointers.
+// FuncTypeExpr is a function type, used for function pointers. Variadic
+// marks a trailing `...` in the parameter type list.
 type FuncTypeExpr struct {
-	P      token.Pos
-	Ret    TypeExpr
-	Params []TypeExpr
+	P        token.Pos
+	Ret      TypeExpr
+	Params   []TypeExpr
+	Variadic bool
 }
 
 func (t *IntTypeExpr) Pos() token.Pos     { return t.P }
+func (t *CharTypeExpr) Pos() token.Pos    { return t.P }
 func (t *VoidTypeExpr) Pos() token.Pos    { return t.P }
 func (t *StructTypeExpr) Pos() token.Pos  { return t.P }
 func (t *PointerTypeExpr) Pos() token.Pos { return t.P }
@@ -139,6 +149,7 @@ func (t *ArrayTypeExpr) Pos() token.Pos   { return t.P }
 func (t *FuncTypeExpr) Pos() token.Pos    { return t.P }
 
 func (*IntTypeExpr) typeExprNode()     {}
+func (*CharTypeExpr) typeExprNode()    {}
 func (*VoidTypeExpr) typeExprNode()    {}
 func (*StructTypeExpr) typeExprNode()  {}
 func (*PointerTypeExpr) typeExprNode() {}
@@ -231,10 +242,20 @@ type Expr interface {
 	exprNode()
 }
 
-// NumberLit is an integer literal.
+// NumberLit is an integer literal. Character literals also parse to
+// NumberLit, carrying the byte value.
 type NumberLit struct {
 	P     token.Pos
 	Value int64
+}
+
+// StringLit is a string literal. Value holds the decoded bytes (without
+// the implicit NUL terminator). Its type is a char array of length
+// len(Value)+1; in rvalue position it decays to a pointer to a
+// fully-defined read-only global object.
+type StringLit struct {
+	P     token.Pos
+	Value string
 }
 
 // Ident is a use of a named variable or function.
@@ -295,6 +316,7 @@ type SizeofExpr struct {
 }
 
 func (e *NumberLit) Pos() token.Pos   { return e.P }
+func (e *StringLit) Pos() token.Pos   { return e.P }
 func (e *Ident) Pos() token.Pos       { return e.P }
 func (e *Unary) Pos() token.Pos       { return e.P }
 func (e *Binary) Pos() token.Pos      { return e.P }
@@ -305,6 +327,7 @@ func (e *FieldAccess) Pos() token.Pos { return e.P }
 func (e *SizeofExpr) Pos() token.Pos  { return e.P }
 
 func (*NumberLit) exprNode()   {}
+func (*StringLit) exprNode()   {}
 func (*Ident) exprNode()       {}
 func (*Unary) exprNode()       {}
 func (*Binary) exprNode()      {}

@@ -55,6 +55,9 @@ func (p *printer) decl(d Decl) {
 		for i, prm := range d.Params {
 			params[i] = declarator(prm.Type, prm.Name)
 		}
+		if d.Variadic {
+			params = append(params, "...")
+		}
 		p.pf("%s(%s)", declarator(d.Ret, d.Name), strings.Join(params, ", "))
 		if d.Body == nil {
 			p.pf(";\n")
@@ -81,6 +84,8 @@ func splitDeclarator(t TypeExpr, inner string) (string, string) {
 	switch t := t.(type) {
 	case *IntTypeExpr:
 		return "int", inner
+	case *CharTypeExpr:
+		return "char", inner
 	case *VoidTypeExpr:
 		return "void", inner
 	case *StructTypeExpr:
@@ -99,6 +104,9 @@ func splitDeclarator(t TypeExpr, inner string) (string, string) {
 		params := make([]string, len(t.Params))
 		for i, pt := range t.Params {
 			params[i] = declarator(pt, "")
+		}
+		if t.Variadic {
+			params = append(params, "...")
 		}
 		return splitDeclarator(t.Ret, fmt.Sprintf("%s(%s)", inner, strings.Join(params, ", ")))
 	}
@@ -216,6 +224,8 @@ func exprString(e Expr) string {
 	switch e := e.(type) {
 	case *NumberLit:
 		return fmt.Sprintf("%d", e.Value)
+	case *StringLit:
+		return Quote(e.Value)
 	case *Ident:
 		return e.Name
 	case *Unary:
@@ -252,4 +262,34 @@ func exprString(e Expr) string {
 		return fmt.Sprintf("sizeof(%s)", declarator(e.T, ""))
 	}
 	return "?"
+}
+
+// Quote renders s as a MiniC string literal using only the escape
+// sequences the lexer decodes, so printing and reparsing round-trips.
+func Quote(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"':
+			b.WriteString(`\"`)
+		case c == '\\':
+			b.WriteString(`\\`)
+		case c == '\n':
+			b.WriteString(`\n`)
+		case c == '\t':
+			b.WriteString(`\t`)
+		case c == '\r':
+			b.WriteString(`\r`)
+		case c == 0:
+			b.WriteString(`\0`)
+		case c < 32 || c >= 127:
+			fmt.Fprintf(&b, `\x%02x`, c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
 }

@@ -30,7 +30,12 @@ type LevelRows struct {
 // v3: added the "resolve" section (-resolve-scale: summary-based Γ
 // resolution vs the dense baseline) and the top-level "gamma_summaries"
 // field recording whether the run resolved through Opt IV summaries.
-const SchemaVersion = 3
+//
+// v4: usher-difftest gained the sanitizer-vs-sanitizer mutation
+// campaign: the report's "mutants" counts replayed mutants and each
+// finding may carry a "mutation" tag naming the semantic mutation
+// (kind#index) that planted the divergence.
+const SchemaVersion = 4
 
 // Report is the machine-readable form of one usher-bench invocation,
 // written by the -json flag. It captures everything the text renderers

@@ -2,6 +2,7 @@ package difftest
 
 import (
 	"fmt"
+	"math/rand"
 
 	"github.com/valueflow/usher/internal/bench"
 	"github.com/valueflow/usher/internal/randprog"
@@ -34,6 +35,9 @@ type CampaignOptions struct {
 type Finding struct {
 	Seed       int64       `json:"seed"`
 	Divergence *Divergence `json:"divergence"`
+	// Mutation names the semantic mutation applied before the divergence
+	// was observed (empty for plain generated programs).
+	Mutation string `json:"mutation,omitempty"`
 	// Clean is the generator's implied label for the program.
 	Clean bool `json:"clean"`
 	// Stmts and MinStmts count statements before and after minimization.
@@ -59,7 +63,9 @@ type Report struct {
 	// Checked counts seeds actually compared; Divergent counts findings.
 	Checked   int64     `json:"checked"`
 	Divergent int       `json:"divergent"`
-	Findings  []Finding `json:"findings,omitempty"`
+	// Mutants counts mutated programs replayed (mutation campaigns only).
+	Mutants  int64     `json:"mutants,omitempty"`
+	Findings []Finding `json:"findings,omitempty"`
 	// Phases is the per-pass analysis breakdown (present with -stats).
 	Phases []stats.PassStats `json:"phases,omitempty"`
 }
@@ -135,4 +141,128 @@ func Campaign(opts CampaignOptions) (*Report, error) {
 	report.Checked = opts.Seeds
 	report.Phases = opts.Stats.Snapshot()
 	return report, nil
+}
+
+// MutationCampaignOptions configure a sanitizer-vs-sanitizer sweep:
+// every seed's generated program is perturbed by semantic mutations
+// (see MutationKinds) and each mutant is replayed under every
+// configuration against the mutant's own interpreter ground truth.
+type MutationCampaignOptions struct {
+	CampaignOptions
+	// MutantsPerSeed bounds the mutants replayed per seed; 0 replays
+	// every applicable mutation. Mutants are sampled deterministically
+	// per seed, spread across the mutation kinds.
+	MutantsPerSeed int
+}
+
+// MutationCampaign sweeps the seed range, mutating each generated
+// program and cross-checking every mutant. Divergences become findings
+// tagged with their mutation; the report is bit-identical for any
+// Parallel value.
+func MutationCampaign(opts MutationCampaignOptions) (*Report, error) {
+	if opts.Seeds < 0 {
+		return nil, fmt.Errorf("difftest: negative seed count %d", opts.Seeds)
+	}
+	gen := opts.Gen
+	if gen == (randprog.Options{}) {
+		gen = randprog.DefaultOptions
+	}
+	checker := New()
+	checker.Stats = opts.Stats
+	report := &Report{
+		SchemaVersion: SchemaVersion,
+		Tool:          "usher-difftest",
+		From:          opts.From,
+		Seeds:         opts.Seeds,
+		Generator:     gen,
+	}
+	for _, cfg := range checker.Configs {
+		report.Configs = append(report.Configs, cfg.String())
+	}
+
+	// findings[i] and mutants[i] belong to seed From+i; per-seed work is
+	// fully deterministic, so the report never depends on scheduling.
+	findings := make([][]Finding, opts.Seeds)
+	mutants := make([]int64, opts.Seeds)
+	err := bench.ForEach(opts.Parallel, int(opts.Seeds), func(i int) error {
+		seed := opts.From + int64(i)
+		src, info := randprog.GenerateInfo(seed, gen)
+		for _, m := range sampleMutations(src, seed, opts.MutantsPerSeed) {
+			mutated, ok := Apply(src, m)
+			if !ok {
+				continue
+			}
+			mutants[i]++
+			div := checker.Check(mutated)
+			if div == nil {
+				continue
+			}
+			f := Finding{
+				Seed:       seed,
+				Divergence: div,
+				Mutation:   m.String(),
+				Clean:      info.Clean(),
+				Stmts:      CountStmts(mutated),
+				Source:     mutated,
+			}
+			if opts.Minimize {
+				min := Minimize(mutated, func(candidate string) bool {
+					return div.SameBug(checker.Check(candidate))
+				})
+				f.Minimized = min
+				f.MinStmts = CountStmts(min)
+			}
+			findings[i] = append(findings[i], f)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, fs := range findings {
+		report.Mutants += mutants[i]
+		report.Divergent += len(fs)
+		report.Findings = append(report.Findings, fs...)
+	}
+	report.Checked = opts.Seeds
+	report.Phases = opts.Stats.Snapshot()
+	return report, nil
+}
+
+// sampleMutations picks up to limit mutations of src (all of them when
+// limit <= 0), deterministically per seed and spread across kinds:
+// candidates are taken round-robin — one of each kind per round, the
+// in-kind order shuffled by the seed — so a low limit still covers
+// every applicable kind.
+func sampleMutations(src string, seed int64, limit int) []Mutation {
+	all := Mutations(src)
+	if limit <= 0 || len(all) <= limit {
+		return all
+	}
+	byKind := make(map[MutationKind][]Mutation)
+	for _, m := range all {
+		byKind[m.Kind] = append(byKind[m.Kind], m)
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x6d75746174)) // "mutat"
+	for _, ms := range byKind {
+		rng.Shuffle(len(ms), func(a, b int) { ms[a], ms[b] = ms[b], ms[a] })
+	}
+	var out []Mutation
+	for len(out) < limit {
+		advanced := false
+		for _, k := range MutationKinds {
+			if ms := byKind[k]; len(ms) > 0 {
+				out = append(out, ms[0])
+				byKind[k] = ms[1:]
+				advanced = true
+				if len(out) == limit {
+					break
+				}
+			}
+		}
+		if !advanced {
+			break
+		}
+	}
+	return out
 }

@@ -1,0 +1,210 @@
+package difftest
+
+import (
+	"fmt"
+
+	"github.com/valueflow/usher/internal/ast"
+	"github.com/valueflow/usher/internal/parser"
+	"github.com/valueflow/usher/internal/token"
+)
+
+// MutationKind names one UBfuzz-style semantic mutation. Unlike the
+// byte-flipping fuzz targets (which probe the frontend with near-valid
+// junk), these mutations keep the program well-typed and trap-free while
+// deliberately perturbing its *definedness*: dropping an initializing
+// memset, shrinking a copy's length, reordering whole-struct
+// assignments, or routing a value through a varargs call. Replaying a
+// mutant under every instrumentation configuration against the mutant's
+// own interpreter ground truth is the sanitizer-vs-sanitizer campaign:
+// each sanitizer build must agree with the oracle on the bug the
+// mutation may have planted.
+type MutationKind string
+
+// The four mutation kinds.
+const (
+	// DropMemset removes one memset statement, potentially leaving the
+	// filled range undefined at later reads.
+	DropMemset MutationKind = "drop-memset"
+	// ShrinkCopyLen masks a memcpy/memmove length down to at most 3
+	// cells, potentially leaving the copy's tail undefined.
+	ShrinkCopyLen MutationKind = "shrink-copy-length"
+	// ReorderStructAssign swaps two adjacent whole-struct or field
+	// assignments, potentially changing which fields are defined.
+	ReorderStructAssign MutationKind = "reorder-struct-assign"
+	// RouteThroughVarargs rewrites an int initializer `e` to
+	// `vsum(1, e)`, forcing the value (and its shadow) through the
+	// caller-side varargs array and the callee's va_arg load. The
+	// program must define the randprog-style `int vsum(int n, ...)`
+	// accumulator for this mutation to apply.
+	RouteThroughVarargs MutationKind = "route-through-varargs"
+)
+
+// MutationKinds lists every kind in enumeration order.
+var MutationKinds = []MutationKind{DropMemset, ShrinkCopyLen, ReorderStructAssign, RouteThroughVarargs}
+
+// Mutation identifies one applicable mutation: the Index-th candidate
+// site of the given kind, in deterministic source order.
+type Mutation struct {
+	Kind  MutationKind
+	Index int
+}
+
+func (m Mutation) String() string { return fmt.Sprintf("%s#%d", m.Kind, m.Index) }
+
+// Mutations enumerates every single mutation applicable to src, in
+// deterministic order (kinds in MutationKinds order, sites in source
+// order). Programs that fail to parse have no mutations.
+func Mutations(src string) []Mutation {
+	prog, err := parser.Parse("mutate.c", src)
+	if err != nil {
+		return nil
+	}
+	sites := collectSites(prog)
+	var out []Mutation
+	for _, k := range MutationKinds {
+		for i := range sites[k] {
+			out = append(out, Mutation{Kind: k, Index: i})
+		}
+	}
+	return out
+}
+
+// Apply returns src with m applied, or ok=false when the mutation does
+// not exist (wrong index, construct absent, parse failure).
+func Apply(src string, m Mutation) (string, bool) {
+	prog, err := parser.Parse("mutate.c", src)
+	if err != nil {
+		return "", false
+	}
+	sites := collectSites(prog)
+	ss := sites[m.Kind]
+	if m.Index < 0 || m.Index >= len(ss) {
+		return "", false
+	}
+	ss[m.Index]()
+	return ast.Print(prog), true
+}
+
+// collectSites walks the program once and returns, per kind, the apply
+// closures of every candidate site in source order. The closures mutate
+// the parsed tree, so each Apply call works on its own parse.
+func collectSites(prog *ast.Program) map[MutationKind][]func() {
+	sites := make(map[MutationKind][]func())
+	hasVsum := false
+	for _, d := range prog.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name == "vsum" && fd.Variadic && fd.Body != nil {
+			hasVsum = true
+		}
+	}
+	for _, d := range prog.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		// vsum's own body must stay intact: routing its internals through
+		// itself would recurse, and its loop is the varargs semantics the
+		// other mutants rely on.
+		if fd.Name == "vsum" {
+			continue
+		}
+		collectStmtSites(fd.Body, hasVsum, sites)
+	}
+	return sites
+}
+
+func collectStmtSites(b *ast.Block, hasVsum bool, sites map[MutationKind][]func()) {
+	for i := range b.Stmts {
+		i := i
+		switch s := b.Stmts[i].(type) {
+		case *ast.Block:
+			collectStmtSites(s, hasVsum, sites)
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.Call); ok {
+				switch calleeName(call) {
+				case "memset":
+					sites[DropMemset] = append(sites[DropMemset], func() {
+						b.Stmts[i] = &ast.EmptyStmt{P: s.X.Pos()}
+					})
+				case "memcpy", "memmove":
+					if len(call.Args) == 3 {
+						sites[ShrinkCopyLen] = append(sites[ShrinkCopyLen], func() {
+							call.Args[2] = &ast.Binary{
+								P: call.Args[2].Pos(), Op: token.AMP,
+								X: call.Args[2], Y: &ast.NumberLit{P: call.Args[2].Pos(), Value: 3},
+							}
+						})
+					}
+				}
+			}
+			if i+1 < len(b.Stmts) && isStructAssign(b.Stmts[i]) && isStructAssign(b.Stmts[i+1]) {
+				sites[ReorderStructAssign] = append(sites[ReorderStructAssign], func() {
+					b.Stmts[i], b.Stmts[i+1] = b.Stmts[i+1], b.Stmts[i]
+				})
+			}
+		case *ast.DeclStmt:
+			d := s.Decl
+			if _, isInt := d.Type.(*ast.IntTypeExpr); isInt && d.Init != nil && hasVsum {
+				if call, ok := d.Init.(*ast.Call); !ok || calleeName(call) != "vsum" {
+					sites[RouteThroughVarargs] = append(sites[RouteThroughVarargs], func() {
+						d.Init = &ast.Call{
+							P:    d.Init.Pos(),
+							Fun:  &ast.Ident{P: d.Init.Pos(), Name: "vsum"},
+							Args: []ast.Expr{&ast.NumberLit{P: d.Init.Pos(), Value: 1}, d.Init},
+						}
+					})
+				}
+			}
+		case *ast.IfStmt:
+			descendStmtSites(s.Then, hasVsum, sites)
+			if s.Else != nil {
+				descendStmtSites(s.Else, hasVsum, sites)
+			}
+		case *ast.WhileStmt:
+			descendStmtSites(s.Body, hasVsum, sites)
+		case *ast.ForStmt:
+			descendStmtSites(s.Body, hasVsum, sites)
+		}
+	}
+}
+
+func descendStmtSites(s ast.Stmt, hasVsum bool, sites map[MutationKind][]func()) {
+	if blk, ok := s.(*ast.Block); ok {
+		collectStmtSites(blk, hasVsum, sites)
+	}
+}
+
+func calleeName(call *ast.Call) string {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// isStructAssign recognizes the assignment shapes the reorder mutation
+// swaps: whole-value `s = t` / `s = mk...(…)` copies and `s.f = e` field
+// stores. Types are not resolved at this level, so the heuristic keys on
+// the shapes randprog emits; swapping two adjacent statements of these
+// shapes never skips a declaration and never introduces a trap.
+func isStructAssign(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	as, ok := es.X.(*ast.Assign)
+	if !ok {
+		return false
+	}
+	if fa, ok := as.LHS.(*ast.FieldAccess); ok {
+		return !fa.Arrow
+	}
+	if _, ok := as.LHS.(*ast.Ident); ok {
+		switch rhs := as.RHS.(type) {
+		case *ast.Ident:
+			return true
+		case *ast.Call:
+			name := calleeName(rhs)
+			return len(name) >= 2 && name[:2] == "mk"
+		}
+	}
+	return false
+}

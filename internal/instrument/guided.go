@@ -282,6 +282,20 @@ func (in *instrumenter) seedFullMemory() {
 					if r, ok := instr.Val.(*ir.Register); ok {
 						in.demand(in.g.RegNode(r))
 					}
+				case *ir.MemSet:
+					if !in.memsets[instr] {
+						in.memsets[instr] = true
+						fp.add(instr.Label(), Item{Kind: MemFill, Val: instr.Val})
+					}
+					in.shadowReg(instr.Val)
+					if r, ok := instr.Val.(*ir.Register); ok {
+						in.demand(in.g.RegNode(r))
+					}
+				case *ir.MemCopy:
+					if !in.memsets[instr] {
+						in.memsets[instr] = true
+						fp.add(instr.Label(), Item{Kind: MemShadowCopy})
+					}
 				}
 			}
 		}
@@ -332,6 +346,16 @@ func (in *instrumenter) processTop(n *vfg.Node) {
 					in.demand(e.To)
 				}
 			}
+		case *ir.MemSet, *ir.MemCopy:
+			// [⊤-Intrinsic]: range chis are always weak updates (the range
+			// may not cover the object), so ⊤ means the written values AND
+			// the incoming version are defined — existing shadows already
+			// read T; forward the demand to the memory sources.
+			for _, e := range n.Deps {
+				if e.To.Kind == vfg.NodeMem {
+					in.demand(e.To)
+				}
+			}
 		case *ir.Call:
 			// [VRet]: forward demand through the call.
 			in.demandDeps(n)
@@ -367,6 +391,26 @@ func (in *instrumenter) processBottom(n *vfg.Node) {
 					fp.add(instr.Label(), Item{Kind: PropStore, Val: instr.Val})
 				}
 				in.shadowReg(instr.Val)
+				in.demandDeps(n)
+			case *ir.MemSet:
+				// [⊥-MemSet]: σ(*to+i) := σ(v) over the runtime range; the
+				// fill value's shadow and the older versions are tracked.
+				fp := in.plan.Fns[instr.Parent().Fn]
+				if !in.memsets[instr] {
+					in.memsets[instr] = true
+					fp.add(instr.Label(), Item{Kind: MemFill, Val: instr.Val})
+				}
+				in.shadowReg(instr.Val)
+				in.demandDeps(n)
+			case *ir.MemCopy:
+				// [⊥-MemCopy]: σ(*to+i) := σ(*from+i) over the runtime
+				// range; the source versions' shadows must be maintained, so
+				// demand flows into the source's reaching definitions.
+				fp := in.plan.Fns[instr.Parent().Fn]
+				if !in.memsets[instr] {
+					in.memsets[instr] = true
+					fp.add(instr.Label(), Item{Kind: MemShadowCopy})
+				}
 				in.demandDeps(n)
 			case *ir.Call:
 				// [VRet]: demand flows into the callee's exit versions.

@@ -1,0 +1,116 @@
+package instrument_test
+
+import (
+	"testing"
+
+	"github.com/valueflow/usher"
+)
+
+// Opt III edge cases for the widened constructs: struct copies, string
+// literal arrays and memory intrinsics define some bytes of an object
+// but not others. A dominating check on a *defined* byte must never
+// elide the sole check guarding a *still-undefined* byte of the same
+// object — the classes differ per byte, not per object.
+
+// optIIIWarnSites runs src under Opt III and returns the reported
+// shadow sites, failing on compile/run errors.
+func optIIIWarnSites(t *testing.T, src string) int {
+	t.Helper()
+	prog := usher.MustCompile("t.c", src)
+	ext := usher.MustAnalyze(prog, usher.ConfigUsherOptIII)
+	res, err := ext.Run(usher.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(res.ShadowSites())
+}
+
+// A struct-copy chain propagates per-field definedness: after two
+// whole-value copies of a partially-initialized struct, the checked use
+// of the defined field dominates the use of the undefined field, yet
+// the latter must still report.
+func TestOptIIIStructCopyChainKeepsUndefinedFieldCheck(t *testing.T) {
+	src := `
+struct S { int a; int b; };
+int main() {
+  struct S s;
+  s.a = 1;
+  struct S t = s;
+  struct S u = t;
+  print(u.a);
+  print(u.b);
+  return 0;
+}`
+	if got := optIIIWarnSites(t, src); got != 1 {
+		t.Errorf("reported sites = %d, want exactly the undefined-field use", got)
+	}
+}
+
+// A short string literal only defines a prefix of the destination
+// buffer when copied with an explicit length: the checked read inside
+// the copied prefix dominates the read past it, and the past-the-copy
+// read must keep its check and warn.
+func TestOptIIIShortStringCopyKeepsTailCheck(t *testing.T) {
+	src := `
+char lit[8] = "hi";
+int main() {
+  char c[8];
+  memcpy(c, lit, 3);
+  print(c[0]);
+  print(c[5]);
+  return 0;
+}`
+	if got := optIIIWarnSites(t, src); got != 1 {
+		t.Errorf("reported sites = %d, want exactly the past-the-copy read", got)
+	}
+}
+
+// A full string-literal initializer zero-fills the tail, so every byte
+// is defined and Opt III must stay silent — the elision machinery must
+// not manufacture a report either.
+func TestOptIIIFullStringLiteralArrayIsClean(t *testing.T) {
+	src := `
+int main() {
+  char c[8] = "abc";
+  print(c[0]);
+  print(c[7]);
+  return 0;
+}`
+	if got := optIIIWarnSites(t, src); got != 0 {
+		t.Errorf("reported sites = %d on a fully-defined literal array, want 0", got)
+	}
+}
+
+// A partial memset defines only its requested range: the checked read
+// inside the range dominates the read outside it, and the out-of-range
+// read must keep its sole check.
+func TestOptIIIPartialMemsetKeepsOutOfRangeCheck(t *testing.T) {
+	src := `
+int main() {
+  char buf[8];
+  memset(buf, 1, 4);
+  print(buf[0]);
+  print(buf[6]);
+  return 0;
+}`
+	if got := optIIIWarnSites(t, src); got != 1 {
+		t.Errorf("reported sites = %d, want exactly the out-of-range read", got)
+	}
+}
+
+// Re-checking the same undefined byte twice is the case Opt III *may*
+// elide — but never down to zero: the dominating first check must
+// still report.
+func TestOptIIIElisionNeverSuppressesSoleReport(t *testing.T) {
+	src := `
+int main() {
+  char buf[8];
+  memset(buf, 1, 4);
+  print(buf[6]);
+  print(buf[6]);
+  return 0;
+}`
+	if got := optIIIWarnSites(t, src); got < 1 {
+		t.Errorf("reported sites = %d, want at least one for the undefined byte", got)
+	}
+}

@@ -44,6 +44,14 @@ const (
 	MemSetF
 	// CheckVal: E(l) |= (σ(v) = F) for each value in Srcs.
 	CheckVal
+	// MemFill: σ(*to+i) := σ(Val) for i in [0, len) at a MemSet
+	// intrinsic. The range is the runtime-evaluated length, so shadow
+	// work is charged by the requested range, never the (possibly
+	// collapsed) object size.
+	MemFill
+	// MemShadowCopy: σ(*to+i) := σ(*from+i) for i in [0, len) at a
+	// MemCopy intrinsic (memcpy/memmove both lower to it).
+	MemShadowCopy
 )
 
 func (k ItemKind) String() string {
@@ -62,6 +70,10 @@ func (k ItemKind) String() string {
 		return "mem-setT"
 	case MemSetF:
 		return "mem-setF"
+	case MemFill:
+		return "mem-fill"
+	case MemShadowCopy:
+		return "mem-shadow-copy"
 	default:
 		return "check"
 	}
@@ -89,11 +101,13 @@ func (it Item) shadowReads(fp *FnPlan) int {
 		return n
 	case PropLoad:
 		return 1
-	case PropStore:
+	case PropStore, MemFill:
 		if r, ok := it.Val.(*ir.Register); ok && fp.Shadowed(r) {
 			return 1
 		}
 		return 0
+	case MemShadowCopy:
+		return 1
 	}
 	return 0
 }
@@ -298,6 +312,10 @@ func fullInstrument(fp *FnPlan, in ir.Instr) {
 		fp.add(l, Item{Kind: PropLoad, Dst: in.Dst})
 	case *ir.Store:
 		fp.add(l, Item{Kind: PropStore, Val: in.Val})
+	case *ir.MemSet:
+		fp.add(l, Item{Kind: MemFill, Val: in.Val})
+	case *ir.MemCopy:
+		fp.add(l, Item{Kind: MemShadowCopy})
 	case *ir.Phi:
 		fp.setShadowed(in.Dst)
 		fp.add(l, Item{Kind: PropCompute, Dst: in.Dst, Srcs: in.Vals})

@@ -220,7 +220,13 @@ func Run(prog *ir.Program, fnName string, args []Value, opts Options) (*Result, 
 	err := m.trap(func() {
 		for _, g := range prog.Globals {
 			inst := m.newInstance(g, g.Size)
-			if g.Size > 0 {
+			if g.InitVals != nil {
+				for i, v := range g.InitVals {
+					if i < len(inst.Cells) {
+						inst.Cells[i].Val = IntVal(v)
+					}
+				}
+			} else if g.Size > 0 {
 				inst.Cells[0].Val = IntVal(g.InitVal)
 			}
 			m.globals[g] = inst
@@ -432,6 +438,10 @@ func (m *Machine) execBlock(fr *frame, b *ir.Block, prev *ir.Block) (next *ir.Bl
 			addr := m.checkAddr(fr, in, in.Addr, "store")
 			v, d := m.eval(fr, in.Val)
 			addr.Inst.Cells[addr.Off] = Cell{Val: v, Defined: d}
+		case *ir.MemSet:
+			m.execMemSet(fr, in)
+		case *ir.MemCopy:
+			m.execMemCopy(fr, in)
 		case *ir.FieldAddr:
 			base, d := m.eval(fr, in.Base)
 			if base.Kind != KindAddr {
@@ -514,6 +524,79 @@ func (m *Machine) checkAddr(fr *frame, in ir.Instr, op ir.Value, what string) Ad
 		m.fail(fr.fn, in.Pos(), "%s out of bounds: %s (size %d)", what, a, len(a.Inst.Cells))
 	}
 	return a
+}
+
+// rangeLen evaluates the length operand of a memory intrinsic. An
+// undefined length is an oracle warning (it is a critical use); a
+// non-integer or negative length traps.
+func (m *Machine) rangeLen(fr *frame, in ir.Instr, op ir.Value, what string) int {
+	v, d := m.eval(fr, op)
+	if !d {
+		m.oracleWarn(fr.fn, in, what+" with undefined length")
+	}
+	if v.Kind != KindInt {
+		m.fail(fr.fn, in.Pos(), "%s with non-integer length %s", what, v)
+	}
+	if v.Int < 0 {
+		m.fail(fr.fn, in.Pos(), "%s with negative length %d", what, v.Int)
+	}
+	return int(v.Int)
+}
+
+// checkRange validates that [a, a+n) lies inside a's instance BEFORE any
+// cell is touched, so adversarial lengths trap immediately instead of
+// writing until they run off the object. After it passes, the intrinsic's
+// work is bounded by the instance size (itself bounded by MaxCells).
+func (m *Machine) checkRange(fr *frame, in ir.Instr, a Address, n int, what string) {
+	if n > 0 && a.Off+n > len(a.Inst.Cells) {
+		m.fail(fr.fn, in.Pos(), "%s out of bounds: %s + %d cells (size %d)", what, a, n, len(a.Inst.Cells))
+	}
+}
+
+// chargeCells charges the step budget for an intrinsic's bulk work: a
+// memset/memcopy over n cells costs n steps on top of the instruction
+// itself. Without this, a loop of whole-object intrinsics over a
+// collapsed (>4096-cell) allocation does MaxSteps×range cell writes
+// under a MaxSteps budget — the work must be charged by the requested
+// range so adversarial lengths exhaust the budget instead of hanging.
+// The charge depends only on the program's own length operands, so
+// native and instrumented runs stay step-identical.
+func (m *Machine) chargeCells(fr *frame, in ir.Instr, n int) {
+	m.res.Steps += int64(n)
+	if m.res.Steps > m.opts.MaxSteps {
+		m.fail(fr.fn, in.Pos(), "step budget exhausted (%d)", m.opts.MaxSteps)
+	}
+}
+
+func (m *Machine) execMemSet(fr *frame, in *ir.MemSet) {
+	n := m.rangeLen(fr, in, in.Len, "memset")
+	to := m.checkAddr(fr, in, in.To, "memset")
+	m.checkRange(fr, in, to, n, "memset")
+	m.chargeCells(fr, in, n)
+	// The filled value's definedness is copied into every cell, not
+	// checked: memset with an undefined value only becomes an error at a
+	// later critical use of the range.
+	v, d := m.eval(fr, in.Val)
+	for i := 0; i < n; i++ {
+		to.Inst.Cells[to.Off+i] = Cell{Val: v, Defined: d}
+	}
+}
+
+func (m *Machine) execMemCopy(fr *frame, in *ir.MemCopy) {
+	n := m.rangeLen(fr, in, in.Len, "memcopy")
+	from := m.checkAddr(fr, in, in.From, "memcopy source")
+	to := m.checkAddr(fr, in, in.To, "memcopy")
+	m.checkRange(fr, in, from, n, "memcopy source")
+	m.checkRange(fr, in, to, n, "memcopy")
+	m.chargeCells(fr, in, n)
+	if n == 0 {
+		return
+	}
+	// Buffer the source range so overlapping memmove-style copies are
+	// safe; values and definedness bits move together, MSan-style.
+	buf := make([]Cell, n)
+	copy(buf, from.Inst.Cells[from.Off:from.Off+n])
+	copy(to.Inst.Cells[to.Off:to.Off+n], buf)
 }
 
 func (m *Machine) execAlloc(fr *frame, in *ir.Alloc) {

@@ -338,6 +338,53 @@ func (sm *shadowMachine) execItem(fr *frame, sf *shadowFrame, in ir.Instr, it in
 			}
 		}
 		sm.m.res.ShadowProps++
+	case instrument.MemFill:
+		// σ(*to+i) := σ(v) over the requested range. The instruction has
+		// already executed without trapping, so the range is in bounds;
+		// shadow work is charged by the range, never the object size.
+		ms := in.(*ir.MemSet)
+		to, _ := sm.m.eval(fr, ms.To)
+		ln, _ := sm.m.eval(fr, ms.Len)
+		if to.Kind == KindAddr && !to.Addr.IsNull() {
+			s := sm.shadowOf(sf, it.Val)
+			for i := 0; i < int(ln.Int); i++ {
+				if cs := sm.cellShadow(to.Addr.Inst, to.Addr.Off+i); cs != nil {
+					*cs = s
+				}
+			}
+		}
+		sm.m.res.ShadowProps++
+	case instrument.MemShadowCopy:
+		// σ(*to+i) := σ(*from+i) over the requested range. The source
+		// shadows are buffered first so overlapping memmove ranges copy
+		// the pre-instruction shadows, mirroring the data copy.
+		mc := in.(*ir.MemCopy)
+		to, _ := sm.m.eval(fr, mc.To)
+		from, _ := sm.m.eval(fr, mc.From)
+		ln, _ := sm.m.eval(fr, mc.Len)
+		n := int(ln.Int)
+		if n > 0 && to.Kind == KindAddr && !to.Addr.IsNull() &&
+			from.Kind == KindAddr && !from.Addr.IsNull() {
+			buf := make([]sbit, n)
+			for i := range buf {
+				s := sT
+				if cs := sm.cellShadow(from.Addr.Inst, from.Addr.Off+i); cs != nil {
+					s = *cs
+					if s == sUninit {
+						sm.violation("copy of uninitialized cell shadow at %s (l%d in %s)",
+							from.Addr, in.Label(), fr.fn.Name)
+						s = sT
+					}
+				}
+				buf[i] = s
+			}
+			for i, s := range buf {
+				if cs := sm.cellShadow(to.Addr.Inst, to.Addr.Off+i); cs != nil {
+					*cs = s
+				}
+			}
+		}
+		sm.m.res.ShadowProps++
 	case instrument.CheckVal:
 		for _, v := range it.Srcs {
 			sm.m.res.ShadowChecks++

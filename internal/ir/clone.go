@@ -23,6 +23,7 @@ func CloneGlobal(p *Program, o *Object) *Object {
 		Kind:     o.Kind,
 		ZeroInit: o.ZeroInit,
 		InitVal:  o.InitVal,
+		InitVals: cloneInitVals(o.InitVals),
 		Pinned:   o.Pinned,
 
 		fieldSensitive: o.fieldSensitive,
@@ -31,6 +32,15 @@ func CloneGlobal(p *Program, o *Object) *Object {
 	n.ID = p.nextObjID
 	p.nextObjID++
 	return n
+}
+
+func cloneInitVals(vals []int64) []int64 {
+	if vals == nil {
+		return nil
+	}
+	out := make([]int64, len(vals))
+	copy(out, vals)
+	return out
 }
 
 // CloneBody deep-copies the body of src into dst, an empty function
@@ -142,6 +152,7 @@ func (c *cloner) cloneAllocObject(o *Object) *Object {
 		Kind:     o.Kind,
 		ZeroInit: o.ZeroInit,
 		InitVal:  o.InitVal,
+		InitVals: cloneInitVals(o.InitVals),
 		Pinned:   o.Pinned,
 		Fn:       c.dst,
 
@@ -168,6 +179,10 @@ func (c *cloner) instr(in Instr) Instr {
 		out = NewLoad(c.reg(in.Dst), c.val(in.Addr))
 	case *Store:
 		out = NewStore(c.val(in.Addr), c.val(in.Val))
+	case *MemSet:
+		out = NewMemSet(c.val(in.To), c.val(in.Val), c.val(in.Len))
+	case *MemCopy:
+		out = NewMemCopy(c.val(in.To), c.val(in.From), c.val(in.Len))
 	case *FieldAddr:
 		out = NewFieldAddr(c.reg(in.Dst), c.val(in.Base), in.Off)
 	case *IndexAddr:

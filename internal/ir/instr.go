@@ -189,6 +189,49 @@ func (s *Store) Defines() *Register { return nil }
 func (s *Store) Operands() []Value  { return []Value{s.Addr, s.Val} }
 func (s *Store) String() string     { return fmt.Sprintf("store %s, %s", s.Val, s.Addr) }
 
+// MemSet fills Len cells starting at To with the value Val. Lowered from
+// the memset builtin and from the zero-fill tail of string-initialized
+// arrays. The To and Len operands are critical uses; Val is not: the
+// runtime stores Val's shadow into the range, MSan-style, so setting
+// memory to an undefined value is not itself an error.
+type MemSet struct {
+	instrBase
+	To  Value
+	Val Value
+	Len Value
+}
+
+// NewMemSet constructs a MemSet.
+func NewMemSet(to, val, length Value) *MemSet { return &MemSet{To: to, Val: val, Len: length} }
+
+func (m *MemSet) Defines() *Register { return nil }
+func (m *MemSet) Operands() []Value  { return []Value{m.To, m.Val, m.Len} }
+func (m *MemSet) String() string {
+	return fmt.Sprintf("memset %s, %s, %s", m.To, m.Val, m.Len)
+}
+
+// MemCopy copies Len cells from From to To, shadow included: copying an
+// undefined cell is not an error, only a later critical use of the copy
+// is. Lowered from memcpy and memmove (the interpreter buffers the
+// source, so overlap is always safe), struct assignment, by-value struct
+// arguments and returns, and string-literal array initialization. The
+// To, From and Len operands are critical uses.
+type MemCopy struct {
+	instrBase
+	To   Value
+	From Value
+	Len  Value
+}
+
+// NewMemCopy constructs a MemCopy.
+func NewMemCopy(to, from, length Value) *MemCopy { return &MemCopy{To: to, From: from, Len: length} }
+
+func (m *MemCopy) Defines() *Register { return nil }
+func (m *MemCopy) Operands() []Value  { return []Value{m.To, m.From, m.Len} }
+func (m *MemCopy) String() string {
+	return fmt.Sprintf("memcopy %s, %s, %s", m.To, m.From, m.Len)
+}
+
 // FieldAddr computes Dst = &Base[Off] for a constant struct-field offset.
 // The result is always a defined value when Base is.
 type FieldAddr struct {
@@ -237,7 +280,9 @@ func (ia *IndexAddr) String() string {
 // Builtin identifies intrinsic callees.
 type Builtin int
 
-// Builtins. malloc/calloc never reach Call (they lower to Alloc).
+// Builtins. malloc/calloc never reach Call (they lower to Alloc), and
+// neither do memset/memcpy/memmove (MemSet/MemCopy) or va_arg (a load
+// from the packed argument array).
 const (
 	NotBuiltin Builtin = iota
 	BuiltinFree
@@ -437,6 +482,11 @@ func IsCritical(in Instr) (vals []Value, ok bool) {
 		return []Value{in.Addr}, true
 	case *Store:
 		return []Value{in.Addr}, true
+	case *MemSet:
+		// The filled value's shadow is copied, not checked.
+		return []Value{in.To, in.Len}, true
+	case *MemCopy:
+		return []Value{in.To, in.From, in.Len}, true
 	case *Branch:
 		return []Value{in.Cond}, true
 	case *Call:

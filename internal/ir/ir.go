@@ -118,6 +118,12 @@ type Object struct {
 	CloneSite *Call
 	// InitVal is the explicit initializer of a scalar global (cell 0).
 	InitVal int64
+	// InitVals are explicit per-cell initializers of an array global
+	// (string literals). When non-nil it holds at most Size entries and
+	// takes precedence over InitVal; cells past it are zero, and such
+	// objects also set ZeroInit, since every cell is defined at program
+	// start.
+	InitVals []int64
 	// Pinned objects are never promoted by mem2reg (used for the synthetic
 	// cells that model undefined top-level values).
 	Pinned bool

@@ -166,24 +166,60 @@ func (l *Lexer) Next() token.Token {
 		l.errorf(pos, "unknown directive #%s (only #include is supported)", name)
 		return mk(token.ILLEGAL, "#"+name)
 	case c == '"':
-		// Include-path string literal. MiniC has no string values, so the
-		// grammar is deliberately small: no escape sequences, and the
-		// literal must close before the end of the line.
+		// String literal (a value in expression position, a path after
+		// #include). The token text carries the decoded bytes; the literal
+		// must close before the end of the line.
 		start := l.off
+		var buf []byte
 		for l.off < len(l.src) {
 			switch l.peek() {
 			case '"':
-				text := l.src[start:l.off]
 				l.advance()
-				return mk(token.STRING, text)
+				return mk(token.STRING, string(buf))
 			case '\n', '\r':
 				l.errorf(pos, "unterminated string literal")
 				return mk(token.ILLEGAL, l.src[start-1:l.off])
+			case '\\':
+				l.advance()
+				b, ok := l.escape(pos)
+				if !ok {
+					return mk(token.ILLEGAL, l.src[start-1:l.off])
+				}
+				buf = append(buf, b)
+			default:
+				buf = append(buf, l.advance())
 			}
-			l.advance()
 		}
 		l.errorf(pos, "unterminated string literal")
 		return mk(token.ILLEGAL, l.src[start-1:l.off])
+	case c == '\'':
+		// Character literal: exactly one (possibly escaped) byte.
+		start := l.off
+		var b byte
+		switch l.peek() {
+		case 0, '\n', '\r':
+			l.errorf(pos, "unterminated character literal")
+			return mk(token.ILLEGAL, l.src[start-1:l.off])
+		case '\'':
+			l.advance()
+			l.errorf(pos, "empty character literal")
+			return mk(token.ILLEGAL, "''")
+		case '\\':
+			l.advance()
+			var ok bool
+			b, ok = l.escape(pos)
+			if !ok {
+				return mk(token.ILLEGAL, l.src[start-1:l.off])
+			}
+		default:
+			b = l.advance()
+		}
+		if l.peek() != '\'' {
+			l.errorf(pos, "character literal must contain exactly one character")
+			return mk(token.ILLEGAL, l.src[start-1:l.off])
+		}
+		l.advance()
+		return mk(token.CHAR, string(b))
 	case isIdentStart(c):
 		start := l.off - 1
 		for l.off < len(l.src) && isIdentCont(l.peek()) {
@@ -214,6 +250,11 @@ func (l *Lexer) Next() token.Token {
 	case ';':
 		return mk(token.SEMI, ";")
 	case '.':
+		if l.peek() == '.' && l.peek2() == '.' {
+			l.advance()
+			l.advance()
+			return mk(token.ELLIPSIS, "...")
+		}
 		return mk(token.DOT, ".")
 	case '~':
 		return mk(token.TILDE, "~")
@@ -275,6 +316,60 @@ func (l *Lexer) Next() token.Token {
 	}
 	l.errorf(pos, "illegal character %q", c)
 	return mk(token.ILLEGAL, string(c))
+}
+
+// escape decodes the escape sequence following a consumed backslash and
+// returns the denoted byte. On an unknown escape it emits a diagnostic
+// and reports ok=false.
+func (l *Lexer) escape(pos token.Pos) (b byte, ok bool) {
+	if l.off >= len(l.src) {
+		l.errorf(pos, "unterminated escape sequence")
+		return 0, false
+	}
+	c := l.advance()
+	switch c {
+	case 'n':
+		return '\n', true
+	case 't':
+		return '\t', true
+	case 'r':
+		return '\r', true
+	case '0':
+		return 0, true
+	case '\\', '"', '\'':
+		return c, true
+	case 'x':
+		v := 0
+		n := 0
+		for n < 2 && l.off < len(l.src) {
+			d := hexVal(l.peek())
+			if d < 0 {
+				break
+			}
+			v = v*16 + d
+			l.advance()
+			n++
+		}
+		if n == 0 {
+			l.errorf(pos, `\x escape needs at least one hex digit`)
+			return 0, false
+		}
+		return byte(v), true
+	}
+	l.errorf(pos, "unknown escape sequence \\%c", c)
+	return 0, false
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return -1
 }
 
 // All tokenizes the remaining input including the terminating EOF token.

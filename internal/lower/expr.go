@@ -31,6 +31,9 @@ func (lw *lowerer) rvalue(e ast.Expr) ir.Value {
 	switch e := e.(type) {
 	case *ast.NumberLit:
 		return ir.IntConst(e.Value)
+	case *ast.StringLit:
+		// Array-to-pointer decay of the interned literal object.
+		return &ir.GlobalAddr{Obj: lw.stringObject(e.Value)}
 	case *ast.Ident:
 		sym := lw.info.Uses[e]
 		switch sym.Kind {
@@ -51,6 +54,9 @@ func (lw *lowerer) rvalue(e ast.Expr) ir.Value {
 	case *ast.Binary:
 		return lw.lowerBinary(e)
 	case *ast.Assign:
+		if _, isStruct := lw.info.TypeOf(e.LHS).(*types.Struct); isStruct {
+			return lw.lowerStructAssign(e)
+		}
 		addr := lw.lvalue(e.LHS)
 		v := lw.rvalue(e.RHS)
 		lw.emit(ir.NewStore(addr, v), e.Pos())
@@ -80,6 +86,8 @@ func (lw *lowerer) resolveSizeType(te ast.TypeExpr) types.Type {
 	switch te := te.(type) {
 	case *ast.IntTypeExpr:
 		return types.Int
+	case *ast.CharTypeExpr:
+		return types.Int
 	case *ast.VoidTypeExpr:
 		return types.Void
 	case *ast.StructTypeExpr:
@@ -97,9 +105,38 @@ func (lw *lowerer) resolveSizeType(te ast.TypeExpr) types.Type {
 	return types.Int
 }
 
+// lowerStructAssign copies the whole struct value with a MemCopy and
+// returns the destination address (used by chained struct assignments).
+func (lw *lowerer) lowerStructAssign(e *ast.Assign) ir.Value {
+	st := lw.info.TypeOf(e.LHS).(*types.Struct)
+	dst := lw.lvalue(e.LHS)
+	src := lw.aggrAddr(e.RHS)
+	lw.emit(ir.NewMemCopy(dst, src, ir.IntConst(int64(st.Size()))), e.Pos())
+	return dst
+}
+
+// aggrAddr lowers an aggregate-typed expression to the address of its
+// storage. Struct-valued calls yield the hidden-result temporary; struct
+// assignments yield their destination; everything else is an lvalue.
+func (lw *lowerer) aggrAddr(e ast.Expr) ir.Value {
+	switch e := e.(type) {
+	case *ast.Assign:
+		if _, isStruct := lw.info.TypeOf(e.LHS).(*types.Struct); isStruct {
+			return lw.lowerStructAssign(e)
+		}
+	case *ast.Call:
+		return lw.lowerCall(e, true)
+	case *ast.StringLit:
+		return &ir.GlobalAddr{Obj: lw.stringObject(e.Value)}
+	}
+	return lw.lvalue(e)
+}
+
 // lvalue lowers e to the address of the denoted cell.
 func (lw *lowerer) lvalue(e ast.Expr) ir.Value {
 	switch e := e.(type) {
+	case *ast.StringLit:
+		return &ir.GlobalAddr{Obj: lw.stringObject(e.Value)}
 	case *ast.Ident:
 		sym := lw.info.Uses[e]
 		switch sym.Kind {
@@ -291,20 +328,86 @@ func (lw *lowerer) lowerCall(e *ast.Call, wantValue bool) ir.Value {
 	if callee == nil {
 		callee = lw.rvalue(e.Fun) // indirect through a function pointer
 	}
-	args := make([]ir.Value, len(e.Args))
-	for i, a := range e.Args {
-		args[i] = lw.rvalue(a)
+	ft := lw.calleeFuncType(e.Fun)
+	if ft == nil {
+		lw.failf(e.Pos(), "call target has no function type")
 	}
-	var dst *ir.Register
+
+	// Argument layout mirrors lowerFunc: [sret] fixed-params... [va].
+	var args []ir.Value
+	var sretTemp *ir.Register
 	retT := lw.info.TypeOf(e)
-	if retT != types.Void {
+	if st, ok := retT.(*types.Struct); ok {
+		// Hidden result slot: a fresh temporary per call site, undefined
+		// until the callee's return copies into it.
+		sretTemp, _ = lw.allocaAtEntry("sret", st.Size(), e.Pos())
+		args = append(args, sretTemp)
+	}
+	nfixed := len(ft.Params)
+	if nfixed > len(e.Args) {
+		nfixed = len(e.Args)
+	}
+	for i := 0; i < nfixed; i++ {
+		a := e.Args[i]
+		if st, ok := ft.Params[i].(*types.Struct); ok {
+			// By-value struct argument: copy into a call-local temporary
+			// and pass its address; the callee uses it as the parameter's
+			// storage, so each call gets an independent copy.
+			tmp, _ := lw.allocaAtEntry("byval", st.Size(), a.Pos())
+			src := lw.aggrAddr(a)
+			lw.emit(ir.NewMemCopy(tmp, src, ir.IntConst(int64(st.Size()))), a.Pos())
+			args = append(args, tmp)
+			continue
+		}
+		args = append(args, lw.rvalue(a))
+	}
+	if ft.Variadic {
+		// Pack the extra int arguments into a caller-side array and pass
+		// its address as the hidden trailing parameter. The array is
+		// collapsed (the callee indexes it dynamically), so with zero
+		// extras its single cell simply stays undefined.
+		extras := e.Args[len(ft.Params):]
+		size := len(extras)
+		if size == 0 {
+			size = 1
+		}
+		va, vaObj := lw.allocaAtEntry("va", size, e.Pos())
+		vaObj.Collapse()
+		for j, a := range extras {
+			v := lw.rvalue(a)
+			slotAddr := lw.fn.NewReg("")
+			lw.emit(ir.NewIndexAddr(slotAddr, va, ir.IntConst(int64(j))), a.Pos())
+			lw.emit(ir.NewStore(slotAddr, v), a.Pos())
+		}
+		args = append(args, va)
+	}
+
+	var dst *ir.Register
+	if retT != types.Void && sretTemp == nil {
 		dst = lw.fn.NewReg("")
 	}
 	lw.emit(ir.NewCall(dst, callee, args, ir.NotBuiltin), e.Pos())
+	if sretTemp != nil {
+		return sretTemp // the struct value lives in the hidden result slot
+	}
 	if dst == nil {
 		return ir.IntConst(0)
 	}
 	return dst
+}
+
+// calleeFuncType returns the semantic function type of a call target.
+func (lw *lowerer) calleeFuncType(fun ast.Expr) *types.Func {
+	t := lw.info.TypeOf(fun)
+	if pt, ok := t.(*types.Pointer); ok {
+		if ft, ok := pt.Elem.(*types.Func); ok {
+			return ft
+		}
+	}
+	if ft, ok := t.(*types.Func); ok {
+		return ft
+	}
+	return nil
 }
 
 func (lw *lowerer) lowerBuiltin(name string, e *ast.Call, wantValue bool) ir.Value {
@@ -352,6 +455,36 @@ func (lw *lowerer) lowerBuiltin(name string, e *ast.Call, wantValue bool) ir.Val
 	case "input":
 		dst := lw.fn.NewReg("")
 		lw.emit(ir.NewCall(dst, nil, nil, ir.BuiltinInput), e.Pos())
+		return dst
+	case "memset":
+		if len(e.Args) < 3 {
+			lw.failf(e.Pos(), "memset needs 3 arguments")
+		}
+		p := lw.rvalue(e.Args[0])
+		v := lw.rvalue(e.Args[1])
+		n := lw.rvalue(e.Args[2])
+		lw.emit(ir.NewMemSet(p, v, n), e.Pos())
+		return p
+	case "memcpy", "memmove":
+		// One IR op for both: the runtime buffers the source range, so the
+		// copy is overlap-safe either way.
+		if len(e.Args) < 3 {
+			lw.failf(e.Pos(), "%s needs 3 arguments", name)
+		}
+		dstp := lw.rvalue(e.Args[0])
+		srcp := lw.rvalue(e.Args[1])
+		n := lw.rvalue(e.Args[2])
+		lw.emit(ir.NewMemCopy(dstp, srcp, n), e.Pos())
+		return dstp
+	case "va_arg":
+		if lw.vaParam == nil {
+			lw.failf(e.Pos(), "va_arg outside a variadic function")
+		}
+		idx := lw.rvalue(e.Args[0])
+		addr := lw.fn.NewReg("")
+		lw.emit(ir.NewIndexAddr(addr, lw.vaParam, idx), e.Pos())
+		dst := lw.fn.NewReg("")
+		lw.emit(ir.NewLoad(dst, addr), e.Pos())
 		return dst
 	}
 	lw.failf(e.Pos(), "unknown builtin %s", name)

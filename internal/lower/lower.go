@@ -31,6 +31,7 @@ func Lower(prog *ast.Program, info *types.Info) (*ir.Program, error) {
 		irp:     ir.NewProgram(),
 		globals: make(map[*types.Symbol]*ir.Object),
 		funcs:   make(map[*types.Symbol]*ir.Function),
+		strLits: make(map[string]*ir.Object),
 	}
 	// Globals first: they are address-taken variables, default-initialized
 	// (alloc_T in the paper's terms).
@@ -41,8 +42,24 @@ func Lower(prog *ast.Program, info *types.Info) (*ir.Program, error) {
 			obj.Collapse()
 		}
 		if vd, ok := sym.Decl.(*ast.VarDecl); ok && vd.Init != nil {
-			if n, ok := vd.Init.(*ast.NumberLit); ok {
+			switch n := vd.Init.(type) {
+			case *ast.NumberLit:
 				obj.InitVal = n.Value
+			case *ast.StringLit:
+				// Cells past the literal (including the NUL) stay zero, per
+				// C's static initialization — the object is ZeroInit, so
+				// InitVals is clipped to the literal instead of materializing
+				// the whole extent (char g[1e9] = "x" must not allocate 8GB
+				// at compile time).
+				size := len(n.Value)
+				if size > obj.Size {
+					size = obj.Size
+				}
+				vals := make([]int64, size)
+				for i := range vals {
+					vals[i] = int64(n.Value[i])
+				}
+				obj.InitVals = vals
 			}
 		}
 		lw.irp.Globals = append(lw.irp.Globals, obj)
@@ -97,14 +114,44 @@ type lowerer struct {
 	diags   diag.List
 	globals map[*types.Symbol]*ir.Object
 	funcs   map[*types.Symbol]*ir.Function
+	// strLits dedups string-literal objects by content; every literal is a
+	// read-only, fully-defined global.
+	strLits map[string]*ir.Object
 
 	// per-function state
-	fn     *ir.Function
-	cur    *ir.Block
-	entry  *ir.Block
-	slots  map[*types.Symbol]*ir.Register // symbol -> alloca address register
-	loops  []loopCtx
-	isVoid bool
+	fn    *ir.Function
+	cur   *ir.Block
+	entry *ir.Block
+	slots map[*types.Symbol]*ir.Register // symbol -> alloca address register
+	loops []loopCtx
+	// sret is the hidden first parameter carrying the caller-allocated
+	// result slot of a struct-returning function; retSize is its extent.
+	sret    *ir.Register
+	retSize int
+	// vaParam is the hidden trailing parameter of a variadic function: the
+	// address of the caller-packed array of extra int arguments.
+	vaParam *ir.Register
+	isVoid  bool
+}
+
+// stringObject interns a string literal as a global object whose cells are
+// the literal's bytes plus a NUL terminator, all defined at program start.
+func (lw *lowerer) stringObject(s string) *ir.Object {
+	if obj, ok := lw.strLits[s]; ok {
+		return obj
+	}
+	size := len(s) + 1
+	obj := lw.irp.NewObject(fmt.Sprintf(".str%d", len(lw.strLits)), size, ir.ObjGlobal)
+	obj.ZeroInit = true
+	obj.Collapse() // array-like, indexed dynamically
+	vals := make([]int64, size)
+	for i := 0; i < len(s); i++ {
+		vals[i] = int64(s[i])
+	}
+	obj.InitVals = vals
+	lw.irp.Globals = append(lw.irp.Globals, obj)
+	lw.strLits[s] = obj
+	return obj
 }
 
 // failf records a lowering diagnostic and abandons the current function
@@ -166,20 +213,44 @@ func (lw *lowerer) lowerFunc(fd *ast.FuncDecl) {
 	lw.slots = make(map[*types.Symbol]*ir.Register)
 	lw.loops = nil
 	lw.isVoid = ft.Ret == types.Void
+	lw.sret = nil
+	lw.retSize = 0
+	lw.vaParam = nil
 
 	lw.entry = fn.NewBlock("entry")
 	body := fn.NewBlock("body")
 	lw.startBlock(body)
 
+	// Struct-returning functions take a hidden first parameter: the address
+	// of the caller-allocated result slot. `return e;` copies into it.
+	if st, ok := ft.Ret.(*types.Struct); ok {
+		lw.sret = fn.NewReg("sret")
+		fn.Params = append(fn.Params, lw.sret)
+		lw.retSize = st.Size()
+	}
+
 	// Parameters: spill each into a fresh slot, Clang-style. The slot is
 	// initialized by the incoming value, so the store marks it defined.
+	// By-value struct parameters pass the address of a caller-side copy
+	// instead; that temporary is the parameter's storage, so no spill (and
+	// no callee copy) is needed.
 	psyms := lw.info.ParamSymbols[fd]
 	for i, ps := range psyms {
 		preg := fn.NewReg(ps.Name)
 		fn.Params = append(fn.Params, preg)
+		if _, isStruct := ps.Type.(*types.Struct); isStruct {
+			lw.slots[ps] = preg
+			continue
+		}
 		addr, _ := lw.allocaAtEntry(ps.Name, 1, fd.Params[i].Pos)
 		lw.emit(ir.NewStore(addr, preg), fd.Params[i].Pos)
 		lw.slots[ps] = addr
+	}
+	// Variadic functions take a hidden trailing parameter: the address of
+	// the caller-packed extras array, read by va_arg.
+	if ft.Variadic {
+		lw.vaParam = fn.NewReg("va")
+		fn.Params = append(fn.Params, lw.vaParam)
 	}
 
 	lw.lowerBlockStmts(fd.Body)
@@ -198,7 +269,9 @@ func (lw *lowerer) lowerFunc(fd *ast.FuncDecl) {
 // as a load from a fresh uninitialized cell so the analysis and runtime
 // see it as any other use of undefined memory.
 func (lw *lowerer) emitImplicitReturn(pos token.Pos) {
-	if lw.isVoid {
+	if lw.isVoid || lw.sret != nil {
+		// For a struct-returning function the caller's result slot simply
+		// stays undefined, like any other missed initialization.
 		lw.emit(ir.NewRet(nil), pos)
 		return
 	}
@@ -237,7 +310,11 @@ func (lw *lowerer) lowerStmt(s ast.Stmt) {
 	case *ast.ForStmt:
 		lw.lowerFor(s)
 	case *ast.ReturnStmt:
-		if s.X != nil {
+		if s.X != nil && lw.sret != nil {
+			src := lw.aggrAddr(s.X)
+			lw.emit(ir.NewMemCopy(lw.sret, src, ir.IntConst(int64(lw.retSize))), s.Pos())
+			lw.emit(ir.NewRet(nil), s.Pos())
+		} else if s.X != nil {
 			v := lw.rvalue(s.X)
 			lw.emit(ir.NewRet(v), s.Pos())
 		} else {
@@ -265,7 +342,33 @@ func (lw *lowerer) lowerLocalDecl(d *ast.VarDecl) {
 		obj.Collapse()
 	}
 	lw.slots[sym] = addr
-	if d.Init != nil {
+	if d.Init == nil {
+		return
+	}
+	switch t := sym.Type.(type) {
+	case *types.Array:
+		// The checker only admits string-literal array initializers. Copy
+		// the literal (with its NUL if it fits) and zero-fill the rest,
+		// exercising both memory intrinsics.
+		sl, ok := d.Init.(*ast.StringLit)
+		if !ok {
+			lw.failf(d.Pos(), "array initializer for %s is not a string literal", d.Name)
+		}
+		lit := &ir.GlobalAddr{Obj: lw.stringObject(sl.Value)}
+		n := len(sl.Value) + 1
+		if n > t.Len {
+			n = t.Len
+		}
+		lw.emit(ir.NewMemCopy(addr, lit, ir.IntConst(int64(n))), d.Pos())
+		if rest := t.Len - n; rest > 0 {
+			restAddr := lw.fn.NewReg("")
+			lw.emit(ir.NewIndexAddr(restAddr, addr, ir.IntConst(int64(n))), d.Pos())
+			lw.emit(ir.NewMemSet(restAddr, ir.IntConst(0), ir.IntConst(int64(rest))), d.Pos())
+		}
+	case *types.Struct:
+		src := lw.aggrAddr(d.Init)
+		lw.emit(ir.NewMemCopy(addr, src, ir.IntConst(int64(t.Size()))), d.Pos())
+	default:
 		v := lw.rvalue(d.Init)
 		lw.emit(ir.NewStore(addr, v), d.Pos())
 	}

@@ -176,6 +176,31 @@ func (info *Info) locVars(locs []pointer.Loc) []MemVar {
 	return out
 }
 
+// rangeVars widens points-to locations to every field variable of the
+// pointed-to objects. Memory intrinsics (MemSet/MemCopy) access a
+// runtime-sized range, so any field reachable from the base pointer's
+// object may be touched regardless of the pointed-at offset; versioning
+// the whole object keeps their chis/mus sound for every length.
+func (info *Info) rangeVars(locs []pointer.Loc) []MemVar {
+	seen := make(map[MemVar]bool)
+	var vars []MemVar
+	for _, l := range locs {
+		if l.Fn != nil {
+			continue
+		}
+		n := l.Obj.NumFields()
+		for f := 0; f < n; f++ {
+			v := MemVar{Obj: l.Obj, Field: info.Pointer.CanonField(l.Obj, f)}
+			if !seen[v] {
+				seen[v] = true
+				vars = append(vars, v)
+			}
+		}
+	}
+	sortVars(vars)
+	return vars
+}
+
 // allocVars returns every field variable of obj.
 func allocVars(obj *ir.Object) []MemVar {
 	n := obj.NumFields()
@@ -208,6 +233,17 @@ func (info *Info) modRef() {
 				case *ir.Alloc:
 					for _, v := range allocVars(in.Obj) {
 						info.Mod[fn][v] = true
+					}
+				case *ir.MemSet:
+					for _, v := range info.rangeVars(info.Pointer.PointsTo(in.To)) {
+						info.Mod[fn][v] = true
+					}
+				case *ir.MemCopy:
+					for _, v := range info.rangeVars(info.Pointer.PointsTo(in.To)) {
+						info.Mod[fn][v] = true
+					}
+					for _, v := range info.rangeVars(info.Pointer.PointsTo(in.From)) {
+						info.Ref[fn][v] = true
 					}
 				}
 			}

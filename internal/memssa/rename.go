@@ -49,6 +49,10 @@ func (info *Info) buildFunc(fn *ir.Function) {
 		switch in := in.(type) {
 		case *ir.Store:
 			return info.locVars(info.Pointer.PointsTo(in.Addr))
+		case *ir.MemSet:
+			return info.rangeVars(info.Pointer.PointsTo(in.To))
+		case *ir.MemCopy:
+			return info.rangeVars(info.Pointer.PointsTo(in.To))
 		case *ir.Alloc:
 			return allocVars(in.Obj)
 		case *ir.Call:
@@ -78,6 +82,8 @@ func (info *Info) buildFunc(fn *ir.Function) {
 		switch in := in.(type) {
 		case *ir.Load:
 			return info.locVars(info.Pointer.PointsTo(in.Addr))
+		case *ir.MemCopy:
+			return info.rangeVars(info.Pointer.PointsTo(in.From))
 		case *ir.Call:
 			seen := make(map[MemVar]bool)
 			var vs []MemVar

@@ -267,6 +267,7 @@ func exportsOf(astProg *ast.Program) []ast.Decl {
 			seenProto[d.Name] = true
 			out = append(out, &ast.FuncDecl{
 				NamePos: d.NamePos, Ret: d.Ret, Name: d.Name, Params: d.Params,
+				Variadic: d.Variadic,
 			})
 		}
 	}

@@ -1,6 +1,8 @@
 package module
 
 import (
+	"fmt"
+
 	"github.com/valueflow/usher/internal/diag"
 	"github.com/valueflow/usher/internal/ir"
 	"github.com/valueflow/usher/internal/ssa"
@@ -94,7 +96,36 @@ func link(units []*Unit) (*ir.Program, map[string]int64, error) {
 	// Phase 3: clone bodies, in definition order. Allocation-site
 	// objects are numbered during cloning, mirroring single-file
 	// lowering order.
-	globalOf := func(o *ir.Object) *ir.Object { return canonGlobals[o.Name] }
+	//
+	// String-literal globals (the lowerer's interned ".str%d" objects)
+	// are not module-level declarations, so they are not in
+	// canonGlobals: each unit numbers its own literals from .str0. They
+	// are re-interned here by content on first use, which both avoids
+	// cross-module name collisions and deduplicates identical literals
+	// the way single-file lowering of the flattened source would.
+	litByContent := make(map[string]*ir.Object)
+	litOf := make(map[*ir.Object]*ir.Object)
+	globalOf := func(o *ir.Object) *ir.Object {
+		if canon, ok := litOf[o]; ok {
+			return canon
+		}
+		if canon, ok := canonGlobals[o.Name]; ok {
+			return canon
+		}
+		if o.InitVals == nil {
+			return nil // named global missing from canonGlobals: CloneBody panics
+		}
+		key := fmt.Sprintf("%d:%v", o.Size, o.InitVals)
+		canon, ok := litByContent[key]
+		if !ok {
+			canon = ir.CloneGlobal(dst, o)
+			canon.Name = fmt.Sprintf(".str%d", len(litByContent))
+			litByContent[key] = canon
+			dst.Globals = append(dst.Globals, canon)
+		}
+		litOf[o] = canon
+		return canon
+	}
 	for _, u := range units {
 		for _, name := range u.DefinedFuncs {
 			ir.CloneBody(dst.FuncByName(name), u.Prog.FuncByName(name), globalOf)

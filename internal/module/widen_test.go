@@ -1,0 +1,97 @@
+package module_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/valueflow/usher"
+	"github.com/valueflow/usher/internal/module"
+)
+
+// stringFiles exercises the widened MiniC surface across module
+// boundaries: string-literal char arrays (two modules each interning
+// their own ".str0", one literal shared by content), a global
+// string-initialized array, struct-by-value returns, memory intrinsics,
+// and a cross-module variadic call with one planted underfed use.
+var stringFiles = []module.File{
+	{Name: "sproto", Source: `
+struct S { int a; int b; };
+int vsum(int n, ...);
+struct S mk(int a);
+`},
+	{Name: "svimpl", Source: `
+#include "sproto"
+int vsum(int n, ...) {
+  int t = 0;
+  for (int i = 0; i < n; i++) { t += va_arg(i); }
+  return t;
+}
+struct S mk(int a) { struct S s; s.a = a; s.b = a + 1; return s; }
+`},
+	{Name: "strs", Source: `
+char greet[6] = "hey";
+int lit1() { char a[4] = "abc"; return a[0] + greet[0]; }
+`},
+	{Name: "strs2", Source: `
+int lit2() { char b[6] = "xy"; char c[4] = "abc"; return b[0] + c[2]; }
+`},
+	{Name: "main", Source: `
+#include "sproto"
+#include "strs"
+#include "strs2"
+int main() {
+  char buf[8];
+  memset(buf, lit1(), 4);
+  char dst[8];
+  memcpy(dst, buf, 4);
+  struct S s = mk(dst[0]);
+  int good = vsum(2, s.a, s.b);
+  int bad = vsum(1);
+  print(good + lit2());
+  if (bad > 0) { print(1); }
+  return 0;
+}
+`},
+}
+
+// TestBuildMatchesFlattenedWidened extends the tentpole equivalence
+// criterion to the widened constructs: the multi-file build must agree
+// with single-file analysis of the flattened source on warning sites
+// and static stats across all six configs, and link must dedup
+// string-literal globals by content rather than colliding on the
+// per-unit ".str%d" names.
+func TestBuildMatchesFlattenedWidened(t *testing.T) {
+	res, err := module.Build(stringFiles, module.Options{})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	flat, err := module.Flatten(stringFiles)
+	if err != nil {
+		t.Fatalf("flatten: %v", err)
+	}
+	single, err := usher.Compile("flat.c", flat)
+	if err != nil {
+		t.Fatalf("compile flattened: %v", err)
+	}
+	multi := answers(t, res.Prog)
+	want := answers(t, single)
+	if !equalAnswers(multi, want) {
+		t.Fatalf("multi-file answers diverge from flattened single file:\nmulti: %+v\nflat:  %+v", multi, want)
+	}
+	if len(multi[0].warnings) == 0 {
+		t.Fatal("equivalence is vacuous: no warnings in the corpus")
+	}
+
+	// "abc" is used by both strs and strs2; each unit interns it as its
+	// own local literal, and link must merge them into one canonical
+	// object. Distinct literals after linking: "abc" and "xy".
+	lits := 0
+	for _, o := range res.Prog.Globals {
+		if strings.HasPrefix(o.Name, ".str") {
+			lits++
+		}
+	}
+	if lits != 2 {
+		t.Fatalf("linked program has %d .str literal globals, want 2 (content-deduped)", lits)
+	}
+}

@@ -186,7 +186,7 @@ func (p *Parser) parseTopDecl() ast.Decl {
 	namePos := ty.Pos()
 	if plainFunc && (p.at(token.LBRACE) || p.at(token.SEMI)) {
 		ft := ty.(*ast.FuncTypeExpr)
-		fd := &ast.FuncDecl{NamePos: namePos, Ret: ft.Ret, Name: name, Params: params}
+		fd := &ast.FuncDecl{NamePos: namePos, Ret: ft.Ret, Name: name, Params: params, Variadic: ft.Variadic}
 		if p.accept(token.SEMI) {
 			return fd // prototype
 		}
@@ -237,6 +237,9 @@ func (p *Parser) parseBaseType() (ast.TypeExpr, bool) {
 	case token.KwInt:
 		t := p.advance()
 		return &ast.IntTypeExpr{P: t.Pos}, true
+	case token.KwChar:
+		t := p.advance()
+		return &ast.CharTypeExpr{P: t.Pos}, true
 	case token.KwVoid:
 		t := p.advance()
 		return &ast.VoidTypeExpr{P: t.Pos}, true
@@ -305,11 +308,12 @@ func (p *Parser) directDeclarator() (string, typeWrap, []ast.Param, bool) {
 	}
 
 	type suffix struct {
-		isArray bool
-		arrLen  int64
-		fparams []ast.Param
-		ftypes  []ast.TypeExpr
-		pos     token.Pos
+		isArray   bool
+		arrLen    int64
+		fparams   []ast.Param
+		ftypes    []ast.TypeExpr
+		fvariadic bool
+		pos       token.Pos
 	}
 	var suffixes []suffix
 	var firstParams []ast.Param
@@ -332,9 +336,9 @@ func (p *Parser) directDeclarator() (string, typeWrap, []ast.Param, bool) {
 		}
 		if p.at(token.LPAREN) {
 			sp := p.advance().Pos
-			ps, ts := p.parseParams()
+			ps, ts, variadic := p.parseParams()
 			p.expect(token.RPAREN)
-			suffixes = append(suffixes, suffix{fparams: ps, ftypes: ts, pos: sp})
+			suffixes = append(suffixes, suffix{fparams: ps, ftypes: ts, fvariadic: variadic, pos: sp})
 			if firstParams == nil {
 				firstParams = ps
 				if firstParams == nil {
@@ -353,7 +357,7 @@ func (p *Parser) directDeclarator() (string, typeWrap, []ast.Param, bool) {
 			if s.isArray {
 				t = &ast.ArrayTypeExpr{P: s.pos, Elem: t, Len: s.arrLen}
 			} else {
-				t = &ast.FuncTypeExpr{P: s.pos, Ret: t, Params: s.ftypes}
+				t = &ast.FuncTypeExpr{P: s.pos, Ret: t, Params: s.ftypes, Variadic: s.fvariadic}
 			}
 		}
 		return inner(t)
@@ -373,28 +377,39 @@ func (p *Parser) nestedDeclaratorAhead() bool {
 }
 
 // parseParams parses a parameter list (already inside the parens). It
-// returns both named params (for definitions) and bare types (for types).
-func (p *Parser) parseParams() ([]ast.Param, []ast.TypeExpr) {
+// returns named params (for definitions), bare types (for types), and
+// whether the list ends with a variadic `...` marker.
+func (p *Parser) parseParams() ([]ast.Param, []ast.TypeExpr, bool) {
 	var ps []ast.Param
 	var ts []ast.TypeExpr
 	if p.at(token.RPAREN) {
-		return ps, ts
+		return ps, ts, false
 	}
 	if p.at(token.KwVoid) && p.peek().Kind == token.RPAREN {
 		p.advance()
-		return ps, ts
+		return ps, ts, false
 	}
 	for {
+		if p.at(token.ELLIPSIS) {
+			t := p.advance()
+			if len(ps) == 0 {
+				p.errorfAt(t.Pos, "a variadic parameter list needs at least one named parameter before ...")
+			}
+			if !p.at(token.RPAREN) {
+				p.errorf("... must be the last parameter")
+			}
+			return ps, ts, true
+		}
 		base, ok := p.parseBaseType()
 		if !ok {
 			p.errorf("expected parameter type, found %s", p.cur())
-			return ps, ts
+			return ps, ts, false
 		}
 		name, ty, _, _ := p.parseDeclarator(base)
 		ps = append(ps, ast.Param{Type: ty, Name: name, Pos: ty.Pos()})
 		ts = append(ts, ty)
 		if !p.accept(token.COMMA) {
-			return ps, ts
+			return ps, ts, false
 		}
 	}
 }
@@ -416,7 +431,7 @@ func (p *Parser) parseBlock() *ast.Block {
 
 func (p *Parser) startsType() bool {
 	switch p.cur().Kind {
-	case token.KwInt, token.KwVoid:
+	case token.KwInt, token.KwChar, token.KwVoid:
 		return true
 	case token.KwStruct:
 		return true
@@ -669,6 +684,16 @@ func (p *Parser) parsePrimary() ast.Expr {
 			p.errorfAt(t.Pos, "bad number %q", t.Text)
 		}
 		return &ast.NumberLit{P: t.Pos, Value: v}
+	case token.STRING:
+		t := p.advance()
+		return &ast.StringLit{P: t.Pos, Value: t.Text}
+	case token.CHAR:
+		t := p.advance()
+		v := int64(0)
+		if len(t.Text) > 0 {
+			v = int64(t.Text[0])
+		}
+		return &ast.NumberLit{P: t.Pos, Value: v}
 	case token.IDENT:
 		t := p.advance()
 		return &ast.Ident{P: t.Pos, Name: t.Text}
@@ -700,6 +725,9 @@ func (p *Parser) parsePrimary() ast.Expr {
 func cloneExpr(e ast.Expr) ast.Expr {
 	switch e := e.(type) {
 	case *ast.NumberLit:
+		c := *e
+		return &c
+	case *ast.StringLit:
 		c := *e
 		return &c
 	case *ast.Ident:

@@ -81,7 +81,7 @@ func InlineSmall(prog *ir.Program) int {
 		for _, b := range callee.Blocks {
 			for _, in := range b.Instrs {
 				switch in.(type) {
-				case *ir.Load, *ir.Store, *ir.Alloc:
+				case *ir.Load, *ir.Store, *ir.Alloc, *ir.MemSet, *ir.MemCopy:
 					return false
 				}
 			}
@@ -288,6 +288,9 @@ func inlineCall(prog *ir.Program, call *ir.Call) {
 				obj.ZeroInit = in.Obj.ZeroInit
 				obj.Pinned = in.Obj.Pinned
 				obj.InitVal = in.Obj.InitVal
+				if in.Obj.InitVals != nil {
+					obj.InitVals = append([]int64(nil), in.Obj.InitVals...)
+				}
 				obj.Fn = caller
 				if in.Obj.Collapsed() {
 					obj.Collapse()
@@ -316,6 +319,14 @@ func inlineCall(prog *ir.Program, call *ir.Call) {
 				ns := ir.NewStore(mapVal(in.Addr), mapVal(in.Val))
 				ns.SetPos(in.Pos())
 				nb.Append(ns)
+			case *ir.MemSet:
+				nm := ir.NewMemSet(mapVal(in.To), mapVal(in.Val), mapVal(in.Len))
+				nm.SetPos(in.Pos())
+				nb.Append(nm)
+			case *ir.MemCopy:
+				nm := ir.NewMemCopy(mapVal(in.To), mapVal(in.From), mapVal(in.Len))
+				nm.SetPos(in.Pos())
+				nb.Append(nm)
 			case *ir.FieldAddr:
 				nf := ir.NewFieldAddr(newReg(in.Dst), mapVal(in.Base), in.Off)
 				nf.SetPos(in.Pos())
@@ -428,6 +439,10 @@ func remapOperands(in ir.Instr, vmap map[ir.Value]ir.Value) {
 		in.Addr = res(in.Addr)
 	case *ir.Store:
 		in.Addr, in.Val = res(in.Addr), res(in.Val)
+	case *ir.MemSet:
+		in.To, in.Val, in.Len = res(in.To), res(in.Val), res(in.Len)
+	case *ir.MemCopy:
+		in.To, in.From, in.Len = res(in.To), res(in.From), res(in.Len)
 	case *ir.FieldAddr:
 		in.Base = res(in.Base)
 	case *ir.IndexAddr:

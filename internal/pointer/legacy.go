@@ -395,6 +395,28 @@ func (s *legacySolver) genInstr(in ir.Instr) {
 		bn = s.find(bn)
 		s.nodes[bn].indexes = append(s.nodes[bn].indexes, s.regNode(in.Dst))
 		s.enqueue(bn)
+	case *ir.MemSet:
+		// The fill value is a scalar, so no pointer flow; materialize the
+		// target operand's node so PointsTo sees the written object.
+		s.operandNode(in.To, true)
+	case *ir.MemCopy:
+		// The runtime range may span any field, so route both ends through
+		// index-style constraints (which collapse the touched objects) and
+		// copy through a temp: t ⊇ *src; *dst ⊇ t.
+		fromN, fok := s.operandNode(in.From, true)
+		toN, tok := s.operandNode(in.To, true)
+		if !fok || !tok {
+			return
+		}
+		sTmp, dTmp, t := s.newNode(), s.newNode(), s.newNode()
+		s.nodes[sTmp].loads = append(s.nodes[sTmp].loads, t)
+		s.nodes[dTmp].stores = append(s.nodes[dTmp].stores, t)
+		fromN = s.find(fromN)
+		s.nodes[fromN].indexes = append(s.nodes[fromN].indexes, sTmp)
+		s.enqueue(fromN)
+		toN = s.find(toN)
+		s.nodes[toN].indexes = append(s.nodes[toN].indexes, dTmp)
+		s.enqueue(toN)
 	case *ir.Call:
 		if in.Builtin != ir.NotBuiltin {
 			return

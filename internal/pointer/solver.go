@@ -338,6 +338,12 @@ func (s *solver) fieldNode(obj *ir.Object, field int) int {
 	fields := s.fieldNodes[obj.ID]
 	if fields == nil {
 		n := obj.Size
+		if s.collapsed[obj.ID] || obj.Collapsed() {
+			// Only field 0 is ever addressed: a 1-slot table keeps a
+			// collapsed char c[1e9] from allocating (and collapseObj from
+			// walking) a billion-entry table.
+			n = 1
+		}
 		if n < 1 {
 			n = 1
 		}
@@ -560,6 +566,28 @@ func (s *solver) genInstr(in ir.Instr) {
 		bn = s.find(bn)
 		s.nodes[bn].indexes = append(s.nodes[bn].indexes, int32(s.regNode(in.Dst)))
 		s.enqueue(bn)
+	case *ir.MemSet:
+		// The fill value is a scalar, so no pointer flow; materialize the
+		// target operand's node so PointsTo sees the written object.
+		s.operandNode(in.To, true)
+	case *ir.MemCopy:
+		// The runtime range may span any field, so route both ends through
+		// index-style constraints (which collapse the touched objects) and
+		// copy through a temp: t ⊇ *src; *dst ⊇ t.
+		fromN, fok := s.operandNode(in.From, true)
+		toN, tok := s.operandNode(in.To, true)
+		if !fok || !tok {
+			return
+		}
+		sTmp, dTmp, t := s.newNode(), s.newNode(), s.newNode()
+		s.nodes[sTmp].loads = append(s.nodes[sTmp].loads, int32(t))
+		s.nodes[dTmp].stores = append(s.nodes[dTmp].stores, int32(t))
+		fromN = s.find(fromN)
+		s.nodes[fromN].indexes = append(s.nodes[fromN].indexes, int32(sTmp))
+		s.enqueue(fromN)
+		toN = s.find(toN)
+		s.nodes[toN].indexes = append(s.nodes[toN].indexes, int32(dTmp))
+		s.enqueue(toN)
 	case *ir.Call:
 		if in.Builtin != ir.NotBuiltin {
 			return

@@ -52,13 +52,26 @@ type Info struct {
 	// never provably covers all eight cells, so each such block is a
 	// potential source of undefined reads.
 	MallocBlocks int
+	// StructSources counts struct values created with at least one
+	// possibly-undefined field: uninitialized struct locals and mkPart
+	// results, which copy their holes along by-value assignment.
+	StructSources int
+	// UninitCharArrays counts char arrays declared without a string
+	// initializer; their cells start undefined.
+	UninitCharArrays int
+	// VarargUnderfeeds counts variadic calls that read more arguments
+	// than were passed (each reads an undefined vararg slot).
+	VarargUnderfeeds int
 }
 
 // Clean reports whether the program provably contains no undefined
 // value: every local is initialized and every heap block is calloc'd
 // (zero-initialized). A clean program's native run must produce an empty
 // oracle; any warning or trap on a clean program is a generator bug.
-func (i Info) Clean() bool { return i.UninitLocals == 0 && i.MallocBlocks == 0 }
+func (i Info) Clean() bool {
+	return i.UninitLocals == 0 && i.MallocBlocks == 0 &&
+		i.StructSources == 0 && i.UninitCharArrays == 0 && i.VarargUnderfeeds == 0
+}
 
 // Generate produces a program from the seed.
 func Generate(seed int64, opts Options) string {
@@ -70,7 +83,8 @@ func Generate(seed int64, opts Options) string {
 // implied ground-truth labeling.
 func GenerateInfo(seed int64, opts Options) (string, Info) {
 	g := &rgen{rng: rand.New(rand.NewSource(seed)), opts: opts,
-		loopVars: make(map[string]bool), uninit: make(map[string]bool)}
+		loopVars: make(map[string]bool), uninit: make(map[string]bool),
+		structUninit: make(map[string]bool)}
 	src := g.program()
 	return src, g.info
 }
@@ -82,8 +96,14 @@ type rgen struct {
 	info Info
 
 	// per-function state
-	ints []string // int-typed variables in scope
-	ptrs []string // int*-typed variables in scope
+	ints    []string // int-typed variables in scope
+	ptrs    []string // int*-typed variables in scope
+	structs []string // struct S variables in scope
+	chars   []string // char[8] arrays in scope
+	// structUninit marks struct variables that may still hold an
+	// undefined field (declared bare, or assigned from mkPart or from
+	// another possibly-undefined struct).
+	structUninit map[string]bool
 	// loopVars marks variables that must never be written (assigning to a
 	// loop counter could make the loop diverge).
 	loopVars map[string]bool
@@ -135,6 +155,35 @@ func (g *rgen) pickPtr() (string, bool) {
 	return g.ptrs[g.rng.Intn(len(g.ptrs))], true
 }
 
+// pickBuf returns any 8-cell buffer in scope: a heap block or a char
+// array (both index safely under an &7 mask and feed the intrinsics).
+func (g *rgen) pickBuf() (string, bool) {
+	n := len(g.ptrs) + len(g.chars)
+	if n == 0 {
+		return "", false
+	}
+	i := g.rng.Intn(n)
+	if i < len(g.ptrs) {
+		return g.ptrs[i], true
+	}
+	return g.chars[i-len(g.ptrs)], true
+}
+
+var structFields = []string{"a", "b", "c"}
+
+func (g *rgen) pickField() string { return structFields[g.rng.Intn(len(structFields))] }
+
+// randString yields a quoted string literal of length 0..7 (it always
+// fits, with its NUL, in a char[8]).
+func (g *rgen) randString() string {
+	n := g.rng.Intn(8)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteByte(byte('a' + g.rng.Intn(26)))
+	}
+	return sb.String()
+}
+
 var randOps = []string{"+", "-", "*", "&", "|", "^", "<<"}
 var cmpOps = []string{"<", ">", "<=", ">=", "==", "!="}
 
@@ -147,9 +196,9 @@ func (g *rgen) expr(depth int) string {
 		}
 		return fmt.Sprintf("%d", g.rng.Intn(32))
 	case g.rng.Intn(6) == 0:
-		if p, ok := g.pickPtr(); ok {
-			// Masked pointer read: always within the 8-cell block.
-			return fmt.Sprintf("%s[%s & 7]", p, g.expr(0))
+		if b, ok := g.pickBuf(); ok {
+			// Masked buffer read: always within the 8-cell block/array.
+			return fmt.Sprintf("%s[%s & 7]", b, g.expr(0))
 		}
 		fallthrough
 	default:
@@ -168,7 +217,7 @@ func (g *rgen) cond() string {
 
 func (g *rgen) stmt() {
 	ind := g.indent()
-	switch g.rng.Intn(10) {
+	switch g.rng.Intn(14) {
 	case 0: // new local, possibly uninitialized
 		v := g.fresh("x")
 		if g.rng.Float64() < g.opts.UninitFrac {
@@ -239,9 +288,86 @@ func (g *rgen) stmt() {
 			g.pf("%ssetvia(&%s, %s);\n", ind, v, g.expr(1))
 			delete(g.uninit, v)
 		}
-	default: // accumulate into an int
+	case 9: // accumulate into an int
 		if v, ok := g.pickAssignable(); ok {
 			g.pf("%s%s += %s;\n", ind, v, g.expr(1))
+		}
+	case 10: // new struct local (bare, partial or fully made)
+		v := g.fresh("s")
+		switch {
+		case g.rng.Float64() < g.opts.UninitFrac:
+			g.pf("%sstruct S %s;\n", ind, v)
+			g.info.StructSources++
+			g.structUninit[v] = true
+		case g.rng.Intn(3) == 0:
+			g.pf("%sstruct S %s = mkpart(%s);\n", ind, v, g.expr(1))
+			g.info.StructSources++
+			g.structUninit[v] = true
+		default:
+			g.pf("%sstruct S %s = mks(%s, %s);\n", ind, v, g.expr(1), g.expr(1))
+		}
+		g.structs = append(g.structs, v)
+	case 11: // struct-by-value traffic
+		if len(g.structs) == 0 {
+			return
+		}
+		s := g.structs[g.rng.Intn(len(g.structs))]
+		switch g.rng.Intn(4) {
+		case 0:
+			g.pf("%s%s = mks(%s, %s);\n", ind, s, g.expr(1), g.expr(1))
+			delete(g.structUninit, s)
+		case 1: // whole-value copy propagates any undefined field
+			t := g.structs[g.rng.Intn(len(g.structs))]
+			g.pf("%s%s = %s;\n", ind, s, t)
+			if g.structUninit[t] {
+				g.structUninit[s] = true
+			} else {
+				delete(g.structUninit, s)
+			}
+		case 2:
+			g.pf("%s%s.%s = %s;\n", ind, s, g.pickField(), g.expr(1))
+		default:
+			g.pf("%sprint(%s.%s);\n", ind, s, g.pickField())
+		}
+	case 12: // new char array, string-initialized or undefined
+		v := g.fresh("c")
+		if g.rng.Float64() < g.opts.UninitFrac {
+			g.pf("%schar %s[8];\n", ind, v)
+			g.info.UninitCharArrays++
+		} else {
+			g.pf("%schar %s[8] = %q;\n", ind, v, g.randString())
+		}
+		g.chars = append(g.chars, v)
+	default: // memory intrinsics and variadic calls
+		switch g.rng.Intn(4) {
+		case 0: // masked-range fill; the fill value may itself be undefined
+			if b, ok := g.pickBuf(); ok {
+				g.pf("%smemset(%s, %s, %s & 7);\n", ind, b, g.expr(1), g.expr(0))
+			}
+		case 1: // masked-range copy, possibly overlapping (memmove semantics)
+			if dst, ok := g.pickBuf(); ok {
+				if src, ok2 := g.pickBuf(); ok2 {
+					op := "memcpy"
+					if g.rng.Intn(2) == 0 {
+						op = "memmove"
+					}
+					g.pf("%s%s(%s, %s, %s & 7);\n", ind, op, dst, src, g.expr(0))
+				}
+			}
+		case 2: // variadic call fed exactly the arguments it reads
+			k := 1 + g.rng.Intn(3)
+			args := make([]string, k)
+			for i := range args {
+				args[i] = g.expr(1)
+			}
+			v := g.fresh("v")
+			g.pf("%sint %s = vsum(%d, %s);\n", ind, v, k, strings.Join(args, ", "))
+			g.ints = append(g.ints, v)
+		default: // underfed variadic call: reads one undefined slot
+			v := g.fresh("v")
+			g.pf("%sint %s = vsum(1);\n", ind, v)
+			g.info.VarargUnderfeeds++
+			g.ints = append(g.ints, v)
 		}
 	}
 }
@@ -250,6 +376,7 @@ func (g *rgen) stmt() {
 // out of scope when it closes.
 func (g *rgen) block(n int) {
 	ints, ptrs := len(g.ints), len(g.ptrs)
+	structs, chars := len(g.structs), len(g.chars)
 	g.depth++
 	for i := 0; i < n; i++ {
 		g.stmt()
@@ -257,13 +384,20 @@ func (g *rgen) block(n int) {
 	g.depth--
 	g.ints = g.ints[:ints]
 	g.ptrs = g.ptrs[:ptrs]
+	// Names are fresh and never reused, so stale structUninit entries for
+	// out-of-scope structs are harmless.
+	g.structs = g.structs[:structs]
+	g.chars = g.chars[:chars]
 }
 
 func (g *rgen) funcBody(params []string, stmts int) {
 	saveInts, savePtrs, saveUninit := g.ints, g.ptrs, g.uninit
+	saveStructs, saveChars, saveStructUninit := g.structs, g.chars, g.structUninit
 	g.ints = append([]string(nil), params...)
 	g.ptrs = nil
 	g.uninit = make(map[string]bool)
+	g.structs, g.chars = nil, nil
+	g.structUninit = make(map[string]bool)
 	for i := 0; i < stmts; i++ {
 		g.stmt()
 	}
@@ -284,12 +418,23 @@ func (g *rgen) funcBody(params []string, stmts int) {
 	}
 	g.pf("  return %s;\n", g.expr(2))
 	g.ints, g.ptrs, g.uninit = saveInts, savePtrs, saveUninit
+	g.structs, g.chars, g.structUninit = saveStructs, saveChars, saveStructUninit
 }
 
 func (g *rgen) program() string {
 	g.pf("// random program (property-testing input)\n")
 	g.pf("int gacc;\n")
 	g.pf("void setvia(int *p, int v) { *p = v; }\n\n")
+	g.pf("struct S { int a; int b; int c; };\n\n")
+	g.pf("struct S mks(int a, int b) { struct S s; s.a = a; s.b = b; s.c = a ^ b; return s; }\n\n")
+	// mkpart leaves s.b and s.c undefined: a struct-by-value source of
+	// partially-initialized values for the campaign.
+	g.pf("struct S mkpart(int a) { struct S s; s.a = a; return s; }\n\n")
+	g.pf("int vsum(int n, ...) {\n")
+	g.pf("  int t = 0;\n")
+	g.pf("  for (int i = 0; i < n; i++) { t += va_arg(i); }\n")
+	g.pf("  return t;\n")
+	g.pf("}\n\n")
 	for h := 0; h < g.opts.Helpers; h++ {
 		g.helpers = h // may call strictly earlier helpers: a DAG
 		g.pf("int helper%d(int a, int b) {\n", h)

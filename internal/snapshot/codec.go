@@ -518,7 +518,7 @@ func decodePlan(ctx *decodeContext, payload []byte) (PlanEntry, error) {
 			label := int(d.u())
 			for k, c := 0, d.n(); k < c && d.err == nil; k++ {
 				it := instrument.Item{Kind: instrument.ItemKind(d.byte())}
-				if it.Kind < instrument.PropCompute || it.Kind > instrument.CheckVal {
+				if it.Kind < instrument.PropCompute || it.Kind > instrument.MemShadowCopy {
 					d.fail(fmt.Sprintf("unknown item kind %d", it.Kind))
 					break
 				}

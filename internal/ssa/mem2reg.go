@@ -258,6 +258,10 @@ func rewriteOperands(in ir.Instr, resolve func(ir.Value) ir.Value) {
 		in.Addr = resolve(in.Addr)
 	case *ir.Store:
 		in.Addr, in.Val = resolve(in.Addr), resolve(in.Val)
+	case *ir.MemSet:
+		in.To, in.Val, in.Len = resolve(in.To), resolve(in.Val), resolve(in.Len)
+	case *ir.MemCopy:
+		in.To, in.From, in.Len = resolve(in.To), resolve(in.From), resolve(in.Len)
 	case *ir.FieldAddr:
 		in.Base = resolve(in.Base)
 	case *ir.IndexAddr:

@@ -20,7 +20,8 @@ const (
 
 	IDENT  // main
 	NUMBER // 12345
-	STRING // "lib.c" (include paths only; MiniC has no string values)
+	STRING // "abc" (string literal, decoded; also #include paths)
+	CHAR   // 'a' (character literal, decoded to one byte)
 
 	// Punctuation and operators.
 	LPAREN   // (
@@ -53,6 +54,7 @@ const (
 	LAND     // &&
 	LOR      // ||
 	DOT      // .
+	ELLIPSIS // ... (variadic parameter marker)
 	ARROW    // ->
 	PLUSPLUS // ++ (desugared by the parser)
 	MINUSMINUS
@@ -62,6 +64,7 @@ const (
 
 	keywordStart
 	KwInt
+	KwChar
 	KwVoid
 	KwStruct
 	KwIf
@@ -77,15 +80,16 @@ const (
 
 var kindNames = map[Kind]string{
 	ILLEGAL: "ILLEGAL", EOF: "EOF", IDENT: "IDENT", NUMBER: "NUMBER",
-	STRING: "STRING", INCLUDE: "#include",
+	STRING: "STRING", CHAR: "CHAR", INCLUDE: "#include",
 	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}",
 	LBRACKET: "[", RBRACKET: "]", COMMA: ",", SEMI: ";",
 	ASSIGN: "=", PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/",
 	PERCENT: "%", AMP: "&", PIPE: "|", CARET: "^", SHL: "<<", SHR: ">>",
 	NOT: "!", TILDE: "~", EQ: "==", NEQ: "!=", LT: "<", GT: ">",
-	LEQ: "<=", GEQ: ">=", LAND: "&&", LOR: "||", DOT: ".", ARROW: "->",
+	LEQ: "<=", GEQ: ">=", LAND: "&&", LOR: "||", DOT: ".", ELLIPSIS: "...",
+	ARROW: "->",
 	PLUSPLUS: "++", MINUSMINUS: "--", PLUSASSIGN: "+=", MINUSASSIGN: "-=",
-	KwInt: "int", KwVoid: "void", KwStruct: "struct", KwIf: "if",
+	KwInt: "int", KwChar: "char", KwVoid: "void", KwStruct: "struct", KwIf: "if",
 	KwElse: "else", KwWhile: "while", KwFor: "for", KwReturn: "return",
 	KwBreak: "break", KwContinue: "continue", KwSizeof: "sizeof",
 }
@@ -103,7 +107,7 @@ func (k Kind) IsKeyword() bool { return k > keywordStart && k < keywordEnd }
 
 // Keywords maps reserved words to their kinds.
 var Keywords = map[string]Kind{
-	"int": KwInt, "void": KwVoid, "struct": KwStruct, "if": KwIf,
+	"int": KwInt, "char": KwChar, "void": KwVoid, "struct": KwStruct, "if": KwIf,
 	"else": KwElse, "while": KwWhile, "for": KwFor, "return": KwReturn,
 	"break": KwBreak, "continue": KwContinue, "sizeof": KwSizeof,
 }
@@ -137,7 +141,7 @@ type Token struct {
 // String formats the token for diagnostics.
 func (t Token) String() string {
 	switch t.Kind {
-	case IDENT, NUMBER, STRING:
+	case IDENT, NUMBER, STRING, CHAR:
 		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
 	default:
 		return t.Kind.String()

@@ -47,13 +47,21 @@ type Symbol struct {
 // Builtin function names recognized by the checker. malloc allocates
 // uninitialized cells, calloc zero-initialized cells; input reads a defined
 // int from the environment; print consumes an int (and, like MSan's checks
-// at external calls, is a critical use of its operand).
+// at external calls, is a critical use of its operand). memset fills n
+// cells with a value, memcpy/memmove copy n cells (shadow included,
+// MSan-style: copying an undefined cell is not itself an error); all three
+// return the destination pointer. va_arg reads the i-th extra argument of
+// the enclosing variadic function and is only valid there.
 var builtinSigs = map[string]*Func{
-	"malloc": {Ret: UntypedPtr, Params: []Type{Int}},
-	"calloc": {Ret: UntypedPtr, Params: []Type{Int}},
-	"free":   {Ret: Void, Params: []Type{UntypedPtr}},
-	"print":  {Ret: Void, Params: []Type{Int}},
-	"input":  {Ret: Int, Params: nil},
+	"malloc":  {Ret: UntypedPtr, Params: []Type{Int}},
+	"calloc":  {Ret: UntypedPtr, Params: []Type{Int}},
+	"free":    {Ret: Void, Params: []Type{UntypedPtr}},
+	"print":   {Ret: Void, Params: []Type{Int}},
+	"input":   {Ret: Int, Params: nil},
+	"memset":  {Ret: UntypedPtr, Params: []Type{UntypedPtr, Int, Int}},
+	"memcpy":  {Ret: UntypedPtr, Params: []Type{UntypedPtr, UntypedPtr, Int}},
+	"memmove": {Ret: UntypedPtr, Params: []Type{UntypedPtr, UntypedPtr, Int}},
+	"va_arg":  {Ret: Int, Params: []Type{Int}},
 }
 
 // Info holds the results of type checking.
@@ -83,8 +91,9 @@ type checker struct {
 	diags  diag.List
 	scopes []map[string]*Symbol
 	// current function context
-	curRet    Type
-	loopDepth int
+	curRet      Type
+	curVariadic bool
+	loopDepth   int
 }
 
 // Check type-checks prog and returns the annotation info. All detected
@@ -173,11 +182,24 @@ func check(prog *ast.Program) (*Info, error) {
 	// Global initializers must be constants; check after functions exist.
 	for _, d := range prog.Decls {
 		if vd, ok := d.(*ast.VarDecl); ok && vd.Init != nil {
-			if _, isNum := vd.Init.(*ast.NumberLit); !isNum {
-				c.errorf(vd.Pos(), "global initializer for %s must be an integer literal", vd.Name)
-				continue
+			switch init := vd.Init.(type) {
+			case *ast.NumberLit:
+				c.checkExpr(init)
+			case *ast.StringLit:
+				c.checkExpr(init)
+				sym := c.info.Symbols[vd]
+				if sym == nil {
+					continue
+				}
+				arr, isArr := sym.Type.(*Array)
+				if !isArr || !IsInt(arr.Elem) {
+					c.errorf(vd.Pos(), "string initializer requires a char array type, got %s", sym.Type)
+				} else if len(init.Value) > arr.Len {
+					c.errorf(vd.Pos(), "string literal (%d bytes) does not fit in %s (type %s)", len(init.Value), vd.Name, sym.Type)
+				}
+			default:
+				c.errorf(vd.Pos(), "global initializer for %s must be an integer or string literal", vd.Name)
 			}
-			c.checkExpr(vd.Init)
 		}
 	}
 	return c.info, c.diags.Err()
@@ -240,6 +262,9 @@ func (c *checker) resolveType(te ast.TypeExpr, pos token.Pos) Type {
 	switch te := te.(type) {
 	case *ast.IntTypeExpr:
 		return Int
+	case *ast.CharTypeExpr:
+		// char is a one-cell integer in the abstract-cell model.
+		return Int
 	case *ast.VoidTypeExpr:
 		return Void
 	case *ast.StructTypeExpr:
@@ -264,7 +289,7 @@ func (c *checker) resolveType(te ast.TypeExpr, pos token.Pos) Type {
 		}
 		return &Array{Elem: elem, Len: int(te.Len)}
 	case *ast.FuncTypeExpr:
-		ft := &Func{Ret: c.resolveType(te.Ret, pos)}
+		ft := &Func{Ret: c.resolveType(te.Ret, pos), Variadic: te.Variadic}
 		for _, p := range te.Params {
 			ft.Params = append(ft.Params, c.resolveType(p, pos))
 		}
@@ -275,18 +300,15 @@ func (c *checker) resolveType(te ast.TypeExpr, pos token.Pos) Type {
 }
 
 func (c *checker) funcType(fd *ast.FuncDecl) *Func {
-	ft := &Func{Ret: c.resolveType(fd.Ret, fd.Pos())}
+	ft := &Func{Ret: c.resolveType(fd.Ret, fd.Pos()), Variadic: fd.Variadic}
 	for _, p := range fd.Params {
 		pt := c.resolveType(p.Type, p.Pos)
-		if !IsScalar(pt) {
-			c.errorf(p.Pos, "parameter %s must have scalar type, got %s (pass aggregates by pointer)", p.Name, pt)
+		_, isStruct := pt.(*Struct)
+		if !IsScalar(pt) && !isStruct {
+			c.errorf(p.Pos, "parameter %s must have scalar or struct type, got %s (pass arrays by pointer)", p.Name, pt)
 			pt = Int
 		}
 		ft.Params = append(ft.Params, pt)
-	}
-	if _, isAgg := ft.Ret.(*Struct); isAgg {
-		c.errorf(fd.Pos(), "function %s returns a struct; return a pointer instead", fd.Name)
-		ft.Ret = Int
 	}
 	if _, isArr := ft.Ret.(*Array); isArr {
 		c.errorf(fd.Pos(), "function %s returns an array; return a pointer instead", fd.Name)
@@ -302,6 +324,7 @@ func (c *checker) checkFunc(fd *ast.FuncDecl) {
 	}
 	ft := sym.Type.(*Func)
 	c.curRet = ft.Ret
+	c.curVariadic = ft.Variadic
 	c.push()
 	var psyms []*Symbol
 	for i := range fd.Params {
@@ -402,7 +425,17 @@ func (c *checker) checkLocalDecl(d *ast.VarDecl) {
 	c.info.Symbols[d] = sym
 	if d.Init != nil {
 		it := c.checkExpr(d.Init)
-		if !c.assignable(d.Init, it, t) {
+		if arr, isArr := t.(*Array); isArr {
+			sl, isStr := d.Init.(*ast.StringLit)
+			switch {
+			case !isStr:
+				c.errorf(d.Pos(), "cannot initialize %s (type %s) with %s; only string literals initialize arrays", d.Name, t, it)
+			case !IsInt(arr.Elem):
+				c.errorf(d.Pos(), "cannot initialize %s (type %s) with a string literal", d.Name, t)
+			case len(sl.Value) > arr.Len:
+				c.errorf(d.Pos(), "string literal (%d bytes) does not fit in %s (type %s)", len(sl.Value), d.Name, t)
+			}
+		} else if !c.assignable(d.Init, it, t) {
 			c.errorf(d.Pos(), "cannot initialize %s (type %s) with %s", d.Name, t, it)
 		}
 	}
@@ -442,6 +475,11 @@ func (c *checker) exprType(e ast.Expr) Type {
 	switch e := e.(type) {
 	case *ast.NumberLit:
 		return Int
+	case *ast.StringLit:
+		// A string literal is a char array including the NUL terminator; it
+		// decays to a pointer to a read-only, fully-defined global object in
+		// rvalue context like any other array.
+		return &Array{Elem: Int, Len: len(e.Value) + 1}
 	case *ast.Ident:
 		sym := c.lookup(e.Name)
 		if sym == nil {
@@ -476,11 +514,16 @@ func (c *checker) exprType(e ast.Expr) Type {
 		if !c.isLvalue(e.LHS) {
 			c.errorf(e.LHS.Pos(), "cannot assign to this expression")
 		}
-		if !IsScalar(lt) {
-			c.errorf(e.LHS.Pos(), "cannot assign aggregate %s; assign fields individually", lt)
+		if _, isArr := lt.(*Array); isArr {
+			c.errorf(e.LHS.Pos(), "cannot assign to array %s; copy with memcpy or assign elements", lt)
 		}
 		rt := c.checkExpr(e.RHS)
-		if IsScalar(lt) && !c.assignable(e.RHS, rt, lt) {
+		if st, isStruct := lt.(*Struct); isStruct {
+			// Struct assignment copies the whole value (lowered to MemCopy).
+			if !Identical(rt, st) {
+				c.errorf(e.Pos(), "cannot assign %s to %s", rt, lt)
+			}
+		} else if IsScalar(lt) && !c.assignable(e.RHS, rt, lt) {
 			c.errorf(e.Pos(), "cannot assign %s to %s", rt, lt)
 		}
 		return lt
@@ -662,13 +705,26 @@ func (c *checker) callType(e *ast.Call) Type {
 		}
 		return Int
 	}
-	if len(e.Args) != len(ft.Params) {
+	if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "va_arg" {
+		if sym := c.info.Uses[id]; sym != nil && sym.Kind == SymBuiltin && !c.curVariadic {
+			c.errorf(e.Pos(), "va_arg is only valid inside a variadic function")
+		}
+	}
+	if ft.Variadic {
+		if len(e.Args) < len(ft.Params) {
+			c.errorf(e.Pos(), "wrong number of arguments: got %d, want at least %d", len(e.Args), len(ft.Params))
+		}
+	} else if len(e.Args) != len(ft.Params) {
 		c.errorf(e.Pos(), "wrong number of arguments: got %d, want %d", len(e.Args), len(ft.Params))
 	}
 	for i, a := range e.Args {
 		at := c.checkExpr(a)
-		if i < len(ft.Params) && !c.assignable(a, at, ft.Params[i]) {
-			c.errorf(a.Pos(), "argument %d: cannot use %s as %s", i+1, at, ft.Params[i])
+		if i < len(ft.Params) {
+			if !c.assignable(a, at, ft.Params[i]) {
+				c.errorf(a.Pos(), "argument %d: cannot use %s as %s", i+1, at, ft.Params[i])
+			}
+		} else if ft.Variadic && !IsInt(at) {
+			c.errorf(a.Pos(), "variadic argument %d must be int, got %s", i+1, at)
 		}
 	}
 	return ft.Ret

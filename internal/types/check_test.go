@@ -173,7 +173,7 @@ func TestErrors(t *testing.T) {
 		{"break outside loop", "int main() { break; return 0; }", "break outside loop"},
 		{"dup field", "struct S { int a; int a; };", "duplicate field"},
 		{"redeclared var", "int main() { int x; int x; return 0; }", "redeclaration"},
-		{"struct param", "struct S { int a; }; int f(struct S s) { return 0; }", "scalar"},
+		{"array param", "int f(int a[3]) { return 0; }", "scalar or struct"},
 		{"arrow on struct", "struct S { int a; }; int main() { struct S s; return s->a; }", "-> on non-pointer"},
 		{"missing field", "struct S { int a; }; int main() { struct S s; return s.b; }", "no field b"},
 		{"void local", "int main() { void v; return 0; }", "invalid type"},
@@ -215,7 +215,7 @@ int main() { return fib(10); }`)
 }
 
 func TestGlobalInitializerMustBeConstant(t *testing.T) {
-	wantErr(t, "int f() { return 1; } int g = f();", "must be an integer literal")
+	wantErr(t, "int f() { return 1; } int g = f();", "must be an integer or string literal")
 }
 
 func TestIdenticalAndAssignable(t *testing.T) {
@@ -262,13 +262,19 @@ func TestMoreErrors(t *testing.T) {
 		{"missing return value", "int f() { return; }", "missing return value"},
 		{"continue outside loop", "int main() { continue; return 0; }", "continue outside loop"},
 		{"non-scalar condition", "struct S { int a; int b; }; int main() { struct S s; if (s) {} return 0; }", "scalar"},
-		{"assign struct", "struct S { int a; int b; }; int main() { struct S a; struct S b; a = b; return 0; }", "aggregate"},
+		{"assign mismatched structs", "struct S { int a; }; struct T { int a; }; int main() { struct S a; struct T b; a = b; return 0; }", "cannot assign"},
+		{"assign to array", "int main() { int a[3]; int b[3]; a = b; return 0; }", "cannot assign to array"},
 		{"index non-pointer", "int main() { int x; return x[0]; }", "cannot index"},
 		{"index with pointer", "int main() { int a[3]; int *p; return a[p]; }", "index must be int"},
 		{"dot on pointer", "struct S { int a; }; int main() { struct S *p; return p.a; }", ". on non-struct"},
 		{"address of rvalue", "int main() { int *p = &3; return 0; }", "cannot take address"},
 		{"deref void pointer", "int main() { return *(malloc(1)); }", "dereference"},
-		{"struct return", "struct S { int a; }; struct S f() { struct S s; return s; }", "returns a struct"},
+		{"array return declarator", "int f()[3];", "invalid type"},
+		{"va_arg outside variadic", "int f(int a) { return va_arg(0); }", "variadic"},
+		{"variadic arity", "int f(int a, ...) { return a; } int main() { return f(); }", "at least"},
+		{"variadic non-int extra", "int f(int a, ...) { return a; } int main() { int *p; return f(1, p); }", "must be int"},
+		{"string too long", "int main() { char s[2] = \"abc\"; return 0; }", "does not fit"},
+		{"string into scalar array-less", "int main() { int x = \"a\"; return x; }", "cannot initialize"},
 		{"sizeof void", "int main() { return sizeof(void); }", "zero-sized"},
 		{"shift pointer", "int main() { int *p; int x = p << 1; return x; }", "requires ints"},
 		{"negate pointer", "int main() { int *p; return -p; }", "requires int"},

@@ -112,10 +112,12 @@ func (a *Array) Size() int { return a.Len * a.Elem.Size() }
 
 func (a *Array) String() string { return fmt.Sprintf("%s[%d]", a.Elem, a.Len) }
 
-// Func is a function type.
+// Func is a function type. Variadic functions accept any number of
+// additional int arguments after the fixed parameters.
 type Func struct {
-	Ret    Type
-	Params []Type
+	Ret      Type
+	Params   []Type
+	Variadic bool
 }
 
 // Size implements Type. Function types are not storable values; only
@@ -131,6 +133,12 @@ func (f *Func) String() string {
 			b.WriteString(", ")
 		}
 		b.WriteString(p.String())
+	}
+	if f.Variadic {
+		if len(f.Params) > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("...")
 	}
 	b.WriteString(")")
 	return b.String()
@@ -152,7 +160,7 @@ func Identical(a, b Type) bool {
 		return ok && a.Len == b.Len && Identical(a.Elem, b.Elem)
 	case *Func:
 		b, ok := b.(*Func)
-		if !ok || len(a.Params) != len(b.Params) || !Identical(a.Ret, b.Ret) {
+		if !ok || len(a.Params) != len(b.Params) || a.Variadic != b.Variadic || !Identical(a.Ret, b.Ret) {
 			return false
 		}
 		for i := range a.Params {

@@ -387,6 +387,10 @@ func (g *Graph) buildFunc(fn *ir.Function) {
 				g.buildLoad(fi, in)
 			case *ir.Store:
 				g.buildStore(fi, dom, in)
+			case *ir.MemSet:
+				g.buildMemSet(fi, in)
+			case *ir.MemCopy:
+				g.buildMemCopy(fi, in)
 			case *ir.Call:
 				g.buildCall(fi, in)
 			}
@@ -484,6 +488,44 @@ func (g *Graph) buildStore(fi *memssa.FuncInfo, dom *cfg.DomTree, in *ir.Store) 
 			g.addDep(n, g.memDefNode(chi.Prev))
 		}
 		g.StoreUpdates[chi] = kind
+	}
+}
+
+// buildMemSet wires a memset intrinsic's chis: every targeted variable's
+// new version flows from the fill value and — because the runtime range
+// may not cover the variable — from the incoming version. The always-weak
+// treatment keeps the chis sound for any length, including zero.
+func (g *Graph) buildMemSet(fi *memssa.FuncInfo, in *ir.MemSet) {
+	if g.Opts.TopLevelOnly || fi == nil {
+		return
+	}
+	valNode := g.ValueNode(in.Val)
+	for _, chi := range fi.Chis[in.Label()] {
+		n := g.MemNode(chi)
+		g.addDep(n, valNode)
+		g.addDep(n, g.memDefNode(chi.Prev))
+	}
+}
+
+// buildMemCopy wires a memcpy/memmove intrinsic's chis: every targeted
+// variable's new version flows from the source variables' reaching
+// versions (the instruction's mus) and from its own incoming version
+// (always weak, as for memset). An empty source points-to set means the
+// copied values are statically unknown and therefore possibly undefined.
+func (g *Graph) buildMemCopy(fi *memssa.FuncInfo, in *ir.MemCopy) {
+	if g.Opts.TopLevelOnly || fi == nil {
+		return
+	}
+	mus := fi.Mus[in.Label()]
+	for _, chi := range fi.Chis[in.Label()] {
+		n := g.MemNode(chi)
+		if len(mus) == 0 {
+			g.addDep(n, g.RootF)
+		}
+		for _, mu := range mus {
+			g.addDep(n, g.memDefNode(mu.Use))
+		}
+		g.addDep(n, g.memDefNode(chi.Prev))
 	}
 }
 

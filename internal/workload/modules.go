@@ -91,6 +91,13 @@ func (p ModuleProject) coreSource() string {
 	b.WriteString("struct Node { int a; int b; int c; struct Node *next; };\n")
 	b.WriteString("struct Node *node_alloc() { return malloc(sizeof(struct Node)); }\n")
 	b.WriteString("void set_cell(int *p, int v) { *p = v; }\n")
+	b.WriteString("struct Pt { int x; int y; };\n")
+	b.WriteString("struct Pt pt_mk(int x) { struct Pt p; p.x = x; p.y = x * 3; return p; }\n")
+	b.WriteString("int vjoin(int n, ...) {\n")
+	b.WriteString("  int t = 0;\n")
+	b.WriteString("  for (int i = 0; i < n; i++) { t += va_arg(i); }\n")
+	b.WriteString("  return t;\n}\n")
+	b.WriteString("char corename[8] = \"core\";\n")
 	return b.String()
 }
 
@@ -103,6 +110,15 @@ func (p ModuleProject) utilSource() string {
 	b.WriteString("  if (v > hi) { return hi; }\n")
 	b.WriteString("  return v;\n}\n")
 	b.WriteString("int mix(int a, int b) { return (a * 31 + b) ^ (b & 7); }\n")
+	// tagsum builds a fully-defined tag (memset fill overwritten by a
+	// string copy) and folds its bytes; the whole buffer is readable.
+	b.WriteString("int tagsum(int salt) {\n")
+	b.WriteString("  char tag[8];\n")
+	b.WriteString("  memset(tag, 48 + (salt & 7), 8);\n")
+	b.WriteString("  memcpy(tag, corename, 5);\n")
+	b.WriteString("  int t = 0;\n")
+	b.WriteString("  for (int i = 0; i < 8; i++) { t += tag[i]; }\n")
+	b.WriteString("  return t;\n}\n")
 	return b.String()
 }
 
@@ -139,12 +155,19 @@ func (p ModuleProject) libSource(i int) string {
 	b.WriteString("  n->next = 0;\n")
 	b.WriteString("  return n;\n}\n")
 	fmt.Fprintf(&b, "int sum_%02d(struct Node *n) {\n", i)
+	// Local string literals: every lib's unit interns its own name (all
+	// distinct) plus a tag shared by content with every other lib — the
+	// linker must renumber the former and dedup the latter, never collide
+	// on the per-unit ".str" names.
+	fmt.Fprintf(&b, "  char lname[8] = \"l%02d\";\n", i)
+	fmt.Fprintf(&b, "  char tagl[4] = \"ok\";\n")
+	fmt.Fprintf(&b, "  struct Pt p = pt_mk(n->a);\n")
 	if p.buggy(i) {
-		fmt.Fprintf(&b, "  int t = n->a + n->b + tweak_%02d();\n", i)
+		fmt.Fprintf(&b, "  int t = n->a + n->b + tweak_%02d() + p.y + lname[1] + tagl[0] + vjoin(2, n->b, tagsum(n->a));\n", i)
 		b.WriteString("  if (n->c > 0) { t += 1; }\n")
 		b.WriteString("  return t;\n}\n")
 	} else {
-		fmt.Fprintf(&b, "  return n->a + n->b + n->c + tweak_%02d();\n}\n", i)
+		fmt.Fprintf(&b, "  return n->a + n->b + n->c + tweak_%02d() + p.y + lname[1] + tagl[0] + vjoin(2, n->b, tagsum(n->a));\n}\n", i)
 	}
 	return b.String()
 }

@@ -157,7 +157,13 @@ func (g *gen) program() string {
 	g.pf("  for (int i = 0; i < n; i++) { buf[i] = i * %d + salt; }\n", g.konst())
 	g.pf("}\n")
 	g.pf("void set_cell(int *p, int v) { *p = v; }\n")
-	g.pf("void scale_into(int *out, int v) { *out = v * %d + %d; }\n\n", g.konst(), g.konst())
+	g.pf("void scale_into(int *out, int v) { *out = v * %d + %d; }\n", g.konst(), g.konst())
+	// Variadic reducer: every call site packs a caller-side extras array,
+	// so the callee's va_arg loads are loads from collapsed stack memory.
+	g.pf("int vacc(int n, ...) {\n")
+	g.pf("  int t = 0;\n")
+	g.pf("  for (int i = 0; i < n; i++) { t += va_arg(i); }\n")
+	g.pf("  return t;\n}\n\n")
 
 	g.opaque = make([]bool, p.Groups)
 	for i := 0; i < p.Groups; i++ {
@@ -194,7 +200,13 @@ func (g *gen) group(i int) {
 	// prove none of them; the address-taken analysis recovers the ones
 	// stored from defined values.
 	g.pf("struct S%d *cur_%d;\n", i, i)
-	g.pf("int *gbuf_%d;\n\n", i)
+	g.pf("int *gbuf_%d;\n", i)
+	// A small by-value struct and a name string: real benchmarks pass
+	// and return aggregates by value and keep identifier tables of
+	// NUL-terminated strings.
+	g.pf("struct V%d { int a; int b; };\n", i)
+	g.pf("struct V%d vmk_%d(int s) { struct V%d v; v.a = s; v.b = s * %d; return v; }\n", i, i, i, g.konst())
+	g.pf("char name_%d[12] = \"grp%d\";\n\n", i, i)
 
 	// Allocation wrappers: heap-cloning targets. Opaque groups allocate
 	// uninitialized buffers and tables; list nodes are malloc'd in every
@@ -323,6 +335,20 @@ func (g *gen) group(i int) {
 	g.pf("    int tmp;\n")
 	g.pf("    scale_into(&tmp, v & 1023);\n")
 	g.pf("    v = v + tmp;\n")
+	// Intrinsic traffic: a partially memset tag buffer read only inside
+	// the set range (statically ⊥ under the weak range chi, dynamically
+	// clean), a string copied out of the group's name table, a struct
+	// passed by value through a copy, and a variadic accumulation.
+	g.pf("    char tagbuf[16];\n")
+	g.pf("    memset(tagbuf, 65 + (it & 7), 8);\n")
+	g.pf("    acc += tagbuf[it & 7];\n")
+	g.pf("    char nmloc[12];\n")
+	g.pf("    memcpy(nmloc, name_%d, 12);\n", i)
+	g.pf("    acc += nmloc[it %% 12];\n")
+	g.pf("    struct V%d vv = vmk_%d(it & 255);\n", i, i)
+	g.pf("    struct V%d vw = vv;\n", i)
+	g.pf("    acc += (vw.a + vw.b) & 63;\n")
+	g.pf("    acc += vacc(3, v & 7, it & 7, acc & 7) & 255;\n")
 	if g.chance(p.CondInitFrac) {
 		// Correlated conditional initialization: statically ⊥,
 		// dynamically always defined when read.

@@ -242,3 +242,77 @@ func TestSnapshotStaleAndCorruptFallBack(t *testing.T) {
 		t.Errorf("cold fallback plan diverges from the snapshotted one")
 	}
 }
+
+// TestSnapshotWarmStartWidenedConstructs pins the warm-start contract
+// for the widened MiniC surface specifically: a program built around
+// string literals, struct assignment by value, varargs and the memory
+// intrinsics must round-trip through Save/Load with bit-identical plan
+// fingerprints for every configuration, with no analysis pass re-run.
+// (The workload-driven warm tests above also contain these constructs,
+// but diffuse inside large generated programs; this one fails crisply
+// if any single construct stops snapshotting.)
+func TestSnapshotWarmStartWidenedConstructs(t *testing.T) {
+	const src = `
+char greeting[16] = "warm";
+int vsum(int n, ...) {
+  int t = 0;
+  for (int i = 0; i < n; i++) { t += va_arg(i); }
+  return t;
+}
+struct Pair { int x; int y; };
+struct Pair mk(int x) { struct Pair p; p.x = x; p.y = x + 1; return p; }
+int main() {
+  char buf[16];
+  memset(buf, 0, 12);
+  memcpy(buf, greeting, 4);
+  struct Pair a = mk(2);
+  struct Pair b = a;
+  b.y = vsum(3, a.x, b.x, buf[2]);
+  int out = b.y + buf[15];
+  print(out);
+  return 0;
+}
+`
+	dir := t.TempDir()
+	cfgs := usher.ExtendedConfigs
+
+	coldProg := compileWarm(t, "widened", src)
+	cold := usher.NewSession(coldProg)
+	coldAnalyses, err := cold.AnalyzeAll(cfgs)
+	if err != nil {
+		t.Fatalf("cold analyze: %v", err)
+	}
+	snap, err := cold.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if _, err := snapshot.Save(dir, coldProg, snap); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+
+	warmProg := compileWarm(t, "widened", src)
+	loaded, err := snapshot.Load(dir, warmProg)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	warmSC := stats.New()
+	warm := usher.NewSessionObserved(warmProg, warmSC)
+	if _, err := warm.WarmStart(loaded); err != nil {
+		t.Fatalf("warm start: %v", err)
+	}
+	for i, cfg := range cfgs {
+		a, err := warm.Analyze(cfg)
+		if err != nil {
+			t.Fatalf("warm analyze %s: %v", cfg, err)
+		}
+		if got, want := a.Plan.Fingerprint(), coldAnalyses[i].Plan.Fingerprint(); got != want {
+			t.Errorf("%s: warm plan fingerprint diverges from cold solve on widened constructs", cfg)
+		}
+	}
+	runs := passRuns(warmSC)
+	for _, pass := range []string{"pointer", "memssa", "vfg", "resolve", "optII", "plan"} {
+		if runs[pass] != 0 {
+			t.Errorf("warm start ran pass %q %d times, want 0", pass, runs[pass])
+		}
+	}
+}

@@ -1,0 +1,10 @@
+// sanitizer-vs-sanitizer corpus: drop-memset mutant. The memset that
+// defined b became an empty statement; the print is a genuine use of
+// an undefined value, and every configuration must agree with the
+// oracle on it.
+int main() {
+  char b[4];
+  ;
+  print(b[1]);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// sanitizer-vs-sanitizer corpus: reorder-struct-assign mutant. In the
+// original program the field store preceded the whole-struct copy;
+// swapped, t captures s before s.a is defined and the print warns.
+struct S { int a; };
+int main() {
+  struct S s;
+  struct S t;
+  t = s;
+  s.a = 1;
+  print(t.a);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// sanitizer-vs-sanitizer corpus: route-through-varargs mutant. The
+// initializer u was rewritten to vsum(1, u): the undefined shadow must
+// survive the caller-side va array and the callee's va_arg load, and
+// the print must still warn.
+int vsum(int n, ...) {
+  int t = 0;
+  for (int i = 0; i < n; i++) { t += va_arg(i); }
+  return t;
+}
+int main() {
+  int u;
+  int v = vsum(1, u);
+  print(v);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// sanitizer-vs-sanitizer corpus: shrink-copy-length mutant. The copy
+// length 4 was masked to 4 & 3 == 0, so d stays fully undefined and
+// the print warns.
+char lit[4] = "ab";
+int main() {
+  char d[4];
+  memcpy(d, lit, 4 & 3);
+  print(d[0]);
+  return 0;
+}
